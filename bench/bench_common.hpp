@@ -1,0 +1,65 @@
+// Shared plumbing for the figure/table bench binaries.
+//
+// Every binary regenerating a paper artifact accepts the same flags:
+//   --cases=N      test cases to average (paper: 40; default lighter)
+//   --seed=S       base RNG seed for case generation
+//   --weighting=A  "1,10,100" (default) or "1,5,10"
+//   --csv=PATH     also write the data series as CSV
+//   --verbose      progress logging while sweeping
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "harness/sweep.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace datastage::benchtool {
+
+struct BenchSetup {
+  ExperimentConfig config;
+  PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  std::string csv_path;
+  bool verbose = false;
+};
+
+inline bool parse_bench_flags(int argc, const char* const* argv, BenchSetup& setup,
+                              std::vector<std::string> extra_flags = {}) {
+  std::vector<std::string> known{"cases", "seed", "weighting", "csv", "verbose"};
+  known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+  CliFlags flags;
+  if (!flags.parse(argc, argv, known)) return false;
+
+  setup.config.cases = static_cast<std::size_t>(flags.get_int("cases", 40));
+  setup.config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2000));
+  setup.csv_path = flags.get_string("csv", "");
+  setup.verbose = flags.get_bool("verbose", false);
+  if (setup.verbose) set_log_level(LogLevel::kInfo);
+
+  const std::string weighting = flags.get_string("weighting", "1,10,100");
+  if (weighting == "1,10,100") {
+    setup.weighting = PriorityWeighting::w_1_10_100();
+  } else if (weighting == "1,5,10") {
+    setup.weighting = PriorityWeighting::w_1_5_10();
+  } else {
+    std::fprintf(stderr, "unknown --weighting '%s' (use 1,10,100 or 1,5,10)\n",
+                 weighting.c_str());
+    return false;
+  }
+  return true;
+}
+
+inline void print_header(const std::string& title, const BenchSetup& setup) {
+  std::printf("%s\n", title.c_str());
+  std::printf("cases=%zu seed=%llu weighting=%s\n\n", setup.config.cases,
+              static_cast<unsigned long long>(setup.config.seed),
+              setup.weighting.to_string().c_str());
+}
+
+}  // namespace datastage::benchtool

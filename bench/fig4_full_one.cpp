@@ -1,0 +1,19 @@
+// Figure 4: the full path/one destination heuristic under all four cost
+// criteria across the E-U ratio axis (1,10,100 weighting).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace datastage;
+  benchtool::BenchSetup setup;
+  if (!benchtool::parse_bench_flags(argc, argv, setup)) return 1;
+  benchtool::print_header(
+      "Figure 4 — full path/one destination heuristic, criteria C1-C4", setup);
+
+  const CaseSet cases = build_cases(setup.config);
+  const SweepResult sweep = sweep_pairs(cases, setup.weighting,
+                                        pairs_for(HeuristicKind::kFullOne),
+                                        paper_eu_axis(), setup.verbose);
+  print_sweep("Weighted sum of satisfied priorities (mean over cases):", sweep,
+              setup.csv_path);
+  return 0;
+}

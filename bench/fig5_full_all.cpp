@@ -1,0 +1,20 @@
+// Figure 5: the full path/all destinations heuristic under the admissible
+// cost criteria C2-C4 across the E-U ratio axis (1,10,100 weighting). C1 is
+// excluded — it cannot express multi-destination transfers (§4.8).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace datastage;
+  benchtool::BenchSetup setup;
+  if (!benchtool::parse_bench_flags(argc, argv, setup)) return 1;
+  benchtool::print_header(
+      "Figure 5 — full path/all destinations heuristic, criteria C2-C4", setup);
+
+  const CaseSet cases = build_cases(setup.config);
+  const SweepResult sweep = sweep_pairs(cases, setup.weighting,
+                                        pairs_for(HeuristicKind::kFullAll),
+                                        paper_eu_axis(), setup.verbose);
+  print_sweep("Weighted sum of satisfied priorities (mean over cases):", sweep,
+              setup.csv_path);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// §6 future work, implemented as an extension: performance of the
+// heuristic/C4 pairs while varying network congestion. The request volume is
+// scaled by a load multiplier; reported both as absolute weighted value and
+// as a fraction of the (load-dependent) possible_satisfy bound.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace datastage;
+  benchtool::BenchSetup setup;
+  if (!benchtool::parse_bench_flags(argc, argv, setup)) return 1;
+  benchtool::print_header(
+      "Congestion sweep — heuristic/C4 under scaled request load "
+      "(E-U ratio 10^1)",
+      setup);
+
+  Table table({"load x", "possible_satisfy", "partial/C4", "full_one/C4",
+               "full_all/C4", "partial %", "full_one %", "full_all %"});
+
+  for (const double load : {0.5, 1.0, 2.0, 4.0}) {
+    ExperimentConfig config = setup.config;
+    config.gen.load_multiplier = load;
+    const CaseSet cases = build_cases(config);
+    const AveragedBounds bounds = average_bounds(cases, setup.weighting);
+
+    std::vector<double> values;
+    for (const HeuristicKind kind :
+         {HeuristicKind::kPartial, HeuristicKind::kFullOne, HeuristicKind::kFullAll}) {
+      values.push_back(average_pair_value(cases, setup.weighting,
+                                          SchedulerSpec{kind, CostCriterion::kC4},
+                                          EUWeights::from_log10_ratio(1.0)));
+    }
+    auto pct = [&](double v) {
+      return bounds.possible_satisfy > 0.0
+                 ? format_double(100.0 * v / bounds.possible_satisfy, 1)
+                 : std::string("-");
+    };
+    table.add_row({format_double(load, 1), format_double(bounds.possible_satisfy, 1),
+                   format_double(values[0], 1), format_double(values[1], 1),
+                   format_double(values[2], 1), pct(values[0]), pct(values[1]),
+                   pct(values[2])});
+  }
+
+  std::printf("%s\n", table.to_text().c_str());
+  if (!setup.csv_path.empty()) {
+    table.write_csv_file(setup.csv_path);
+    std::printf("(CSV written to %s)\n", setup.csv_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Extension experiment (§5.4 future work): "Future cost criteria might be
+// designed to capture the original intent" of C3 — relating each request's
+// priority to its urgency without letting a near-zero slack dominate.
+// C5 = Σ −Efp / max(slack, 60 s) implements that. This ablation compares,
+// per heuristic: C3 (raw ratio), C4 at its best E-U ratio (the paper's best
+// tuned criterion), and C5 (ratio with a slack floor; tuning-free like C3).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace datastage;
+  benchtool::BenchSetup setup;
+  if (!benchtool::parse_bench_flags(argc, argv, setup)) return 1;
+  benchtool::print_header(
+      "Criterion ablation — C3 (raw ratio) vs C4 (best tuned) vs C5 "
+      "(floored ratio, tuning-free)",
+      setup);
+
+  const CaseSet cases = build_cases(setup.config);
+  Table table({"heuristic", "C3", "C4 @ best ratio", "best ratio", "C5"});
+
+  for (const HeuristicKind kind :
+       {HeuristicKind::kPartial, HeuristicKind::kFullOne, HeuristicKind::kFullAll}) {
+    const double c3 = average_pair_value(cases, setup.weighting,
+                                         {kind, CostCriterion::kC3},
+                                         EUWeights::from_log10_ratio(0.0));
+    double c4_best = 0.0;
+    double c4_ratio = 0.0;
+    for (const double ratio : paper_eu_axis()) {
+      const double value = average_pair_value(cases, setup.weighting,
+                                              {kind, CostCriterion::kC4},
+                                              EUWeights::from_log10_ratio(ratio));
+      if (value > c4_best) {
+        c4_best = value;
+        c4_ratio = ratio;
+      }
+    }
+    const double c5 = average_pair_value(cases, setup.weighting,
+                                         {kind, CostCriterion::kC5},
+                                         EUWeights::from_log10_ratio(0.0));
+    table.add_row({heuristic_name(kind), format_double(c3, 1),
+                   format_double(c4_best, 1), eu_axis_label(c4_ratio),
+                   format_double(c5, 1)});
+  }
+
+  std::printf("%s\n", table.to_text().c_str());
+  if (!setup.csv_path.empty()) {
+    table.write_csv_file(setup.csv_path);
+    std::printf("(CSV written to %s)\n", setup.csv_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,111 @@
+// TR companion data (§5.4 mentions execution time was collected): wall-clock
+// microbenchmarks of every heuristic/criterion pair and the baselines on one
+// fixed generated scenario, via google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "core/bounds.hpp"
+#include "core/heuristics.hpp"
+#include "core/registry.hpp"
+#include "gen/generator.hpp"
+
+namespace {
+
+using namespace datastage;
+
+const Scenario& bench_scenario() {
+  static const Scenario scenario = [] {
+    GeneratorConfig config;
+    // Paper-shaped but lighter so the full matrix of timings stays quick.
+    config.min_machines = 10;
+    config.max_machines = 10;
+    config.min_requests_per_machine = 10;
+    config.max_requests_per_machine = 10;
+    Rng rng(2000);
+    return generate_scenario(config, rng);
+  }();
+  return scenario;
+}
+
+EngineOptions bench_options(CostCriterion criterion) {
+  EngineOptions options;
+  options.criterion = criterion;
+  options.eu = EUWeights::from_log10_ratio(1.0);
+  return options;
+}
+
+void BM_Pair(benchmark::State& state, SchedulerSpec spec) {
+  const Scenario& scenario = bench_scenario();
+  for (auto _ : state) {
+    const StagingResult result =
+        run_spec(spec, scenario, bench_options(spec.criterion));
+    benchmark::DoNotOptimize(result.schedule.size());
+  }
+}
+
+void BM_SingleDijkstraRandom(benchmark::State& state) {
+  const Scenario& scenario = bench_scenario();
+  for (auto _ : state) {
+    Rng rng(7);
+    const StagingResult result =
+        run_single_dijkstra_random(scenario, PriorityWeighting::w_1_10_100(), rng);
+    benchmark::DoNotOptimize(result.schedule.size());
+  }
+}
+
+void BM_RandomDijkstra(benchmark::State& state) {
+  const Scenario& scenario = bench_scenario();
+  for (auto _ : state) {
+    Rng rng(7);
+    const StagingResult result =
+        run_random_dijkstra(scenario, PriorityWeighting::w_1_10_100(), rng);
+    benchmark::DoNotOptimize(result.schedule.size());
+  }
+}
+
+void BM_PriorityFirst(benchmark::State& state) {
+  const Scenario& scenario = bench_scenario();
+  for (auto _ : state) {
+    const StagingResult result =
+        run_priority_first(scenario, PriorityWeighting::w_1_10_100());
+    benchmark::DoNotOptimize(result.schedule.size());
+  }
+}
+
+void BM_Bounds(benchmark::State& state) {
+  const Scenario& scenario = bench_scenario();
+  for (auto _ : state) {
+    const BoundsReport report =
+        compute_bounds(scenario, PriorityWeighting::w_1_10_100());
+    benchmark::DoNotOptimize(report.possible_satisfy);
+  }
+}
+
+/// The paper recomputes every Dijkstra each iteration; the engine caches.
+/// This pair of benchmarks quantifies the cache's speedup (ablation).
+void BM_PartialC4_Paranoid(benchmark::State& state) {
+  const Scenario& scenario = bench_scenario();
+  for (auto _ : state) {
+    EngineOptions options = bench_options(CostCriterion::kC4);
+    options.paranoid = true;
+    const StagingResult result = run_partial_path(scenario, options);
+    benchmark::DoNotOptimize(result.dijkstra_runs);
+  }
+}
+
+const int kRegistered = [] {
+  for (const SchedulerSpec& spec : paper_pairs()) {
+    benchmark::RegisterBenchmark(spec.name().c_str(),
+                                 [spec](benchmark::State& s) { BM_Pair(s, spec); });
+  }
+  benchmark::RegisterBenchmark("single_Dij_random", BM_SingleDijkstraRandom);
+  benchmark::RegisterBenchmark("random_Dijkstra", BM_RandomDijkstra);
+  benchmark::RegisterBenchmark("priority_first", BM_PriorityFirst);
+  benchmark::RegisterBenchmark("bounds", BM_Bounds);
+  benchmark::RegisterBenchmark("partial/C4 (paranoid ablation)",
+                               BM_PartialC4_Paranoid);
+  return 0;
+}();
+
+}  // namespace
+
+BENCHMARK_MAIN();

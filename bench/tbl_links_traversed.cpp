@@ -1,0 +1,47 @@
+// TR companion data (§5.4 mentions it was collected): average number of
+// links traversed — scheduled communication steps per satisfied request —
+// plus Dijkstra executions and scheduling iterations for every pair. The
+// full_all heuristic exists precisely to reduce Dijkstra executions (§4.7);
+// this table shows that effect.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace datastage;
+  benchtool::BenchSetup setup;
+  if (!benchtool::parse_bench_flags(argc, argv, setup)) return 1;
+  benchtool::print_header(
+      "Links traversed & heuristic work per pair (E-U ratio 10^1)", setup);
+
+  const CaseSet cases = build_cases(setup.config);
+  const auto n = static_cast<double>(cases.scenarios.size());
+
+  Table table({"pair", "steps/satisfied", "steps", "satisfied", "dijkstra runs",
+               "iterations"});
+  for (const SchedulerSpec& spec : paper_pairs()) {
+    EngineOptions options;
+    options.weighting = setup.weighting;
+    options.eu = EUWeights::from_log10_ratio(1.0);
+    double steps = 0.0;
+    double satisfied = 0.0;
+    double dijkstra = 0.0;
+    double iterations = 0.0;
+    for (const Scenario& scenario : cases.scenarios) {
+      const StagingResult result = run_spec(spec, scenario, options);
+      steps += static_cast<double>(result.schedule.size());
+      satisfied += static_cast<double>(satisfied_count(result.outcomes));
+      dijkstra += static_cast<double>(result.dijkstra_runs);
+      iterations += static_cast<double>(result.iterations);
+    }
+    const double per = satisfied > 0.0 ? steps / satisfied : 0.0;
+    table.add_row({spec.name(), format_double(per, 3), format_double(steps / n, 1),
+                   format_double(satisfied / n, 1), format_double(dijkstra / n, 1),
+                   format_double(iterations / n, 1)});
+  }
+
+  std::printf("%s\n", table.to_text().c_str());
+  if (!setup.csv_path.empty()) {
+    table.write_csv_file(setup.csv_path);
+    std::printf("(CSV written to %s)\n", setup.csv_path.c_str());
+  }
+  return 0;
+}

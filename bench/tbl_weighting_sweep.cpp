@@ -1,0 +1,48 @@
+// Extension experiment (§6 future work: "additional priority weighting
+// schemes"): how the per-class satisfaction shifts as the weighting scheme
+// steepens, from nearly flat {1,2,4} to extreme {1,100,10000}. Uses the
+// ratio-free C3 criterion so no E-U tuning interacts with the weight scale.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace datastage;
+  benchtool::BenchSetup setup;
+  if (!benchtool::parse_bench_flags(argc, argv, setup)) return 1;
+  benchtool::print_header(
+      "Weighting-scheme sweep — per-class satisfaction under full_one/C3",
+      setup);
+
+  const CaseSet cases = build_cases(setup.config);
+  const SchedulerSpec spec{HeuristicKind::kFullOne, CostCriterion::kC3};
+
+  Table table({"weighting", "high", "medium", "low", "total satisfied"});
+  for (const PriorityWeighting& weighting :
+       {PriorityWeighting({1.0, 2.0, 4.0}), PriorityWeighting::w_1_5_10(),
+        PriorityWeighting::w_1_10_100(),
+        PriorityWeighting({1.0, 100.0, 10000.0})}) {
+    double high = 0.0;
+    double medium = 0.0;
+    double low = 0.0;
+    EngineOptions options;
+    options.weighting = weighting;
+    options.eu = EUWeights::from_log10_ratio(0.0);
+    for (const Scenario& scenario : cases.scenarios) {
+      const StagingResult result = run_spec(spec, scenario, options);
+      const auto counts = satisfied_by_class(scenario, 3, result.outcomes);
+      low += static_cast<double>(counts[0]);
+      medium += static_cast<double>(counts[1]);
+      high += static_cast<double>(counts[2]);
+    }
+    const auto n = static_cast<double>(cases.scenarios.size());
+    table.add_row({weighting.to_string(), format_double(high / n, 2),
+                   format_double(medium / n, 2), format_double(low / n, 2),
+                   format_double((high + medium + low) / n, 2)});
+  }
+
+  std::printf("%s\n", table.to_text().c_str());
+  if (!setup.csv_path.empty()) {
+    table.write_csv_file(setup.csv_path);
+    std::printf("(CSV written to %s)\n", setup.csv_path.c_str());
+  }
+  return 0;
+}

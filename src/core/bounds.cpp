@@ -1,0 +1,42 @@
+#include "core/bounds.hpp"
+
+#include "net/topology.hpp"
+#include "routing/dijkstra.hpp"
+
+namespace datastage {
+
+BoundsReport compute_bounds(const Scenario& scenario,
+                            const PriorityWeighting& weighting) {
+  BoundsReport report;
+  Topology topology(scenario);
+  const NetworkState pristine(scenario);
+
+  report.alone_outcomes.resize(scenario.item_count());
+  for (std::size_t i = 0; i < scenario.item_count(); ++i) {
+    const ItemId item(static_cast<std::int32_t>(i));
+    const DataItem& it = scenario.items[i];
+    report.alone_outcomes[i].resize(it.requests.size());
+
+    DijkstraOptions dopt;
+    dopt.prune_after = it.latest_deadline();
+    const RouteTree tree = compute_route_tree(pristine, topology, item, dopt);
+
+    for (std::size_t k = 0; k < it.requests.size(); ++k) {
+      const Request& request = it.requests[k];
+      report.upper_bound += weighting.weight(request.priority);
+
+      // Capacity checks against the pristine state are exactly the "only
+      // request in the system" assumption: no other item consumes links, and
+      // only initial copies consume storage.
+      if (tree.reached(request.destination) &&
+          tree.arrival(request.destination) <= request.deadline) {
+        report.alone_outcomes[i][k].satisfied = true;
+        report.alone_outcomes[i][k].arrival = tree.arrival(request.destination);
+        report.possible_satisfy += weighting.weight(request.priority);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace datastage

@@ -1,0 +1,27 @@
+// Upper bounds on achievable performance (paper §5.2).
+//
+//   upper_bound      — the weighted sum of ALL requests (assumes everything
+//                      can be satisfied; the loose bound).
+//   possible_satisfy — the weighted sum of the requests that could be
+//                      satisfied if each were the only request in the system
+//                      (one pristine Dijkstra per item; the tight bound).
+#pragma once
+
+#include "core/satisfaction.hpp"
+#include "model/priority.hpp"
+#include "model/scenario.hpp"
+
+namespace datastage {
+
+struct BoundsReport {
+  double upper_bound = 0.0;
+  double possible_satisfy = 0.0;
+  /// Outcome of every request when alone in the system (satisfiable or not);
+  /// reused by tests and the per-class tables.
+  OutcomeMatrix alone_outcomes;
+};
+
+BoundsReport compute_bounds(const Scenario& scenario,
+                            const PriorityWeighting& weighting);
+
+}  // namespace datastage

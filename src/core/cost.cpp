@@ -1,0 +1,123 @@
+#include "core/cost.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace datastage {
+namespace {
+
+// Guard for C3's division: a request with zero slack would divide by zero
+// (the paper itself notes C3's scaling pathology, §5.4). One microsecond of
+// slack is the model's resolution.
+constexpr double kMinUrgencyMagnitude = 1e-6;
+
+// C5's slack floor: one minute. Slacks below it are treated as equally
+// urgent, so the ratio stays on the scale of the other destinations' terms.
+constexpr double kC5SlackFloorSeconds = 60.0;
+
+}  // namespace
+
+const char* cost_name(CostCriterion criterion) {
+  switch (criterion) {
+    case CostCriterion::kC1: return "C1";
+    case CostCriterion::kC2: return "C2";
+    case CostCriterion::kC3: return "C3";
+    case CostCriterion::kC4: return "C4";
+    case CostCriterion::kPriorityOnly: return "priority_only";
+    case CostCriterion::kC5: return "C5";
+    case CostCriterion::kEdf: return "edf";
+  }
+  DS_UNREACHABLE("bad criterion");
+}
+
+bool is_per_destination(CostCriterion criterion) {
+  return criterion == CostCriterion::kC1 ||
+         criterion == CostCriterion::kPriorityOnly ||
+         criterion == CostCriterion::kEdf;
+}
+
+EUWeights EUWeights::from_log10_ratio(double log10_ratio) {
+  if (std::isinf(log10_ratio)) {
+    return log10_ratio > 0 ? priority_only() : urgency_only();
+  }
+  return EUWeights{std::pow(10.0, log10_ratio), 1.0};
+}
+
+double cost_c1(const EUWeights& eu, const DestinationEval& dest) {
+  return -eu.we * dest.efp() - eu.wu * dest.urgency();
+}
+
+double cost_c2(const EUWeights& eu, std::span<const DestinationEval> dests) {
+  double efp_sum = 0.0;
+  // Most urgent satisfiable request: the maximum urgency (closest to zero).
+  // Unsatisfiable destinations contribute nothing (paper §4.8 intent).
+  double max_urgency = -std::numeric_limits<double>::infinity();
+  bool any_sat = false;
+  for (const DestinationEval& d : dests) {
+    efp_sum += d.efp();
+    if (d.sat) {
+      any_sat = true;
+      max_urgency = std::max(max_urgency, d.urgency());
+    }
+  }
+  if (!any_sat) max_urgency = 0.0;
+  return -eu.we * efp_sum - eu.wu * max_urgency;
+}
+
+double cost_c3(std::span<const DestinationEval> dests) {
+  double total = 0.0;
+  for (const DestinationEval& d : dests) {
+    if (!d.sat) continue;  // sums over destinations with satisfiable requests
+    const double urgency = std::min(d.urgency(), -kMinUrgencyMagnitude);
+    total += d.efp() / urgency;
+  }
+  return total;
+}
+
+double cost_c4(const EUWeights& eu, std::span<const DestinationEval> dests) {
+  double efp_sum = 0.0;
+  double urgency_sum = 0.0;
+  for (const DestinationEval& d : dests) {
+    efp_sum += d.efp();
+    urgency_sum += d.urgency();
+  }
+  return -eu.we * efp_sum - eu.wu * urgency_sum;
+}
+
+double cost_priority_only(const DestinationEval& dest) { return -dest.efp(); }
+
+double cost_edf(const DestinationEval& dest) { return dest.deadline_seconds; }
+
+double cost_c5(std::span<const DestinationEval> dests) {
+  double total = 0.0;
+  for (const DestinationEval& d : dests) {
+    if (!d.sat) continue;
+    const double slack = std::max(d.slack_seconds, kC5SlackFloorSeconds);
+    total += -d.efp() / slack;
+  }
+  return total;
+}
+
+double evaluate_cost(CostCriterion criterion, const EUWeights& eu,
+                     std::span<const DestinationEval> dests) {
+  switch (criterion) {
+    case CostCriterion::kC1:
+      DS_ASSERT(dests.size() == 1);
+      return cost_c1(eu, dests.front());
+    case CostCriterion::kC2: return cost_c2(eu, dests);
+    case CostCriterion::kC3: return cost_c3(dests);
+    case CostCriterion::kC4: return cost_c4(eu, dests);
+    case CostCriterion::kPriorityOnly:
+      DS_ASSERT(dests.size() == 1);
+      return cost_priority_only(dests.front());
+    case CostCriterion::kC5: return cost_c5(dests);
+    case CostCriterion::kEdf:
+      DS_ASSERT(dests.size() == 1);
+      return cost_edf(dests.front());
+  }
+  DS_UNREACHABLE("bad criterion");
+}
+
+}  // namespace datastage

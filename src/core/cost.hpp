@@ -1,0 +1,79 @@
+// The four cost criteria of paper §4.8 (plus the priority-only cost of the
+// §5.4 "simplified scheme" baseline).
+//
+// A cost scores a valid next communication step — transferring Rq[i] from a
+// copy holder to the next machine M[r] — from the per-destination
+// ingredients:
+//   Sat[i,r](j)      1 iff the tree arrival A_T[i,j] meets the deadline
+//   Efp[i,r](j)      Sat * W[Priority[i,j]]        (effective priority)
+//   Urgency[i,r](j)  -Sat * (Rft[i,j] - A_T[i,j])  (seconds; <= 0, closer to
+//                                                   0 means more urgent)
+// Lower cost wins.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace datastage {
+
+enum class CostCriterion {
+  kC1,  ///< per destination: -W_E*Efp - W_U*Urgency
+  kC2,  ///< -W_E*ΣEfp - W_U*max(Urgency over satisfiable dests)
+  kC3,  ///< Σ Efp/Urgency (independent of W_E, W_U)
+  kC4,  ///< -W_E*ΣEfp - W_U*ΣUrgency
+  kPriorityOnly,  ///< baseline: -W[priority], per destination (§5.4)
+  /// Extension (the §5.4 future-work direction): C3's priority-per-urgency
+  /// intent with a one-minute slack floor, so a single near-zero slack can
+  /// no longer dominate the sum. E-U independent like C3.
+  kC5,
+  /// Baseline from the related work (§2): earliest-deadline-first. Ignores
+  /// priority and slack; per destination, cost = the absolute deadline.
+  kEdf,
+};
+
+const char* cost_name(CostCriterion criterion);
+
+/// True for criteria evaluated per individual destination (one candidate per
+/// satisfiable request); false for criteria aggregated over Drq[i,r].
+bool is_per_destination(CostCriterion criterion);
+
+/// The relative weights W_E (effective priority) and W_U (urgency). The
+/// experiments sweep the E-U ratio W_E/W_U on a log10 axis with ±inf ends.
+struct EUWeights {
+  double we = 1.0;
+  double wu = 1.0;
+
+  /// Mid-axis point: W_U = 1, W_E = 10^log10_ratio. Accepts ±infinity, which
+  /// map to priority_only() / urgency_only().
+  static EUWeights from_log10_ratio(double log10_ratio);
+  static EUWeights priority_only() { return EUWeights{1.0, 0.0}; }
+  static EUWeights urgency_only() { return EUWeights{0.0, 1.0}; }
+};
+
+/// Per-destination evaluation for a candidate step.
+struct DestinationEval {
+  std::int32_t k = -1;        ///< request index within the item
+  bool sat = false;           ///< Sat[i,r](k)
+  double weight = 0.0;        ///< W[Priority[i,k]]
+  double slack_seconds = 0.0; ///< Rft - A_T, valid when sat
+  double deadline_seconds = 0.0;  ///< Rft as absolute time (for EDF)
+
+  double efp() const { return sat ? weight : 0.0; }
+  double urgency() const { return sat ? -slack_seconds : 0.0; }
+};
+
+double cost_c1(const EUWeights& eu, const DestinationEval& dest);
+double cost_c2(const EUWeights& eu, std::span<const DestinationEval> dests);
+double cost_c3(std::span<const DestinationEval> dests);
+double cost_c4(const EUWeights& eu, std::span<const DestinationEval> dests);
+double cost_priority_only(const DestinationEval& dest);
+double cost_c5(std::span<const DestinationEval> dests);
+double cost_edf(const DestinationEval& dest);
+
+/// Dispatches to the criterion. For per-destination criteria `dests` must
+/// contain exactly the one destination being scored.
+double evaluate_cost(CostCriterion criterion, const EUWeights& eu,
+                     std::span<const DestinationEval> dests);
+
+}  // namespace datastage

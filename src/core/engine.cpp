@@ -1,0 +1,324 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace datastage {
+namespace {
+
+/// Deterministic total order on candidates: cost first, then stable
+/// structural tie-breakers so equal-cost runs are reproducible.
+bool candidate_less(const Candidate& a, const Candidate& b) {
+  if (a.cost != b.cost) return a.cost < b.cost;
+  if (a.item != b.item) return a.item < b.item;
+  if (a.hop.to != b.hop.to) return a.hop.to < b.hop.to;
+  const std::int32_t ka = a.dests.empty() ? -1 : a.dests.front().k;
+  const std::int32_t kb = b.dests.empty() ? -1 : b.dests.front().k;
+  return ka < kb;
+}
+
+}  // namespace
+
+StagingEngine::StagingEngine(const Scenario& scenario, EngineOptions options)
+    : scenario_(&scenario),
+      options_(std::move(options)),
+      topology_(scenario),
+      state_(scenario),
+      tracker_(scenario) {
+  plans_.resize(scenario.item_count());
+  max_iterations_ = options_.max_iterations != 0
+                        ? options_.max_iterations
+                        : 1000 + 200 * scenario.request_count();
+}
+
+void StagingEngine::refresh_all() {
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    const ItemId item(static_cast<std::int32_t>(i));
+    ItemPlan& plan = plans_[i];
+    if (!tracker_.any_pending(item)) {
+      plan.exhausted = true;
+      plan.candidates.clear();
+      continue;
+    }
+    plan.exhausted = false;
+    if (plan.dirty || options_.paranoid) recompute_plan(item);
+  }
+}
+
+void StagingEngine::recompute_plan(ItemId item) {
+  ItemPlan& plan = plans_[item.index()];
+  DijkstraOptions dopt;
+  dopt.prune_after = tracker_.latest_pending_deadline(item);
+  plan.tree = compute_route_tree(state_, topology_, item, dopt);
+  ++dijkstra_runs_;
+  build_candidates(item, plan);
+  plan.dirty = false;
+}
+
+void StagingEngine::build_candidates(ItemId item, ItemPlan& plan) {
+  plan.candidates.clear();
+  plan.used_links.clear();
+  plan.used_storage.clear();
+
+  const DataItem& it = scenario_->item(item);
+
+  // Evaluate every pending destination against the fresh tree and group the
+  // reachable ones by the first hop of their path (the paper's Drq[i,r]).
+  std::map<std::int32_t, std::vector<DestinationEval>> groups;  // key: r = hop.to
+  std::map<std::int32_t, TreeEdge> group_hop;
+
+  for (const std::int32_t k : tracker_.pending_of(item)) {
+    const Request& request = it.requests[static_cast<std::size_t>(k)];
+    const MachineId dest = request.destination;
+    if (!plan.tree.reached(dest)) continue;
+
+    DestinationEval eval;
+    eval.k = k;
+    eval.weight = options_.weighting.weight(request.priority);
+    eval.deadline_seconds = request.deadline.seconds();
+
+    if (!plan.tree.has_parent(dest)) {
+      // The destination already holds a (late) copy: a pending request with a
+      // root label means the copy arrived past the deadline. No transfer is
+      // proposed for it; it contributes nothing.
+      DS_ASSERT(plan.tree.arrival(dest) > request.deadline);
+      continue;
+    }
+
+    const SimTime at = plan.tree.arrival(dest);
+    eval.sat = at <= request.deadline;
+    eval.slack_seconds = eval.sat ? (request.deadline - at).as_seconds() : 0.0;
+
+    const TreeEdge& hop = plan.tree.first_hop(dest);
+    groups[hop.to.value()].push_back(eval);
+    group_hop.emplace(hop.to.value(), hop);
+  }
+
+  const bool per_dest = is_per_destination(options_.criterion);
+  for (auto& [r, evals] : groups) {
+    const TreeEdge& hop = group_hop.at(r);
+    const bool any_sat =
+        std::any_of(evals.begin(), evals.end(), [](const DestinationEval& e) {
+          return e.sat;
+        });
+    if (!any_sat) continue;  // Sat == 0 everywhere: no resources (§4.8)
+
+    if (per_dest) {
+      for (const DestinationEval& eval : evals) {
+        if (!eval.sat) continue;
+        Candidate c;
+        c.item = item;
+        c.hop = hop;
+        c.dests = {eval};
+        c.cost = evaluate_cost(options_.criterion, options_.eu, c.dests);
+        plan.candidates.push_back(std::move(c));
+      }
+    } else {
+      Candidate c;
+      c.item = item;
+      c.hop = hop;
+      c.dests = evals;
+      c.cost = evaluate_cost(options_.criterion, options_.eu, c.dests);
+      plan.candidates.push_back(std::move(c));
+    }
+
+    // Record the resources the satisfiable paths of this group rely on; a
+    // later reservation overlapping them forces a recompute.
+    std::vector<bool> node_seen(scenario_->machine_count(), false);
+    for (const DestinationEval& eval : evals) {
+      if (!eval.sat) continue;
+      const MachineId dest =
+          it.requests[static_cast<std::size_t>(eval.k)].destination;
+      for (const TreeEdge& edge : plan.tree.path_to(dest)) {
+        if (node_seen[edge.to.index()]) continue;
+        node_seen[edge.to.index()] = true;
+        plan.used_links.emplace_back(edge.link, Interval{edge.start, edge.arrival});
+        // What can_hold checked for this node: the full hold window for a new
+        // copy, or only the extension when an (earlier-scheduled) hold exists.
+        const std::optional<SimTime> existing = state_.hold_begin(item, edge.to);
+        if (existing.has_value()) {
+          if (*existing > edge.start) {
+            plan.used_storage.emplace_back(edge.to, Interval{edge.start, *existing});
+          }
+        } else {
+          plan.used_storage.emplace_back(
+              edge.to, Interval{edge.start, state_.hold_end(item, edge.to)});
+        }
+      }
+    }
+  }
+}
+
+std::optional<Candidate> StagingEngine::best_candidate() {
+  if (guard_tripped_) return std::nullopt;
+  refresh_all();
+  const Candidate* best = nullptr;
+  for (const ItemPlan& plan : plans_) {
+    if (plan.exhausted) continue;
+    for (const Candidate& c : plan.candidates) {
+      if (best == nullptr || candidate_less(c, *best)) best = &c;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::vector<Candidate> StagingEngine::all_candidates() {
+  refresh_all();
+  std::vector<Candidate> all;
+  for (const ItemPlan& plan : plans_) {
+    if (plan.exhausted) continue;
+    all.insert(all.end(), plan.candidates.begin(), plan.candidates.end());
+  }
+  return all;
+}
+
+AppliedTransfer StagingEngine::commit_edge(ItemId item, const TreeEdge& edge) {
+  const AppliedTransfer applied = state_.apply_transfer(item, edge.link, edge.start);
+  DS_ASSERT_MSG(applied.arrival == edge.arrival,
+                "committed transfer deviates from the planned tree edge");
+  schedule_.add(
+      CommStep{item, edge.from, edge.to, edge.link, edge.start, applied.arrival});
+  tracker_.note_arrival(item, edge.to, applied.arrival);
+  return applied;
+}
+
+void StagingEngine::apply_hop(const Candidate& candidate) {
+  DS_ASSERT(!plans_[candidate.item.index()].dirty);
+  const AppliedTransfer applied = commit_edge(candidate.item, candidate.hop);
+  invalidate(candidate.item, std::span(&applied, 1));
+  count_iteration();
+}
+
+void StagingEngine::apply_full_path_one(const Candidate& candidate) {
+  ItemPlan& plan = plans_[candidate.item.index()];
+  DS_ASSERT(!plan.dirty);
+
+  // Pick the destination to complete: the candidate's own for per-destination
+  // criteria; otherwise the most urgent satisfiable one of the group.
+  const DestinationEval* chosen = nullptr;
+  for (const DestinationEval& eval : candidate.dests) {
+    if (!eval.sat) continue;
+    if (chosen == nullptr || eval.slack_seconds < chosen->slack_seconds ||
+        (eval.slack_seconds == chosen->slack_seconds && eval.k < chosen->k)) {
+      chosen = &eval;
+    }
+  }
+  DS_ASSERT_MSG(chosen != nullptr, "candidate without satisfiable destination");
+
+  const MachineId dest = scenario_->item(candidate.item)
+                             .requests[static_cast<std::size_t>(chosen->k)]
+                             .destination;
+  std::vector<AppliedTransfer> applied;
+  for (const TreeEdge& edge : plan.tree.path_to(dest)) {
+    applied.push_back(commit_edge(candidate.item, edge));
+  }
+  invalidate(candidate.item, applied);
+  count_iteration();
+}
+
+void StagingEngine::apply_full_path_all(const Candidate& candidate) {
+  ItemPlan& plan = plans_[candidate.item.index()];
+  DS_ASSERT(!plan.dirty);
+
+  // Union of the tree paths to every satisfiable destination of the group;
+  // each machine has a unique parent edge, so dedupe by edge target.
+  std::vector<bool> node_seen(scenario_->machine_count(), false);
+  std::vector<TreeEdge> edges;
+  for (const DestinationEval& eval : candidate.dests) {
+    if (!eval.sat) continue;
+    const MachineId dest = scenario_->item(candidate.item)
+                               .requests[static_cast<std::size_t>(eval.k)]
+                               .destination;
+    for (const TreeEdge& edge : plan.tree.path_to(dest)) {
+      if (node_seen[edge.to.index()]) continue;
+      node_seen[edge.to.index()] = true;
+      edges.push_back(edge);
+    }
+  }
+  DS_ASSERT_MSG(!edges.empty(), "candidate without satisfiable destination");
+
+  // A parent's arrival strictly precedes its children's arrivals, so sorting
+  // by arrival yields a valid commit order (senders hold copies in time).
+  std::sort(edges.begin(), edges.end(), [](const TreeEdge& a, const TreeEdge& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.to < b.to;
+  });
+
+  std::vector<AppliedTransfer> applied;
+  applied.reserve(edges.size());
+  for (const TreeEdge& edge : edges) {
+    applied.push_back(commit_edge(candidate.item, edge));
+  }
+  invalidate(candidate.item, applied);
+  count_iteration();
+}
+
+void StagingEngine::invalidate(ItemId scheduled_item,
+                               std::span<const AppliedTransfer> applied) {
+  // The scheduled item's sources, pending set and resources all changed.
+  plans_[scheduled_item.index()].dirty = true;
+
+  for (std::size_t i = 0; i < plans_.size(); ++i) {
+    if (i == scheduled_item.index()) continue;
+    ItemPlan& plan = plans_[i];
+    if (plan.dirty || plan.exhausted) continue;
+    const std::int64_t bytes = scenario_->items[i].size_bytes;
+
+    bool dirty = false;
+    for (const AppliedTransfer& t : applied) {
+      // Link conflict: the new reservation overlaps a link interval one of
+      // this plan's satisfiable paths occupies.
+      for (const auto& [link, interval] : plan.used_links) {
+        if (link == t.link && interval.overlaps(t.link_busy)) {
+          dirty = true;
+          break;
+        }
+      }
+      if (dirty) break;
+      // Storage conflict: new usage overlaps a hold window this plan checked
+      // and the hold no longer fits. (If it still fits, the cached tree's
+      // capacity decisions are unchanged — alternatives only got worse.)
+      if (t.storage_interval.has_value()) {
+        for (const auto& [machine, hold] : plan.used_storage) {
+          if (machine != t.storage_machine) continue;
+          if (!hold.overlaps(*t.storage_interval)) continue;
+          if (!state_.storage(machine).fits(bytes, hold)) {
+            dirty = true;
+            break;
+          }
+        }
+      }
+      if (dirty) break;
+    }
+    if (dirty) plan.dirty = true;
+  }
+}
+
+void StagingEngine::count_iteration() {
+  ++iterations_;
+  if (iterations_ >= max_iterations_) {
+    guard_tripped_ = true;
+    log_warn("staging engine iteration guard tripped; stopping the loop");
+  }
+}
+
+const RouteTree& StagingEngine::plan_tree(ItemId item) {
+  ItemPlan& plan = plans_[item.index()];
+  if (plan.dirty || options_.paranoid) recompute_plan(item);
+  return plan.tree;
+}
+
+StagingResult StagingEngine::finish() {
+  StagingResult result;
+  result.schedule = std::move(schedule_);
+  result.outcomes = tracker_.take_outcomes();
+  result.dijkstra_runs = dijkstra_runs_;
+  result.iterations = iterations_;
+  return result;
+}
+
+}  // namespace datastage

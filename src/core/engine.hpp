@@ -1,0 +1,132 @@
+// The staging engine: shared machinery behind all three heuristics.
+//
+// Responsibilities (paper §4.2-§4.8):
+//   * maintain the per-item earliest-arrival route trees (Dijkstra),
+//   * derive "valid next communication steps" and score them with the
+//     configured cost criterion,
+//   * commit a chosen step (one hop, a full path, or a full multi-destination
+//     subtree) against the NetworkState,
+//   * track request satisfaction.
+//
+// Performance note: the paper re-runs Dijkstra for every item on every
+// iteration and explicitly leaves the obvious caching optimization to future
+// work (§4.5). We implement it: a cached tree is recomputed only when the
+// resources consumed by a committed step overlap the resources the tree's
+// pending-destination paths rely on. Because reservations and allocations
+// only ever shrink the feasible set, unaffected cached trees stay *exactly*
+// equal to a recompute (tested against `paranoid` mode, which recomputes
+// everything every iteration).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/satisfaction.hpp"
+#include "core/schedule.hpp"
+#include "model/priority.hpp"
+#include "model/scenario.hpp"
+#include "net/network_state.hpp"
+#include "net/topology.hpp"
+#include "routing/dijkstra.hpp"
+#include "routing/path.hpp"
+
+namespace datastage {
+
+struct EngineOptions {
+  PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  CostCriterion criterion = CostCriterion::kC4;
+  EUWeights eu = {};
+  /// Disable the route cache: recompute every item's tree every iteration
+  /// (the paper's literal procedure). Used to validate the cache.
+  bool paranoid = false;
+  /// Hard stop for the scheduling loop; 0 derives a generous bound from the
+  /// request count. The loop provably terminates on well-formed scenarios;
+  /// the guard protects experiments from pathological hand-built inputs.
+  std::size_t max_iterations = 0;
+};
+
+/// A valid next communication step: move `item` over `hop` (the shared first
+/// hop of the grouped destinations' shortest paths). For per-destination
+/// criteria (C1, priority_only) the group contains exactly one destination.
+struct Candidate {
+  ItemId item;
+  TreeEdge hop;
+  std::vector<DestinationEval> dests;  ///< pending dests whose path starts with hop
+  double cost = 0.0;
+};
+
+class StagingEngine {
+ public:
+  StagingEngine(const Scenario& scenario, EngineOptions options);
+
+  /// Refreshes dirty plans and returns the lowest-cost candidate (ties broken
+  /// deterministically by item, next machine, destination). nullopt when no
+  /// satisfiable pending request remains — the heuristic loop is done.
+  std::optional<Candidate> best_candidate();
+
+  /// All current candidates (refreshes dirty plans). Used by the
+  /// random-choice lower bound and by tests.
+  std::vector<Candidate> all_candidates();
+
+  /// Commits exactly one hop (partial path heuristic, §4.5).
+  void apply_hop(const Candidate& candidate);
+
+  /// Commits the full path to one destination (full path/one destination
+  /// heuristic, §4.6): C1 uses the candidate's single destination; aggregate
+  /// criteria complete the most urgent satisfiable destination of the group.
+  void apply_full_path_one(const Candidate& candidate);
+
+  /// Commits the tree paths to every satisfiable destination of the group
+  /// (full path/all destinations heuristic, §4.7).
+  void apply_full_path_all(const Candidate& candidate);
+
+  /// True once the iteration guard tripped (pathological input protection).
+  bool guard_tripped() const { return guard_tripped_; }
+
+  /// Finalizes and returns the result. The engine must not be used after.
+  StagingResult finish();
+
+  // --- Introspection (tests, traces) ---
+  const NetworkState& network() const { return state_; }
+  const OutcomeTracker& tracker() const { return tracker_; }
+  std::size_t dijkstra_runs() const { return dijkstra_runs_; }
+  std::size_t iterations() const { return iterations_; }
+  /// The (fresh) route tree of an item; recomputes if dirty.
+  const RouteTree& plan_tree(ItemId item);
+
+ private:
+  struct ItemPlan {
+    RouteTree tree{0};
+    bool dirty = true;
+    bool exhausted = false;  ///< no pending dests; skip entirely
+    std::vector<Candidate> candidates;
+    // Resources the pending-destination paths rely on, for invalidation:
+    std::vector<std::pair<VirtLinkId, Interval>> used_links;
+    std::vector<std::pair<MachineId, Interval>> used_storage;
+  };
+
+  void refresh_all();
+  void recompute_plan(ItemId item);
+  void build_candidates(ItemId item, ItemPlan& plan);
+  /// Commits one tree edge: network transfer + schedule step + satisfaction.
+  AppliedTransfer commit_edge(ItemId item, const TreeEdge& edge);
+  /// Marks plans dirty whose used resources overlap the applied transfers.
+  void invalidate(ItemId scheduled_item, std::span<const AppliedTransfer> applied);
+  void count_iteration();
+
+  const Scenario* scenario_;
+  EngineOptions options_;
+  Topology topology_;
+  NetworkState state_;
+  OutcomeTracker tracker_;
+  Schedule schedule_;
+  std::vector<ItemPlan> plans_;
+  std::size_t dijkstra_runs_ = 0;
+  std::size_t iterations_ = 0;
+  std::size_t max_iterations_ = 0;
+  bool guard_tripped_ = false;
+};
+
+}  // namespace datastage

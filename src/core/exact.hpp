@@ -1,0 +1,63 @@
+// Exhaustive branch-and-bound over the heuristics' decision space.
+//
+// The paper (§5.1) notes optimal schedules are intractable to enumerate for
+// realistic instances, so it brackets the heuristics with bounds. For *tiny*
+// instances we can do better: every schedule any of the three heuristics (or
+// any cost criterion) could emit arises from iteratively committing one
+// "valid next communication step" — a first hop along a current
+// shortest-path tree toward a satisfiable destination. This module searches
+// that decision tree exhaustively with branch-and-bound, yielding the best
+// value attainable by ANY cost criterion under the paper's candidate rule.
+// The gap between a heuristic/criterion pair and this envelope isolates how
+// much a better cost function could still buy (bench/tbl_optimality_gap).
+#pragma once
+
+#include <cstdint>
+
+#include "core/satisfaction.hpp"
+#include "model/priority.hpp"
+#include "model/scenario.hpp"
+
+namespace datastage {
+
+struct SearchOptions {
+  PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  /// Hard cap on explored nodes; the search reports whether it completed.
+  std::size_t max_nodes = 200'000;
+};
+
+struct SearchReport {
+  /// Best weighted value found (the envelope).
+  double best_value = 0.0;
+  /// The schedule and outcomes attaining best_value.
+  StagingResult best;
+  /// Nodes expanded.
+  std::size_t nodes = 0;
+  /// True iff the search ran to completion (best_value is exact for the
+  /// candidate rule); false if the node cap truncated it (lower bound).
+  bool complete = false;
+};
+
+/// Exhaustive search over candidate-step choices. Exponential: only for
+/// instances with a handful of requests (tests cap request counts).
+SearchReport exhaustive_step_search(const Scenario& scenario,
+                                    const SearchOptions& options = {});
+
+struct BeamOptions {
+  PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  /// States kept per level. Width 1 is a pure greedy on
+  /// (value + optimistic); larger widths interpolate toward the exhaustive
+  /// envelope at linear cost in width.
+  std::size_t width = 8;
+  /// Hard cap on expanded states across the whole search.
+  std::size_t max_expansions = 50'000;
+};
+
+/// Beam search over the same candidate-step decision space: keeps the
+/// `width` most promising partial schedules per level, scored by achieved
+/// value plus the optimistic bound of the remaining pending requests.
+/// Polynomial, unlike exhaustive_step_search, but still much costlier than
+/// the paper's heuristics — intended for small and medium instances.
+StagingResult run_beam_search(const Scenario& scenario, const BeamOptions& options = {});
+
+}  // namespace datastage

@@ -1,0 +1,20 @@
+#include "core/heuristics.hpp"
+
+#include "util/assert.hpp"
+
+namespace datastage {
+
+StagingResult run_full_path_all(const Scenario& scenario,
+                                const EngineOptions& options) {
+  // The paper excludes full_all + C1: a per-destination cost cannot express
+  // sending one item to multiple destinations (§4.8).
+  DS_ASSERT_MSG(!is_per_destination(options.criterion),
+                "full path/all destinations requires an aggregate cost criterion");
+  StagingEngine engine(scenario, options);
+  while (std::optional<Candidate> best = engine.best_candidate()) {
+    engine.apply_full_path_all(*best);
+  }
+  return engine.finish();
+}
+
+}  // namespace datastage

@@ -1,0 +1,14 @@
+#include "core/heuristics.hpp"
+
+namespace datastage {
+
+StagingResult run_full_path_one(const Scenario& scenario,
+                                const EngineOptions& options) {
+  StagingEngine engine(scenario, options);
+  while (std::optional<Candidate> best = engine.best_candidate()) {
+    engine.apply_full_path_one(*best);
+  }
+  return engine.finish();
+}
+
+}  // namespace datastage

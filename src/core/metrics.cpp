@@ -1,0 +1,85 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace datastage {
+
+ResultMetrics compute_metrics(const Scenario& scenario,
+                              const PriorityWeighting& weighting,
+                              const StagingResult& result) {
+  ResultMetrics m;
+  m.satisfied_per_class.assign(weighting.num_classes(), 0);
+  m.total_per_class.assign(weighting.num_classes(), 0);
+
+  Accumulator slack;
+  Accumulator response;
+
+  DS_ASSERT(result.outcomes.size() == scenario.item_count());
+  for (std::size_t i = 0; i < scenario.item_count(); ++i) {
+    const DataItem& item = scenario.items[i];
+    // Earliest availability over the item's sources (its "birth" time).
+    SimTime born = SimTime::infinity();
+    for (const SourceLocation& src : item.sources) born = min(born, src.available_at);
+
+    for (std::size_t k = 0; k < item.requests.size(); ++k) {
+      const Request& request = item.requests[k];
+      const RequestOutcome& outcome = result.outcomes[i][k];
+      ++m.total_requests;
+      const auto cls = static_cast<std::size_t>(request.priority);
+      DS_ASSERT(cls < m.total_per_class.size());
+      ++m.total_per_class[cls];
+      m.weighted_total += weighting.weight(request.priority);
+      if (!outcome.satisfied) continue;
+
+      ++m.satisfied;
+      ++m.satisfied_per_class[cls];
+      m.weighted_value += weighting.weight(request.priority);
+      slack.add((request.deadline - outcome.arrival).as_seconds());
+      response.add((outcome.arrival - born).as_seconds());
+      m.makespan = max(m.makespan, outcome.arrival);
+    }
+  }
+
+  if (slack.count() > 0) {
+    m.mean_slack_seconds = slack.mean();
+    m.min_slack_seconds = slack.min();
+    m.mean_response_seconds = response.mean();
+  }
+
+  m.transfers = result.schedule.size();
+  m.total_link_time = result.schedule.total_link_time();
+  m.transfers_per_satisfied =
+      m.satisfied == 0 ? 0.0
+                       : static_cast<double>(m.transfers) /
+                             static_cast<double>(m.satisfied);
+  return m;
+}
+
+Table metrics_table(const ResultMetrics& m) {
+  Table table({"metric", "value"});
+  table.add_row({"requests satisfied",
+                 std::to_string(m.satisfied) + " / " + std::to_string(m.total_requests) +
+                     " (" + format_double(100.0 * m.satisfied_fraction(), 1) + "%)"});
+  table.add_row({"weighted value",
+                 format_double(m.weighted_value, 1) + " / " +
+                     format_double(m.weighted_total, 1) + " (" +
+                     format_double(100.0 * m.value_fraction(), 1) + "%)"});
+  for (std::size_t c = m.satisfied_per_class.size(); c-- > 0;) {
+    table.add_row({"satisfied " + priority_name(static_cast<Priority>(c)),
+                   std::to_string(m.satisfied_per_class[c]) + " / " +
+                       std::to_string(m.total_per_class[c])});
+  }
+  table.add_row({"mean slack", format_double(m.mean_slack_seconds, 1) + " s"});
+  table.add_row({"min slack", format_double(m.min_slack_seconds, 1) + " s"});
+  table.add_row({"mean response", format_double(m.mean_response_seconds, 1) + " s"});
+  table.add_row({"transfers", std::to_string(m.transfers)});
+  table.add_row({"transfers per satisfied", format_double(m.transfers_per_satisfied, 2)});
+  table.add_row({"total link time", m.total_link_time.to_string()});
+  table.add_row({"makespan", m.makespan.to_string()});
+  return table;
+}
+
+}  // namespace datastage

@@ -1,0 +1,57 @@
+// Result metrics beyond the paper's single objective.
+//
+// The weighted sum of satisfied priorities is the optimization criterion
+// (§3); operators evaluating a deployment also ask how tight the deliveries
+// were, which classes got served, and how much network the schedule burned.
+// compute_metrics derives all of that from a StagingResult.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/satisfaction.hpp"
+#include "model/priority.hpp"
+#include "model/scenario.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+
+namespace datastage {
+
+struct ResultMetrics {
+  // Satisfaction.
+  std::size_t total_requests = 0;
+  std::size_t satisfied = 0;
+  double weighted_value = 0.0;
+  double weighted_total = 0.0;  ///< upper_bound: all requests satisfied
+  std::vector<std::size_t> satisfied_per_class;
+  std::vector<std::size_t> total_per_class;
+
+  // Delivery quality over satisfied requests.
+  double mean_slack_seconds = 0.0;     ///< deadline − arrival
+  double min_slack_seconds = 0.0;
+  double mean_response_seconds = 0.0;  ///< arrival − item availability
+
+  // Resource usage.
+  std::size_t transfers = 0;
+  SimDuration total_link_time;
+  double transfers_per_satisfied = 0.0;
+  SimTime makespan = SimTime::zero();  ///< last arrival (zero if none)
+
+  double satisfied_fraction() const {
+    return total_requests == 0
+               ? 0.0
+               : static_cast<double>(satisfied) / static_cast<double>(total_requests);
+  }
+  double value_fraction() const {
+    return weighted_total == 0.0 ? 0.0 : weighted_value / weighted_total;
+  }
+};
+
+ResultMetrics compute_metrics(const Scenario& scenario,
+                              const PriorityWeighting& weighting,
+                              const StagingResult& result);
+
+/// Two-column (metric, value) rendering.
+Table metrics_table(const ResultMetrics& metrics);
+
+}  // namespace datastage

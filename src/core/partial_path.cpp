@@ -1,0 +1,13 @@
+#include "core/heuristics.hpp"
+
+namespace datastage {
+
+StagingResult run_partial_path(const Scenario& scenario, const EngineOptions& options) {
+  StagingEngine engine(scenario, options);
+  while (std::optional<Candidate> best = engine.best_candidate()) {
+    engine.apply_hop(*best);
+  }
+  return engine.finish();
+}
+
+}  // namespace datastage

@@ -1,0 +1,33 @@
+// The §5.4 "simplified scheme": a cost-guided scheduler that looks only at
+// request priority — all highest-priority requests are scheduled (full path)
+// before any medium-priority one, and so on. The paper uses it to show that
+// the heuristic/cost-criterion combinations beat priority-only scheduling.
+#include "core/heuristics.hpp"
+
+namespace datastage {
+
+StagingResult run_priority_first(const Scenario& scenario,
+                                 const PriorityWeighting& weighting) {
+  EngineOptions options;
+  options.weighting = weighting;
+  options.criterion = CostCriterion::kPriorityOnly;
+  StagingEngine engine(scenario, options);
+  while (std::optional<Candidate> best = engine.best_candidate()) {
+    engine.apply_full_path_one(*best);
+  }
+  return engine.finish();
+}
+
+StagingResult run_earliest_deadline_first(const Scenario& scenario,
+                                          const PriorityWeighting& weighting) {
+  EngineOptions options;
+  options.weighting = weighting;
+  options.criterion = CostCriterion::kEdf;
+  StagingEngine engine(scenario, options);
+  while (std::optional<Candidate> best = engine.best_candidate()) {
+    engine.apply_full_path_one(*best);
+  }
+  return engine.finish();
+}
+
+}  // namespace datastage

@@ -1,0 +1,88 @@
+// The two random-search lower bounds of paper §5.2.
+#include <numeric>
+
+#include "core/heuristics.hpp"
+#include "net/topology.hpp"
+#include "routing/dijkstra.hpp"
+#include "util/assert.hpp"
+
+namespace datastage {
+
+StagingResult run_single_dijkstra_random(const Scenario& scenario,
+                                         const PriorityWeighting& weighting, Rng& rng) {
+  (void)weighting;  // the procedure is cost-free; signature kept uniform
+  Topology topology(scenario);
+  // `pristine` never receives reservations: it answers "what would the path
+  // be if this were the only item in the network". `state` accumulates the
+  // actual schedule.
+  const NetworkState pristine(scenario);
+  NetworkState state(scenario);
+  OutcomeTracker tracker(scenario);
+  Schedule schedule;
+  std::size_t dijkstra_runs = 0;
+
+  std::vector<std::int32_t> order(scenario.item_count());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);  // "the ordering of the data items is arbitrary"
+
+  for (const std::int32_t raw_item : order) {
+    const ItemId item(raw_item);
+    const DataItem& it = scenario.item(item);
+
+    DijkstraOptions dopt;
+    dopt.prune_after = it.latest_deadline();
+    const RouteTree tree = compute_route_tree(pristine, topology, item, dopt);
+    ++dijkstra_runs;
+
+    // Machines already holding the item along already-committed paths of
+    // *this* item (tree edges are shared between destinations).
+    std::vector<bool> committed(scenario.machine_count(), false);
+
+    for (std::size_t k = 0; k < it.requests.size(); ++k) {
+      const Request& request = it.requests[k];
+      const MachineId dest = request.destination;
+      if (!tree.reached(dest) || !tree.has_parent(dest)) continue;
+      if (tree.arrival(dest) > request.deadline) continue;  // never satisfiable
+
+      // Replay the pristine path on the shared network. The first conflict
+      // drops the request; transfers already committed stay (§4.5 rationale).
+      for (const TreeEdge& edge : tree.path_to(dest)) {
+        if (committed[edge.to.index()]) continue;
+        if (!state.can_apply(item, edge.link, edge.start)) break;  // conflict: drop
+        const AppliedTransfer applied =
+            state.apply_transfer(item, edge.link, edge.start);
+        schedule.add(CommStep{item, edge.from, edge.to, edge.link, applied.start,
+                              applied.arrival});
+        tracker.note_arrival(item, edge.to, applied.arrival);
+        committed[edge.to.index()] = true;
+      }
+    }
+  }
+
+  StagingResult result;
+  result.schedule = std::move(schedule);
+  result.outcomes = tracker.take_outcomes();
+  result.dijkstra_runs = dijkstra_runs;
+  result.iterations = scenario.item_count();
+  return result;
+}
+
+StagingResult run_random_dijkstra(const Scenario& scenario,
+                                  const PriorityWeighting& weighting, Rng& rng) {
+  // Identical to the partial path heuristic except the valid next step is
+  // chosen uniformly at random instead of by cost (§5.2).
+  EngineOptions options;
+  options.weighting = weighting;
+  options.criterion = CostCriterion::kC4;  // aggregate grouping; cost ignored
+  StagingEngine engine(scenario, options);
+  while (true) {
+    std::vector<Candidate> candidates = engine.all_candidates();
+    if (candidates.empty() || engine.guard_tripped()) break;
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_i64(0, static_cast<std::int64_t>(candidates.size()) - 1));
+    engine.apply_hop(candidates[pick]);
+  }
+  return engine.finish();
+}
+
+}  // namespace datastage

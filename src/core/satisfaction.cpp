@@ -1,0 +1,89 @@
+#include "core/satisfaction.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace datastage {
+
+OutcomeTracker::OutcomeTracker(const Scenario& scenario) : scenario_(&scenario) {
+  outcomes_.resize(scenario.item_count());
+  pending_.resize(scenario.item_count());
+  for (std::size_t i = 0; i < scenario.item_count(); ++i) {
+    const std::size_t nrq = scenario.items[i].requests.size();
+    outcomes_[i].resize(nrq);
+    pending_[i].reserve(nrq);
+    for (std::size_t k = 0; k < nrq; ++k) {
+      pending_[i].push_back(static_cast<std::int32_t>(k));
+    }
+    pending_count_ += nrq;
+  }
+}
+
+void OutcomeTracker::note_arrival(ItemId item, MachineId machine, SimTime arrival) {
+  const DataItem& it = scenario_->item(item);
+  auto& pending = pending_[item.index()];
+  for (auto cursor = pending.begin(); cursor != pending.end(); ++cursor) {
+    const auto k = static_cast<std::size_t>(*cursor);
+    const Request& request = it.requests[k];
+    if (request.destination != machine) continue;
+    RequestOutcome& outcome = outcomes_[item.index()][k];
+    outcome.arrival = min(outcome.arrival, arrival);
+    if (arrival <= request.deadline) {
+      outcome.satisfied = true;
+      pending.erase(cursor);
+      --pending_count_;
+    }
+    return;  // at most one request per (item, machine) — model invariant
+  }
+}
+
+SimTime OutcomeTracker::latest_pending_deadline(ItemId item) const {
+  SimTime latest = SimTime::zero();
+  const DataItem& it = scenario_->item(item);
+  for (const std::int32_t k : pending_[item.index()]) {
+    latest = max(latest, it.requests[static_cast<std::size_t>(k)].deadline);
+  }
+  return latest;
+}
+
+double weighted_value(const Scenario& scenario, const PriorityWeighting& weighting,
+                      const OutcomeMatrix& outcomes) {
+  DS_ASSERT(outcomes.size() == scenario.item_count());
+  double total = 0.0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const DataItem& item = scenario.items[i];
+    DS_ASSERT(outcomes[i].size() == item.requests.size());
+    for (std::size_t k = 0; k < outcomes[i].size(); ++k) {
+      if (outcomes[i][k].satisfied) {
+        total += weighting.weight(item.requests[k].priority);
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<std::size_t> satisfied_by_class(const Scenario& scenario,
+                                            std::size_t num_classes,
+                                            const OutcomeMatrix& outcomes) {
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    for (std::size_t k = 0; k < outcomes[i].size(); ++k) {
+      if (!outcomes[i][k].satisfied) continue;
+      const auto cls = static_cast<std::size_t>(scenario.items[i].requests[k].priority);
+      DS_ASSERT(cls < num_classes);
+      ++counts[cls];
+    }
+  }
+  return counts;
+}
+
+std::size_t satisfied_count(const OutcomeMatrix& outcomes) {
+  std::size_t n = 0;
+  for (const auto& row : outcomes) {
+    for (const RequestOutcome& o : row) n += o.satisfied ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace datastage

@@ -1,0 +1,29 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace datastage {
+
+SimDuration Schedule::total_link_time() const {
+  SimDuration total = SimDuration::zero();
+  for (const CommStep& step : steps_) total = total + (step.arrival - step.start);
+  return total;
+}
+
+std::string Schedule::to_string(const Scenario& scenario) const {
+  std::vector<CommStep> sorted(steps_.begin(), steps_.end());
+  std::stable_sort(sorted.begin(), sorted.end(), [](const CommStep& a, const CommStep& b) {
+    return a.start < b.start;
+  });
+  std::ostringstream os;
+  for (const CommStep& step : sorted) {
+    os << step.start.to_string() << " -> " << step.arrival.to_string() << "  "
+       << scenario.item(step.item).name << ": "
+       << scenario.machine(step.from).name << " => "
+       << scenario.machine(step.to).name << " (vlink " << step.link.value() << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace datastage

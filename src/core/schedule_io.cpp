@@ -1,0 +1,101 @@
+#include "core/schedule_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace datastage {
+namespace {
+
+constexpr const char* kMagic = "datastage-schedule";
+constexpr const char* kVersion = "v1";
+
+}  // namespace
+
+void write_schedule(std::ostream& os, const Schedule& schedule) {
+  os << kMagic << ' ' << kVersion << '\n';
+  for (const CommStep& step : schedule.steps()) {
+    os << "step " << step.item.value() << ' ' << step.from.value() << ' '
+       << step.to.value() << ' ' << step.link.value() << ' ' << step.start.usec()
+       << ' ' << step.arrival.usec() << '\n';
+  }
+}
+
+std::string schedule_to_string(const Schedule& schedule) {
+  std::ostringstream os;
+  write_schedule(os, schedule);
+  return os.str();
+}
+
+void save_schedule(const std::string& path, const Schedule& schedule) {
+  std::ofstream out(path);
+  DS_ASSERT_MSG(out.good(), "cannot open schedule output file");
+  write_schedule(out, schedule);
+}
+
+std::optional<Schedule> read_schedule(std::istream& is, std::string* error) {
+  auto fail = [error](int line, const std::string& msg) {
+    if (error != nullptr) *error = "line " + std::to_string(line) + ": " + msg;
+    return std::nullopt;
+  };
+
+  std::string line;
+  int line_no = 0;
+  if (!std::getline(is, line)) return fail(1, "empty input");
+  ++line_no;
+  {
+    std::istringstream header(line);
+    std::string magic;
+    std::string version;
+    header >> magic >> version;
+    if (magic != kMagic || version != kVersion) {
+      return fail(line_no, "malformed header (expected 'datastage-schedule v1')");
+    }
+  }
+
+  Schedule schedule;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    std::istringstream ss(line);
+    std::string directive;
+    ss >> directive;
+    if (directive != "step") return fail(line_no, "unknown directive '" + directive + "'");
+
+    std::int32_t item = 0;
+    std::int32_t from = 0;
+    std::int32_t to = 0;
+    std::int32_t link = 0;
+    std::int64_t start = 0;
+    std::int64_t arrival = 0;
+    if (!(ss >> item >> from >> to >> link >> start >> arrival)) {
+      return fail(line_no, "expected: step <item> <from> <to> <link> <start> <arrival>");
+    }
+    if (arrival < start) return fail(line_no, "arrival precedes start");
+    schedule.add(CommStep{ItemId(item), MachineId(from), MachineId(to),
+                          VirtLinkId(link), SimTime::from_usec(start),
+                          SimTime::from_usec(arrival)});
+  }
+  return schedule;
+}
+
+std::optional<Schedule> schedule_from_string(const std::string& text,
+                                             std::string* error) {
+  std::istringstream ss(text);
+  return read_schedule(ss, error);
+}
+
+std::optional<Schedule> load_schedule(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    if (error != nullptr) *error = "cannot open file: " + path;
+    return std::nullopt;
+  }
+  return read_schedule(in, error);
+}
+
+}  // namespace datastage

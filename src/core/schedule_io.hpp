@@ -1,0 +1,29 @@
+// Plain-text schedule serialization.
+//
+// Lets the CLI tools persist a computed schedule next to its scenario file,
+// diff schedules between runs, and replay a saved schedule through the
+// simulator later. Versioned, line-oriented, strict parsing — same design as
+// model/scenario_io.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/schedule.hpp"
+
+namespace datastage {
+
+void write_schedule(std::ostream& os, const Schedule& schedule);
+std::string schedule_to_string(const Schedule& schedule);
+void save_schedule(const std::string& path, const Schedule& schedule);
+
+/// Parses the v1 format. On failure returns nullopt and stores a message
+/// (with line number) in *error if non-null. Id ranges are not validated
+/// here; replaying through sim/simulator validates against a scenario.
+std::optional<Schedule> read_schedule(std::istream& is, std::string* error);
+std::optional<Schedule> schedule_from_string(const std::string& text,
+                                             std::string* error);
+std::optional<Schedule> load_schedule(const std::string& path, std::string* error);
+
+}  // namespace datastage

@@ -1,0 +1,49 @@
+// Events for the dynamic data-staging extension (paper §1/§6 future work:
+// "dynamic changes to the network configuration, ad-hoc data requests,
+// sensor-triggered data transfers").
+//
+// The static model's parameters "represent the best known information
+// collected at the given point in time" (§3); each event changes that
+// information and triggers a replan of everything not yet committed.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "model/scenario.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace datastage {
+
+/// A brand-new data item (with sources and initial requests) becomes known.
+struct NewItemEvent {
+  DataItem item;
+};
+
+/// An ad-hoc request for an existing item arrives.
+struct NewRequestEvent {
+  std::string item_name;
+  Request request;
+};
+
+/// A physical link fails: all of its remaining availability disappears until
+/// a LinkRestoreEvent (if any).
+struct LinkOutageEvent {
+  PhysLinkId link;
+};
+
+/// A failed physical link comes back: its original windows resume from now.
+struct LinkRestoreEvent {
+  PhysLinkId link;
+};
+
+using StagingEventBody =
+    std::variant<NewItemEvent, NewRequestEvent, LinkOutageEvent, LinkRestoreEvent>;
+
+struct StagingEvent {
+  SimTime at;
+  StagingEventBody body;
+};
+
+}  // namespace datastage

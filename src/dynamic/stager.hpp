@@ -1,0 +1,158 @@
+// Dynamic data staging by event-driven replanning.
+//
+// DynamicStager maintains an evolving view of the world (link availability,
+// item copies, outstanding requests) and a communication schedule. Between
+// events the current plan stands; at every event the stager
+//   1. commits every planned transfer that has already started (in-flight
+//      transfers finish; their receivers become future copy holders),
+//   2. cancels every transfer that has not started,
+//   3. updates the world (new item / new request / link outage / restore),
+//   4. re-runs the configured static heuristic on the residual problem.
+//
+// Semantics choices (documented deviations from the static model):
+//   * Garbage collection keeps the static rule — intermediate copies are
+//     removed at (latest known deadline + γ) — where "known" includes ad-hoc
+//     requests that arrived before the copy expired; expired copies cannot
+//     be revived by later requests.
+//   * A request whose destination already holds a (late) copy is closed as
+//     unsatisfied rather than kept pending.
+//
+// Validation: effective_scenario() reconstructs the availability that
+// actually existed over the whole run (original windows minus outage
+// periods, plus added items/requests), so the merged schedule can be
+// replayed through sim/simulator like any static schedule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/schedule.hpp"
+#include "dynamic/events.hpp"
+#include "model/scenario.hpp"
+#include "util/interval.hpp"
+
+namespace datastage {
+
+/// Final state of one (possibly ad-hoc) request across the dynamic run.
+struct DynamicRequestRecord {
+  std::string item_name;
+  MachineId destination;
+  SimTime deadline;
+  Priority priority = kPriorityLow;
+  bool satisfied = false;
+  SimTime arrival = SimTime::infinity();
+};
+
+struct DynamicResult {
+  Schedule schedule;  ///< committed + currently planned transfers
+  std::vector<DynamicRequestRecord> requests;
+  std::size_t replans = 0;
+
+  double weighted_value(const PriorityWeighting& weighting) const;
+  std::size_t satisfied_count() const;
+};
+
+class DynamicStager {
+ public:
+  /// Starts at time zero with `initial` (validated) and plans immediately.
+  DynamicStager(Scenario initial, SchedulerSpec spec, EngineOptions options);
+
+  /// Processes one event; events must arrive in nondecreasing time order.
+  void on_event(const StagingEvent& event);
+
+  /// Advances the clock with no world change (commits started transfers);
+  /// does not replan.
+  void advance_to(SimTime now);
+
+  /// Finishes the run: commits the remaining plan and returns the merged
+  /// schedule plus per-request records.
+  DynamicResult finish();
+
+  /// The scenario describing what was *actually* available over the whole
+  /// run: original windows minus outage periods, plus every added item and
+  /// request. The merged schedule replays cleanly against it.
+  Scenario effective_scenario() const;
+
+  SimTime now() const { return now_; }
+  std::size_t replans() const { return replans_; }
+
+ private:
+  struct TrackedRequest {
+    Request request;
+    bool resolved = false;  ///< satisfied, or closed as hopeless
+    bool satisfied = false;
+    SimTime arrival = SimTime::infinity();
+  };
+
+  struct TrackedItem {
+    std::string name;
+    std::int64_t size_bytes = 0;
+    std::vector<SourceLocation> original_sources;
+    std::vector<Copy> copies;  ///< current copies incl. staged/in-flight ones
+    std::vector<TrackedRequest> requests;
+
+    bool machine_holds(MachineId machine) const;
+    bool is_original_source(MachineId machine) const;
+    bool is_destination(MachineId machine) const;
+    bool any_outstanding() const;
+    SimTime latest_outstanding_deadline() const;
+    /// Latest deadline among every request known so far (resolved or not);
+    /// drives garbage collection exactly as the static model's rule does.
+    SimTime latest_known_deadline() const;
+  };
+
+  /// A transfer with its physical link resolved. Virtual-link ids in planned
+  /// steps refer to the *residual* scenario of the replan that produced
+  /// them; the physical id is the stable cross-replan identity. finish()
+  /// remaps steps onto the effective scenario's virtual links.
+  struct PlannedStep {
+    CommStep step;
+    PhysLinkId phys;
+  };
+
+  void commit_started(SimTime now);
+  void note_arrival(TrackedItem& item, MachineId machine, SimTime arrival);
+  /// True for copies that persist to the end of the run: original sources
+  /// and destinations that received the item.
+  bool copy_is_permanent(const TrackedItem& item, const Copy& copy) const;
+  void run_garbage_collection();
+  Scenario residual_scenario() const;
+  void replan();
+  void fail_in_flight(PhysLinkId link);
+  void rebuild_availability(PhysLinkId link);
+  /// Re-derives an item's copy set from its original sources and the
+  /// surviving committed transfers (gc-filtered), then re-resolves any
+  /// unresolved request whose destination turns out to hold a copy. Used
+  /// after in-flight failures, which can invalidate incremental bookkeeping.
+  void rebuild_copies(ItemId item);
+  TrackedItem* find_item(const std::string& name);
+
+  // --- immutable world structure ---
+  Scenario base_;  ///< machines, phys links, ORIGINAL windows, gamma, horizon
+
+  // --- evolving world state ---
+  SimTime now_ = SimTime::zero();
+  /// Remaining availability per physical link (original windows minus
+  /// committed busy time minus outage periods).
+  std::vector<IntervalSet> available_;  // per plink: available windows
+  std::vector<bool> link_up_;
+  /// Completed outage periods per plink, for effective_scenario and
+  /// availability reconstruction.
+  std::vector<IntervalSet> outages_;
+  std::vector<SimTime> outage_since_;  // valid while !link_up_
+  /// Busy time consumed by committed transfers, per plink.
+  std::vector<IntervalSet> consumed_;
+  std::vector<TrackedItem> items_;
+
+  // --- schedule state ---
+  std::vector<PlannedStep> committed_;
+  std::vector<PlannedStep> plan_;  ///< not yet started, replaced on replan
+
+  SchedulerSpec spec_;
+  EngineOptions options_;
+  std::size_t replans_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace datastage

@@ -1,0 +1,307 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "net/topology.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace datastage {
+namespace {
+
+std::vector<bool> reachable(std::size_t m, const std::vector<PhysicalLink>& links,
+                            bool reverse) {
+  std::vector<std::vector<std::int32_t>> adj(m);
+  for (const PhysicalLink& pl : links) {
+    if (reverse) {
+      adj[pl.to.index()].push_back(pl.from.value());
+    } else {
+      adj[pl.from.index()].push_back(pl.to.value());
+    }
+  }
+  std::vector<bool> seen(m, false);
+  std::vector<std::int32_t> stack{0};
+  seen[0] = true;
+  while (!stack.empty()) {
+    const auto u = static_cast<std::size_t>(stack.back());
+    stack.pop_back();
+    for (const std::int32_t w : adj[u]) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return seen;
+}
+
+MachineId pick_where(Rng& rng, const std::vector<bool>& mask, bool value) {
+  std::vector<std::int32_t> pool;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] == value) pool.push_back(static_cast<std::int32_t>(i));
+  }
+  DS_ASSERT(!pool.empty());
+  return MachineId(pool[static_cast<std::size_t>(
+      rng.uniform_i64(0, static_cast<std::int64_t>(pool.size()) - 1))]);
+}
+
+PhysicalLink make_link(const GeneratorConfig& config, Rng& rng, MachineId from,
+                       MachineId to) {
+  PhysicalLink pl;
+  pl.from = from;
+  pl.to = to;
+  pl.bandwidth_bps = rng.uniform_i64(config.min_bandwidth_bps, config.max_bandwidth_bps);
+  pl.latency = rng.uniform_duration(config.min_latency, config.max_latency);
+  return pl;
+}
+
+void generate_machines(const GeneratorConfig& config, Rng& rng, Scenario& s,
+                       std::int32_t m) {
+  s.machines.reserve(static_cast<std::size_t>(m));
+  for (std::int32_t i = 0; i < m; ++i) {
+    Machine machine;
+    machine.name = "M" + std::to_string(i);
+    machine.capacity_bytes =
+        rng.uniform_i64(config.min_capacity_bytes, config.max_capacity_bytes);
+    s.machines.push_back(std::move(machine));
+  }
+}
+
+void generate_physical_links(const GeneratorConfig& config, Rng& rng, Scenario& s) {
+  const auto m = static_cast<std::int32_t>(s.machines.size());
+  for (std::int32_t i = 0; i < m; ++i) {
+    const std::int32_t degree = std::min(
+        m - 1, rng.uniform_i32(config.min_out_degree, config.max_out_degree));
+    std::vector<std::int32_t> others;
+    for (std::int32_t j = 0; j < m; ++j) {
+      if (j != i) others.push_back(j);
+    }
+    rng.shuffle(others);
+    for (std::int32_t d = 0; d < degree; ++d) {
+      const MachineId to(others[static_cast<std::size_t>(d)]);
+      s.phys_links.push_back(make_link(config, rng, MachineId(i), to));
+      if (rng.bernoulli(config.second_link_probability)) {
+        s.phys_links.push_back(make_link(config, rng, MachineId(i), to));
+      }
+    }
+  }
+
+  // Repair pass: add links until the physical digraph is strongly connected
+  // (§5.1 guarantees strong connectivity). Random graphs with out-degree >= 4
+  // on <= 12 nodes almost never need it.
+  while (true) {
+    const std::vector<bool> fwd = reachable(s.machines.size(), s.phys_links, false);
+    if (std::find(fwd.begin(), fwd.end(), false) != fwd.end()) {
+      s.phys_links.push_back(make_link(config, rng, pick_where(rng, fwd, true),
+                                       pick_where(rng, fwd, false)));
+      continue;
+    }
+    const std::vector<bool> rev = reachable(s.machines.size(), s.phys_links, true);
+    if (std::find(rev.begin(), rev.end(), false) != rev.end()) {
+      s.phys_links.push_back(make_link(config, rng, pick_where(rng, rev, false),
+                                       pick_where(rng, rev, true)));
+      continue;
+    }
+    break;
+  }
+}
+
+void generate_virtual_links(const GeneratorConfig& config, Rng& rng, Scenario& s) {
+  DS_ASSERT(!config.virtual_link_durations.empty());
+  for (std::size_t p = 0; p < s.phys_links.size(); ++p) {
+    const PhysicalLink& pl = s.phys_links[p];
+
+    const SimDuration duration = rng.pick(std::span<const SimDuration>(
+        config.virtual_link_durations.data(), config.virtual_link_durations.size()));
+    const std::int32_t percent =
+        10 * rng.uniform_i32(config.min_available_percent / 10,
+                             config.max_available_percent / 10);
+    const SimDuration available = SimDuration::from_usec(
+        config.day.usec() / 100 * percent);
+
+    std::int64_t nl = available.usec() / duration.usec();
+    if (nl < 1) nl = 1;  // degenerate configs: at least one window
+    const SimDuration unavailable =
+        max(SimDuration::zero(), config.day - duration * nl);
+
+    // Lead-in before the first window: U[0, unavailable/3] (§5.3), then the
+    // remaining unavailable time is cut into the inter-window gaps; the tail
+    // after the last window absorbs the rest of the day.
+    const SimDuration lead =
+        rng.uniform_duration(SimDuration::zero(), unavailable / 3);
+    const SimDuration gap_budget = unavailable - lead;
+
+    std::vector<SimDuration> gaps;
+    if (nl > 1) {
+      std::vector<std::int64_t> cuts;
+      cuts.reserve(static_cast<std::size_t>(nl - 1));
+      for (std::int64_t g = 0; g < nl - 1; ++g) {
+        cuts.push_back(rng.uniform_i64(0, gap_budget.usec()));
+      }
+      std::sort(cuts.begin(), cuts.end());
+      std::int64_t prev = 0;
+      for (const std::int64_t cut : cuts) {
+        gaps.push_back(SimDuration::from_usec(cut - prev));
+        prev = cut;
+      }
+    }
+
+    SimTime t = SimTime::zero() + lead;
+    for (std::int64_t w = 0; w < nl; ++w) {
+      const Interval window{t, t + duration};
+      const bool keep = config.keep_links_before == SimTime::zero() ||
+                        window.begin < config.keep_links_before;
+      if (keep) {
+        s.virt_links.push_back(VirtualLink{PhysLinkId(static_cast<std::int32_t>(p)),
+                                           pl.from, pl.to, pl.bandwidth_bps,
+                                           pl.latency, window});
+      }
+      t = window.end;
+      if (w < nl - 1) t = t + gaps[static_cast<std::size_t>(w)];
+    }
+  }
+}
+
+void generate_items(const GeneratorConfig& config, Rng& rng, Scenario& s) {
+  const auto m = static_cast<std::int32_t>(s.machines.size());
+  DS_ASSERT_MSG(m >= 2, "need at least two machines for sources and destinations");
+
+  const double raw_total =
+      static_cast<double>(rng.uniform_i32(config.min_requests_per_machine,
+                                          config.max_requests_per_machine)) *
+      static_cast<double>(m) * config.load_multiplier;
+  const auto total_requests =
+      std::max<std::int64_t>(1, std::llround(raw_total));
+
+  std::vector<std::int64_t> reserved(static_cast<std::size_t>(m), 0);
+  std::int64_t assigned = 0;
+  std::int32_t index = 0;
+
+  while (assigned < total_requests) {
+    std::int64_t size = rng.uniform_i64(config.min_item_bytes, config.max_item_bytes);
+
+    // Source machines must be able to store their initial copy.
+    std::vector<std::int32_t> eligible;
+    for (std::int32_t i = 0; i < m; ++i) {
+      if (s.machines[static_cast<std::size_t>(i)].capacity_bytes -
+              reserved[static_cast<std::size_t>(i)] >=
+          size) {
+        eligible.push_back(i);
+      }
+    }
+    if (eligible.empty()) {
+      // All machines are tight; retry with the smallest admissible size once,
+      // then give up on further items (extremely overloaded configs only).
+      size = config.min_item_bytes;
+      for (std::int32_t i = 0; i < m; ++i) {
+        if (s.machines[static_cast<std::size_t>(i)].capacity_bytes -
+                reserved[static_cast<std::size_t>(i)] >=
+            size) {
+          eligible.push_back(i);
+        }
+      }
+      if (eligible.empty()) {
+        log_warn("generator: storage exhausted, stopping at " +
+                 std::to_string(assigned) + "/" + std::to_string(total_requests) +
+                 " requests");
+        break;
+      }
+    }
+
+    rng.shuffle(eligible);
+    const auto want_sources =
+        static_cast<std::size_t>(rng.uniform_i32(1, config.max_sources));
+    // Keep at least one machine free of sources so destinations exist.
+    const std::size_t n_sources = std::min(
+        {want_sources, eligible.size(), static_cast<std::size_t>(m - 1)});
+
+    DataItem item;
+    item.name = "d" + std::to_string(index);
+    item.size_bytes = size;
+    const SimTime start =
+        SimTime::zero() + rng.uniform_duration(SimDuration::zero(), config.max_item_start);
+    std::vector<bool> is_source(static_cast<std::size_t>(m), false);
+    for (std::size_t j = 0; j < n_sources; ++j) {
+      const std::int32_t machine = eligible[j];
+      item.sources.push_back(SourceLocation{MachineId(machine), start});
+      is_source[static_cast<std::size_t>(machine)] = true;
+      reserved[static_cast<std::size_t>(machine)] += size;
+    }
+
+    std::vector<std::int32_t> dest_pool;
+    for (std::int32_t i = 0; i < m; ++i) {
+      if (!is_source[static_cast<std::size_t>(i)]) dest_pool.push_back(i);
+    }
+    rng.shuffle(dest_pool);
+    const auto want_dests =
+        static_cast<std::size_t>(rng.uniform_i32(1, config.max_destinations));
+    const std::size_t n_dests =
+        std::min({want_dests, dest_pool.size(),
+                  static_cast<std::size_t>(total_requests - assigned)});
+    DS_ASSERT(n_dests >= 1);
+
+    for (std::size_t j = 0; j < n_dests; ++j) {
+      Request request;
+      request.destination = MachineId(dest_pool[j]);
+      request.deadline = start + rng.uniform_duration(config.min_deadline_offset,
+                                                      config.max_deadline_offset);
+      request.priority = rng.uniform_i32(0, config.priority_classes - 1);
+      item.requests.push_back(request);
+    }
+    assigned += static_cast<std::int64_t>(n_dests);
+    s.items.push_back(std::move(item));
+    ++index;
+  }
+}
+
+}  // namespace
+
+GeneratorConfig GeneratorConfig::light() {
+  GeneratorConfig config;
+  config.min_machines = 8;
+  config.max_machines = 10;
+  config.min_requests_per_machine = 5;
+  config.max_requests_per_machine = 8;
+  return config;
+}
+
+GeneratorConfig GeneratorConfig::congested() {
+  GeneratorConfig config;
+  config.load_multiplier = 2.0;
+  config.min_deadline_offset = SimDuration::minutes(8);
+  config.max_deadline_offset = SimDuration::minutes(30);
+  return config;
+}
+
+Scenario generate_scenario(const GeneratorConfig& config, Rng& rng) {
+  Scenario s;
+  s.horizon = config.horizon;
+  s.gc_gamma = config.gc_gamma;
+
+  const std::int32_t m = rng.uniform_i32(config.min_machines, config.max_machines);
+  generate_machines(config, rng, s, m);
+  generate_physical_links(config, rng, s);
+  generate_virtual_links(config, rng, s);
+  generate_items(config, rng, s);
+
+  s.check_valid();
+  DS_ASSERT(Topology(s).strongly_connected());
+  return s;
+}
+
+std::vector<Scenario> generate_cases(const GeneratorConfig& config, std::uint64_t seed,
+                                     std::size_t count) {
+  std::vector<Scenario> cases;
+  cases.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Each case draws from its own stream: adding cases never perturbs the
+    // earlier ones.
+    Rng rng(seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+    cases.push_back(generate_scenario(config, rng));
+  }
+  return cases;
+}
+
+}  // namespace datastage

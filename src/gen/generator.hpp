@@ -1,0 +1,92 @@
+// Random BADD-like scenario generator (paper §5.3).
+//
+// Every parameter of the paper's test-case generator is reproduced and
+// exposed for sweeps: machine count, storage capacities, out-degrees, link
+// counts, bandwidths, virtual-link windows (duration, daily availability
+// percentage, randomized gaps), request volume, source/destination counts,
+// item sizes, start times, deadlines, priorities and γ. The generated
+// physical digraph is guaranteed strongly connected, and initial source
+// copies are guaranteed to fit their machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/scenario.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace datastage {
+
+struct GeneratorConfig {
+  // --- machines ---
+  std::int32_t min_machines = 10;
+  std::int32_t max_machines = 12;
+  std::int64_t min_capacity_bytes = std::int64_t{10} * 1024 * 1024;           // 10 MB
+  std::int64_t max_capacity_bytes = std::int64_t{20} * 1024 * 1024 * 1024;    // 20 GB
+
+  // --- physical links ---
+  std::int32_t min_out_degree = 4;  ///< distinct neighbor machines
+  std::int32_t max_out_degree = 7;
+  /// Probability that a chosen (from, to) pair gets a second physical link
+  /// (the paper allows "at most two").
+  double second_link_probability = 0.5;
+  std::int64_t min_bandwidth_bps = 10'000;      // 10 Kbit/s
+  std::int64_t max_bandwidth_bps = 1'500'000;   // 1.5 Mbit/s
+  /// Fixed per-transfer latency range (the model has a latency term; §5.3
+  /// does not give values, so the default is zero).
+  SimDuration min_latency = SimDuration::zero();
+  SimDuration max_latency = SimDuration::zero();
+
+  // --- virtual links ---
+  /// Candidate virtual-link durations (uniform choice per physical link).
+  std::vector<SimDuration> virtual_link_durations = {
+      SimDuration::minutes(30), SimDuration::hours(1), SimDuration::hours(2),
+      SimDuration::hours(4)};
+  std::int32_t min_available_percent = 50;   ///< of the 24h day, 10% steps
+  std::int32_t max_available_percent = 100;
+  SimDuration day = SimDuration::hours(24);
+  /// Drop virtual links that start after this time; they cannot carry any
+  /// transfer that matters (all deadlines precede it). Zero keeps all.
+  SimTime keep_links_before = SimTime::zero() + SimDuration::hours(3);
+
+  // --- requests ---
+  std::int32_t min_requests_per_machine = 20;  ///< total requests = U[20,40] * m
+  std::int32_t max_requests_per_machine = 40;
+  /// Scales the drawn request total (1.0 = paper; the congestion sweep bench
+  /// varies this).
+  double load_multiplier = 1.0;
+  std::int32_t max_sources = 5;
+  std::int32_t max_destinations = 5;
+  std::int64_t min_item_bytes = 10 * 1024;             // 10 KB
+  std::int64_t max_item_bytes = 100 * 1024 * 1024;     // 100 MB
+  SimDuration max_item_start = SimDuration::minutes(60);
+  SimDuration min_deadline_offset = SimDuration::minutes(15);
+  SimDuration max_deadline_offset = SimDuration::minutes(60);
+  std::int32_t priority_classes = 3;  ///< uniform over {0 .. classes-1}
+
+  // --- simulation ---
+  SimTime horizon = SimTime::zero() + SimDuration::hours(2);
+  SimDuration gc_gamma = SimDuration::minutes(6);
+
+  // --- presets ---
+  /// The defaults: exactly the paper's §5.3 parameters.
+  static GeneratorConfig paper() { return GeneratorConfig{}; }
+  /// Smaller instances for unit tests and fast iteration: 8-10 machines,
+  /// 5-8 requests per machine.
+  static GeneratorConfig light();
+  /// Heavily oversubscribed: paper topology with 2x request load and halved
+  /// deadline windows.
+  static GeneratorConfig congested();
+};
+
+/// Generates one scenario. The result passes Scenario::validate() and has a
+/// strongly connected physical digraph.
+Scenario generate_scenario(const GeneratorConfig& config, Rng& rng);
+
+/// Generates `count` scenarios with independent RNG streams derived from
+/// `seed` (case i is identical regardless of count — stable test fixtures).
+std::vector<Scenario> generate_cases(const GeneratorConfig& config, std::uint64_t seed,
+                                     std::size_t count);
+
+}  // namespace datastage

@@ -1,0 +1,88 @@
+#include "harness/experiment.hpp"
+
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace datastage {
+
+CaseSet build_cases(const ExperimentConfig& config) {
+  CaseSet cases;
+  cases.seed = config.seed;
+  cases.scenarios = generate_cases(config.gen, config.seed, config.cases);
+  return cases;
+}
+
+double average_pair_value(const CaseSet& cases, const PriorityWeighting& weighting,
+                          const SchedulerSpec& spec, const EUWeights& eu) {
+  double total = 0.0;
+  EngineOptions options;
+  options.weighting = weighting;
+  options.eu = eu;
+  for (const Scenario& scenario : cases.scenarios) {
+    const StagingResult result = run_spec(spec, scenario, options);
+    total += weighted_value(scenario, weighting, result.outcomes);
+  }
+  return total / static_cast<double>(cases.scenarios.size());
+}
+
+ValueStats pair_value_stats(const CaseSet& cases, const PriorityWeighting& weighting,
+                            const SchedulerSpec& spec, const EUWeights& eu) {
+  Accumulator acc;
+  EngineOptions options;
+  options.weighting = weighting;
+  options.eu = eu;
+  for (const Scenario& scenario : cases.scenarios) {
+    const StagingResult result = run_spec(spec, scenario, options);
+    acc.add(weighted_value(scenario, weighting, result.outcomes));
+  }
+  return ValueStats{acc.mean(), acc.min(), acc.max(), acc.stddev()};
+}
+
+AveragedBounds average_bounds(const CaseSet& cases, const PriorityWeighting& weighting) {
+  AveragedBounds avg;
+  for (const Scenario& scenario : cases.scenarios) {
+    const BoundsReport report = compute_bounds(scenario, weighting);
+    avg.upper_bound += report.upper_bound;
+    avg.possible_satisfy += report.possible_satisfy;
+  }
+  const auto n = static_cast<double>(cases.scenarios.size());
+  avg.upper_bound /= n;
+  avg.possible_satisfy /= n;
+  return avg;
+}
+
+double average_single_dijkstra_random(const CaseSet& cases,
+                                      const PriorityWeighting& weighting) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < cases.scenarios.size(); ++i) {
+    Rng rng(cases.seed ^ (0xd1b54a32d192ed03ULL * (i + 1)));
+    const StagingResult result =
+        run_single_dijkstra_random(cases.scenarios[i], weighting, rng);
+    total += weighted_value(cases.scenarios[i], weighting, result.outcomes);
+  }
+  return total / static_cast<double>(cases.scenarios.size());
+}
+
+double average_random_dijkstra(const CaseSet& cases,
+                               const PriorityWeighting& weighting) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < cases.scenarios.size(); ++i) {
+    Rng rng(cases.seed ^ (0xeb382d69195c39b7ULL * (i + 1)));
+    const StagingResult result =
+        run_random_dijkstra(cases.scenarios[i], weighting, rng);
+    total += weighted_value(cases.scenarios[i], weighting, result.outcomes);
+  }
+  return total / static_cast<double>(cases.scenarios.size());
+}
+
+double average_priority_first(const CaseSet& cases,
+                              const PriorityWeighting& weighting) {
+  double total = 0.0;
+  for (const Scenario& scenario : cases.scenarios) {
+    const StagingResult result = run_priority_first(scenario, weighting);
+    total += weighted_value(scenario, weighting, result.outcomes);
+  }
+  return total / static_cast<double>(cases.scenarios.size());
+}
+
+}  // namespace datastage

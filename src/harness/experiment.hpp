@@ -1,0 +1,62 @@
+// Experiment harness: generates the shared test cases and evaluates
+// schedulers, bounds and baselines over them.
+//
+// The paper averages every data point over the same 40 randomly generated
+// test cases; the harness generates a CaseSet once per bench invocation and
+// reuses it across all series so every curve sees identical workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/registry.hpp"
+#include "gen/generator.hpp"
+#include "model/priority.hpp"
+#include "model/scenario.hpp"
+
+namespace datastage {
+
+struct ExperimentConfig {
+  GeneratorConfig gen;
+  std::uint64_t seed = 2000;  ///< base seed for case generation
+  std::size_t cases = 40;     ///< the paper uses 40
+};
+
+struct CaseSet {
+  std::vector<Scenario> scenarios;
+  std::uint64_t seed = 0;
+};
+
+CaseSet build_cases(const ExperimentConfig& config);
+
+/// Mean weighted value of one heuristic/criterion pair across the cases.
+double average_pair_value(const CaseSet& cases, const PriorityWeighting& weighting,
+                          const SchedulerSpec& spec, const EUWeights& eu);
+
+/// Dispersion across the individual cases (the TR companion of the paper
+/// reports min/max over the 40 cases for the C4 pairs).
+struct ValueStats {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;
+};
+ValueStats pair_value_stats(const CaseSet& cases, const PriorityWeighting& weighting,
+                            const SchedulerSpec& spec, const EUWeights& eu);
+
+struct AveragedBounds {
+  double upper_bound = 0.0;
+  double possible_satisfy = 0.0;
+};
+AveragedBounds average_bounds(const CaseSet& cases, const PriorityWeighting& weighting);
+
+/// Mean value of the §5.2 random baselines (RNG derived from the case seed).
+double average_single_dijkstra_random(const CaseSet& cases,
+                                      const PriorityWeighting& weighting);
+double average_random_dijkstra(const CaseSet& cases,
+                               const PriorityWeighting& weighting);
+/// Mean value of the §5.4 priority-first simplified scheme.
+double average_priority_first(const CaseSet& cases, const PriorityWeighting& weighting);
+
+}  // namespace datastage

@@ -1,0 +1,34 @@
+#include "harness/report.hpp"
+
+#include <cstdio>
+
+#include "util/stats.hpp"
+
+namespace datastage {
+
+Table sweep_table(const SweepResult& result) {
+  std::vector<std::string> header{"log10(E-U)"};
+  for (const SweepSeries& series : result.series) header.push_back(series.name);
+  Table table(std::move(header));
+
+  for (std::size_t x = 0; x < result.axis.size(); ++x) {
+    std::vector<std::string> row{eu_axis_label(result.axis[x])};
+    for (const SweepSeries& series : result.series) {
+      row.push_back(format_double(series.values[x], 1));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void print_sweep(const std::string& caption, const SweepResult& result,
+                 const std::string& csv_path) {
+  const Table table = sweep_table(result);
+  std::printf("%s\n%s\n", caption.c_str(), table.to_text().c_str());
+  if (!csv_path.empty()) {
+    table.write_csv_file(csv_path);
+    std::printf("(CSV written to %s)\n\n", csv_path.c_str());
+  }
+}
+
+}  // namespace datastage

@@ -1,0 +1,19 @@
+// Rendering of sweep results as the figures' data tables.
+#pragma once
+
+#include <string>
+
+#include "harness/sweep.hpp"
+#include "util/table.hpp"
+
+namespace datastage {
+
+/// One row per axis point, one column per series — the figure as numbers.
+Table sweep_table(const SweepResult& result);
+
+/// Renders with a caption and optionally writes a CSV next to stdout output.
+/// `csv_path` empty = no file.
+void print_sweep(const std::string& caption, const SweepResult& result,
+                 const std::string& csv_path);
+
+}  // namespace datastage

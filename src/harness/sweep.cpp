@@ -1,0 +1,65 @@
+#include "harness/sweep.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace datastage {
+
+std::vector<double> paper_eu_axis() {
+  std::vector<double> axis;
+  axis.push_back(-std::numeric_limits<double>::infinity());
+  for (int x = -3; x <= 5; ++x) axis.push_back(static_cast<double>(x));
+  axis.push_back(std::numeric_limits<double>::infinity());
+  return axis;
+}
+
+std::string eu_axis_label(double log10_ratio) {
+  if (std::isinf(log10_ratio)) return log10_ratio > 0 ? "inf" : "-inf";
+  if (log10_ratio == std::floor(log10_ratio)) {
+    return std::to_string(static_cast<long long>(log10_ratio));
+  }
+  return format_double(log10_ratio, 2);
+}
+
+SweepResult sweep_pairs(const CaseSet& cases, const PriorityWeighting& weighting,
+                        const std::vector<SchedulerSpec>& pairs,
+                        const std::vector<double>& axis, bool verbose) {
+  SweepResult result;
+  result.axis = axis;
+  for (const SchedulerSpec& spec : pairs) {
+    SweepSeries series;
+    series.name = spec.name();
+    series.values.reserve(axis.size());
+    // C3 ignores W_E/W_U entirely (§4.8): evaluate once and replicate.
+    if (spec.criterion == CostCriterion::kC3) {
+      const double value =
+          average_pair_value(cases, weighting, spec, EUWeights::from_log10_ratio(0.0));
+      series.values.assign(axis.size(), value);
+      if (verbose) log_info(series.name + " (flat) = " + format_double(value));
+    } else {
+      for (const double x : axis) {
+        const double value =
+            average_pair_value(cases, weighting, spec, EUWeights::from_log10_ratio(x));
+        series.values.push_back(value);
+        if (verbose) {
+          log_info(series.name + " @ " + eu_axis_label(x) + " = " +
+                   format_double(value));
+        }
+      }
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+void add_flat_series(SweepResult& result, const std::string& name, double value) {
+  SweepSeries series;
+  series.name = name;
+  series.values.assign(result.axis.size(), value);
+  result.series.push_back(std::move(series));
+}
+
+}  // namespace datastage

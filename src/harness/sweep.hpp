@@ -1,0 +1,43 @@
+// E-U ratio sweeps: the x-axis of the paper's figures.
+//
+// Figures 2-5 plot the weighted sum of satisfied priorities against
+// log10(W_E/W_U) in {-3..5} plus the two extremes -inf (urgency only) and
+// +inf (effective priority only). A sweep evaluates a set of series (pairs,
+// bounds, baselines) at every axis point over a shared CaseSet.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/registry.hpp"
+#include "harness/experiment.hpp"
+
+namespace datastage {
+
+/// Axis points as log10 ratios; ±infinity encode the extremes.
+std::vector<double> paper_eu_axis();
+
+/// "-inf", "-3" .. "5", "inf" labels for tables/CSV.
+std::string eu_axis_label(double log10_ratio);
+
+struct SweepSeries {
+  std::string name;
+  std::vector<double> values;  ///< one per axis point
+};
+
+struct SweepResult {
+  std::vector<double> axis;  ///< log10 ratios
+  std::vector<SweepSeries> series;
+};
+
+/// Evaluates each pair across the axis. Flat series (bounds, C3, baselines)
+/// can be added afterwards with add_flat_series.
+SweepResult sweep_pairs(const CaseSet& cases, const PriorityWeighting& weighting,
+                        const std::vector<SchedulerSpec>& pairs,
+                        const std::vector<double>& axis, bool verbose = false);
+
+/// Adds a constant series (bounds/baselines are E-U independent).
+void add_flat_series(SweepResult& result, const std::string& name, double value);
+
+}  // namespace datastage

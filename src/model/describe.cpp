@@ -1,0 +1,160 @@
+#include "model/describe.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace datastage {
+namespace {
+
+StatRange to_range(const Accumulator& acc) {
+  if (acc.count() == 0) return {};
+  return StatRange{acc.min(), acc.mean(), acc.max()};
+}
+
+std::string render(const StatRange& r, int precision = 1) {
+  return format_double(r.min, precision) + " / " + format_double(r.mean, precision) +
+         " / " + format_double(r.max, precision);
+}
+
+}  // namespace
+
+ScenarioStats describe(const Scenario& scenario) {
+  ScenarioStats stats;
+  stats.machines = scenario.machine_count();
+  stats.phys_links = scenario.phys_links.size();
+  stats.virt_links = scenario.virt_links.size();
+  stats.items = scenario.item_count();
+  stats.requests = scenario.request_count();
+
+  constexpr double kMB = 1024.0 * 1024.0;
+
+  Accumulator capacity;
+  for (const Machine& m : scenario.machines) {
+    capacity.add(static_cast<double>(m.capacity_bytes) / kMB);
+  }
+  stats.capacity_mb = to_range(capacity);
+
+  Accumulator bandwidth;
+  Accumulator degree;
+  Accumulator windows;
+  Accumulator availability;
+  std::vector<std::size_t> out_degree(scenario.machine_count(), 0);
+  std::vector<std::vector<bool>> neighbor(
+      scenario.machine_count(), std::vector<bool>(scenario.machine_count(), false));
+  std::vector<std::size_t> window_count(scenario.phys_links.size(), 0);
+  std::vector<SimDuration> window_time(scenario.phys_links.size(),
+                                       SimDuration::zero());
+
+  for (const PhysicalLink& pl : scenario.phys_links) {
+    bandwidth.add(static_cast<double>(pl.bandwidth_bps) / 1000.0);
+    if (!neighbor[pl.from.index()][pl.to.index()]) {
+      neighbor[pl.from.index()][pl.to.index()] = true;
+      ++out_degree[pl.from.index()];
+    }
+  }
+  for (const std::size_t d : out_degree) degree.add(static_cast<double>(d));
+  stats.bandwidth_kbps = to_range(bandwidth);
+  stats.out_degree = to_range(degree);
+
+  double supply_bits = 0.0;
+  for (const VirtualLink& vl : scenario.virt_links) {
+    ++window_count[vl.phys.index()];
+    const SimTime lo = max(vl.window.begin, SimTime::zero());
+    const SimTime hi = min(vl.window.end, scenario.horizon);
+    if (lo < hi) {
+      window_time[vl.phys.index()] = window_time[vl.phys.index()] + (hi - lo);
+      supply_bits += (hi - lo).as_seconds() * static_cast<double>(vl.bandwidth_bps);
+    }
+  }
+  const double horizon_seconds = (scenario.horizon - SimTime::zero()).as_seconds();
+  for (std::size_t p = 0; p < scenario.phys_links.size(); ++p) {
+    windows.add(static_cast<double>(window_count[p]));
+    availability.add(horizon_seconds > 0.0
+                         ? window_time[p].as_seconds() / horizon_seconds
+                         : 0.0);
+  }
+  stats.windows_per_phys_link = to_range(windows);
+  stats.availability_fraction = to_range(availability);
+
+  Accumulator item_mb;
+  Accumulator sources;
+  Accumulator requests;
+  Accumulator offsets;
+  Priority max_priority = 0;
+  for (const DataItem& item : scenario.items) {
+    for (const Request& r : item.requests) max_priority = std::max(max_priority, r.priority);
+  }
+  stats.requests_per_priority.assign(static_cast<std::size_t>(max_priority) + 1, 0);
+
+  double demand_bits = 0.0;
+  for (const DataItem& item : scenario.items) {
+    item_mb.add(static_cast<double>(item.size_bytes) / kMB);
+    sources.add(static_cast<double>(item.sources.size()));
+    requests.add(static_cast<double>(item.requests.size()));
+    SimTime born = SimTime::infinity();
+    for (const SourceLocation& src : item.sources) born = min(born, src.available_at);
+    for (const Request& r : item.requests) {
+      offsets.add((r.deadline - born).as_seconds() / 60.0);
+      ++stats.requests_per_priority[static_cast<std::size_t>(r.priority)];
+      demand_bits += static_cast<double>(item.size_bytes) * 8.0;
+    }
+  }
+  stats.item_mb = to_range(item_mb);
+  stats.sources_per_item = to_range(sources);
+  stats.requests_per_item = to_range(requests);
+  stats.deadline_offset_min = to_range(offsets);
+  stats.demand_supply_ratio = supply_bits > 0.0 ? demand_bits / supply_bits : 0.0;
+  return stats;
+}
+
+Table describe_table(const ScenarioStats& stats) {
+  Table table({"property", "min / mean / max"});
+  table.add_row({"machines", std::to_string(stats.machines)});
+  table.add_row({"physical links", std::to_string(stats.phys_links)});
+  table.add_row({"virtual links", std::to_string(stats.virt_links)});
+  table.add_row({"items", std::to_string(stats.items)});
+  table.add_row({"requests", std::to_string(stats.requests)});
+  table.add_row({"capacity (MB)", render(stats.capacity_mb)});
+  table.add_row({"bandwidth (kbit/s)", render(stats.bandwidth_kbps)});
+  table.add_row({"out-degree", render(stats.out_degree)});
+  table.add_row({"windows per link", render(stats.windows_per_phys_link)});
+  table.add_row({"availability fraction", render(stats.availability_fraction, 2)});
+  table.add_row({"item size (MB)", render(stats.item_mb)});
+  table.add_row({"sources per item", render(stats.sources_per_item)});
+  table.add_row({"requests per item", render(stats.requests_per_item)});
+  table.add_row({"deadline offset (min)", render(stats.deadline_offset_min)});
+  std::string classes;
+  for (std::size_t c = 0; c < stats.requests_per_priority.size(); ++c) {
+    if (c != 0) classes += " / ";
+    classes += std::to_string(stats.requests_per_priority[c]);
+  }
+  table.add_row({"requests per class (low..high)", classes});
+  table.add_row({"demand/supply ratio", format_double(stats.demand_supply_ratio, 2)});
+  return table;
+}
+
+std::string topology_dot(const Scenario& scenario) {
+  constexpr double kMB = 1024.0 * 1024.0;
+  std::string dot = "digraph datastage {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (std::size_t m = 0; m < scenario.machine_count(); ++m) {
+    const Machine& machine = scenario.machines[m];
+    dot += "  m" + std::to_string(m) + " [label=\"" + machine.name + "\\n" +
+           format_double(static_cast<double>(machine.capacity_bytes) / kMB, 0) +
+           " MB\"];\n";
+  }
+  std::vector<std::size_t> windows(scenario.phys_links.size(), 0);
+  for (const VirtualLink& vl : scenario.virt_links) ++windows[vl.phys.index()];
+  for (std::size_t p = 0; p < scenario.phys_links.size(); ++p) {
+    const PhysicalLink& pl = scenario.phys_links[p];
+    dot += "  m" + std::to_string(pl.from.value()) + " -> m" +
+           std::to_string(pl.to.value()) + " [label=\"" +
+           format_double(static_cast<double>(pl.bandwidth_bps) / 1000.0, 0) +
+           " kb/s x" + std::to_string(windows[p]) + "\"];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace datastage

@@ -1,0 +1,59 @@
+// Scenario statistics: a structured profile of a problem instance.
+//
+// Used by the CLI (`datastage_gen --stats`), by tests asserting that the
+// generator hits the paper's §5.3 parameter ranges, and by anyone deciding
+// whether a hand-built scenario resembles the BADD-like regime the
+// heuristics were designed for.
+#pragma once
+
+#include <cstdint>
+
+#include "model/scenario.hpp"
+#include "util/table.hpp"
+
+namespace datastage {
+
+/// Min/mean/max triple over one scalar dimension of the scenario.
+struct StatRange {
+  double min = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+struct ScenarioStats {
+  std::size_t machines = 0;
+  std::size_t phys_links = 0;
+  std::size_t virt_links = 0;
+  std::size_t items = 0;
+  std::size_t requests = 0;
+
+  StatRange capacity_mb;
+  StatRange bandwidth_kbps;
+  StatRange out_degree;
+  StatRange windows_per_phys_link;
+  /// Fraction of [0, horizon) each physical link is available.
+  StatRange availability_fraction;
+
+  StatRange item_mb;
+  StatRange sources_per_item;
+  StatRange requests_per_item;
+  StatRange deadline_offset_min;  ///< deadline − item availability, minutes
+  std::vector<std::size_t> requests_per_priority;
+
+  /// Aggregate demand vs supply: total bytes that must move (item size ×
+  /// requests) against total link capacity within the horizon. > 1 means the
+  /// network is oversubscribed even before deadlines bite.
+  double demand_supply_ratio = 0.0;
+};
+
+ScenarioStats describe(const Scenario& scenario);
+
+/// Two-column rendering of the profile.
+Table describe_table(const ScenarioStats& stats);
+
+/// Graphviz DOT rendering of the physical topology: one node per machine
+/// (labeled with its capacity), one edge per physical link (labeled with
+/// bandwidth and window count). Render with `dot -Tsvg`.
+std::string topology_dot(const Scenario& scenario);
+
+}  // namespace datastage

@@ -1,0 +1,43 @@
+#include "model/priority.hpp"
+
+#include <sstream>
+
+namespace datastage {
+
+PriorityWeighting::PriorityWeighting(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  DS_ASSERT_MSG(!weights_.empty(), "weighting needs at least one class");
+  double prev = 0.0;
+  for (double w : weights_) {
+    DS_ASSERT_MSG(w > 0.0, "priority weights must be positive");
+    DS_ASSERT_MSG(w >= prev, "priority weights must be non-decreasing");
+    prev = w;
+  }
+}
+
+std::string PriorityWeighting::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    if (i != 0) os << ",";
+    // Render integral weights without a decimal point (matches the paper's
+    // "1, 10, 100" notation).
+    const double w = weights_[i];
+    if (w == static_cast<double>(static_cast<long long>(w))) {
+      os << static_cast<long long>(w);
+    } else {
+      os << w;
+    }
+  }
+  return os.str();
+}
+
+std::string priority_name(Priority p) {
+  switch (p) {
+    case kPriorityLow: return "low";
+    case kPriorityMedium: return "medium";
+    case kPriorityHigh: return "high";
+    default: return "P" + std::to_string(p);
+  }
+}
+
+}  // namespace datastage

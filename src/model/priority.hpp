@@ -1,0 +1,58 @@
+// Request priorities and priority weighting schemes.
+//
+// The paper models priorities 0..P with a relative weight W[i] per class; the
+// experiments use three classes (low / medium / high) under two weightings,
+// {1,5,10} and {1,10,100}. The weighting is an *experiment* parameter, not a
+// scenario property: the same scenario is evaluated under several weightings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace datastage {
+
+/// A priority class index, 0 = least important .. P = most important.
+using Priority = std::int32_t;
+
+/// The three classes used throughout the paper's evaluation.
+inline constexpr Priority kPriorityLow = 0;
+inline constexpr Priority kPriorityMedium = 1;
+inline constexpr Priority kPriorityHigh = 2;
+
+/// W[0..P]: the relative weight of each priority class. Weights must be
+/// positive and non-decreasing (a higher class is never less important).
+class PriorityWeighting {
+ public:
+  explicit PriorityWeighting(std::vector<double> weights);
+
+  /// Paper weighting "1, 5, 10".
+  static PriorityWeighting w_1_5_10() { return PriorityWeighting({1.0, 5.0, 10.0}); }
+  /// Paper weighting "1, 10, 100".
+  static PriorityWeighting w_1_10_100() { return PriorityWeighting({1.0, 10.0, 100.0}); }
+
+  Priority max_priority() const {
+    return static_cast<Priority>(weights_.size()) - 1;
+  }
+
+  double weight(Priority p) const {
+    DS_ASSERT(p >= 0 && p <= max_priority());
+    return weights_[static_cast<std::size_t>(p)];
+  }
+
+  std::size_t num_classes() const { return weights_.size(); }
+
+  std::string to_string() const;
+
+  friend bool operator==(const PriorityWeighting&, const PriorityWeighting&) = default;
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// Human-readable class name for the three-class setup; falls back to "P<i>".
+std::string priority_name(Priority p);
+
+}  // namespace datastage

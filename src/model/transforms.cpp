@@ -1,0 +1,88 @@
+#include "model/transforms.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace datastage {
+
+Scenario scale_link_availability(const Scenario& scenario, double keep_fraction) {
+  DS_ASSERT(keep_fraction >= 0.0 && keep_fraction <= 1.0);
+  Scenario out = scenario;
+  out.virt_links.clear();
+  for (const VirtualLink& vl : scenario.virt_links) {
+    VirtualLink copy = vl;
+    const auto kept = static_cast<std::int64_t>(
+        static_cast<double>(vl.window.length().usec()) * keep_fraction);
+    copy.window.end = copy.window.begin + SimDuration::from_usec(kept);
+    if (!copy.window.empty()) out.virt_links.push_back(copy);
+  }
+  return out;
+}
+
+Scenario scale_bandwidth(const Scenario& scenario, double factor) {
+  DS_ASSERT(factor > 0.0);
+  Scenario out = scenario;
+  auto scaled = [factor](std::int64_t bps) {
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(static_cast<double>(bps) * factor)));
+  };
+  for (PhysicalLink& pl : out.phys_links) pl.bandwidth_bps = scaled(pl.bandwidth_bps);
+  for (VirtualLink& vl : out.virt_links) vl.bandwidth_bps = scaled(vl.bandwidth_bps);
+  return out;
+}
+
+Scenario scale_deadlines(const Scenario& scenario, double factor) {
+  DS_ASSERT(factor > 0.0);
+  Scenario out = scenario;
+  for (DataItem& item : out.items) {
+    SimTime born = SimTime::infinity();
+    for (const SourceLocation& src : item.sources) born = min(born, src.available_at);
+    for (Request& request : item.requests) {
+      const double offset_usec =
+          static_cast<double>((request.deadline - born).usec()) * factor;
+      const auto clamped = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(std::llround(offset_usec)));
+      request.deadline = born + SimDuration::from_usec(clamped);
+    }
+  }
+  return out;
+}
+
+Scenario drop_physical_link(const Scenario& scenario, PhysLinkId link) {
+  DS_ASSERT(link.valid() && link.index() < scenario.phys_links.size());
+  Scenario out = scenario;
+  out.phys_links.erase(out.phys_links.begin() +
+                       static_cast<std::ptrdiff_t>(link.index()));
+  out.virt_links.clear();
+  for (const VirtualLink& vl : scenario.virt_links) {
+    if (vl.phys == link) continue;
+    VirtualLink copy = vl;
+    // Physical ids above the removed one shift down by one.
+    if (copy.phys > link) copy.phys = PhysLinkId(copy.phys.value() - 1);
+    out.virt_links.push_back(copy);
+  }
+  return out;
+}
+
+Scenario limit_sources(const Scenario& scenario, std::size_t max_sources) {
+  DS_ASSERT(max_sources >= 1);
+  Scenario out = scenario;
+  for (DataItem& item : out.items) {
+    if (item.sources.size() > max_sources) {
+      item.sources.resize(max_sources);
+    }
+  }
+  return out;
+}
+
+Scenario flatten_priorities(const Scenario& scenario) {
+  Scenario out = scenario;
+  for (DataItem& item : out.items) {
+    for (Request& request : item.requests) request.priority = kPriorityLow;
+  }
+  return out;
+}
+
+}  // namespace datastage

@@ -1,0 +1,41 @@
+// Scenario transformations for sensitivity studies.
+//
+// Pure functions producing perturbed copies of a scenario: shrink link
+// availability, scale bandwidth, tighten deadlines, remove links, flatten
+// priorities. Used by the ablation benches and the link-outage example;
+// every transform preserves scenario validity.
+#pragma once
+
+#include "model/scenario.hpp"
+#include "util/ids.hpp"
+
+namespace datastage {
+
+/// Shortens every virtual-link window to `keep_fraction` of its length
+/// (trimming the tail, as if each pass drops early). Windows shrinking to
+/// nothing are removed. Requires 0 <= keep_fraction <= 1.
+Scenario scale_link_availability(const Scenario& scenario, double keep_fraction);
+
+/// Multiplies every link bandwidth by `factor` (> 0); bandwidths are clamped
+/// to at least 1 bit/s.
+Scenario scale_bandwidth(const Scenario& scenario, double factor);
+
+/// Rescales every request's deadline offset from its item's availability:
+/// new deadline = availability + (old deadline − availability) * factor.
+/// Offsets are clamped to at least one microsecond. Requires factor > 0.
+Scenario scale_deadlines(const Scenario& scenario, double factor);
+
+/// Removes one physical link and all of its virtual links. The result may no
+/// longer be strongly connected — intentionally, for outage studies.
+Scenario drop_physical_link(const Scenario& scenario, PhysLinkId link);
+
+/// Sets every request to the lowest priority class (ablates the priority
+/// signal while keeping workload shape identical).
+Scenario flatten_priorities(const Scenario& scenario);
+
+/// Keeps only the first `max_sources` initial sources of every item
+/// (controlled replication ablation: the workload is otherwise identical).
+/// Requires max_sources >= 1.
+Scenario limit_sources(const Scenario& scenario, std::size_t max_sources);
+
+}  // namespace datastage

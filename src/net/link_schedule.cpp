@@ -1,0 +1,42 @@
+#include "net/link_schedule.hpp"
+
+#include "util/assert.hpp"
+
+namespace datastage {
+
+LinkSchedule::LinkSchedule(const Scenario& scenario)
+    : scenario_(&scenario), busy_(scenario.virt_links.size()) {}
+
+SimDuration LinkSchedule::occupancy(VirtLinkId link, std::int64_t item_bytes) const {
+  const VirtualLink& vl = scenario_->vlink(link);
+  return transfer_duration(item_bytes, vl.bandwidth_bps) + vl.latency;
+}
+
+std::optional<LinkFit> LinkSchedule::earliest_fit(VirtLinkId link,
+                                                  std::int64_t item_bytes,
+                                                  SimTime ready_at) const {
+  const VirtualLink& vl = scenario_->vlink(link);
+  const SimDuration dur = occupancy(link, item_bytes);
+  const std::optional<SimTime> start =
+      busy_[link.index()].earliest_fit(ready_at, dur, vl.window);
+  if (!start.has_value()) return std::nullopt;
+  return LinkFit{*start, *start + dur};
+}
+
+void LinkSchedule::reserve(VirtLinkId link, std::int64_t item_bytes, SimTime start) {
+  const VirtualLink& vl = scenario_->vlink(link);
+  const SimDuration dur = occupancy(link, item_bytes);
+  const Interval iv{start, start + dur};
+  DS_ASSERT_MSG(vl.window.contains(iv), "reservation outside link window");
+  busy_[link.index()].insert_disjoint(iv);
+}
+
+SimDuration LinkSchedule::total_reserved() const {
+  SimDuration total = SimDuration::zero();
+  for (const IntervalSet& set : busy_) {
+    for (const Interval& iv : set.intervals()) total = total + iv.length();
+  }
+  return total;
+}
+
+}  // namespace datastage

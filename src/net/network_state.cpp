@@ -1,0 +1,141 @@
+#include "net/network_state.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace datastage {
+
+NetworkState::NetworkState(const Scenario& scenario)
+    : scenario_(&scenario), links_(scenario) {
+  const std::size_t m = scenario.machine_count();
+  const std::size_t n = scenario.item_count();
+
+  storage_.reserve(m);
+  for (const Machine& machine : scenario.machines) {
+    storage_.emplace_back(machine.capacity_bytes);
+  }
+
+  copies_.resize(n);
+  hold_begin_.assign(n, std::vector<SimTime>(m, SimTime::infinity()));
+  dest_flags_.assign(n, std::vector<bool>(m, false));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const DataItem& item = scenario.items[i];
+    for (const Request& r : item.requests) {
+      dest_flags_[i][r.destination.index()] = true;
+    }
+    for (const SourceLocation& src : item.sources) {
+      StorageTimeline& st = storage_[src.machine.index()];
+      const Interval hold{src.available_at, src.hold_until};
+      DS_ASSERT_MSG(st.fits(item.size_bytes, hold),
+                    "initial source copies exceed machine capacity");
+      st.allocate(item.size_bytes, hold);
+      copies_[i].push_back(Copy{src.machine, src.available_at});
+      hold_begin_[i][src.machine.index()] = src.available_at;
+    }
+  }
+}
+
+std::optional<SimTime> NetworkState::copy_available_at(ItemId item,
+                                                       MachineId machine) const {
+  for (const Copy& c : copies_[item.index()]) {
+    if (c.machine == machine) return c.available_at;
+  }
+  return std::nullopt;
+}
+
+SimTime NetworkState::hold_end(ItemId item, MachineId machine) const {
+  const DataItem& it = scenario_->item(item);
+  if (is_destination(item, machine)) return SimTime::infinity();
+  for (const SourceLocation& src : it.sources) {
+    if (src.machine == machine) return src.hold_until;
+  }
+  return scenario_->gc_time(item);
+}
+
+std::optional<SimTime> NetworkState::hold_begin(ItemId item, MachineId machine) const {
+  const SimTime hb = hold_begin_[item.index()][machine.index()];
+  if (hb.is_infinite()) return std::nullopt;
+  return hb;
+}
+
+bool NetworkState::can_hold(ItemId item, MachineId machine, SimTime start) const {
+  const std::int64_t bytes = scenario_->item(item).size_bytes;
+  const StorageTimeline& st = storage_[machine.index()];
+  const std::optional<SimTime> existing = hold_begin(item, machine);
+  if (existing.has_value()) {
+    // Already held; only the extension to an earlier start needs new space.
+    if (*existing <= start) return true;
+    return st.fits(bytes, Interval{start, *existing});
+  }
+  return st.fits(bytes, Interval{start, hold_end(item, machine)});
+}
+
+bool NetworkState::can_apply(ItemId item, VirtLinkId link, SimTime start) const {
+  const VirtualLink& vl = scenario_->vlink(link);
+  const std::int64_t bytes = scenario_->item(item).size_bytes;
+
+  const std::optional<SimTime> sender_avail = copy_available_at(item, vl.from);
+  if (!sender_avail.has_value() || *sender_avail > start) return false;
+  if (start >= hold_end(item, vl.from)) return false;
+
+  const Interval busy{start, start + links_.occupancy(link, bytes)};
+  if (!vl.window.contains(busy)) return false;
+  if (links_.busy_overlaps(link, busy)) return false;
+
+  return can_hold(item, vl.to, start);
+}
+
+AppliedTransfer NetworkState::apply_transfer(ItemId item, VirtLinkId link,
+                                             SimTime start) {
+  const VirtualLink& vl = scenario_->vlink(link);
+  const std::int64_t bytes = scenario_->item(item).size_bytes;
+
+  const std::optional<SimTime> sender_avail = copy_available_at(item, vl.from);
+  DS_ASSERT_MSG(sender_avail.has_value(), "sender does not hold the item");
+  DS_ASSERT_MSG(*sender_avail <= start, "sender copy not yet available at start");
+  DS_ASSERT_MSG(start < hold_end(item, vl.from),
+                "sender copy already garbage-collected at start");
+  DS_ASSERT_MSG(can_hold(item, vl.to, start), "receiver cannot store the item");
+
+  links_.reserve(link, bytes, start);
+  const SimTime arrival = start + links_.occupancy(link, bytes);
+
+  AppliedTransfer applied;
+  applied.start = start;
+  applied.arrival = arrival;
+  applied.link = link;
+  applied.link_busy = Interval{start, arrival};
+  applied.storage_machine = vl.to;
+
+  StorageTimeline& st = storage_[vl.to.index()];
+  SimTime& hb = hold_begin_[item.index()][vl.to.index()];
+  if (!hb.is_infinite()) {
+    // Receiver already holds a copy; this transfer arrives earlier. Charge
+    // only the extension and improve the copy's availability.
+    if (start < hb) {
+      const Interval extension{start, hb};
+      st.allocate(bytes, extension);
+      applied.storage_interval = extension;
+      hb = start;
+    }
+    for (Copy& c : copies_[item.index()]) {
+      if (c.machine == vl.to) {
+        c.available_at = min(c.available_at, arrival);
+        break;
+      }
+    }
+  } else {
+    const Interval hold{start, hold_end(item, vl.to)};
+    st.allocate(bytes, hold);
+    applied.storage_interval = hold;
+    hb = start;
+    copies_[item.index()].push_back(Copy{vl.to, arrival});
+  }
+
+  ++transfer_count_;
+  return applied;
+}
+
+}  // namespace datastage

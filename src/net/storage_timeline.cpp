@@ -1,0 +1,52 @@
+#include "net/storage_timeline.hpp"
+
+#include "util/assert.hpp"
+
+namespace datastage {
+
+StorageTimeline::StorageTimeline(std::int64_t capacity_bytes)
+    : capacity_(capacity_bytes) {
+  DS_ASSERT(capacity_bytes >= 0);
+  usage_[SimTime::zero()] = 0;
+}
+
+std::int64_t StorageTimeline::usage_at(SimTime t) const {
+  auto it = usage_.upper_bound(t);
+  if (it == usage_.begin()) return 0;  // before time zero
+  return std::prev(it)->second;
+}
+
+std::int64_t StorageTimeline::max_usage(const Interval& iv) const {
+  if (iv.empty()) return 0;
+  std::int64_t best = usage_at(iv.begin);
+  for (auto it = usage_.upper_bound(iv.begin); it != usage_.end() && it->first < iv.end;
+       ++it) {
+    best = std::max(best, it->second);
+  }
+  return best;
+}
+
+void StorageTimeline::allocate(std::int64_t bytes, const Interval& iv) {
+  DS_ASSERT(bytes >= 0);
+  if (iv.empty() || bytes == 0) return;
+
+  // Materialize breakpoints at the interval boundaries, copying the level in
+  // effect at those instants.
+  auto ensure_breakpoint = [this](SimTime t) {
+    auto it = usage_.lower_bound(t);
+    if (it != usage_.end() && it->first == t) return;
+    usage_.emplace(t, usage_at(t));
+  };
+  ensure_breakpoint(iv.begin);
+  ensure_breakpoint(iv.end);
+
+  for (auto it = usage_.lower_bound(iv.begin); it != usage_.end() && it->first < iv.end;
+       ++it) {
+    it->second += bytes;
+    DS_ASSERT_MSG(it->second <= capacity_,
+                  "storage allocation exceeds machine capacity (caller must "
+                  "check fits() first)");
+  }
+}
+
+}  // namespace datastage

@@ -1,0 +1,49 @@
+// Per-machine storage usage over time.
+//
+// Cap[i](t) in the paper is piecewise constant: it changes when a copy of an
+// item is placed on a machine and when garbage collection reclaims it. We
+// track *usage* as a piecewise-constant step function keyed by breakpoints;
+// free capacity over a window is capacity minus the maximum usage inside it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "util/interval.hpp"
+#include "util/time.hpp"
+
+namespace datastage {
+
+class StorageTimeline {
+ public:
+  explicit StorageTimeline(std::int64_t capacity_bytes);
+
+  std::int64_t capacity() const { return capacity_; }
+
+  /// Maximum usage at any instant within [iv.begin, iv.end).
+  std::int64_t max_usage(const Interval& iv) const;
+
+  /// Free bytes guaranteed throughout `iv`.
+  std::int64_t min_free(const Interval& iv) const { return capacity_ - max_usage(iv); }
+
+  /// True iff `bytes` fit throughout `iv`.
+  bool fits(std::int64_t bytes, const Interval& iv) const {
+    return bytes <= min_free(iv);
+  }
+
+  /// Adds `bytes` of usage throughout `iv`. Asserts the result never exceeds
+  /// capacity (callers must check with fits() first).
+  void allocate(std::int64_t bytes, const Interval& iv);
+
+  /// Usage at a single instant.
+  std::int64_t usage_at(SimTime t) const;
+
+ private:
+  // Breakpoint map: usage_ holds the usage level starting at each key and
+  // lasting until the next key. Invariant: contains key SimTime::zero()
+  // (items never exist before time 0) and adjacent values differ.
+  std::map<SimTime, std::int64_t> usage_;
+  std::int64_t capacity_;
+};
+
+}  // namespace datastage

@@ -1,0 +1,70 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace datastage {
+
+Topology::Topology(const Scenario& scenario) : scenario_(&scenario) {
+  outgoing_.resize(scenario.machine_count());
+  for (std::size_t v = 0; v < scenario.virt_links.size(); ++v) {
+    const VirtualLink& vl = scenario.virt_links[v];
+    outgoing_[vl.from.index()].push_back(VirtLinkId(static_cast<std::int32_t>(v)));
+  }
+  for (auto& links : outgoing_) {
+    std::sort(links.begin(), links.end(), [&](VirtLinkId a, VirtLinkId b) {
+      const VirtualLink& va = scenario.vlink(a);
+      const VirtualLink& vb = scenario.vlink(b);
+      if (va.to != vb.to) return va.to < vb.to;
+      if (va.window.begin != vb.window.begin) return va.window.begin < vb.window.begin;
+      return a < b;
+    });
+  }
+}
+
+std::int32_t Topology::out_degree(MachineId machine) const {
+  std::set<std::int32_t> neighbors;
+  for (const PhysicalLink& pl : scenario_->phys_links) {
+    if (pl.from == machine) neighbors.insert(pl.to.value());
+  }
+  return static_cast<std::int32_t>(neighbors.size());
+}
+
+bool Topology::strongly_connected() const {
+  const std::size_t n = machine_count();
+  if (n == 0) return false;
+  if (n == 1) return true;
+
+  // Physical adjacency (forward and reverse).
+  std::vector<std::vector<std::int32_t>> fwd(n);
+  std::vector<std::vector<std::int32_t>> rev(n);
+  for (const PhysicalLink& pl : scenario_->phys_links) {
+    fwd[pl.from.index()].push_back(pl.to.value());
+    rev[pl.to.index()].push_back(pl.from.value());
+  }
+
+  auto reaches_all = [n](const std::vector<std::vector<std::int32_t>>& adj) {
+    std::vector<bool> seen(n, false);
+    std::vector<std::int32_t> stack{0};
+    seen[0] = true;
+    std::size_t count = 1;
+    while (!stack.empty()) {
+      const auto u = static_cast<std::size_t>(stack.back());
+      stack.pop_back();
+      for (std::int32_t w : adj[u]) {
+        if (!seen[static_cast<std::size_t>(w)]) {
+          seen[static_cast<std::size_t>(w)] = true;
+          ++count;
+          stack.push_back(w);
+        }
+      }
+    }
+    return count == n;
+  };
+
+  return reaches_all(fwd) && reaches_all(rev);
+}
+
+}  // namespace datastage

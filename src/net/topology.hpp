@@ -1,0 +1,46 @@
+// Immutable network topology view over a Scenario.
+//
+// Builds the adjacency structure the routing layer iterates (outgoing virtual
+// links per machine) plus graph-level analyses: physical strong connectivity
+// (the paper's generator guarantees strongly connected systems) and simple
+// degree statistics used by tests and the generator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "model/scenario.hpp"
+#include "util/ids.hpp"
+
+namespace datastage {
+
+class Topology {
+ public:
+  /// The scenario must outlive the topology.
+  explicit Topology(const Scenario& scenario);
+
+  std::size_t machine_count() const { return outgoing_.size(); }
+
+  /// Outgoing virtual links of `machine`, ordered by (destination, window
+  /// begin). Stable order keeps Dijkstra deterministic.
+  std::span<const VirtLinkId> outgoing(MachineId machine) const {
+    return outgoing_[machine.index()];
+  }
+
+  /// Distinct machines reachable via at least one physical link (the paper's
+  /// "outbound degree").
+  std::int32_t out_degree(MachineId machine) const;
+
+  /// True iff the *physical* digraph is strongly connected (§5.1: the test
+  /// generation program guarantees this).
+  bool strongly_connected() const;
+
+  const Scenario& scenario() const { return *scenario_; }
+
+ private:
+  const Scenario* scenario_;
+  std::vector<std::vector<VirtLinkId>> outgoing_;
+};
+
+}  // namespace datastage

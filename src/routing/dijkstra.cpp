@@ -1,0 +1,79 @@
+#include "routing/dijkstra.hpp"
+
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace datastage {
+namespace {
+
+struct QueueEntry {
+  SimTime arrival;
+  MachineId machine;
+
+  // Min-heap by arrival; machine id breaks ties so the expansion order (and
+  // therefore the tree under equal arrivals) is deterministic.
+  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
+    if (a.arrival != b.arrival) return a.arrival > b.arrival;
+    return a.machine > b.machine;
+  }
+};
+
+}  // namespace
+
+RouteTree compute_route_tree(const NetworkState& state, const Topology& topology,
+                             ItemId item, const DijkstraOptions& options,
+                             DijkstraStats* stats) {
+  const Scenario& scenario = state.scenario();
+  RouteTree tree(scenario.machine_count());
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
+  std::vector<bool> settled(scenario.machine_count(), false);
+
+  for (const Copy& copy : state.copies(item)) {
+    tree.set_root(copy.machine, copy.available_at);
+    queue.push(QueueEntry{tree.arrival(copy.machine), copy.machine});
+  }
+
+  while (!queue.empty()) {
+    const QueueEntry entry = queue.top();
+    queue.pop();
+    const MachineId u = entry.machine;
+    if (settled[u.index()]) continue;              // lazily deleted duplicate
+    if (entry.arrival != tree.arrival(u)) continue;  // stale entry
+    settled[u.index()] = true;
+    if (stats != nullptr) ++stats->pops;
+
+    const SimTime ready = tree.arrival(u);
+    if (ready > options.prune_after) continue;
+
+    // The item must still reside on u when a transfer departs; transfers
+    // departing after u's hold window has been garbage-collected are invalid.
+    const SimTime sender_hold_end = state.hold_end(item, u);
+
+    for (const VirtLinkId link_id : topology.outgoing(u)) {
+      if (stats != nullptr) ++stats->relaxations;
+      const VirtualLink& vl = scenario.vlink(link_id);
+      const MachineId v = vl.to;
+      if (settled[v.index()]) continue;
+
+      const std::optional<LinkFit> fit = state.earliest_fit(item, link_id, ready);
+      if (!fit.has_value()) continue;
+      if (fit->start >= sender_hold_end) continue;
+      if (fit->arrival >= tree.arrival(v)) continue;
+      if (fit->arrival > options.prune_after) continue;
+      if (!state.can_hold(item, v, fit->start)) {
+        if (stats != nullptr) ++stats->capacity_rejections;
+        continue;
+      }
+
+      tree.set_parent(v, TreeEdge{u, v, link_id, fit->start, fit->arrival});
+      queue.push(QueueEntry{fit->arrival, v});
+    }
+  }
+
+  return tree;
+}
+
+}  // namespace datastage

@@ -1,0 +1,41 @@
+// Adaptation of Dijkstra's multiple-source shortest-path algorithm to the
+// data-staging model (paper §4.2).
+//
+// For one data item, computes the earliest-arrival forest from all current
+// copies of the item to every machine, subject to:
+//   (1) receiver storage capacity through the garbage-collection hold window,
+//   (2) virtual-link availability windows and existing reservations,
+//   (3) copy availability times at the roots.
+//
+// Edge departures are FIFO (waiting never lets a transfer arrive earlier), so
+// label-setting Dijkstra computes exact earliest arrivals.
+#pragma once
+
+#include "net/network_state.hpp"
+#include "net/topology.hpp"
+#include "routing/path.hpp"
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace datastage {
+
+struct DijkstraOptions {
+  /// Labels strictly beyond this time are not expanded. Safe prune: any path
+  /// that serves a request by its deadline only visits machines at or before
+  /// that deadline. Callers pass the latest *pending* deadline of the item.
+  SimTime prune_after = SimTime::infinity();
+};
+
+struct DijkstraStats {
+  std::size_t pops = 0;
+  std::size_t relaxations = 0;
+  std::size_t capacity_rejections = 0;
+};
+
+/// Runs the adapted Dijkstra for `item` over the current `state`.
+/// `topology` must be built from `state.scenario()`.
+RouteTree compute_route_tree(const NetworkState& state, const Topology& topology,
+                             ItemId item, const DijkstraOptions& options = {},
+                             DijkstraStats* stats = nullptr);
+
+}  // namespace datastage

@@ -1,0 +1,57 @@
+#include "routing/path.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace datastage {
+
+RouteTree::RouteTree(std::size_t machine_count)
+    : arrival_(machine_count, SimTime::infinity()),
+      has_parent_(machine_count, false),
+      edge_(machine_count) {}
+
+const TreeEdge& RouteTree::parent_edge(MachineId machine) const {
+  DS_ASSERT(has_parent(machine));
+  return edge_[machine.index()];
+}
+
+const TreeEdge& RouteTree::first_hop(MachineId dest) const {
+  DS_ASSERT(reached(dest));
+  DS_ASSERT(has_parent(dest));
+  MachineId cursor = dest;
+  while (has_parent(parent_edge(cursor).from)) {
+    cursor = parent_edge(cursor).from;
+  }
+  return parent_edge(cursor);
+}
+
+std::vector<TreeEdge> RouteTree::path_to(MachineId dest) const {
+  DS_ASSERT(reached(dest));
+  std::vector<TreeEdge> path;
+  MachineId cursor = dest;
+  while (has_parent(cursor)) {
+    path.push_back(parent_edge(cursor));
+    cursor = parent_edge(cursor).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+void RouteTree::set_root(MachineId machine, SimTime available_at) {
+  // A machine can hold one copy only; availability improvements go through
+  // set_parent. Roots may be re-set to an earlier time during relaxation of
+  // multi-copy states (the engine initializes each copy exactly once).
+  arrival_[machine.index()] = min(arrival_[machine.index()], available_at);
+  has_parent_[machine.index()] = false;
+}
+
+void RouteTree::set_parent(MachineId machine, const TreeEdge& edge) {
+  DS_ASSERT(edge.to == machine);
+  DS_ASSERT(edge.arrival < arrival_[machine.index()]);
+  arrival_[machine.index()] = edge.arrival;
+  has_parent_[machine.index()] = true;
+  edge_[machine.index()] = edge;
+}
+
+}  // namespace datastage

@@ -1,0 +1,67 @@
+// Route trees: the output of the multiple-source shortest-path computation.
+//
+// A RouteTree is the earliest-arrival forest for one data item given the
+// current network state: every reachable machine has an arrival time and (if
+// it is not a copy holder already) the hop that attains it. Paths and first
+// hops are recovered by walking parent pointers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ids.hpp"
+#include "util/time.hpp"
+
+namespace datastage {
+
+/// One hop of a route: transfer the item from `from` to `to` over `link`,
+/// occupying the link during [start, arrival).
+struct TreeEdge {
+  MachineId from;
+  MachineId to;
+  VirtLinkId link;
+  SimTime start;
+  SimTime arrival;
+
+  friend bool operator==(const TreeEdge&, const TreeEdge&) = default;
+};
+
+class RouteTree {
+ public:
+  explicit RouteTree(std::size_t machine_count);
+
+  std::size_t machine_count() const { return arrival_.size(); }
+
+  /// Earliest arrival of the item at `machine` (A_T when `machine` is a
+  /// requesting destination). SimTime::infinity() if unreachable.
+  SimTime arrival(MachineId machine) const { return arrival_[machine.index()]; }
+
+  bool reached(MachineId machine) const {
+    return !arrival_[machine.index()].is_infinite();
+  }
+
+  /// True iff `machine` was reached via a transfer (false for copy holders,
+  /// which are roots of the forest).
+  bool has_parent(MachineId machine) const { return has_parent_[machine.index()]; }
+
+  const TreeEdge& parent_edge(MachineId machine) const;
+
+  /// The first hop of the path from a copy holder to `dest`: the edge whose
+  /// origin is a root. This is the paper's "next machine M[r] to receive the
+  /// item" for destination `dest`. Requires reached(dest) && has_parent(dest).
+  const TreeEdge& first_hop(MachineId dest) const;
+
+  /// Full path root -> dest, in transfer order. Empty if dest is a root.
+  std::vector<TreeEdge> path_to(MachineId dest) const;
+
+  /// Mutation interface for the Dijkstra driver.
+  void set_root(MachineId machine, SimTime available_at);
+  void set_parent(MachineId machine, const TreeEdge& edge);
+
+ private:
+  std::vector<SimTime> arrival_;
+  std::vector<bool> has_parent_;
+  std::vector<TreeEdge> edge_;  // parent edge of each machine (valid iff has_parent_)
+};
+
+}  // namespace datastage

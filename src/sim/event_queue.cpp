@@ -1,0 +1,29 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace datastage {
+
+bool EventQueue::later(const Entry& a, const Entry& b) {
+  // std::push_heap builds a max-heap; "later" means lower priority.
+  if (a.event.time != b.event.time) return a.event.time > b.event.time;
+  if (a.event.kind != b.event.kind) return a.event.kind > b.event.kind;
+  return a.seq > b.seq;
+}
+
+void EventQueue::push(const SimEvent& event) {
+  heap_.push_back(Entry{event, next_seq_++});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+SimEvent EventQueue::pop() {
+  DS_ASSERT(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const SimEvent event = heap_.back().event;
+  heap_.pop_back();
+  return event;
+}
+
+}  // namespace datastage

@@ -1,0 +1,49 @@
+// Discrete-event queue for the schedule-replay simulator.
+//
+// Ordering rules: earlier time first; at equal times, arrivals before starts
+// (a transfer may depart the instant its input copy lands); insertion order
+// breaks remaining ties so replay is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace datastage {
+
+enum class SimEventKind : std::uint8_t {
+  kArrival = 0,        // processed first at equal timestamps
+  kTransferStart = 1,
+};
+
+struct SimEvent {
+  SimTime time;
+  SimEventKind kind = SimEventKind::kTransferStart;
+  std::size_t step = 0;  ///< index into the schedule's step list
+
+  friend bool operator==(const SimEvent&, const SimEvent&) = default;
+};
+
+class EventQueue {
+ public:
+  void push(const SimEvent& event);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Removes and returns the next event in (time, kind, insertion) order.
+  SimEvent pop();
+
+ private:
+  struct Entry {
+    SimEvent event;
+    std::uint64_t seq;
+  };
+  static bool later(const Entry& a, const Entry& b);
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace datastage

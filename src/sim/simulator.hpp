@@ -1,0 +1,40 @@
+// Schedule-replay simulator and validator.
+//
+// Replays a Schedule against a pristine copy of the scenario as a discrete-
+// event simulation and independently re-derives everything the schedulers
+// claim: that every transfer respects link windows and link exclusivity, that
+// senders actually hold the data they send, that no machine ever exceeds its
+// storage capacity (with the same hold/garbage-collection rules the
+// schedulers use), and which requests are satisfied. Any disagreement with a
+// scheduler is a bug in one of them — the property test suite replays every
+// heuristic's schedule through this simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/satisfaction.hpp"
+#include "core/schedule.hpp"
+#include "model/scenario.hpp"
+
+namespace datastage {
+
+struct SimReport {
+  bool ok = true;
+  std::vector<std::string> issues;  ///< empty iff ok
+
+  /// Independently derived request outcomes.
+  OutcomeMatrix outcomes;
+
+  /// When the last transfer completes; zero for an empty schedule.
+  SimTime completion = SimTime::zero();
+  std::size_t transfers = 0;
+
+  /// Peak storage usage per machine across the run (observability).
+  std::vector<std::int64_t> peak_usage;
+};
+
+/// Replays `schedule` against `scenario`.
+SimReport simulate(const Scenario& scenario, const Schedule& schedule);
+
+}  // namespace datastage

@@ -1,0 +1,139 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+
+namespace datastage {
+
+std::string schedule_trace(const Scenario& scenario, const Schedule& schedule) {
+  return schedule.to_string(scenario);
+}
+
+Table storage_summary(const Scenario& scenario, const Schedule& schedule) {
+  const SimReport report = simulate(scenario, schedule);
+  Table table({"machine", "capacity (MB)", "peak usage (MB)", "staged items"});
+
+  std::vector<std::set<std::int32_t>> staged(scenario.machine_count());
+  for (const CommStep& step : schedule.steps()) {
+    staged[step.to.index()].insert(step.item.value());
+  }
+  constexpr double kMB = 1024.0 * 1024.0;
+  for (std::size_t m = 0; m < scenario.machine_count(); ++m) {
+    const std::int64_t peak =
+        m < report.peak_usage.size() ? report.peak_usage[m] : 0;
+    table.add_row({scenario.machines[m].name,
+                   format_double(static_cast<double>(scenario.machines[m].capacity_bytes) / kMB, 1),
+                   format_double(static_cast<double>(peak) / kMB, 1),
+                   std::to_string(staged[m].size())});
+  }
+  return table;
+}
+
+Table link_utilization(const Scenario& scenario, const Schedule& schedule) {
+  // Busy and window time per physical link, restricted to the horizon.
+  std::vector<SimDuration> busy(scenario.phys_links.size(), SimDuration::zero());
+  std::vector<SimDuration> window(scenario.phys_links.size(), SimDuration::zero());
+  const Interval horizon{SimTime::zero(), scenario.horizon};
+
+  for (const VirtualLink& vl : scenario.virt_links) {
+    const SimTime lo = max(vl.window.begin, horizon.begin);
+    const SimTime hi = min(vl.window.end, horizon.end);
+    if (lo < hi) window[vl.phys.index()] = window[vl.phys.index()] + (hi - lo);
+  }
+  for (const CommStep& step : schedule.steps()) {
+    const VirtualLink& vl = scenario.vlink(step.link);
+    const SimTime lo = max(step.start, horizon.begin);
+    const SimTime hi = min(step.arrival, horizon.end);
+    if (lo < hi) busy[vl.phys.index()] = busy[vl.phys.index()] + (hi - lo);
+  }
+
+  Table table({"link", "route", "window (min)", "busy (min)", "utilization %"});
+  for (std::size_t p = 0; p < scenario.phys_links.size(); ++p) {
+    const PhysicalLink& pl = scenario.phys_links[p];
+    const double window_min = window[p].as_seconds() / 60.0;
+    const double busy_min = busy[p].as_seconds() / 60.0;
+    const double util = window_min > 0.0 ? 100.0 * busy_min / window_min : 0.0;
+    table.add_row({std::to_string(p),
+                   scenario.machine(pl.from).name + "->" + scenario.machine(pl.to).name,
+                   format_double(window_min, 1), format_double(busy_min, 1),
+                   format_double(util, 1)});
+  }
+  return table;
+}
+
+Table request_report(const Scenario& scenario, const OutcomeMatrix& outcomes) {
+  Table table({"item", "destination", "priority", "deadline", "arrival", "status"});
+  for (std::size_t i = 0; i < scenario.item_count(); ++i) {
+    const DataItem& item = scenario.items[i];
+    for (std::size_t k = 0; k < item.requests.size(); ++k) {
+      const Request& request = item.requests[k];
+      const RequestOutcome& outcome = outcomes[i][k];
+      table.add_row({item.name, scenario.machine(request.destination).name,
+                     priority_name(request.priority), request.deadline.to_string(),
+                     outcome.arrival.is_infinite() ? "-" : outcome.arrival.to_string(),
+                     outcome.satisfied ? "satisfied"
+                                       : (outcome.arrival.is_infinite() ? "unserved"
+                                                                        : "late")});
+    }
+  }
+  return table;
+}
+
+std::string link_gantt(const Scenario& scenario, const Schedule& schedule,
+                       std::size_t width) {
+  DS_ASSERT(width > 0);
+  const std::int64_t horizon = scenario.horizon.usec();
+  DS_ASSERT(horizon > 0);
+  const auto bucket_of = [&](SimTime t) {
+    const std::int64_t clamped = std::clamp<std::int64_t>(t.usec(), 0, horizon);
+    // End-exclusive mapping; the last instant maps into the final bucket.
+    return std::min(width - 1, static_cast<std::size_t>(
+                                   static_cast<unsigned long long>(clamped) * width /
+                                   static_cast<unsigned long long>(horizon)));
+  };
+
+  std::vector<std::string> rows(scenario.phys_links.size(),
+                                std::string(width, '.'));
+  auto paint = [&](std::size_t p, const Interval& iv, char mark) {
+    if (iv.end <= SimTime::zero() || iv.begin >= scenario.horizon) return;
+    const std::size_t from = bucket_of(max(iv.begin, SimTime::zero()));
+    const std::size_t to = bucket_of(min(iv.end, scenario.horizon) -
+                                     SimDuration::from_usec(1));
+    for (std::size_t c = from; c <= to && c < width; ++c) {
+      rows[p][c] = mark;
+    }
+  };
+
+  for (const VirtualLink& vl : scenario.virt_links) {
+    paint(vl.phys.index(), vl.window, '-');
+  }
+  for (const CommStep& step : schedule.steps()) {
+    if (!step.link.valid() || step.link.index() >= scenario.virt_links.size()) continue;
+    paint(scenario.vlink(step.link).phys.index(), Interval{step.start, step.arrival},
+          '#');
+  }
+
+  std::size_t label_width = 0;
+  std::vector<std::string> labels;
+  labels.reserve(scenario.phys_links.size());
+  for (const PhysicalLink& pl : scenario.phys_links) {
+    labels.push_back(scenario.machine(pl.from).name + "->" +
+                     scenario.machine(pl.to).name);
+    label_width = std::max(label_width, labels.back().size());
+  }
+
+  std::ostringstream os;
+  for (std::size_t p = 0; p < rows.size(); ++p) {
+    os << labels[p] << std::string(label_width - labels[p].size(), ' ') << " |"
+       << rows[p] << "|\n";
+  }
+  os << std::string(label_width, ' ') << "  0" << std::string(width > 10 ? width - 9 : 0, ' ')
+     << scenario.horizon.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace datastage

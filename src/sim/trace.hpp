@@ -1,0 +1,35 @@
+// Human-readable traces and utilization summaries of schedules.
+//
+// Used by the example binaries to show what the scheduler decided: the
+// time-ordered transfer log, per-link utilization within the horizon, and
+// per-machine peak storage. Pure reporting — no scheduling logic.
+#pragma once
+
+#include <string>
+
+#include "core/satisfaction.hpp"
+#include "core/schedule.hpp"
+#include "model/scenario.hpp"
+#include "util/table.hpp"
+
+namespace datastage {
+
+/// Time-ordered, named transfer log.
+std::string schedule_trace(const Scenario& scenario, const Schedule& schedule);
+
+/// Per-machine table: capacity, peak usage, items staged there.
+Table storage_summary(const Scenario& scenario, const Schedule& schedule);
+
+/// Per-physical-link table: window time, busy time, utilization percent.
+Table link_utilization(const Scenario& scenario, const Schedule& schedule);
+
+/// Per-request table: item, destination, priority, deadline, arrival, status.
+Table request_report(const Scenario& scenario, const OutcomeMatrix& outcomes);
+
+/// ASCII Gantt chart: one row per physical link across [0, horizon).
+///   '.'  link unavailable     '-'  window open, idle     '#'  transferring
+/// `width` is the number of time buckets (columns).
+std::string link_gantt(const Scenario& scenario, const Schedule& schedule,
+                       std::size_t width = 72);
+
+}  // namespace datastage

@@ -1,0 +1,69 @@
+// Strong integer identifiers for the entities of the data-staging model.
+//
+// Using distinct types for machine / item / request / link indices turns a
+// whole class of "passed the wrong index" bugs into compile errors. IDs are
+// dense indices into the owning container (Scenario / Topology), which keeps
+// lookups O(1) without hash maps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace datastage {
+
+/// CRTP-free strong index. `Tag` differentiates unrelated ID spaces.
+template <class Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  explicit constexpr StrongId(std::int32_t value) : value_(value) {}
+
+  static constexpr StrongId invalid() { return StrongId(-1); }
+  constexpr bool valid() const { return value_ >= 0; }
+
+  constexpr std::int32_t value() const { return value_; }
+  /// Index form for container subscripting; asserts nothing, callers index
+  /// containers whose size they control.
+  constexpr std::size_t index() const { return static_cast<std::size_t>(value_); }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr auto operator<=>(StrongId a, StrongId b) { return a.value_ <=> b.value_; }
+
+ private:
+  std::int32_t value_ = -1;
+};
+
+struct MachineTag {};
+struct ItemTag {};
+struct PhysLinkTag {};
+struct VirtLinkTag {};
+
+/// A machine M[i] of the communication system.
+using MachineId = StrongId<MachineTag>;
+/// A requested data item Rq[i] (only requested items are modeled; items that
+/// nobody requests never move and are irrelevant to the schedule).
+using ItemId = StrongId<ItemTag>;
+/// A physical unidirectional transmission link.
+using PhysLinkId = StrongId<PhysLinkTag>;
+/// A virtual link L[i,j][k]: one availability window of a physical link.
+using VirtLinkId = StrongId<VirtLinkTag>;
+
+/// A request is addressed by (item, k-th request of that item), mirroring the
+/// paper's Request[j, k] notation.
+struct RequestRef {
+  ItemId item;
+  std::int32_t k = -1;
+
+  friend constexpr bool operator==(const RequestRef&, const RequestRef&) = default;
+  friend constexpr auto operator<=>(const RequestRef&, const RequestRef&) = default;
+};
+
+}  // namespace datastage
+
+template <class Tag>
+struct std::hash<datastage::StrongId<Tag>> {
+  std::size_t operator()(datastage::StrongId<Tag> id) const noexcept {
+    return std::hash<std::int32_t>()(id.value());
+  }
+};

@@ -1,0 +1,98 @@
+#include "util/interval.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace datastage {
+
+std::string Interval::to_string() const {
+  return "[" + begin.to_string() + ", " + end.to_string() + ")";
+}
+
+std::size_t IntervalSet::first_ending_after(SimTime t) const {
+  const auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](SimTime value, const Interval& iv) { return value < iv.end; });
+  return static_cast<std::size_t>(it - intervals_.begin());
+}
+
+bool IntervalSet::overlaps(const Interval& iv) const {
+  if (iv.empty()) return false;
+  const std::size_t i = first_ending_after(iv.begin);
+  return i < intervals_.size() && intervals_[i].begin < iv.end;
+}
+
+void IntervalSet::insert_disjoint(const Interval& iv) {
+  DS_ASSERT_MSG(!iv.empty(), "cannot reserve an empty interval");
+  DS_ASSERT_MSG(!overlaps(iv), "reservation overlaps an existing reservation");
+  const std::size_t i = first_ending_after(iv.begin);
+  intervals_.insert(intervals_.begin() + static_cast<std::ptrdiff_t>(i), iv);
+}
+
+void IntervalSet::insert_merge(const Interval& iv) {
+  if (iv.empty()) return;
+  std::size_t i = first_ending_after(iv.begin);
+  // An interval ending exactly at iv.begin is adjacent: merge it too.
+  if (i > 0 && intervals_[i - 1].end == iv.begin) --i;
+  Interval merged = iv;
+  std::size_t j = i;
+  while (j < intervals_.size() && intervals_[j].begin <= merged.end) {
+    merged.begin = min(merged.begin, intervals_[j].begin);
+    merged.end = max(merged.end, intervals_[j].end);
+    ++j;
+  }
+  intervals_.erase(intervals_.begin() + static_cast<std::ptrdiff_t>(i),
+                   intervals_.begin() + static_cast<std::ptrdiff_t>(j));
+  intervals_.insert(intervals_.begin() + static_cast<std::ptrdiff_t>(i), merged);
+}
+
+void IntervalSet::subtract(const Interval& iv) {
+  if (iv.empty()) return;
+  std::size_t i = first_ending_after(iv.begin);
+  std::vector<Interval> pieces;
+  std::size_t j = i;
+  while (j < intervals_.size() && intervals_[j].begin < iv.end) {
+    const Interval& member = intervals_[j];
+    if (member.begin < iv.begin) pieces.push_back(Interval{member.begin, iv.begin});
+    if (member.end > iv.end) pieces.push_back(Interval{iv.end, member.end});
+    ++j;
+  }
+  if (i == j) return;  // nothing overlapped
+  intervals_.erase(intervals_.begin() + static_cast<std::ptrdiff_t>(i),
+                   intervals_.begin() + static_cast<std::ptrdiff_t>(j));
+  intervals_.insert(intervals_.begin() + static_cast<std::ptrdiff_t>(i),
+                    pieces.begin(), pieces.end());
+}
+
+std::optional<SimTime> IntervalSet::earliest_fit(SimTime not_before, SimDuration length,
+                                                 const Interval& window) const {
+  DS_ASSERT(length >= SimDuration::zero());
+  SimTime start = max(not_before, window.begin);
+  if (start + length > window.end) return std::nullopt;
+
+  std::size_t i = first_ending_after(start);
+  while (true) {
+    const SimTime candidate_end = start + length;
+    if (candidate_end > window.end) return std::nullopt;
+    if (i >= intervals_.size() || candidate_end <= intervals_[i].begin) {
+      return start;  // fits before the next busy interval (or none left)
+    }
+    // Collision with intervals_[i]; restart after it.
+    start = max(start, intervals_[i].end);
+    ++i;
+  }
+}
+
+SimDuration IntervalSet::covered_within(const Interval& window) const {
+  SimDuration total = SimDuration::zero();
+  for (std::size_t i = first_ending_after(window.begin); i < intervals_.size(); ++i) {
+    if (intervals_[i].begin >= window.end) break;
+    const SimTime lo = max(intervals_[i].begin, window.begin);
+    const SimTime hi = min(intervals_[i].end, window.end);
+    if (lo < hi) total = total + (hi - lo);
+  }
+  return total;
+}
+
+}  // namespace datastage

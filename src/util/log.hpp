@@ -1,0 +1,24 @@
+// Leveled stderr logging. Deliberately tiny: the library itself logs nothing
+// on hot paths; logging exists for the generator, harness and examples to
+// narrate what they are doing at --verbose.
+#pragma once
+
+#include <string>
+
+namespace datastage {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so
+/// library users see nothing unless they opt in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& msg) { log_message(LogLevel::kDebug, msg); }
+inline void log_info(const std::string& msg) { log_message(LogLevel::kInfo, msg); }
+inline void log_warn(const std::string& msg) { log_message(LogLevel::kWarn, msg); }
+inline void log_error(const std::string& msg) { log_message(LogLevel::kError, msg); }
+
+}  // namespace datastage

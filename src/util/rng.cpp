@@ -1,0 +1,81 @@
+#include "util/rng.hpp"
+
+namespace datastage {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+  // SplitMix64 never yields four zero words for distinct invocations, but be
+  // defensive: an all-zero xoshiro state is a fixed point.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x853c49e6748fea9bULL;
+  }
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_i64(std::int64_t lo, std::int64_t hi) {
+  DS_ASSERT(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling for an exactly uniform result.
+  const std::uint64_t limit = std::uint64_t(-1) - (std::uint64_t(-1) % range);
+  std::uint64_t value = next_u64();
+  while (value >= limit) value = next_u64();
+  return lo + static_cast<std::int64_t>(value % range);
+}
+
+std::int32_t Rng::uniform_i32(std::int32_t lo, std::int32_t hi) {
+  return static_cast<std::int32_t>(uniform_i64(lo, hi));
+}
+
+double Rng::uniform_double() {
+  // 53 top bits -> [0, 1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+SimDuration Rng::uniform_duration(SimDuration lo, SimDuration hi) {
+  return SimDuration::from_usec(uniform_i64(lo.usec(), hi.usec()));
+}
+
+bool Rng::bernoulli(double p) {
+  DS_ASSERT(p >= 0.0 && p <= 1.0);
+  return uniform_double() < p;
+}
+
+Rng Rng::split() {
+  Rng child(0);
+  for (auto& word : child.state_) word = next_u64();
+  if (child.state_[0] == 0 && child.state_[1] == 0 && child.state_[2] == 0 &&
+      child.state_[3] == 0) {
+    child.state_[0] = 1;
+  }
+  return child;
+}
+
+}  // namespace datastage

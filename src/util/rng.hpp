@@ -1,0 +1,71 @@
+// Deterministic random number generation.
+//
+// The experiments in the paper average 40 randomly generated test cases; for
+// a reproduction the stream must be platform-independent and stable across
+// compiler versions, which rules out std::mt19937 + std::uniform_*
+// (distribution algorithms are implementation-defined). We implement
+// xoshiro256++ seeded through SplitMix64 and our own rejection-sampling
+// uniform distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace datastage {
+
+/// xoshiro256++ 1.0 (Blackman & Vigna), public-domain reference algorithm.
+class Rng {
+ public:
+  /// Seeds the four state words from `seed` via SplitMix64, guaranteeing a
+  /// nonzero state for any seed value.
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_i64(std::int64_t lo, std::int64_t hi);
+  std::int32_t uniform_i32(std::int32_t lo, std::int32_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Uniform duration in [lo, hi] inclusive (microsecond granularity).
+  SimDuration uniform_duration(SimDuration lo, SimDuration hi);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Uniformly chosen element of a non-empty span.
+  template <class T>
+  const T& pick(std::span<const T> options) {
+    DS_ASSERT(!options.empty());
+    return options[static_cast<std::size_t>(
+        uniform_i64(0, static_cast<std::int64_t>(options.size()) - 1))];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_i64(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each test case its
+  /// own stream so that adding parameters to one case cannot perturb others.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace datastage

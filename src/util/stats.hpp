@@ -1,0 +1,39 @@
+// Streaming summary statistics used by the experiment harness to aggregate
+// per-test-case results (mean over the 40 cases, plus min/max/stddev for the
+// dispersion data the technical report version of the paper tabulates).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace datastage {
+
+/// Welford-style accumulator: numerically stable mean and variance.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile over a stored sample (linear interpolation between ranks).
+double percentile(std::vector<double> sample, double p);
+
+std::string format_double(double v, int precision = 2);
+
+}  // namespace datastage

@@ -1,0 +1,32 @@
+// Tabular output: the bench binaries regenerate the paper's figures as data
+// series, rendered both as aligned text tables (for terminals) and CSV (for
+// replotting). One renderer keeps every bench binary's output uniform.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace datastage {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Aligned, pipe-separated text rendering.
+  std::string to_text() const;
+  /// RFC-4180-ish CSV (fields with commas/quotes are quoted).
+  std::string to_csv() const;
+
+  void write_text(std::ostream& os) const;
+  void write_csv_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace datastage

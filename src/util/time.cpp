@@ -1,0 +1,32 @@
+#include "util/time.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace datastage {
+
+std::string SimTime::to_string() const {
+  if (is_infinite()) return "inf";
+  std::int64_t u = usec_;
+  const char* sign = "";
+  if (u < 0) {
+    sign = "-";
+    u = -u;
+  }
+  const std::int64_t ms = (u / 1'000) % 1'000;
+  const std::int64_t s = (u / 1'000'000) % 60;
+  const std::int64_t m = (u / 60'000'000) % 60;
+  const std::int64_t h = u / 3'600'000'000;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%02" PRId64 ":%02" PRId64 ":%02" PRId64 ".%03" PRId64,
+                sign, h, m, s, ms);
+  return buf;
+}
+
+std::string SimDuration::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3fs", as_seconds());
+  return buf;
+}
+
+}  // namespace datastage

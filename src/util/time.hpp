@@ -1,0 +1,126 @@
+// Fixed-point simulation time.
+//
+// All scheduling decisions in this library are made on integer microseconds so
+// that runs are bit-for-bit deterministic across platforms and so that
+// interval arithmetic (link windows, storage hold windows) has exact
+// comparisons. `SimTime` is a point on the simulation clock; `SimDuration` is
+// a signed difference of two points. Both are strong types: they do not
+// implicitly convert to or from raw integers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace datastage {
+
+class SimDuration;
+
+/// A point in simulation time, in microseconds since the start of the
+/// scheduling period (the paper's time 0, e.g. midnight).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Named constructors. Prefer these over raw microsecond counts.
+  static constexpr SimTime from_usec(std::int64_t usec) { return SimTime(usec); }
+  static constexpr SimTime zero() { return SimTime(0); }
+  /// A time later than any reachable schedule time; used as "never / end of
+  /// simulation" for storage holds at sources and destinations.
+  static constexpr SimTime infinity() {
+    return SimTime(std::numeric_limits<std::int64_t>::max() / 4);
+  }
+
+  constexpr std::int64_t usec() const { return usec_; }
+  constexpr double seconds() const { return static_cast<double>(usec_) / 1e6; }
+
+  constexpr bool is_infinite() const { return usec_ >= infinity().usec(); }
+
+  friend constexpr bool operator==(SimTime a, SimTime b) { return a.usec_ == b.usec_; }
+  friend constexpr auto operator<=>(SimTime a, SimTime b) { return a.usec_ <=> b.usec_; }
+
+  constexpr SimTime operator+(SimDuration d) const;
+  constexpr SimTime operator-(SimDuration d) const;
+  constexpr SimDuration operator-(SimTime other) const;
+
+  /// "hh:mm:ss.mmm" rendering for logs and reports.
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t usec) : usec_(usec) {}
+  std::int64_t usec_ = 0;
+};
+
+/// A signed span of simulation time, in microseconds.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+
+  static constexpr SimDuration from_usec(std::int64_t usec) { return SimDuration(usec); }
+  static constexpr SimDuration zero() { return SimDuration(0); }
+  static constexpr SimDuration milliseconds(std::int64_t ms) {
+    return SimDuration(ms * 1'000);
+  }
+  static constexpr SimDuration seconds(std::int64_t s) {
+    return SimDuration(s * 1'000'000);
+  }
+  static constexpr SimDuration minutes(std::int64_t m) { return seconds(m * 60); }
+  static constexpr SimDuration hours(std::int64_t h) { return minutes(h * 60); }
+
+  constexpr std::int64_t usec() const { return usec_; }
+  constexpr double as_seconds() const { return static_cast<double>(usec_) / 1e6; }
+
+  friend constexpr bool operator==(SimDuration a, SimDuration b) {
+    return a.usec_ == b.usec_;
+  }
+  friend constexpr auto operator<=>(SimDuration a, SimDuration b) {
+    return a.usec_ <=> b.usec_;
+  }
+
+  constexpr SimDuration operator+(SimDuration o) const {
+    return SimDuration(usec_ + o.usec_);
+  }
+  constexpr SimDuration operator-(SimDuration o) const {
+    return SimDuration(usec_ - o.usec_);
+  }
+  constexpr SimDuration operator-() const { return SimDuration(-usec_); }
+  constexpr SimDuration operator*(std::int64_t k) const { return SimDuration(usec_ * k); }
+  constexpr SimDuration operator/(std::int64_t k) const { return SimDuration(usec_ / k); }
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr SimDuration(std::int64_t usec) : usec_(usec) {}
+  std::int64_t usec_ = 0;
+};
+
+constexpr SimTime SimTime::operator+(SimDuration d) const {
+  return SimTime(usec_ + d.usec());
+}
+constexpr SimTime SimTime::operator-(SimDuration d) const {
+  return SimTime(usec_ - d.usec());
+}
+constexpr SimDuration SimTime::operator-(SimTime other) const {
+  return SimDuration::from_usec(usec_ - other.usec_);
+}
+
+constexpr SimTime min(SimTime a, SimTime b) { return a < b ? a : b; }
+constexpr SimTime max(SimTime a, SimTime b) { return a < b ? b : a; }
+constexpr SimDuration min(SimDuration a, SimDuration b) { return a < b ? a : b; }
+constexpr SimDuration max(SimDuration a, SimDuration b) { return a < b ? b : a; }
+
+/// Transfer time of `bytes` over a link of `bits_per_sec`, rounded up to the
+/// next microsecond. This is the D[i,j][k](|d|) term of the paper's model
+/// minus the additive latency component (the caller adds link latency).
+constexpr SimDuration transfer_duration(std::int64_t bytes, std::int64_t bits_per_sec) {
+  DS_ASSERT(bytes >= 0);
+  DS_ASSERT(bits_per_sec > 0);
+  const std::int64_t bits = bytes * 8;
+  // ceil(bits * 1e6 / bits_per_sec) without overflow for bytes <= ~1TB.
+  const std::int64_t usec = (bits * 1'000'000 + bits_per_sec - 1) / bits_per_sec;
+  return SimDuration::from_usec(usec);
+}
+
+}  // namespace datastage

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Smoke test: every figure/table bench binary must run to completion with a
+# tiny case count and produce a table. Invoked by CTest with the build's
+# bench directory as $1.
+set -eu
+
+BENCH_DIR="$1"
+failures=0
+
+for bench in "$BENCH_DIR"/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  case "$name" in
+    tbl_exec_time)
+      # google-benchmark binary: run one quick repetition.
+      if ! "$bench" --benchmark_min_time=0.01 --benchmark_filter='bounds' \
+          > /dev/null 2>&1; then
+        echo "FAILED: $name" >&2
+        failures=$((failures + 1))
+      fi
+      ;;
+    *)
+      out="$("$bench" --cases=1 2>&1)" || {
+        echo "FAILED: $name" >&2
+        echo "$out" >&2
+        failures=$((failures + 1))
+        continue
+      }
+      # Every table bench prints at least one pipe-framed row.
+      echo "$out" | grep -q '|' || {
+        echo "FAILED (no table): $name" >&2
+        failures=$((failures + 1))
+      }
+      ;;
+  esac
+done
+
+[ "$failures" -eq 0 ] && echo "bench smoke test passed"
+exit "$failures"

@@ -1,0 +1,189 @@
+#include "core/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace datastage {
+namespace {
+
+DestinationEval sat_dest(double weight, double slack_seconds, std::int32_t k = 0) {
+  DestinationEval d;
+  d.k = k;
+  d.sat = true;
+  d.weight = weight;
+  d.slack_seconds = slack_seconds;
+  return d;
+}
+
+DestinationEval unsat_dest(double weight, std::int32_t k = 0) {
+  DestinationEval d;
+  d.k = k;
+  d.sat = false;
+  d.weight = weight;
+  return d;
+}
+
+TEST(DestinationEvalTest, EfpAndUrgencyGateOnSat) {
+  const DestinationEval s = sat_dest(10.0, 60.0);
+  EXPECT_DOUBLE_EQ(s.efp(), 10.0);
+  EXPECT_DOUBLE_EQ(s.urgency(), -60.0);
+  const DestinationEval u = unsat_dest(10.0);
+  EXPECT_DOUBLE_EQ(u.efp(), 0.0);
+  EXPECT_DOUBLE_EQ(u.urgency(), 0.0);
+}
+
+TEST(EUWeightsTest, FromLog10Ratio) {
+  const EUWeights mid = EUWeights::from_log10_ratio(2.0);
+  EXPECT_DOUBLE_EQ(mid.we, 100.0);
+  EXPECT_DOUBLE_EQ(mid.wu, 1.0);
+  const EUWeights neg = EUWeights::from_log10_ratio(-3.0);
+  EXPECT_DOUBLE_EQ(neg.we, 0.001);
+  const EUWeights pos_inf =
+      EUWeights::from_log10_ratio(std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(pos_inf.we, 1.0);
+  EXPECT_DOUBLE_EQ(pos_inf.wu, 0.0);
+  const EUWeights neg_inf =
+      EUWeights::from_log10_ratio(-std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(neg_inf.we, 0.0);
+  EXPECT_DOUBLE_EQ(neg_inf.wu, 1.0);
+}
+
+TEST(CostC1Test, PrefersHighPriorityAndUrgent) {
+  const EUWeights eu{1.0, 1.0};
+  // Higher priority -> lower cost.
+  EXPECT_LT(cost_c1(eu, sat_dest(100.0, 60.0)), cost_c1(eu, sat_dest(10.0, 60.0)));
+  // Smaller slack (more urgent) -> lower cost.
+  EXPECT_LT(cost_c1(eu, sat_dest(10.0, 5.0)), cost_c1(eu, sat_dest(10.0, 300.0)));
+  // Exact value: -we*efp - wu*urgency = -10 + 60.
+  EXPECT_DOUBLE_EQ(cost_c1(eu, sat_dest(10.0, 60.0)), 50.0);
+}
+
+TEST(CostC1Test, WeightsScaleTerms) {
+  EXPECT_DOUBLE_EQ(cost_c1(EUWeights{2.0, 0.0}, sat_dest(10.0, 60.0)), -20.0);
+  EXPECT_DOUBLE_EQ(cost_c1(EUWeights{0.0, 3.0}, sat_dest(10.0, 60.0)), 180.0);
+}
+
+TEST(CostC2Test, SumsEfpAndTakesMostUrgent) {
+  const EUWeights eu{1.0, 1.0};
+  const std::vector<DestinationEval> dests{sat_dest(10.0, 100.0, 0),
+                                           sat_dest(100.0, 5.0, 1),
+                                           unsat_dest(100.0, 2)};
+  // ΣEfp = 110 (unsat contributes 0); most urgent slack = 5.
+  EXPECT_DOUBLE_EQ(cost_c2(eu, dests), -110.0 + 5.0);
+}
+
+TEST(CostC2Test, UnsatOnlyGroupHasZeroUrgencyTerm) {
+  const std::vector<DestinationEval> dests{unsat_dest(10.0)};
+  EXPECT_DOUBLE_EQ(cost_c2(EUWeights{1.0, 1.0}, dests), 0.0);
+}
+
+TEST(CostC2Test, CannotDistinguishUrgencySpread) {
+  // The paper's motivating flaw (§4.8): four urgent dests vs one urgent plus
+  // three loose — C2 scores them identically (same ΣEfp, same max urgency).
+  const EUWeights eu{1.0, 1.0};
+  const std::vector<DestinationEval> all_urgent{
+      sat_dest(10.0, 1.0, 0), sat_dest(10.0, 1.0, 1), sat_dest(10.0, 1.0, 2),
+      sat_dest(10.0, 1.0, 3)};
+  const std::vector<DestinationEval> one_urgent{
+      sat_dest(10.0, 1.0, 0), sat_dest(10.0, 900.0, 1), sat_dest(10.0, 900.0, 2),
+      sat_dest(10.0, 900.0, 3)};
+  EXPECT_DOUBLE_EQ(cost_c2(eu, all_urgent), cost_c2(eu, one_urgent));
+  // ...while C4 prefers the all-urgent item (strictly lower cost).
+  EXPECT_LT(cost_c4(eu, all_urgent), cost_c4(eu, one_urgent));
+}
+
+TEST(CostC3Test, SumsPriorityOverUrgency) {
+  // efp/urgency with urgency = -slack: 10/-5 + 100/-50 = -4.
+  const std::vector<DestinationEval> dests{sat_dest(10.0, 5.0, 0),
+                                           sat_dest(100.0, 50.0, 1)};
+  EXPECT_DOUBLE_EQ(cost_c3(dests), -4.0);
+}
+
+TEST(CostC3Test, IgnoresUnsatAndClampsZeroSlack) {
+  const std::vector<DestinationEval> only_unsat{unsat_dest(100.0)};
+  EXPECT_DOUBLE_EQ(cost_c3(only_unsat), 0.0);
+  // Zero slack would divide by zero; the clamp makes it very negative
+  // (dominant) but finite.
+  const std::vector<DestinationEval> zero_slack{sat_dest(10.0, 0.0)};
+  EXPECT_TRUE(std::isfinite(cost_c3(zero_slack)));
+  EXPECT_LT(cost_c3(zero_slack), -1e6);
+}
+
+TEST(CostC3Test, IndependentOfEUWeights) {
+  // C3 never reads the weights; evaluate_cost must agree for any EUWeights.
+  const std::vector<DestinationEval> dests{sat_dest(10.0, 5.0)};
+  const double a = evaluate_cost(CostCriterion::kC3, EUWeights{1.0, 1.0}, dests);
+  const double b = evaluate_cost(CostCriterion::kC3, EUWeights{1000.0, 0.001}, dests);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(CostC4Test, SumsBothTerms) {
+  const EUWeights eu{1.0, 1.0};
+  const std::vector<DestinationEval> dests{sat_dest(10.0, 100.0, 0),
+                                           sat_dest(100.0, 5.0, 1),
+                                           unsat_dest(50.0, 2)};
+  // -ΣEfp + Σslack = -110 + 105.
+  EXPECT_DOUBLE_EQ(cost_c4(eu, dests), -5.0);
+}
+
+TEST(CostC4Test, MoreSatisfiableDestinationsLowerCost) {
+  const EUWeights eu{1.0, 0.0};  // priority term only
+  const std::vector<DestinationEval> one{sat_dest(10.0, 10.0, 0)};
+  const std::vector<DestinationEval> two{sat_dest(10.0, 10.0, 0),
+                                         sat_dest(10.0, 10.0, 1)};
+  EXPECT_LT(cost_c4(eu, two), cost_c4(eu, one));
+}
+
+TEST(CostPriorityOnlyTest, IgnoresUrgency) {
+  EXPECT_DOUBLE_EQ(cost_priority_only(sat_dest(100.0, 1.0)), -100.0);
+  EXPECT_DOUBLE_EQ(cost_priority_only(sat_dest(100.0, 10000.0)), -100.0);
+}
+
+TEST(CostC5Test, FloorsTinySlacks) {
+  // Raw C3 lets a 1 ms slack dominate; C5 clamps it to the 60 s floor.
+  const std::vector<DestinationEval> tiny{sat_dest(1.0, 0.001)};
+  const std::vector<DestinationEval> minute{sat_dest(1.0, 60.0)};
+  EXPECT_DOUBLE_EQ(cost_c5(tiny), cost_c5(minute));
+  EXPECT_DOUBLE_EQ(cost_c5(minute), -1.0 / 60.0);
+}
+
+TEST(CostC5Test, AboveFloorBehavesLikeC3) {
+  const std::vector<DestinationEval> dests{sat_dest(10.0, 120.0, 0),
+                                           sat_dest(100.0, 600.0, 1)};
+  EXPECT_DOUBLE_EQ(cost_c5(dests), -10.0 / 120.0 - 100.0 / 600.0);
+  EXPECT_DOUBLE_EQ(cost_c5(dests), cost_c3(dests));
+}
+
+TEST(CostC5Test, UnsatContributesNothingAndIsEUIndependent) {
+  const std::vector<DestinationEval> dests{unsat_dest(100.0), sat_dest(10.0, 120.0)};
+  EXPECT_DOUBLE_EQ(cost_c5(dests), -10.0 / 120.0);
+  EXPECT_DOUBLE_EQ(evaluate_cost(CostCriterion::kC5, EUWeights{9.0, 0.1}, dests),
+                   evaluate_cost(CostCriterion::kC5, EUWeights{0.1, 9.0}, dests));
+}
+
+TEST(CostDispatchTest, NamesAndPerDestination) {
+  EXPECT_STREQ(cost_name(CostCriterion::kC1), "C1");
+  EXPECT_STREQ(cost_name(CostCriterion::kC4), "C4");
+  EXPECT_STREQ(cost_name(CostCriterion::kPriorityOnly), "priority_only");
+  EXPECT_TRUE(is_per_destination(CostCriterion::kC1));
+  EXPECT_TRUE(is_per_destination(CostCriterion::kPriorityOnly));
+  EXPECT_FALSE(is_per_destination(CostCriterion::kC2));
+  EXPECT_FALSE(is_per_destination(CostCriterion::kC3));
+  EXPECT_FALSE(is_per_destination(CostCriterion::kC4));
+}
+
+TEST(CostDispatchTest, EvaluateMatchesDirectCalls) {
+  const EUWeights eu{2.0, 3.0};
+  const std::vector<DestinationEval> one{sat_dest(10.0, 5.0)};
+  const std::vector<DestinationEval> many{sat_dest(10.0, 5.0, 0),
+                                          sat_dest(1.0, 50.0, 1)};
+  EXPECT_DOUBLE_EQ(evaluate_cost(CostCriterion::kC1, eu, one), cost_c1(eu, one[0]));
+  EXPECT_DOUBLE_EQ(evaluate_cost(CostCriterion::kC2, eu, many), cost_c2(eu, many));
+  EXPECT_DOUBLE_EQ(evaluate_cost(CostCriterion::kC3, eu, many), cost_c3(many));
+  EXPECT_DOUBLE_EQ(evaluate_cost(CostCriterion::kC4, eu, many), cost_c4(eu, many));
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,225 @@
+#include "core/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/registry.hpp"
+#include "gen/generator.hpp"
+#include "sim/simulator.hpp"
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+using testing::at_sec;
+using testing::ScenarioBuilder;
+
+constexpr std::int64_t kGB = 1 << 30;
+const Interval kAlways{SimTime::zero(), at_min(120)};
+
+TEST(ExhaustiveSearchTest, TrivialChainIsSolvedExactly) {
+  const Scenario s = testing::chain_scenario();
+  const SearchReport report = exhaustive_step_search(s);
+  EXPECT_TRUE(report.complete);
+  EXPECT_DOUBLE_EQ(report.best_value, 100.0);
+  EXPECT_TRUE(report.best.outcomes[0][0].satisfied);
+  EXPECT_EQ(report.best.schedule.size(), 2u);
+}
+
+TEST(ExhaustiveSearchTest, EmptyFrontierYieldsZero) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB)
+                         .link(0, 1, 10'000, kAlways)
+                         .item(100 * 1024 * 1024)  // hopeless
+                         .source(0, SimTime::zero())
+                         .request(1, at_min(30))
+                         .build();
+  const SearchReport report = exhaustive_step_search(s);
+  EXPECT_TRUE(report.complete);
+  EXPECT_DOUBLE_EQ(report.best_value, 0.0);
+  EXPECT_TRUE(report.best.schedule.empty());
+}
+
+TEST(ExhaustiveSearchTest, FindsSacrificeThatGreedyPriorityMisses) {
+  // One window fits exactly one 1 s transfer. A single high request competes
+  // with two medium requests behind parallel links. With 1,10,100 weights
+  // the two mediums (20) beat the high (hmm: high=100 > 20) — flip: use one
+  // medium vs two low? medium=10 vs two lows=2: medium wins. Use weights
+  // where the pair wins: two mediums (2x10=20) vs one... Use 1,5,10: two
+  // mediums = 10 equals one high = 10. Instead: three lows on parallel links
+  // vs one medium on the contended link under 1,5,10: 3 > 5? No.
+  // Simplest crisp case: one link, two items, equal priority, but item A's
+  // transfer occupies the whole window while two item-B transfers (smaller)
+  // both fit. Exhaustive must pick the two smaller ones.
+  const Scenario s =
+      ScenarioBuilder()
+          .machine(kGB).machine(kGB)
+          // Window fits 2.2 s of traffic.
+          .link(0, 1, 8'000'000,
+                Interval{SimTime::zero(), at_sec(2) + SimDuration::milliseconds(200)})
+          .item(2'000'000)  // 2 s transfer: leaves no room for the others
+          .source(0, SimTime::zero())
+          .request(1, at_sec(3), kPriorityHigh)
+          .item(1'000'000)  // 1 s
+          .source(0, SimTime::zero())
+          .request(1, at_sec(3), kPriorityHigh)
+          .item(1'000'000)  // 1 s
+          .source(0, SimTime::zero())
+          .request(1, at_sec(3), kPriorityHigh)
+          .build();
+  const SearchReport report = exhaustive_step_search(s);
+  EXPECT_TRUE(report.complete);
+  // Two 1 s transfers (200) beat the single 2 s transfer (100).
+  EXPECT_DOUBLE_EQ(report.best_value, 200.0);
+}
+
+TEST(ExhaustiveSearchTest, EnvelopeDominatesEveryHeuristicPair) {
+  GeneratorConfig config;
+  config.min_machines = 6;
+  config.max_machines = 6;
+  config.min_out_degree = 2;
+  config.max_out_degree = 3;
+  config.min_requests_per_machine = 1;
+  config.max_requests_per_machine = 1;  // ~6 requests: tiny
+  Rng rng(2024);
+  const Scenario s = generate_scenario(config, rng);
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+
+  SearchOptions options;
+  options.weighting = weighting;
+  const SearchReport report = exhaustive_step_search(s, options);
+  ASSERT_TRUE(report.complete);
+
+  // The envelope's own schedule must replay cleanly and match its value.
+  const SimReport replay = simulate(s, report.best.schedule);
+  ASSERT_TRUE(replay.ok) << replay.issues.front();
+  EXPECT_DOUBLE_EQ(weighted_value(s, weighting, replay.outcomes),
+                   report.best_value);
+
+  // No heuristic/criterion pair may beat the exhaustive envelope, and the
+  // envelope may not beat possible_satisfy.
+  const BoundsReport bounds = compute_bounds(s, weighting);
+  EXPECT_LE(report.best_value, bounds.possible_satisfy + 1e-9);
+  for (const SchedulerSpec& spec : paper_pairs()) {
+    for (const double ratio : {-1.0, 1.0, 3.0}) {
+      EngineOptions engine_options;
+      engine_options.weighting = weighting;
+      engine_options.eu = EUWeights::from_log10_ratio(ratio);
+      const StagingResult result = run_spec(spec, s, engine_options);
+      EXPECT_LE(weighted_value(s, weighting, result.outcomes),
+                report.best_value + 1e-9)
+          << spec.name() << " at ratio " << ratio;
+    }
+  }
+}
+
+TEST(BeamSearchTest, SolvesTrivialChain) {
+  const Scenario s = testing::chain_scenario();
+  const StagingResult result = run_beam_search(s);
+  EXPECT_TRUE(result.outcomes[0][0].satisfied);
+  const SimReport replay = simulate(s, result.schedule);
+  EXPECT_TRUE(replay.ok);
+}
+
+TEST(BeamSearchTest, FindsTheSacrificeGreedyValueMisses) {
+  // Same fixture as the exhaustive test: two 1 s transfers beat one 2 s
+  // transfer. A beam of width >= 2 must find the 200-value plan.
+  const Scenario s =
+      ScenarioBuilder()
+          .machine(kGB).machine(kGB)
+          .link(0, 1, 8'000'000,
+                Interval{SimTime::zero(), at_sec(2) + SimDuration::milliseconds(200)})
+          .item(2'000'000)
+          .source(0, SimTime::zero())
+          .request(1, at_sec(3), kPriorityHigh)
+          .item(1'000'000)
+          .source(0, SimTime::zero())
+          .request(1, at_sec(3), kPriorityHigh)
+          .item(1'000'000)
+          .source(0, SimTime::zero())
+          .request(1, at_sec(3), kPriorityHigh)
+          .build();
+  BeamOptions options;
+  options.width = 3;
+  const StagingResult result = run_beam_search(s, options);
+  EXPECT_DOUBLE_EQ(
+      weighted_value(s, PriorityWeighting::w_1_10_100(), result.outcomes), 200.0);
+}
+
+TEST(BeamSearchTest, DominatedByEnvelopeAndDominatesNothingInvalid) {
+  GeneratorConfig config;
+  config.min_machines = 6;
+  config.max_machines = 6;
+  config.min_out_degree = 2;
+  config.max_out_degree = 3;
+  config.min_requests_per_machine = 1;
+  config.max_requests_per_machine = 1;
+  Rng rng(77);
+  const Scenario s = generate_scenario(config, rng);
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+
+  SearchOptions exhaustive_options;
+  exhaustive_options.weighting = weighting;
+  const SearchReport envelope = exhaustive_step_search(s, exhaustive_options);
+  ASSERT_TRUE(envelope.complete);
+
+  BeamOptions beam_options;
+  beam_options.weighting = weighting;
+  beam_options.width = 4;
+  const StagingResult beam = run_beam_search(s, beam_options);
+  const double beam_value = weighted_value(s, weighting, beam.outcomes);
+  EXPECT_LE(beam_value, envelope.best_value + 1e-9);
+
+  const SimReport replay = simulate(s, beam.schedule);
+  ASSERT_TRUE(replay.ok) << replay.issues.front();
+  EXPECT_EQ(replay.outcomes, beam.outcomes);
+}
+
+TEST(BeamSearchTest, WiderBeamsNeverScoreWorseOnAverage) {
+  // Not guaranteed per instance (beam search is not monotone in width), but
+  // over a handful of seeds the totals must be nondecreasing enough that a
+  // width-4 beam never loses to width-1 overall.
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  double narrow_total = 0.0;
+  double wide_total = 0.0;
+  for (std::uint64_t seed = 50; seed < 54; ++seed) {
+    GeneratorConfig config;
+    config.min_machines = 6;
+    config.max_machines = 6;
+    config.min_out_degree = 2;
+    config.max_out_degree = 2;
+    config.min_requests_per_machine = 1;
+    config.max_requests_per_machine = 2;
+    Rng rng(seed);
+    const Scenario s = generate_scenario(config, rng);
+    BeamOptions narrow;
+    narrow.width = 1;
+    BeamOptions wide;
+    wide.width = 4;
+    narrow_total += weighted_value(s, weighting, run_beam_search(s, narrow).outcomes);
+    wide_total += weighted_value(s, weighting, run_beam_search(s, wide).outcomes);
+  }
+  EXPECT_GE(wide_total, narrow_total);
+}
+
+TEST(ExhaustiveSearchTest, NodeCapTruncatesButStaysValid) {
+  GeneratorConfig config;
+  config.min_machines = 8;
+  config.max_machines = 8;
+  config.min_requests_per_machine = 3;
+  config.max_requests_per_machine = 3;
+  Rng rng(7);
+  const Scenario s = generate_scenario(config, rng);
+
+  SearchOptions options;
+  options.max_nodes = 50;  // far too small to finish
+  const SearchReport report = exhaustive_step_search(s, options);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(report.nodes, 50u);
+  const SimReport replay = simulate(s, report.best.schedule);
+  EXPECT_TRUE(replay.ok);
+}
+
+}  // namespace
+}  // namespace datastage

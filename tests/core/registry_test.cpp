@@ -1,0 +1,102 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+TEST(RegistryTest, PaperPairsAreTheElevenCombinations) {
+  const auto pairs = paper_pairs();
+  ASSERT_EQ(pairs.size(), 11u);
+  std::set<std::string> names;
+  for (const auto& spec : pairs) {
+    EXPECT_TRUE(is_valid_pair(spec)) << spec.name();
+    names.insert(spec.name());
+  }
+  EXPECT_EQ(names.size(), 11u);  // all distinct
+  EXPECT_TRUE(names.count("partial/C1"));
+  EXPECT_TRUE(names.count("full_one/C4"));
+  EXPECT_TRUE(names.count("full_all/C2"));
+  EXPECT_FALSE(names.count("full_all/C1"));  // the excluded twelfth pair
+}
+
+TEST(RegistryTest, PairsForEachHeuristic) {
+  EXPECT_EQ(pairs_for(HeuristicKind::kPartial).size(), 4u);
+  EXPECT_EQ(pairs_for(HeuristicKind::kFullOne).size(), 4u);
+  EXPECT_EQ(pairs_for(HeuristicKind::kFullAll).size(), 3u);
+}
+
+TEST(RegistryTest, InvalidPairs) {
+  EXPECT_FALSE(is_valid_pair({HeuristicKind::kFullAll, CostCriterion::kC1}));
+  EXPECT_FALSE(is_valid_pair({HeuristicKind::kPartial, CostCriterion::kPriorityOnly}));
+  EXPECT_TRUE(is_valid_pair({HeuristicKind::kFullAll, CostCriterion::kC3}));
+}
+
+TEST(RegistryTest, NamesRoundTripThroughParse) {
+  for (const auto& spec : paper_pairs()) {
+    const auto parsed = parse_spec(spec.name());
+    ASSERT_TRUE(parsed.has_value()) << spec.name();
+    EXPECT_EQ(*parsed, spec);
+  }
+  EXPECT_FALSE(parse_spec("full_all/C1").has_value());
+  EXPECT_FALSE(parse_spec("bogus").has_value());
+  EXPECT_FALSE(parse_spec("").has_value());
+}
+
+TEST(RegistryTest, ExtendedPairsAddC5) {
+  const auto extended = extended_pairs();
+  ASSERT_EQ(extended.size(), 14u);
+  std::set<std::string> names;
+  for (const auto& spec : extended) names.insert(spec.name());
+  EXPECT_TRUE(names.count("partial/C5"));
+  EXPECT_TRUE(names.count("full_one/C5"));
+  EXPECT_TRUE(names.count("full_all/C5"));
+  // C5 is aggregate: legal with full_all.
+  EXPECT_TRUE(is_valid_pair({HeuristicKind::kFullAll, CostCriterion::kC5}));
+  // parse_spec resolves the extension names too.
+  const auto parsed = parse_spec("full_all/C5");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->criterion, CostCriterion::kC5);
+}
+
+TEST(RegistryTest, RunSpecDispatchesC5) {
+  const Scenario s = testing::chain_scenario();
+  EngineOptions options;
+  for (const HeuristicKind kind :
+       {HeuristicKind::kPartial, HeuristicKind::kFullOne, HeuristicKind::kFullAll}) {
+    options.criterion = CostCriterion::kC5;
+    const StagingResult result = run_spec({kind, CostCriterion::kC5}, s, options);
+    EXPECT_TRUE(result.outcomes[0][0].satisfied) << heuristic_name(kind);
+  }
+}
+
+TEST(RegistryTest, HeuristicNames) {
+  EXPECT_STREQ(heuristic_name(HeuristicKind::kPartial), "partial");
+  EXPECT_STREQ(heuristic_name(HeuristicKind::kFullOne), "full_one");
+  EXPECT_STREQ(heuristic_name(HeuristicKind::kFullAll), "full_all");
+}
+
+TEST(RegistryTest, RunSpecDispatchesEveryPair) {
+  const Scenario s = testing::chain_scenario();
+  EngineOptions options;
+  options.eu = EUWeights{1.0, 1.0};
+  for (const auto& spec : paper_pairs()) {
+    options.criterion = spec.criterion;
+    const StagingResult result = run_spec(spec, s, options);
+    EXPECT_TRUE(result.outcomes[0][0].satisfied) << spec.name();
+  }
+}
+
+TEST(RegistryDeathTest, RunSpecRejectsInvalidPair) {
+  const Scenario s = testing::chain_scenario();
+  EXPECT_DEATH(
+      run_spec({HeuristicKind::kFullAll, CostCriterion::kC1}, s, EngineOptions{}),
+      "not admitted");
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,122 @@
+#include "core/satisfaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+using testing::ScenarioBuilder;
+
+constexpr std::int64_t kGB = 1 << 30;
+const Interval kAlways{SimTime::zero(), at_min(120)};
+
+Scenario two_item_scenario() {
+  return ScenarioBuilder()
+      .machine(kGB).machine(kGB).machine(kGB)
+      .link(0, 1, 8'000'000, kAlways)
+      .link(0, 2, 8'000'000, kAlways)
+      .item(1'000)
+      .source(0, SimTime::zero())
+      .request(1, at_min(10), kPriorityHigh)
+      .request(2, at_min(20), kPriorityLow)
+      .item(1'000)
+      .source(0, SimTime::zero())
+      .request(2, at_min(30), kPriorityMedium)
+      .build();
+}
+
+TEST(OutcomeTrackerTest, StartsAllPending) {
+  const Scenario s = two_item_scenario();
+  const OutcomeTracker tracker(s);
+  EXPECT_EQ(tracker.pending_count(), 3u);
+  EXPECT_TRUE(tracker.any_pending(ItemId(0)));
+  EXPECT_EQ(tracker.pending_of(ItemId(0)).size(), 2u);
+  EXPECT_EQ(tracker.latest_pending_deadline(ItemId(0)), at_min(20));
+  EXPECT_EQ(tracker.latest_pending_deadline(ItemId(1)), at_min(30));
+}
+
+TEST(OutcomeTrackerTest, OnTimeArrivalSatisfies) {
+  const Scenario s = two_item_scenario();
+  OutcomeTracker tracker(s);
+  tracker.note_arrival(ItemId(0), MachineId(1), at_min(5));
+  EXPECT_EQ(tracker.pending_count(), 2u);
+  EXPECT_TRUE(tracker.outcomes()[0][0].satisfied);
+  EXPECT_EQ(tracker.outcomes()[0][0].arrival, at_min(5));
+  // The other request of the same item stays pending; the deadline bound
+  // shrinks to its own.
+  EXPECT_EQ(tracker.latest_pending_deadline(ItemId(0)), at_min(20));
+}
+
+TEST(OutcomeTrackerTest, LateArrivalRecordsButStaysPending) {
+  const Scenario s = two_item_scenario();
+  OutcomeTracker tracker(s);
+  tracker.note_arrival(ItemId(0), MachineId(1), at_min(15));  // deadline 10
+  EXPECT_FALSE(tracker.outcomes()[0][0].satisfied);
+  EXPECT_EQ(tracker.outcomes()[0][0].arrival, at_min(15));
+  EXPECT_EQ(tracker.pending_count(), 3u);  // still pending (could improve)
+  // A later, earlier-in-time arrival can still satisfy it.
+  tracker.note_arrival(ItemId(0), MachineId(1), at_min(9));
+  EXPECT_TRUE(tracker.outcomes()[0][0].satisfied);
+  EXPECT_EQ(tracker.outcomes()[0][0].arrival, at_min(9));
+}
+
+TEST(OutcomeTrackerTest, ArrivalAtNonRequestingMachineIgnored) {
+  const Scenario s = two_item_scenario();
+  OutcomeTracker tracker(s);
+  tracker.note_arrival(ItemId(1), MachineId(1), at_min(1));  // M1 never asked for d1
+  EXPECT_EQ(tracker.pending_count(), 3u);
+  EXPECT_FALSE(tracker.outcomes()[1][0].satisfied);
+}
+
+TEST(OutcomeTrackerTest, ArrivalExactlyAtDeadlineSatisfies) {
+  const Scenario s = two_item_scenario();
+  OutcomeTracker tracker(s);
+  tracker.note_arrival(ItemId(0), MachineId(1), at_min(10));
+  EXPECT_TRUE(tracker.outcomes()[0][0].satisfied);
+}
+
+TEST(OutcomeTrackerTest, LatestPendingDeadlineZeroWhenDrained) {
+  const Scenario s = two_item_scenario();
+  OutcomeTracker tracker(s);
+  tracker.note_arrival(ItemId(1), MachineId(2), at_min(1));
+  EXPECT_FALSE(tracker.any_pending(ItemId(1)));
+  EXPECT_EQ(tracker.latest_pending_deadline(ItemId(1)), SimTime::zero());
+}
+
+TEST(MetricsTest, WeightedValueUsesWeighting) {
+  const Scenario s = two_item_scenario();
+  OutcomeTracker tracker(s);
+  tracker.note_arrival(ItemId(0), MachineId(1), at_min(5));   // high
+  tracker.note_arrival(ItemId(1), MachineId(2), at_min(5));   // medium
+  const OutcomeMatrix outcomes = tracker.outcomes();
+  EXPECT_DOUBLE_EQ(
+      weighted_value(s, PriorityWeighting::w_1_10_100(), outcomes), 110.0);
+  EXPECT_DOUBLE_EQ(weighted_value(s, PriorityWeighting::w_1_5_10(), outcomes),
+                   15.0);
+}
+
+TEST(MetricsTest, SatisfiedByClassAndCount) {
+  const Scenario s = two_item_scenario();
+  OutcomeTracker tracker(s);
+  tracker.note_arrival(ItemId(0), MachineId(1), at_min(5));   // high
+  tracker.note_arrival(ItemId(0), MachineId(2), at_min(5));   // low
+  const auto counts = satisfied_by_class(s, 3, tracker.outcomes());
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(satisfied_count(tracker.outcomes()), 2u);
+}
+
+TEST(MetricsTest, EmptyOutcomesAreZero) {
+  const Scenario s = two_item_scenario();
+  const OutcomeTracker tracker(s);
+  EXPECT_DOUBLE_EQ(
+      weighted_value(s, PriorityWeighting::w_1_10_100(), tracker.outcomes()), 0.0);
+  EXPECT_EQ(satisfied_count(tracker.outcomes()), 0u);
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,55 @@
+#include "core/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_sec;
+
+TEST(ScheduleTest, StartsEmpty) {
+  const Schedule schedule;
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_EQ(schedule.size(), 0u);
+  EXPECT_EQ(schedule.total_link_time(), SimDuration::zero());
+}
+
+TEST(ScheduleTest, AccumulatesStepsInOrder) {
+  Schedule schedule;
+  schedule.add(CommStep{ItemId(0), MachineId(0), MachineId(1), VirtLinkId(0),
+                        at_sec(5), at_sec(7)});
+  schedule.add(CommStep{ItemId(1), MachineId(1), MachineId(2), VirtLinkId(1),
+                        at_sec(0), at_sec(1)});
+  ASSERT_EQ(schedule.size(), 2u);
+  // Insertion order preserved (scheduling order, not time order).
+  EXPECT_EQ(schedule.steps()[0].item, ItemId(0));
+  EXPECT_EQ(schedule.steps()[1].item, ItemId(1));
+  EXPECT_EQ(schedule.total_link_time(), SimDuration::seconds(3));
+}
+
+TEST(ScheduleTest, ToStringSortsByStartTime) {
+  const Scenario s = testing::chain_scenario();
+  Schedule schedule;
+  schedule.add(CommStep{ItemId(0), MachineId(1), MachineId(2), VirtLinkId(1),
+                        at_sec(1), at_sec(2)});
+  schedule.add(CommStep{ItemId(0), MachineId(0), MachineId(1), VirtLinkId(0),
+                        SimTime::zero(), at_sec(1)});
+  const std::string text = schedule.to_string(s);
+  EXPECT_LT(text.find("M0 => M1"), text.find("M1 => M2"));
+  EXPECT_NE(text.find("d0"), std::string::npos);
+  EXPECT_NE(text.find("vlink 0"), std::string::npos);
+}
+
+TEST(CommStepTest, Equality) {
+  const CommStep a{ItemId(0), MachineId(0), MachineId(1), VirtLinkId(0),
+                   SimTime::zero(), at_sec(1)};
+  CommStep b = a;
+  EXPECT_EQ(a, b);
+  b.start = at_sec(1);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace datastage

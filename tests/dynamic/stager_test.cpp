@@ -1,0 +1,266 @@
+#include "dynamic/stager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/heuristics.hpp"
+#include "gen/generator.hpp"
+#include "sim/simulator.hpp"
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+using testing::at_sec;
+using testing::ScenarioBuilder;
+
+constexpr std::int64_t kGB = 1 << 30;
+const Interval kAlways{SimTime::zero(), at_min(120)};
+
+SchedulerSpec full_one_c4() { return {HeuristicKind::kFullOne, CostCriterion::kC4}; }
+
+EngineOptions c4_options() {
+  EngineOptions options;
+  options.criterion = CostCriterion::kC4;
+  options.eu = EUWeights::from_log10_ratio(1.0);
+  return options;
+}
+
+const DynamicRequestRecord* find_record(const DynamicResult& result,
+                                        const std::string& item, std::int32_t dest) {
+  for (const DynamicRequestRecord& record : result.requests) {
+    if (record.item_name == item && record.destination == MachineId(dest)) {
+      return &record;
+    }
+  }
+  return nullptr;
+}
+
+TEST(DynamicStagerTest, NoEventsMatchesStaticSchedule) {
+  const Scenario s = testing::chain_scenario();
+  DynamicStager stager(s, full_one_c4(), c4_options());
+  const DynamicResult dynamic = stager.finish();
+
+  const StagingResult stat = run_spec(full_one_c4(), s, c4_options());
+  ASSERT_EQ(dynamic.schedule.size(), stat.schedule.size());
+  EXPECT_TRUE(std::equal(dynamic.schedule.steps().begin(),
+                         dynamic.schedule.steps().end(),
+                         stat.schedule.steps().begin()));
+  EXPECT_EQ(dynamic.replans, 1u);
+  EXPECT_EQ(dynamic.satisfied_count(), 1u);
+  EXPECT_DOUBLE_EQ(dynamic.weighted_value(PriorityWeighting::w_1_10_100()), 100.0);
+}
+
+TEST(DynamicStagerTest, AdHocRequestIsServed) {
+  // A->B->C plus B->D; initially only C requests the item.
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB).machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways)
+                         .link(1, 2, 8'000'000, kAlways)
+                         .link(1, 3, 8'000'000, kAlways)
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(2, at_min(30))
+                         .build();
+  DynamicStager stager(s, full_one_c4(), c4_options());
+  stager.on_event(StagingEvent{
+      at_min(10), NewRequestEvent{"d0", Request{MachineId(3), at_min(40),
+                                                kPriorityHigh}}});
+  const DynamicResult result = stager.finish();
+  EXPECT_EQ(result.replans, 2u);
+  EXPECT_EQ(result.satisfied_count(), 2u);
+  const auto* adhoc = find_record(result, "d0", 3);
+  ASSERT_NE(adhoc, nullptr);
+  EXPECT_TRUE(adhoc->satisfied);
+  // Served from B's staged copy, not re-sent from A: exactly 3 steps total.
+  EXPECT_EQ(result.schedule.size(), 3u);
+}
+
+TEST(DynamicStagerTest, AdHocRequestAtCopyHolderResolvesInstantly) {
+  const Scenario s = testing::chain_scenario();
+  DynamicStager stager(s, full_one_c4(), c4_options());
+  stager.advance_to(at_min(5));  // both hops committed by now
+  stager.on_event(StagingEvent{
+      at_min(6),
+      NewRequestEvent{"d0", Request{MachineId(1), at_min(30), kPriorityLow}}});
+  const DynamicResult result = stager.finish();
+  const auto* record = find_record(result, "d0", 1);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(record->satisfied);  // B already staged it at t=1s
+  EXPECT_EQ(record->arrival, at_sec(1));
+  EXPECT_EQ(result.schedule.size(), 2u);  // no extra transfer needed
+}
+
+TEST(DynamicStagerTest, NewItemGetsScheduled) {
+  const Scenario s = testing::chain_scenario();
+  DynamicStager stager(s, full_one_c4(), c4_options());
+
+  DataItem fresh;
+  fresh.name = "flash-update";
+  fresh.size_bytes = 500'000;
+  fresh.sources = {SourceLocation{MachineId(0), at_min(20)}};
+  fresh.requests = {Request{MachineId(2), at_min(50), kPriorityHigh}};
+  stager.on_event(StagingEvent{at_min(20), NewItemEvent{std::move(fresh)}});
+
+  const DynamicResult result = stager.finish();
+  const auto* record = find_record(result, "flash-update", 2);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(record->satisfied);
+  EXPECT_EQ(result.satisfied_count(), 2u);
+}
+
+TEST(DynamicStagerTest, OutageCancelsUnstartedPlan) {
+  // Second hop only possible in a late window; the link dies before it opens.
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways)
+                         .link(1, 2, 8'000'000, Interval{at_min(10), at_min(60)})
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(2, at_min(30))
+                         .build();
+  DynamicStager stager(s, full_one_c4(), c4_options());
+  stager.on_event(StagingEvent{at_min(5), LinkOutageEvent{PhysLinkId(1)}});
+  const DynamicResult result = stager.finish();
+  const auto* record = find_record(result, "d0", 2);
+  ASSERT_NE(record, nullptr);
+  EXPECT_FALSE(record->satisfied);
+  // The first hop was committed before the outage and remains; nothing ever
+  // crosses the dead link.
+  for (const CommStep& step : result.schedule.steps()) {
+    EXPECT_NE(step.link, VirtLinkId(1));
+  }
+}
+
+TEST(DynamicStagerTest, RestoreEnablesDelivery) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways)
+                         .link(1, 2, 8'000'000, Interval{at_min(10), at_min(60)})
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(2, at_min(30))
+                         .build();
+  DynamicStager stager(s, full_one_c4(), c4_options());
+  stager.on_event(StagingEvent{at_min(5), LinkOutageEvent{PhysLinkId(1)}});
+  stager.on_event(StagingEvent{at_min(15), LinkRestoreEvent{PhysLinkId(1)}});
+  const DynamicResult result = stager.finish();
+  const auto* record = find_record(result, "d0", 2);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(record->satisfied);
+  // The delivery happens after the restore.
+  const CommStep& last = result.schedule.steps().back();
+  EXPECT_GE(last.start, at_min(15));
+}
+
+TEST(DynamicStagerTest, OutageFailsInFlightTransferAndReroutes) {
+  // Slow primary link (transfer takes 80 s) plus a fast backup; the primary
+  // dies mid-flight.
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB)
+                         .link(0, 1, 100'000, kAlways)    // 80 s for 1 MB
+                         .link(0, 1, 8'000'000, kAlways)  // 1 s backup
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_min(30))
+                         .build();
+  // Force the plan onto the slow link by making the backup fail... instead,
+  // verify behavior: whichever link the plan uses, kill it mid-flight.
+  DynamicStager stager(s, full_one_c4(), c4_options());
+  // The static plan uses the fast link (vlink 1, plink 1): kill it at 0.5 s,
+  // while its 1 s transfer is in flight.
+  stager.on_event(StagingEvent{SimTime::zero() + SimDuration::milliseconds(500),
+                               LinkOutageEvent{PhysLinkId(1)}});
+  const DynamicResult result = stager.finish();
+  const auto* record = find_record(result, "d0", 1);
+  ASSERT_NE(record, nullptr);
+  EXPECT_TRUE(record->satisfied);
+  // The failed in-flight step is gone; the delivery used the slow link.
+  ASSERT_EQ(result.schedule.size(), 1u);
+  const CommStep& step = result.schedule.steps().front();
+  EXPECT_EQ(s.vlink(step.link).phys, PhysLinkId(0));
+  EXPECT_EQ(record->arrival, step.arrival);
+}
+
+TEST(DynamicStagerTest, EffectiveScenarioReplaysCleanly) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB).machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways)
+                         .link(1, 2, 8'000'000, kAlways)
+                         .link(1, 3, 8'000'000, kAlways)
+                         .link(0, 3, 1'000'000, kAlways)
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(2, at_min(30))
+                         .item(2'000'000)
+                         .source(0, at_min(2))
+                         .request(3, at_min(45))
+                         .build();
+  DynamicStager stager(s, full_one_c4(), c4_options());
+  stager.on_event(StagingEvent{
+      at_min(10),
+      NewRequestEvent{"d0", Request{MachineId(3), at_min(40), kPriorityMedium}}});
+  stager.on_event(StagingEvent{at_min(12), LinkOutageEvent{PhysLinkId(3)}});
+  stager.on_event(StagingEvent{at_min(20), LinkRestoreEvent{PhysLinkId(3)}});
+
+  const Scenario effective = stager.effective_scenario();
+  const DynamicResult result = stager.finish();
+
+  const SimReport replay = simulate(effective, result.schedule);
+  ASSERT_TRUE(replay.ok) << replay.issues.front();
+  // The replay's satisfaction agrees with the dynamic records.
+  EXPECT_EQ(satisfied_count(replay.outcomes), result.satisfied_count());
+}
+
+TEST(DynamicStagerTest, GeneratedScenarioWithEventStorm) {
+  GeneratorConfig config;
+  config.min_machines = 8;
+  config.max_machines = 8;
+  config.min_requests_per_machine = 4;
+  config.max_requests_per_machine = 6;
+  Rng rng(2718);
+  const Scenario s = generate_scenario(config, rng);
+
+  DynamicStager stager(s, full_one_c4(), c4_options());
+  stager.on_event(StagingEvent{at_min(10), LinkOutageEvent{PhysLinkId(0)}});
+  stager.on_event(StagingEvent{
+      at_min(15),
+      NewRequestEvent{s.items.front().name,
+                      Request{s.items.front().requests.front().destination ==
+                                      MachineId(0)
+                                  ? MachineId(1)
+                                  : MachineId(0),
+                              at_min(70), kPriorityHigh}}});
+  stager.on_event(StagingEvent{at_min(25), LinkRestoreEvent{PhysLinkId(0)}});
+  stager.on_event(StagingEvent{at_min(40), LinkOutageEvent{PhysLinkId(1)}});
+
+  const Scenario effective = stager.effective_scenario();
+  const DynamicResult result = stager.finish();
+  const SimReport replay = simulate(effective, result.schedule);
+  ASSERT_TRUE(replay.ok) << replay.issues.front();
+  EXPECT_EQ(result.replans, 5u);
+  EXPECT_GT(result.satisfied_count(), 0u);
+}
+
+TEST(DynamicStagerDeathTest, EventsMustBeTimeOrdered) {
+  const Scenario s = testing::chain_scenario();
+  DynamicStager stager(s, full_one_c4(), c4_options());
+  stager.advance_to(at_min(10));
+  EXPECT_DEATH(stager.on_event(StagingEvent{
+                   at_min(5), LinkOutageEvent{PhysLinkId(0)}}),
+               "time order");
+}
+
+TEST(DynamicStagerDeathTest, DuplicateOutageAborts) {
+  const Scenario s = testing::chain_scenario();
+  DynamicStager stager(s, full_one_c4(), c4_options());
+  stager.on_event(StagingEvent{at_min(5), LinkOutageEvent{PhysLinkId(0)}});
+  EXPECT_DEATH(stager.on_event(StagingEvent{at_min(6),
+                                            LinkOutageEvent{PhysLinkId(0)}}),
+               "already down");
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,103 @@
+// Additional harness coverage: dispersion statistics, CSV side effects, and
+// consistency between the sweep machinery and direct evaluation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "harness/sweep.hpp"
+
+namespace datastage {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.cases = 3;
+  config.seed = 909;
+  config.gen.min_machines = 8;
+  config.gen.max_machines = 8;
+  config.gen.min_requests_per_machine = 3;
+  config.gen.max_requests_per_machine = 5;
+  return config;
+}
+
+TEST(HarnessMoreTest, ValueStatsBracketTheMean) {
+  const CaseSet cases = build_cases(tiny_config());
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  const ValueStats stats =
+      pair_value_stats(cases, weighting, {HeuristicKind::kFullOne, CostCriterion::kC4},
+                       EUWeights::from_log10_ratio(1.0));
+  EXPECT_LE(stats.min, stats.mean);
+  EXPECT_LE(stats.mean, stats.max);
+  EXPECT_GE(stats.stddev, 0.0);
+  // The mean must agree with average_pair_value exactly (same runs).
+  const double mean = average_pair_value(cases, weighting,
+                                         {HeuristicKind::kFullOne, CostCriterion::kC4},
+                                         EUWeights::from_log10_ratio(1.0));
+  EXPECT_DOUBLE_EQ(stats.mean, mean);
+}
+
+TEST(HarnessMoreTest, SweepValuesMatchDirectEvaluation) {
+  const CaseSet cases = build_cases(tiny_config());
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  const SchedulerSpec spec{HeuristicKind::kPartial, CostCriterion::kC2};
+  const std::vector<double> axis{-1.0, 2.0};
+  const SweepResult sweep = sweep_pairs(cases, weighting, {spec}, axis);
+  ASSERT_EQ(sweep.series.size(), 1u);
+  for (std::size_t x = 0; x < axis.size(); ++x) {
+    EXPECT_DOUBLE_EQ(sweep.series[0].values[x],
+                     average_pair_value(cases, weighting, spec,
+                                        EUWeights::from_log10_ratio(axis[x])));
+  }
+}
+
+TEST(HarnessMoreTest, PrintSweepWritesCsvFile) {
+  SweepResult result;
+  result.axis = {0.0, 1.0};
+  result.series.push_back(SweepSeries{"s", {1.0, 2.0}});
+  const std::string path = ::testing::TempDir() + "/harness_sweep_test.csv";
+  ::testing::internal::CaptureStdout();
+  print_sweep("caption", result, path);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("caption"), std::string::npos);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "log10(E-U),s");
+  std::string row;
+  std::getline(in, row);
+  EXPECT_EQ(row, "0,1.0");
+  std::remove(path.c_str());
+}
+
+TEST(HarnessMoreTest, BaselineAveragesAreDeterministic) {
+  const CaseSet cases = build_cases(tiny_config());
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  EXPECT_DOUBLE_EQ(average_single_dijkstra_random(cases, weighting),
+                   average_single_dijkstra_random(cases, weighting));
+  EXPECT_DOUBLE_EQ(average_random_dijkstra(cases, weighting),
+                   average_random_dijkstra(cases, weighting));
+}
+
+TEST(HarnessMoreTest, DifferentSeedsGiveDifferentCases) {
+  ExperimentConfig a = tiny_config();
+  ExperimentConfig b = tiny_config();
+  b.seed = 910;
+  const CaseSet ca = build_cases(a);
+  const CaseSet cb = build_cases(b);
+  // Same counts, different workloads (request totals almost surely differ).
+  EXPECT_EQ(ca.scenarios.size(), cb.scenarios.size());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < ca.scenarios.size(); ++i) {
+    any_difference = any_difference || ca.scenarios[i].request_count() !=
+                                           cb.scenarios[i].request_count();
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "harness/sweep.hpp"
+
+namespace datastage {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.cases = 2;
+  config.seed = 77;
+  config.gen.min_machines = 8;
+  config.gen.max_machines = 8;
+  config.gen.min_requests_per_machine = 4;
+  config.gen.max_requests_per_machine = 6;
+  return config;
+}
+
+TEST(ExperimentTest, BuildCasesRespectsCountAndSeed) {
+  const CaseSet cases = build_cases(tiny_config());
+  EXPECT_EQ(cases.scenarios.size(), 2u);
+  EXPECT_EQ(cases.seed, 77u);
+  const CaseSet again = build_cases(tiny_config());
+  EXPECT_EQ(cases.scenarios[0].request_count(), again.scenarios[0].request_count());
+}
+
+TEST(ExperimentTest, AveragesAreWithinBounds) {
+  const CaseSet cases = build_cases(tiny_config());
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  const AveragedBounds bounds = average_bounds(cases, weighting);
+  EXPECT_GT(bounds.upper_bound, 0.0);
+  EXPECT_LE(bounds.possible_satisfy, bounds.upper_bound);
+
+  const double value =
+      average_pair_value(cases, weighting,
+                         {HeuristicKind::kFullOne, CostCriterion::kC4},
+                         EUWeights::from_log10_ratio(1.0));
+  EXPECT_GE(value, 0.0);
+  EXPECT_LE(value, bounds.possible_satisfy);
+
+  EXPECT_LE(average_single_dijkstra_random(cases, weighting),
+            bounds.possible_satisfy);
+  EXPECT_LE(average_random_dijkstra(cases, weighting), bounds.possible_satisfy);
+  EXPECT_LE(average_priority_first(cases, weighting), bounds.possible_satisfy);
+}
+
+TEST(SweepTest, PaperAxisShape) {
+  const auto axis = paper_eu_axis();
+  ASSERT_EQ(axis.size(), 11u);
+  EXPECT_TRUE(std::isinf(axis.front()));
+  EXPECT_LT(axis.front(), 0.0);
+  EXPECT_TRUE(std::isinf(axis.back()));
+  EXPECT_GT(axis.back(), 0.0);
+  EXPECT_DOUBLE_EQ(axis[1], -3.0);
+  EXPECT_DOUBLE_EQ(axis[9], 5.0);
+}
+
+TEST(SweepTest, AxisLabels) {
+  EXPECT_EQ(eu_axis_label(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(eu_axis_label(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(eu_axis_label(-3.0), "-3");
+  EXPECT_EQ(eu_axis_label(0.0), "0");
+  EXPECT_EQ(eu_axis_label(2.5), "2.50");
+}
+
+TEST(SweepTest, SweepProducesOneValuePerAxisPoint) {
+  const CaseSet cases = build_cases(tiny_config());
+  const std::vector<double> axis{-1.0, 1.0, 3.0};
+  const SweepResult result =
+      sweep_pairs(cases, PriorityWeighting::w_1_10_100(),
+                  {{HeuristicKind::kPartial, CostCriterion::kC4},
+                   {HeuristicKind::kPartial, CostCriterion::kC3}},
+                  axis);
+  ASSERT_EQ(result.series.size(), 2u);
+  for (const SweepSeries& series : result.series) {
+    EXPECT_EQ(series.values.size(), axis.size());
+  }
+  // C3 is E-U independent: a flat line.
+  const SweepSeries& c3 = result.series[1];
+  EXPECT_EQ(c3.name, "partial/C3");
+  EXPECT_DOUBLE_EQ(c3.values[0], c3.values[1]);
+  EXPECT_DOUBLE_EQ(c3.values[1], c3.values[2]);
+}
+
+TEST(SweepTest, AddFlatSeries) {
+  SweepResult result;
+  result.axis = {0.0, 1.0};
+  add_flat_series(result, "bound", 42.0);
+  ASSERT_EQ(result.series.size(), 1u);
+  EXPECT_EQ(result.series[0].values, (std::vector<double>{42.0, 42.0}));
+}
+
+TEST(ReportTest, SweepTableLayout) {
+  SweepResult result;
+  result.axis = {-std::numeric_limits<double>::infinity(), 2.0};
+  result.series.push_back(SweepSeries{"a", {1.0, 2.0}});
+  result.series.push_back(SweepSeries{"b", {3.25, 4.5}});
+  const Table table = sweep_table(result);
+  const std::string csv = table.to_csv();
+  // Note: %.1f rounds 3.25 half-to-even -> "3.2".
+  EXPECT_EQ(csv,
+            "log10(E-U),a,b\n"
+            "-inf,1.0,3.2\n"
+            "2,2.0,4.5\n");
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,166 @@
+// Randomized differential tests: the optimized interval / timeline
+// containers are checked against trivially-correct reference implementations
+// over thousands of random operations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "net/storage_timeline.hpp"
+#include "util/interval.hpp"
+#include "util/rng.hpp"
+
+namespace datastage {
+namespace {
+
+Interval iv(std::int64_t a, std::int64_t b) {
+  return Interval{SimTime::from_usec(a), SimTime::from_usec(b)};
+}
+
+// ---------------------------------------------------------------------------
+// Reference IntervalSet: a boolean timeline over a small discrete domain.
+// ---------------------------------------------------------------------------
+class BoolTimeline {
+ public:
+  explicit BoolTimeline(std::size_t domain) : covered_(domain, false) {}
+
+  bool overlaps(std::int64_t a, std::int64_t b) const {
+    for (std::int64_t t = a; t < b; ++t) {
+      if (covered_[static_cast<std::size_t>(t)]) return true;
+    }
+    return false;
+  }
+  void set(std::int64_t a, std::int64_t b, bool value) {
+    for (std::int64_t t = a; t < b; ++t) covered_[static_cast<std::size_t>(t)] = value;
+  }
+  std::optional<std::int64_t> earliest_fit(std::int64_t not_before, std::int64_t len,
+                                           std::int64_t wa, std::int64_t wb) const {
+    for (std::int64_t start = std::max(not_before, wa); start + len <= wb; ++start) {
+      if (!overlaps(start, start + len)) return start;
+    }
+    // Zero-length fits at the clamp point if inside the window.
+    if (len == 0 && std::max(not_before, wa) <= wb) return std::max(not_before, wa);
+    return std::nullopt;
+  }
+  std::int64_t covered_within(std::int64_t a, std::int64_t b) const {
+    std::int64_t n = 0;
+    for (std::int64_t t = a; t < b; ++t) n += covered_[static_cast<std::size_t>(t)] ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::vector<bool> covered_;
+};
+
+TEST(IntervalSetFuzzTest, MatchesReferenceOverRandomOps) {
+  constexpr std::int64_t kDomain = 200;
+  Rng rng(0xF00D);
+  for (int round = 0; round < 30; ++round) {
+    IntervalSet set;
+    BoolTimeline reference(kDomain);
+    for (int op = 0; op < 120; ++op) {
+      const std::int64_t a = rng.uniform_i64(0, kDomain - 1);
+      const std::int64_t b = rng.uniform_i64(a, kDomain);
+      switch (rng.uniform_i64(0, 4)) {
+        case 0: {  // insert_merge
+          set.insert_merge(iv(a, b));
+          reference.set(a, b, true);
+          break;
+        }
+        case 1: {  // insert_disjoint when legal
+          if (a < b && !reference.overlaps(a, b)) {
+            set.insert_disjoint(iv(a, b));
+            reference.set(a, b, true);
+          }
+          break;
+        }
+        case 2: {  // subtract
+          set.subtract(iv(a, b));
+          reference.set(a, b, false);
+          break;
+        }
+        case 3: {  // overlaps query
+          ASSERT_EQ(set.overlaps(iv(a, b)), reference.overlaps(a, b))
+              << "round " << round << " op " << op;
+          break;
+        }
+        case 4: {  // earliest_fit query (len >= 1: real transfers never take
+                   // zero time, and zero-length fits are ambiguous)
+          const std::int64_t len = rng.uniform_i64(1, 20);
+          const std::int64_t not_before = rng.uniform_i64(0, kDomain);
+          const auto got = set.earliest_fit(SimTime::from_usec(not_before),
+                                            SimDuration::from_usec(len), iv(a, b));
+          const auto want = reference.earliest_fit(not_before, len, a, b);
+          ASSERT_EQ(got.has_value(), want.has_value())
+              << "round " << round << " op " << op;
+          if (got.has_value()) {
+            ASSERT_EQ(got->usec(), *want);
+          }
+          break;
+        }
+      }
+      // Structural invariants after every mutation: sorted, disjoint,
+      // non-empty members.
+      const auto& members = set.intervals();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        ASSERT_FALSE(members[i].empty());
+        if (i > 0) {
+          ASSERT_LE(members[i - 1].end, members[i].begin);
+        }
+      }
+    }
+    // Final coverage agreement.
+    ASSERT_EQ(set.covered_within(iv(0, kDomain)).usec(),
+              reference.covered_within(0, kDomain));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference StorageTimeline: a plain per-tick usage array.
+// ---------------------------------------------------------------------------
+TEST(StorageTimelineFuzzTest, MatchesReferenceOverRandomAllocations) {
+  constexpr std::int64_t kDomain = 150;
+  constexpr std::int64_t kCapacity = 1000;
+  Rng rng(0xBEEF);
+  for (int round = 0; round < 30; ++round) {
+    StorageTimeline timeline(kCapacity);
+    std::vector<std::int64_t> reference(kDomain, 0);
+    for (int op = 0; op < 80; ++op) {
+      const std::int64_t a = rng.uniform_i64(0, kDomain - 1);
+      const std::int64_t b = rng.uniform_i64(a, kDomain);
+      const std::int64_t bytes = rng.uniform_i64(0, 60);
+
+      // Reference feasibility check.
+      std::int64_t peak = 0;
+      for (std::int64_t t = a; t < b; ++t) {
+        peak = std::max(peak, reference[static_cast<std::size_t>(t)]);
+      }
+      const bool fits = peak + bytes <= kCapacity;
+      ASSERT_EQ(timeline.fits(bytes, iv(a, b)), fits || a >= b)
+          << "round " << round << " op " << op;
+
+      if (fits) {
+        timeline.allocate(bytes, iv(a, b));
+        for (std::int64_t t = a; t < b; ++t) {
+          reference[static_cast<std::size_t>(t)] += bytes;
+        }
+      }
+
+      // Point and range queries agree.
+      const std::int64_t q = rng.uniform_i64(0, kDomain - 1);
+      ASSERT_EQ(timeline.usage_at(SimTime::from_usec(q)),
+                reference[static_cast<std::size_t>(q)]);
+      const std::int64_t qa = rng.uniform_i64(0, kDomain - 1);
+      const std::int64_t qb = rng.uniform_i64(qa, kDomain);
+      std::int64_t want_max = 0;
+      for (std::int64_t t = qa; t < qb; ++t) {
+        want_max = std::max(want_max, reference[static_cast<std::size_t>(t)]);
+      }
+      ASSERT_EQ(timeline.max_usage(iv(qa, qb)), want_max);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace datastage

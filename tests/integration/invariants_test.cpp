@@ -1,0 +1,136 @@
+// Cross-cutting invariants under scenario transformations, parameterized
+// over generator seeds: the bounds must respond monotonically to resource
+// changes, and every scheduler must stay within them on every perturbation.
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/registry.hpp"
+#include "gen/generator.hpp"
+#include "model/describe.hpp"
+#include "model/transforms.hpp"
+#include "sim/simulator.hpp"
+
+namespace datastage {
+namespace {
+
+class TransformInvariantTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Scenario make_scenario() const {
+    GeneratorConfig config = GeneratorConfig::light();
+    Rng rng(GetParam());
+    return generate_scenario(config, rng);
+  }
+};
+
+// More bandwidth can only improve what is satisfiable alone in the network.
+TEST_P(TransformInvariantTest, PossibleSatisfyMonotoneInBandwidth) {
+  const Scenario base = make_scenario();
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  const double base_value = compute_bounds(base, weighting).possible_satisfy;
+  const double slower =
+      compute_bounds(scale_bandwidth(base, 0.5), weighting).possible_satisfy;
+  const double faster =
+      compute_bounds(scale_bandwidth(base, 2.0), weighting).possible_satisfy;
+  EXPECT_LE(slower, base_value);
+  EXPECT_LE(base_value, faster);
+}
+
+// Less link availability can only reduce it.
+TEST_P(TransformInvariantTest, PossibleSatisfyMonotoneInAvailability) {
+  const Scenario base = make_scenario();
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  double previous = compute_bounds(base, weighting).possible_satisfy;
+  for (const double keep : {0.75, 0.5, 0.25}) {
+    const double degraded =
+        compute_bounds(scale_link_availability(base, keep), weighting)
+            .possible_satisfy;
+    EXPECT_LE(degraded, previous + 1e-9) << "keep " << keep;
+    previous = degraded;
+  }
+}
+
+// Looser deadlines can only help.
+TEST_P(TransformInvariantTest, PossibleSatisfyMonotoneInDeadlines) {
+  const Scenario base = make_scenario();
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  const double tight =
+      compute_bounds(scale_deadlines(base, 0.5), weighting).possible_satisfy;
+  const double base_value = compute_bounds(base, weighting).possible_satisfy;
+  const double loose =
+      compute_bounds(scale_deadlines(base, 2.0), weighting).possible_satisfy;
+  EXPECT_LE(tight, base_value);
+  EXPECT_LE(base_value, loose);
+}
+
+// Upper bound is invariant under every resource transform (it only counts
+// requests), and flattening priorities collapses it to the request count.
+TEST_P(TransformInvariantTest, UpperBoundDependsOnlyOnRequests) {
+  const Scenario base = make_scenario();
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  const double base_upper = compute_bounds(base, weighting).upper_bound;
+  EXPECT_DOUBLE_EQ(
+      compute_bounds(scale_bandwidth(base, 0.1), weighting).upper_bound, base_upper);
+  EXPECT_DOUBLE_EQ(
+      compute_bounds(scale_link_availability(base, 0.3), weighting).upper_bound,
+      base_upper);
+  const Scenario flat = flatten_priorities(base);
+  EXPECT_DOUBLE_EQ(compute_bounds(flat, weighting).upper_bound,
+                   static_cast<double>(base.request_count()));
+}
+
+// Every pair stays within bounds and replays cleanly on perturbed scenarios.
+TEST_P(TransformInvariantTest, SchedulersStayWithinBoundsOnPerturbations) {
+  const Scenario base = make_scenario();
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  const std::vector<Scenario> variants{
+      scale_bandwidth(base, 0.5),
+      scale_link_availability(base, 0.6),
+      scale_deadlines(base, 0.75),
+      flatten_priorities(base),
+  };
+  for (const Scenario& scenario : variants) {
+    ASSERT_TRUE(scenario.validate().empty());
+    const BoundsReport bounds = compute_bounds(scenario, weighting);
+    for (const SchedulerSpec& spec :
+         {SchedulerSpec{HeuristicKind::kPartial, CostCriterion::kC4},
+          SchedulerSpec{HeuristicKind::kFullOne, CostCriterion::kC3},
+          SchedulerSpec{HeuristicKind::kFullAll, CostCriterion::kC5}}) {
+      EngineOptions options;
+      options.weighting = weighting;
+      options.eu = EUWeights::from_log10_ratio(1.0);
+      const StagingResult result = run_spec(spec, scenario, options);
+      const SimReport replay = simulate(scenario, result.schedule);
+      ASSERT_TRUE(replay.ok) << spec.name() << ": " << replay.issues.front();
+      EXPECT_EQ(replay.outcomes, result.outcomes) << spec.name();
+      EXPECT_LE(weighted_value(scenario, weighting, result.outcomes),
+                bounds.possible_satisfy + 1e-9)
+          << spec.name();
+    }
+  }
+}
+
+// The describe() profile agrees with the generator's configured ranges.
+TEST_P(TransformInvariantTest, DescribeMatchesGeneratorRanges) {
+  const Scenario scenario = make_scenario();
+  const ScenarioStats stats = describe(scenario);
+  EXPECT_EQ(stats.machines, scenario.machine_count());
+  EXPECT_EQ(stats.requests, scenario.request_count());
+  EXPECT_GE(stats.out_degree.min, 4.0);
+  EXPECT_GE(stats.capacity_mb.min, 10.0);
+  EXPECT_LE(stats.capacity_mb.max, 20.0 * 1024.0);
+  EXPECT_GE(stats.bandwidth_kbps.min, 10.0);
+  EXPECT_LE(stats.bandwidth_kbps.max, 1500.0);
+  EXPECT_GE(stats.item_mb.min, 10.0 / 1024.0);
+  EXPECT_LE(stats.item_mb.max, 100.0);
+  EXPECT_GE(stats.deadline_offset_min.min, 15.0 - 1e-9);
+  EXPECT_LE(stats.deadline_offset_min.max, 60.0 + 1e-9);
+  EXPECT_LE(stats.sources_per_item.max, 5.0);
+  EXPECT_LE(stats.requests_per_item.max, 5.0);
+  EXPECT_EQ(stats.requests_per_priority.size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformInvariantTest,
+                         ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,137 @@
+// Cross-module property tests on randomly generated scenarios.
+//
+// Invariants checked for every scheduler on every generated case:
+//   P1  the schedule replays cleanly through the independent simulator
+//       (link windows, exclusivity, sender presence, storage capacity),
+//   P2  the simulator's independently derived outcomes equal the scheduler's,
+//   P3  every scheduler's value lies within [0, possible_satisfy] and
+//       possible_satisfy <= upper_bound,
+//   P4  the route-cache (lazy) and paranoid (recompute-everything) engines
+//       produce identical schedules,
+//   P5  schedulers are deterministic (same input -> same schedule).
+#include <gtest/gtest.h>
+
+#include "core/bounds.hpp"
+#include "core/heuristics.hpp"
+#include "core/registry.hpp"
+#include "gen/generator.hpp"
+#include "sim/simulator.hpp"
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+GeneratorConfig small_config() {
+  // Paper-shaped but lighter: fewer requests keep the full property sweep
+  // fast enough to run in every test invocation.
+  GeneratorConfig config;
+  config.min_machines = 8;
+  config.max_machines = 10;
+  config.min_requests_per_machine = 6;
+  config.max_requests_per_machine = 10;
+  return config;
+}
+
+std::vector<Scenario> property_cases() {
+  return generate_cases(small_config(), /*seed=*/424242, /*count=*/3);
+}
+
+void expect_clean_replay(const Scenario& scenario, const StagingResult& result,
+                         const std::string& label) {
+  const SimReport report = simulate(scenario, result.schedule);
+  EXPECT_TRUE(report.ok) << label << ": " << (report.issues.empty()
+                                                  ? "?"
+                                                  : report.issues.front());
+  EXPECT_EQ(report.outcomes, result.outcomes) << label;
+}
+
+TEST(PropertyTest, AllPairsReplayCleanlyAndMatchSimulator) {
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  for (const Scenario& scenario : property_cases()) {
+    const BoundsReport bounds = compute_bounds(scenario, weighting);
+    EXPECT_LE(bounds.possible_satisfy, bounds.upper_bound);
+    // extended_pairs covers the 11 paper pairs plus the C5 extension.
+    for (const SchedulerSpec& spec : extended_pairs()) {
+      EngineOptions options;
+      options.weighting = weighting;
+      options.eu = EUWeights::from_log10_ratio(1.0);
+      const StagingResult result = run_spec(spec, scenario, options);
+      expect_clean_replay(scenario, result, spec.name());
+      const double value = weighted_value(scenario, weighting, result.outcomes);
+      EXPECT_GE(value, 0.0) << spec.name();
+      EXPECT_LE(value, bounds.possible_satisfy + 1e-9) << spec.name();
+    }
+  }
+}
+
+TEST(PropertyTest, BaselinesReplayCleanly) {
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  std::size_t index = 0;
+  for (const Scenario& scenario : property_cases()) {
+    {
+      Rng rng(1000 + index);
+      const StagingResult result = run_single_dijkstra_random(scenario, weighting, rng);
+      expect_clean_replay(scenario, result, "single_dij_random");
+    }
+    {
+      Rng rng(2000 + index);
+      const StagingResult result = run_random_dijkstra(scenario, weighting, rng);
+      expect_clean_replay(scenario, result, "random_dijkstra");
+    }
+    {
+      const StagingResult result = run_priority_first(scenario, weighting);
+      expect_clean_replay(scenario, result, "priority_first");
+    }
+    ++index;
+  }
+}
+
+TEST(PropertyTest, LazyCacheMatchesParanoidRecompute) {
+  for (const Scenario& scenario : property_cases()) {
+    for (const SchedulerSpec& spec :
+         {SchedulerSpec{HeuristicKind::kPartial, CostCriterion::kC4},
+          SchedulerSpec{HeuristicKind::kFullOne, CostCriterion::kC2},
+          SchedulerSpec{HeuristicKind::kFullAll, CostCriterion::kC3}}) {
+      EngineOptions lazy;
+      lazy.eu = EUWeights::from_log10_ratio(0.0);
+      EngineOptions paranoid = lazy;
+      paranoid.paranoid = true;
+
+      const StagingResult a = run_spec(spec, scenario, lazy);
+      const StagingResult b = run_spec(spec, scenario, paranoid);
+      ASSERT_EQ(a.schedule.size(), b.schedule.size()) << spec.name();
+      EXPECT_TRUE(std::equal(a.schedule.steps().begin(), a.schedule.steps().end(),
+                             b.schedule.steps().begin()))
+          << spec.name();
+      EXPECT_EQ(a.outcomes, b.outcomes) << spec.name();
+      // The cache must do at most as many Dijkstra runs as paranoid mode.
+      EXPECT_LE(a.dijkstra_runs, b.dijkstra_runs) << spec.name();
+    }
+  }
+}
+
+TEST(PropertyTest, SchedulersAreDeterministic) {
+  const Scenario scenario = property_cases().front();
+  EngineOptions options;
+  options.eu = EUWeights::from_log10_ratio(2.0);
+  for (const SchedulerSpec& spec : paper_pairs()) {
+    const StagingResult a = run_spec(spec, scenario, options);
+    const StagingResult b = run_spec(spec, scenario, options);
+    ASSERT_EQ(a.schedule.size(), b.schedule.size()) << spec.name();
+    EXPECT_TRUE(std::equal(a.schedule.steps().begin(), a.schedule.steps().end(),
+                           b.schedule.steps().begin()))
+        << spec.name();
+  }
+}
+
+TEST(PropertyTest, GeneratedScenariosAreValidAndConnected) {
+  for (const Scenario& scenario : property_cases()) {
+    EXPECT_TRUE(scenario.validate().empty());
+    EXPECT_GE(scenario.machine_count(), 8u);
+    EXPECT_LE(scenario.machine_count(), 10u);
+    EXPECT_GT(scenario.request_count(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,94 @@
+// The search hierarchy must be internally consistent on every instance:
+//   possible_satisfy >= exhaustive envelope >= beam(width w) and
+//   envelope >= every heuristic/criterion pair,
+// with all produced schedules replaying cleanly. Parameterized over seeds of
+// tiny contended instances (where the exhaustive search completes).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/bounds.hpp"
+#include "core/exact.hpp"
+#include "core/registry.hpp"
+#include "gen/generator.hpp"
+#include "sim/simulator.hpp"
+
+namespace datastage {
+namespace {
+
+Scenario tiny_contended(std::uint64_t seed) {
+  GeneratorConfig config;
+  config.min_machines = 5;
+  config.max_machines = 5;
+  config.min_out_degree = 1;
+  config.max_out_degree = 2;
+  config.second_link_probability = 0.0;
+  config.min_bandwidth_bps = 80'000;
+  config.max_bandwidth_bps = 150'000;
+  config.min_item_bytes = 4 * 1024 * 1024;
+  config.max_item_bytes = 10 * 1024 * 1024;
+  config.min_deadline_offset = SimDuration::minutes(12);
+  config.max_deadline_offset = SimDuration::minutes(25);
+  config.max_item_start = SimDuration::minutes(5);
+  config.min_requests_per_machine = 1;
+  config.max_requests_per_machine = 2;
+  config.max_sources = 2;
+  config.max_destinations = 3;
+  Rng rng(seed);
+  return generate_scenario(config, rng);
+}
+
+class SearchHierarchyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SearchHierarchyTest, BoundsEnvelopeBeamHeuristicsAreOrdered) {
+  const Scenario scenario = tiny_contended(GetParam());
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+
+  const BoundsReport bounds = compute_bounds(scenario, weighting);
+
+  SearchOptions search;
+  search.weighting = weighting;
+  search.max_nodes = 500'000;
+  const SearchReport envelope = exhaustive_step_search(scenario, search);
+  ASSERT_TRUE(envelope.complete);
+  EXPECT_LE(envelope.best_value, bounds.possible_satisfy + 1e-9);
+
+  // The envelope's own schedule is feasible and attains its value.
+  {
+    const SimReport replay = simulate(scenario, envelope.best.schedule);
+    ASSERT_TRUE(replay.ok) << replay.issues.front();
+    EXPECT_DOUBLE_EQ(weighted_value(scenario, weighting, replay.outcomes),
+                     envelope.best_value);
+  }
+
+  double widest_beam = 0.0;
+  for (const std::size_t width : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    BeamOptions beam;
+    beam.weighting = weighting;
+    beam.width = width;
+    const StagingResult result = run_beam_search(scenario, beam);
+    const SimReport replay = simulate(scenario, result.schedule);
+    ASSERT_TRUE(replay.ok) << "beam width " << width;
+    const double value = weighted_value(scenario, weighting, result.outcomes);
+    EXPECT_LE(value, envelope.best_value + 1e-9) << "beam width " << width;
+    widest_beam = std::max(widest_beam, value);
+  }
+  // Width-8 beam should be at or near the envelope on these tiny instances.
+  EXPECT_GE(widest_beam, 0.9 * envelope.best_value);
+
+  for (const SchedulerSpec& spec : extended_pairs()) {
+    EngineOptions options;
+    options.weighting = weighting;
+    options.eu = EUWeights::from_log10_ratio(2.0);
+    const StagingResult result = run_spec(spec, scenario, options);
+    EXPECT_LE(weighted_value(scenario, weighting, result.outcomes),
+              envelope.best_value + 1e-9)
+        << spec.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SearchHierarchyTest,
+                         ::testing::Values(2001, 2002, 2003, 2004));
+
+}  // namespace
+}  // namespace datastage

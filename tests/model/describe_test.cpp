@@ -1,0 +1,114 @@
+#include "model/describe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+using testing::ScenarioBuilder;
+
+constexpr std::int64_t kMB = 1 << 20;
+
+TEST(DescribeTest, CountsAndRangesOnHandBuiltScenario) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(100 * kMB)
+                         .machine(200 * kMB)
+                         .machine(300 * kMB)
+                         .link(0, 1, 100'000, Interval{SimTime::zero(), at_min(60)})
+                         .link(0, 1, 300'000, Interval{SimTime::zero(), at_min(120)})
+                         .link(1, 2, 200'000, Interval{at_min(30), at_min(90)})
+                         .item(10 * kMB)
+                         .source(0, SimTime::zero())
+                         .request(1, at_min(30), kPriorityHigh)
+                         .request(2, at_min(40), kPriorityLow)
+                         .item(20 * kMB)
+                         .source(0, at_min(10))
+                         .request(2, at_min(40), kPriorityMedium)
+                         .build();
+  const ScenarioStats stats = describe(s);
+
+  EXPECT_EQ(stats.machines, 3u);
+  EXPECT_EQ(stats.phys_links, 3u);
+  EXPECT_EQ(stats.virt_links, 3u);
+  EXPECT_EQ(stats.items, 2u);
+  EXPECT_EQ(stats.requests, 3u);
+
+  EXPECT_DOUBLE_EQ(stats.capacity_mb.min, 100.0);
+  EXPECT_DOUBLE_EQ(stats.capacity_mb.max, 300.0);
+  EXPECT_DOUBLE_EQ(stats.capacity_mb.mean, 200.0);
+
+  EXPECT_DOUBLE_EQ(stats.bandwidth_kbps.min, 100.0);
+  EXPECT_DOUBLE_EQ(stats.bandwidth_kbps.max, 300.0);
+
+  // M0 has two parallel links to one neighbor: out-degree 1.
+  EXPECT_DOUBLE_EQ(stats.out_degree.max, 1.0);
+
+  // Link availability within the 2 h horizon: 60/120, 120/120, 60/120 min.
+  EXPECT_DOUBLE_EQ(stats.availability_fraction.min, 0.5);
+  EXPECT_DOUBLE_EQ(stats.availability_fraction.max, 1.0);
+
+  EXPECT_DOUBLE_EQ(stats.item_mb.min, 10.0);
+  EXPECT_DOUBLE_EQ(stats.item_mb.max, 20.0);
+  EXPECT_DOUBLE_EQ(stats.requests_per_item.mean, 1.5);
+
+  // Deadline offsets: 30, 40 (item 0 born t=0); 30 (item 1 born t=10).
+  EXPECT_DOUBLE_EQ(stats.deadline_offset_min.min, 30.0);
+  EXPECT_DOUBLE_EQ(stats.deadline_offset_min.max, 40.0);
+
+  ASSERT_EQ(stats.requests_per_priority.size(), 3u);
+  EXPECT_EQ(stats.requests_per_priority[0], 1u);
+  EXPECT_EQ(stats.requests_per_priority[1], 1u);
+  EXPECT_EQ(stats.requests_per_priority[2], 1u);
+
+  EXPECT_GT(stats.demand_supply_ratio, 0.0);
+}
+
+TEST(DescribeTest, DemandSupplyRatioReflectsOversubscription) {
+  // One 100 MB item, requested once, over a 10 Kbit/s link open for 2 h:
+  // demand 8e8 bits vs supply 7.2e7 bits -> ratio ~11.
+  const Scenario s = ScenarioBuilder()
+                         .machine(std::int64_t{1} << 30)
+                         .machine(std::int64_t{1} << 30)
+                         .link(0, 1, 10'000, Interval{SimTime::zero(), at_min(120)})
+                         .item(100 * kMB)
+                         .source(0, SimTime::zero())
+                         .request(1, at_min(60))
+                         .build();
+  const ScenarioStats stats = describe(s);
+  EXPECT_GT(stats.demand_supply_ratio, 10.0);
+  EXPECT_LT(stats.demand_supply_ratio, 13.0);
+}
+
+TEST(DescribeTest, TopologyDotIsWellFormed) {
+  const Scenario s = testing::chain_scenario();
+  const std::string dot = topology_dot(s);
+  EXPECT_EQ(dot.rfind("digraph datastage {", 0), 0u);
+  EXPECT_NE(dot.find("m0 [label=\"M0"), std::string::npos);
+  EXPECT_NE(dot.find("m0 -> m1"), std::string::npos);
+  EXPECT_NE(dot.find("m1 -> m2"), std::string::npos);
+  EXPECT_EQ(dot.find("m2 -> "), std::string::npos);  // chain has no back edges
+  EXPECT_NE(dot.find("8000 kb/s x1"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+  // Balanced braces.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(DescribeTest, TableContainsEveryProperty) {
+  const Scenario s = testing::chain_scenario();
+  const std::string text = describe_table(describe(s)).to_text();
+  for (const char* needle :
+       {"machines", "virtual links", "capacity (MB)", "bandwidth (kbit/s)",
+        "item size (MB)", "deadline offset (min)", "requests per class",
+        "demand/supply ratio"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,59 @@
+#include "model/priority.hpp"
+
+#include <gtest/gtest.h>
+
+namespace datastage {
+namespace {
+
+TEST(PriorityWeightingTest, PaperWeightings) {
+  const PriorityWeighting a = PriorityWeighting::w_1_5_10();
+  EXPECT_EQ(a.max_priority(), 2);
+  EXPECT_DOUBLE_EQ(a.weight(kPriorityLow), 1.0);
+  EXPECT_DOUBLE_EQ(a.weight(kPriorityMedium), 5.0);
+  EXPECT_DOUBLE_EQ(a.weight(kPriorityHigh), 10.0);
+
+  const PriorityWeighting b = PriorityWeighting::w_1_10_100();
+  EXPECT_DOUBLE_EQ(b.weight(kPriorityMedium), 10.0);
+  EXPECT_DOUBLE_EQ(b.weight(kPriorityHigh), 100.0);
+}
+
+TEST(PriorityWeightingTest, ArbitraryClassCount) {
+  const PriorityWeighting w({1.0, 2.0, 4.0, 8.0, 16.0});
+  EXPECT_EQ(w.max_priority(), 4);
+  EXPECT_EQ(w.num_classes(), 5u);
+  EXPECT_DOUBLE_EQ(w.weight(4), 16.0);
+}
+
+TEST(PriorityWeightingTest, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(PriorityWeighting::w_1_10_100().to_string(), "1,10,100");
+  EXPECT_EQ(PriorityWeighting::w_1_5_10().to_string(), "1,5,10");
+  EXPECT_EQ(PriorityWeighting({0.5, 1.0}).to_string(), "0.5,1");
+}
+
+TEST(PriorityWeightingTest, Equality) {
+  EXPECT_EQ(PriorityWeighting::w_1_5_10(), PriorityWeighting({1.0, 5.0, 10.0}));
+  EXPECT_FALSE(PriorityWeighting::w_1_5_10() == PriorityWeighting::w_1_10_100());
+}
+
+TEST(PriorityWeightingDeathTest, RejectsEmptyAndNonMonotone) {
+  EXPECT_DEATH(PriorityWeighting({}), "at least one");
+  EXPECT_DEATH(PriorityWeighting({1.0, 0.5}), "non-decreasing");
+  EXPECT_DEATH(PriorityWeighting({0.0, 1.0}), "positive");
+  EXPECT_DEATH(PriorityWeighting({-1.0}), "positive");
+}
+
+TEST(PriorityWeightingDeathTest, WeightOutOfRangeAborts) {
+  const PriorityWeighting w = PriorityWeighting::w_1_5_10();
+  EXPECT_DEATH(w.weight(3), "");
+  EXPECT_DEATH(w.weight(-1), "");
+}
+
+TEST(PriorityNameTest, ThreeClassNames) {
+  EXPECT_EQ(priority_name(kPriorityLow), "low");
+  EXPECT_EQ(priority_name(kPriorityMedium), "medium");
+  EXPECT_EQ(priority_name(kPriorityHigh), "high");
+  EXPECT_EQ(priority_name(5), "P5");
+}
+
+}  // namespace
+}  // namespace datastage

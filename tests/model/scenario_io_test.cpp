@@ -1,0 +1,149 @@
+#include "model/scenario_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+void expect_same(const Scenario& a, const Scenario& b) {
+  ASSERT_EQ(a.machines.size(), b.machines.size());
+  for (std::size_t i = 0; i < a.machines.size(); ++i) {
+    EXPECT_EQ(a.machines[i].name, b.machines[i].name);
+    EXPECT_EQ(a.machines[i].capacity_bytes, b.machines[i].capacity_bytes);
+  }
+  ASSERT_EQ(a.phys_links.size(), b.phys_links.size());
+  for (std::size_t i = 0; i < a.phys_links.size(); ++i) {
+    EXPECT_EQ(a.phys_links[i].from, b.phys_links[i].from);
+    EXPECT_EQ(a.phys_links[i].to, b.phys_links[i].to);
+    EXPECT_EQ(a.phys_links[i].bandwidth_bps, b.phys_links[i].bandwidth_bps);
+    EXPECT_EQ(a.phys_links[i].latency, b.phys_links[i].latency);
+  }
+  ASSERT_EQ(a.virt_links.size(), b.virt_links.size());
+  for (std::size_t i = 0; i < a.virt_links.size(); ++i) {
+    EXPECT_EQ(a.virt_links[i].phys, b.virt_links[i].phys);
+    EXPECT_EQ(a.virt_links[i].window, b.virt_links[i].window);
+  }
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].name, b.items[i].name);
+    EXPECT_EQ(a.items[i].size_bytes, b.items[i].size_bytes);
+    ASSERT_EQ(a.items[i].sources.size(), b.items[i].sources.size());
+    for (std::size_t k = 0; k < a.items[i].sources.size(); ++k) {
+      EXPECT_EQ(a.items[i].sources[k].machine, b.items[i].sources[k].machine);
+      EXPECT_EQ(a.items[i].sources[k].available_at, b.items[i].sources[k].available_at);
+      EXPECT_EQ(a.items[i].sources[k].hold_until, b.items[i].sources[k].hold_until);
+    }
+    ASSERT_EQ(a.items[i].requests.size(), b.items[i].requests.size());
+    for (std::size_t k = 0; k < a.items[i].requests.size(); ++k) {
+      EXPECT_EQ(a.items[i].requests[k].destination, b.items[i].requests[k].destination);
+      EXPECT_EQ(a.items[i].requests[k].deadline, b.items[i].requests[k].deadline);
+      EXPECT_EQ(a.items[i].requests[k].priority, b.items[i].requests[k].priority);
+    }
+  }
+  EXPECT_EQ(a.horizon, b.horizon);
+  EXPECT_EQ(a.gc_gamma, b.gc_gamma);
+}
+
+TEST(ScenarioIoTest, RoundTripHandBuilt) {
+  const Scenario original = testing::chain_scenario();
+  const std::string text = scenario_to_string(original);
+  std::string error;
+  const auto parsed = scenario_from_string(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  expect_same(original, *parsed);
+}
+
+TEST(ScenarioIoTest, RoundTripGenerated) {
+  GeneratorConfig config;
+  config.min_requests_per_machine = 4;
+  config.max_requests_per_machine = 6;
+  Rng rng(555);
+  const Scenario original = generate_scenario(config, rng);
+  std::string error;
+  const auto parsed = scenario_from_string(scenario_to_string(original), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  expect_same(original, *parsed);
+  // And a second round trip is byte-identical (canonical form).
+  EXPECT_EQ(scenario_to_string(original), scenario_to_string(*parsed));
+}
+
+TEST(ScenarioIoTest, FiniteSourceHoldRoundTrips) {
+  Scenario original = testing::chain_scenario();
+  original.items[0].sources[0].hold_until = testing::at_min(40);
+  std::string error;
+  const auto parsed = scenario_from_string(scenario_to_string(original), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->items[0].sources[0].hold_until, testing::at_min(40));
+  // The infinite default is written in the two-field form.
+  original.items[0].sources[0].hold_until = SimTime::infinity();
+  const std::string text = scenario_to_string(original);
+  EXPECT_EQ(text.find(std::to_string(SimTime::infinity().usec())),
+            std::string::npos);
+}
+
+TEST(ScenarioIoTest, CommentsAndBlankLinesIgnored) {
+  std::string text = scenario_to_string(testing::chain_scenario());
+  text.insert(text.find('\n') + 1, "# a comment\n\n   \n");
+  std::string error;
+  EXPECT_TRUE(scenario_from_string(text, &error).has_value()) << error;
+}
+
+TEST(ScenarioIoTest, RejectsMissingHeader) {
+  std::string error;
+  EXPECT_FALSE(scenario_from_string("horizon 100\n", &error).has_value());
+  EXPECT_NE(error.find("header"), std::string::npos);
+}
+
+TEST(ScenarioIoTest, RejectsUnknownDirective) {
+  std::string error;
+  const std::string text = "datastage-scenario v1\nbogus 1 2 3\n";
+  EXPECT_FALSE(scenario_from_string(text, &error).has_value());
+  EXPECT_NE(error.find("unknown directive"), std::string::npos);
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(ScenarioIoTest, RejectsSourceBeforeItem) {
+  std::string error;
+  const std::string text =
+      "datastage-scenario v1\nhorizon 100\ngamma 1\nmachine A 100\n"
+      "source 0 0\n";
+  EXPECT_FALSE(scenario_from_string(text, &error).has_value());
+  EXPECT_NE(error.find("before any item"), std::string::npos);
+}
+
+TEST(ScenarioIoTest, RejectsVlinkWithUnknownPlink) {
+  std::string error;
+  const std::string text = "datastage-scenario v1\nvlink 3 0 10\n";
+  EXPECT_FALSE(scenario_from_string(text, &error).has_value());
+  EXPECT_NE(error.find("unknown physical link"), std::string::npos);
+}
+
+TEST(ScenarioIoTest, RejectsSemanticallyInvalidScenario) {
+  // Parses fine but fails validation (no machines).
+  std::string error;
+  const std::string text = "datastage-scenario v1\nhorizon 100\ngamma 0\n";
+  EXPECT_FALSE(scenario_from_string(text, &error).has_value());
+  EXPECT_NE(error.find("invalid after parse"), std::string::npos);
+}
+
+TEST(ScenarioIoTest, FileRoundTrip) {
+  const Scenario original = testing::chain_scenario();
+  const std::string path = ::testing::TempDir() + "/scenario_io_test.ds";
+  save_scenario(path, original);
+  std::string error;
+  const auto loaded = load_scenario(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  expect_same(original, *loaded);
+}
+
+TEST(ScenarioIoTest, LoadMissingFileFails) {
+  std::string error;
+  EXPECT_FALSE(load_scenario("/nonexistent/nope.ds", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,129 @@
+#include "model/transforms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "net/topology.hpp"
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+
+Scenario generated() {
+  GeneratorConfig config;
+  config.min_requests_per_machine = 4;
+  config.max_requests_per_machine = 6;
+  Rng rng(77);
+  return generate_scenario(config, rng);
+}
+
+TEST(TransformsTest, ScaleAvailabilityFullKeepIsIdentity) {
+  const Scenario base = generated();
+  const Scenario same = scale_link_availability(base, 1.0);
+  EXPECT_EQ(same.virt_links.size(), base.virt_links.size());
+  for (std::size_t i = 0; i < base.virt_links.size(); ++i) {
+    EXPECT_EQ(same.virt_links[i].window, base.virt_links[i].window);
+  }
+  EXPECT_TRUE(same.validate().empty());
+}
+
+TEST(TransformsTest, ScaleAvailabilityShrinksAndDropsEmpty) {
+  const Scenario base = generated();
+  const Scenario half = scale_link_availability(base, 0.5);
+  EXPECT_LE(half.virt_links.size(), base.virt_links.size());
+  for (const VirtualLink& vl : half.virt_links) {
+    EXPECT_FALSE(vl.window.empty());
+  }
+  const Scenario none = scale_link_availability(base, 0.0);
+  EXPECT_TRUE(none.virt_links.empty());
+  EXPECT_TRUE(half.validate().empty());
+}
+
+TEST(TransformsTest, ScaleBandwidthAdjustsBothLinkKinds) {
+  const Scenario base = generated();
+  const Scenario doubled = scale_bandwidth(base, 2.0);
+  for (std::size_t p = 0; p < base.phys_links.size(); ++p) {
+    EXPECT_EQ(doubled.phys_links[p].bandwidth_bps,
+              base.phys_links[p].bandwidth_bps * 2);
+  }
+  for (std::size_t v = 0; v < base.virt_links.size(); ++v) {
+    EXPECT_EQ(doubled.virt_links[v].bandwidth_bps,
+              base.virt_links[v].bandwidth_bps * 2);
+  }
+  EXPECT_TRUE(doubled.validate().empty());
+  // Tiny factors clamp to 1 bit/s rather than zero.
+  const Scenario crushed = scale_bandwidth(base, 1e-12);
+  for (const PhysicalLink& pl : crushed.phys_links) {
+    EXPECT_GE(pl.bandwidth_bps, 1);
+  }
+}
+
+TEST(TransformsTest, ScaleDeadlinesRescalesOffsets) {
+  const Scenario base = generated();
+  const Scenario tighter = scale_deadlines(base, 0.5);
+  ASSERT_EQ(tighter.items.size(), base.items.size());
+  for (std::size_t i = 0; i < base.items.size(); ++i) {
+    const SimTime born = base.items[i].sources.front().available_at;
+    for (std::size_t k = 0; k < base.items[i].requests.size(); ++k) {
+      const SimDuration old_offset = base.items[i].requests[k].deadline - born;
+      const SimDuration new_offset = tighter.items[i].requests[k].deadline - born;
+      EXPECT_NEAR(static_cast<double>(new_offset.usec()),
+                  static_cast<double>(old_offset.usec()) * 0.5, 1.0);
+      EXPECT_GT(new_offset, SimDuration::zero());
+    }
+  }
+  EXPECT_TRUE(tighter.validate().empty());
+}
+
+TEST(TransformsTest, DropPhysicalLinkRemapsVirtualLinks) {
+  const Scenario base = generated();
+  const PhysLinkId victim(2);
+  const Scenario reduced = drop_physical_link(base, victim);
+  EXPECT_EQ(reduced.phys_links.size(), base.phys_links.size() - 1);
+  std::size_t victim_vlinks = 0;
+  for (const VirtualLink& vl : base.virt_links) {
+    if (vl.phys == victim) ++victim_vlinks;
+  }
+  EXPECT_EQ(reduced.virt_links.size(), base.virt_links.size() - victim_vlinks);
+  // Remapped ids still agree with their physical link endpoints.
+  EXPECT_TRUE(reduced.validate().empty());
+}
+
+TEST(TransformsTest, FlattenPrioritiesZeroesEveryRequest) {
+  const Scenario base = generated();
+  const Scenario flat = flatten_priorities(base);
+  for (const DataItem& item : flat.items) {
+    for (const Request& request : item.requests) {
+      EXPECT_EQ(request.priority, kPriorityLow);
+    }
+  }
+  EXPECT_TRUE(flat.validate().empty());
+}
+
+TEST(TransformsTest, LimitSourcesTruncates) {
+  const Scenario base = generated();
+  const Scenario solo = limit_sources(base, 1);
+  ASSERT_EQ(solo.items.size(), base.items.size());
+  for (std::size_t i = 0; i < base.items.size(); ++i) {
+    EXPECT_EQ(solo.items[i].sources.size(), 1u);
+    EXPECT_EQ(solo.items[i].sources[0].machine, base.items[i].sources[0].machine);
+  }
+  EXPECT_TRUE(solo.validate().empty());
+  // A limit above the actual counts is the identity.
+  const Scenario same = limit_sources(base, 100);
+  for (std::size_t i = 0; i < base.items.size(); ++i) {
+    EXPECT_EQ(same.items[i].sources.size(), base.items[i].sources.size());
+  }
+}
+
+TEST(TransformsTest, ComposedTransformsStayValid) {
+  const Scenario base = generated();
+  const Scenario composed = flatten_priorities(
+      scale_deadlines(scale_bandwidth(scale_link_availability(base, 0.7), 0.5), 1.5));
+  EXPECT_TRUE(composed.validate().empty());
+}
+
+}  // namespace
+}  // namespace datastage

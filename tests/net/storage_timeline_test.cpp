@@ -1,0 +1,87 @@
+#include "net/storage_timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace datastage {
+namespace {
+
+Interval iv(std::int64_t a, std::int64_t b) {
+  return Interval{SimTime::from_usec(a), SimTime::from_usec(b)};
+}
+
+TEST(StorageTimelineTest, StartsEmpty) {
+  const StorageTimeline st(100);
+  EXPECT_EQ(st.capacity(), 100);
+  EXPECT_EQ(st.usage_at(SimTime::zero()), 0);
+  EXPECT_EQ(st.max_usage(iv(0, 1'000'000)), 0);
+  EXPECT_EQ(st.min_free(iv(0, 1'000'000)), 100);
+}
+
+TEST(StorageTimelineTest, SingleAllocation) {
+  StorageTimeline st(100);
+  st.allocate(30, iv(10, 50));
+  EXPECT_EQ(st.usage_at(SimTime::from_usec(9)), 0);
+  EXPECT_EQ(st.usage_at(SimTime::from_usec(10)), 30);
+  EXPECT_EQ(st.usage_at(SimTime::from_usec(49)), 30);
+  EXPECT_EQ(st.usage_at(SimTime::from_usec(50)), 0);  // half-open release
+  EXPECT_EQ(st.max_usage(iv(0, 10)), 0);
+  EXPECT_EQ(st.max_usage(iv(0, 11)), 30);
+  EXPECT_EQ(st.max_usage(iv(50, 60)), 0);
+}
+
+TEST(StorageTimelineTest, OverlappingAllocationsStack) {
+  StorageTimeline st(100);
+  st.allocate(30, iv(10, 50));
+  st.allocate(40, iv(30, 80));
+  EXPECT_EQ(st.max_usage(iv(0, 100)), 70);
+  EXPECT_EQ(st.usage_at(SimTime::from_usec(30)), 70);
+  EXPECT_EQ(st.usage_at(SimTime::from_usec(50)), 40);
+  EXPECT_TRUE(st.fits(30, iv(0, 100)));
+  EXPECT_FALSE(st.fits(31, iv(0, 100)));
+  EXPECT_TRUE(st.fits(60, iv(50, 100)));  // after the first release
+}
+
+TEST(StorageTimelineTest, InfiniteHoldWindows) {
+  StorageTimeline st(100);
+  st.allocate(60, Interval{SimTime::from_usec(5), SimTime::infinity()});
+  EXPECT_EQ(st.max_usage(Interval{SimTime::zero(), SimTime::infinity()}), 60);
+  EXPECT_FALSE(st.fits(50, Interval{SimTime::from_usec(7), SimTime::infinity()}));
+  EXPECT_TRUE(st.fits(40, Interval{SimTime::from_usec(7), SimTime::infinity()}));
+  EXPECT_TRUE(st.fits(100, iv(0, 5)));  // before the hold begins
+}
+
+TEST(StorageTimelineTest, ExactCapacityFits) {
+  StorageTimeline st(100);
+  st.allocate(100, iv(0, 10));
+  EXPECT_EQ(st.max_usage(iv(0, 10)), 100);
+  EXPECT_TRUE(st.fits(100, iv(10, 20)));
+  EXPECT_FALSE(st.fits(1, iv(5, 15)));
+}
+
+TEST(StorageTimelineTest, EmptyIntervalAndZeroBytesAreNoOps) {
+  StorageTimeline st(10);
+  st.allocate(5, iv(7, 7));
+  st.allocate(0, iv(0, 100));
+  EXPECT_EQ(st.max_usage(iv(0, 100)), 0);
+  EXPECT_EQ(st.max_usage(iv(5, 5)), 0);  // empty query
+}
+
+TEST(StorageTimelineTest, ManyAdjacentAllocations) {
+  StorageTimeline st(1000);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    st.allocate(10, iv(i * 10, i * 10 + 10));
+  }
+  // Adjacent, never overlapping: max stays 10.
+  EXPECT_EQ(st.max_usage(iv(0, 100)), 10);
+  st.allocate(5, iv(0, 100));
+  EXPECT_EQ(st.max_usage(iv(0, 100)), 15);
+}
+
+TEST(StorageTimelineDeathTest, OverCapacityAllocationAborts) {
+  StorageTimeline st(100);
+  st.allocate(80, iv(0, 50));
+  EXPECT_DEATH(st.allocate(30, iv(40, 60)), "capacity");
+}
+
+}  // namespace
+}  // namespace datastage

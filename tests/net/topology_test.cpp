@@ -1,0 +1,100 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+using testing::ScenarioBuilder;
+
+constexpr std::int64_t kGB = 1 << 30;
+const Interval kAlways{SimTime::zero(), at_min(120)};
+
+TEST(TopologyTest, OutgoingLinksGroupedPerMachine) {
+  const Scenario s = testing::chain_scenario();
+  const Topology topo(s);
+  EXPECT_EQ(topo.machine_count(), 3u);
+  EXPECT_EQ(topo.outgoing(MachineId(0)).size(), 1u);
+  EXPECT_EQ(topo.outgoing(MachineId(1)).size(), 1u);
+  EXPECT_TRUE(topo.outgoing(MachineId(2)).empty());
+  EXPECT_EQ(s.vlink(topo.outgoing(MachineId(0))[0]).to, MachineId(1));
+}
+
+TEST(TopologyTest, OutgoingSortedByDestinationThenWindow) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB).machine(kGB)
+                         .link(0, 2, 1000, Interval{at_min(10), at_min(20)})
+                         .link(0, 1, 1000, Interval{at_min(30), at_min(40)})
+                         .window(Interval{at_min(0), at_min(5)})
+                         .build_unchecked();
+  const Topology topo(s);
+  const auto out = topo.outgoing(MachineId(0));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(s.vlink(out[0]).to, MachineId(1));
+  EXPECT_EQ(s.vlink(out[0]).window.begin, at_min(0));
+  EXPECT_EQ(s.vlink(out[1]).to, MachineId(1));
+  EXPECT_EQ(s.vlink(out[1]).window.begin, at_min(30));
+  EXPECT_EQ(s.vlink(out[2]).to, MachineId(2));
+}
+
+TEST(TopologyTest, OutDegreeCountsDistinctNeighbors) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB).machine(kGB)
+                         .link(0, 1, 1000, kAlways)
+                         .link(0, 1, 2000, kAlways)  // second parallel link
+                         .link(0, 2, 1000, kAlways)
+                         .build_unchecked();
+  const Topology topo(s);
+  EXPECT_EQ(topo.out_degree(MachineId(0)), 2);
+  EXPECT_EQ(topo.out_degree(MachineId(1)), 0);
+}
+
+TEST(TopologyTest, ChainIsNotStronglyConnected) {
+  // Topology keeps a pointer to the scenario: it must outlive the topology.
+  const Scenario s = testing::chain_scenario();
+  const Topology topo(s);
+  EXPECT_FALSE(topo.strongly_connected());
+}
+
+TEST(TopologyTest, CycleIsStronglyConnected) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB).machine(kGB)
+                         .link(0, 1, 1000, kAlways)
+                         .link(1, 2, 1000, kAlways)
+                         .link(2, 0, 1000, kAlways)
+                         .build_unchecked();
+  EXPECT_TRUE(Topology(s).strongly_connected());
+}
+
+TEST(TopologyTest, TwoDisjointCyclesAreNotStronglyConnected) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB).machine(kGB).machine(kGB)
+                         .link(0, 1, 1000, kAlways)
+                         .link(1, 0, 1000, kAlways)
+                         .link(2, 3, 1000, kAlways)
+                         .link(3, 2, 1000, kAlways)
+                         .build_unchecked();
+  EXPECT_FALSE(Topology(s).strongly_connected());
+}
+
+TEST(TopologyTest, SingleMachineIsStronglyConnected) {
+  const Scenario s = ScenarioBuilder().machine(kGB).build_unchecked();
+  EXPECT_TRUE(Topology(s).strongly_connected());
+}
+
+TEST(TopologyTest, ReachableButNotReturnable) {
+  // 0 reaches everything, nothing returns to 0.
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB).machine(kGB)
+                         .link(0, 1, 1000, kAlways)
+                         .link(0, 2, 1000, kAlways)
+                         .link(1, 2, 1000, kAlways)
+                         .build_unchecked();
+  EXPECT_FALSE(Topology(s).strongly_connected());
+}
+
+}  // namespace
+}  // namespace datastage

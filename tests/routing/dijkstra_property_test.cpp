@@ -1,0 +1,152 @@
+// Differential test: the time-dependent multiple-source Dijkstra against a
+// brute-force reference that enumerates every simple path and simulates its
+// hop-by-hop earliest departure. On small generated networks both must agree
+// on the earliest arrival at every machine (and on unreachability).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "gen/generator.hpp"
+#include "net/network_state.hpp"
+#include "net/topology.hpp"
+#include "routing/dijkstra.hpp"
+
+namespace datastage {
+namespace {
+
+/// Earliest arrival at `target` over every simple path from any copy of
+/// `item`, by exhaustive DFS. Exponential — small graphs only.
+class BruteForce {
+ public:
+  BruteForce(const NetworkState& state, const Topology& topology, ItemId item)
+      : state_(state), topology_(topology), item_(item) {}
+
+  std::optional<SimTime> earliest_arrival(MachineId target) {
+    best_ = SimTime::infinity();
+    std::vector<bool> visited(state_.scenario().machine_count(), false);
+    for (const Copy& copy : state_.copies(item_)) {
+      visited.assign(visited.size(), false);
+      visited[copy.machine.index()] = true;
+      if (copy.machine == target) best_ = min(best_, copy.available_at);
+      dfs(copy.machine, copy.available_at, target, visited);
+    }
+    if (best_.is_infinite()) return std::nullopt;
+    return best_;
+  }
+
+ private:
+  void dfs(MachineId at, SimTime ready, MachineId target, std::vector<bool>& visited) {
+    // No pruning on `ready >= best_`: a later intermediate arrival cannot
+    // beat the incumbent at the target because departures are FIFO — but we
+    // keep the search exact and simple by pruning only on equality of best
+    // lower bound.
+    if (ready >= best_) return;  // any further hop arrives strictly later
+    for (const VirtLinkId link : topology_.outgoing(at)) {
+      const VirtualLink& vl = state_.scenario().vlink(link);
+      if (visited[vl.to.index()]) continue;
+      const auto fit = state_.earliest_fit(item_, link, ready);
+      if (!fit.has_value()) continue;
+      if (fit->start >= state_.hold_end(item_, at)) continue;
+      if (!state_.can_hold(item_, vl.to, fit->start)) continue;
+      if (vl.to == target) best_ = min(best_, fit->arrival);
+      visited[vl.to.index()] = true;
+      dfs(vl.to, fit->arrival, target, visited);
+      visited[vl.to.index()] = false;
+    }
+  }
+
+  const NetworkState& state_;
+  const Topology& topology_;
+  ItemId item_;
+  SimTime best_ = SimTime::infinity();
+};
+
+class DijkstraReferenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DijkstraReferenceTest, MatchesBruteForceOnSmallNetworks) {
+  GeneratorConfig config;
+  config.min_machines = 5;
+  config.max_machines = 6;
+  config.min_out_degree = 2;
+  config.max_out_degree = 3;
+  config.min_requests_per_machine = 2;
+  config.max_requests_per_machine = 3;
+  Rng rng(GetParam());
+  const Scenario scenario = generate_scenario(config, rng);
+
+  Topology topology(scenario);
+  NetworkState state(scenario);
+
+  for (std::size_t i = 0; i < scenario.item_count() && i < 8; ++i) {
+    const ItemId item(static_cast<std::int32_t>(i));
+    const RouteTree tree = compute_route_tree(state, topology, item);
+    BruteForce brute(state, topology, item);
+    for (std::size_t m = 0; m < scenario.machine_count(); ++m) {
+      const MachineId machine(static_cast<std::int32_t>(m));
+      const auto expected = brute.earliest_arrival(machine);
+      if (expected.has_value()) {
+        ASSERT_TRUE(tree.reached(machine))
+            << "item " << i << " machine " << m << " seed " << GetParam();
+        EXPECT_EQ(tree.arrival(machine), *expected)
+            << "item " << i << " machine " << m << " seed " << GetParam();
+      } else {
+        EXPECT_FALSE(tree.reached(machine))
+            << "item " << i << " machine " << m << " seed " << GetParam();
+      }
+    }
+  }
+}
+
+TEST_P(DijkstraReferenceTest, MatchesBruteForceAfterReservations) {
+  GeneratorConfig config;
+  config.min_machines = 5;
+  config.max_machines = 5;
+  config.min_out_degree = 2;
+  config.max_out_degree = 2;
+  config.min_requests_per_machine = 2;
+  config.max_requests_per_machine = 2;
+  Rng rng(GetParam() * 31);
+  const Scenario scenario = generate_scenario(config, rng);
+
+  Topology topology(scenario);
+  NetworkState state(scenario);
+
+  // Mutate the state: commit the first hop of the first few items' trees,
+  // then re-compare the remaining items against brute force on the loaded
+  // network.
+  std::size_t committed = 0;
+  for (std::size_t i = 0; i < scenario.item_count() && committed < 4; ++i) {
+    const ItemId item(static_cast<std::int32_t>(i));
+    const RouteTree tree = compute_route_tree(state, topology, item);
+    for (const DataItem& data = scenario.item(item); const Request& r : data.requests) {
+      if (tree.reached(r.destination) && tree.has_parent(r.destination)) {
+        const TreeEdge hop = tree.first_hop(r.destination);
+        state.apply_transfer(item, hop.link, hop.start);
+        ++committed;
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < scenario.item_count() && i < 6; ++i) {
+    const ItemId item(static_cast<std::int32_t>(i));
+    const RouteTree tree = compute_route_tree(state, topology, item);
+    BruteForce brute(state, topology, item);
+    for (std::size_t m = 0; m < scenario.machine_count(); ++m) {
+      const MachineId machine(static_cast<std::int32_t>(m));
+      const auto expected = brute.earliest_arrival(machine);
+      ASSERT_EQ(tree.reached(machine), expected.has_value())
+          << "item " << i << " machine " << m;
+      if (expected.has_value()) {
+        EXPECT_EQ(tree.arrival(machine), *expected) << "item " << i << " machine " << m;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DijkstraReferenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace datastage

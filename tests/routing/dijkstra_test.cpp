@@ -1,0 +1,212 @@
+#include "routing/dijkstra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network_state.hpp"
+#include "net/topology.hpp"
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+using testing::ScenarioBuilder;
+
+constexpr std::int64_t kGB = 1 << 30;
+const Interval kAlways{SimTime::zero(), at_min(120)};
+
+TEST(DijkstraTest, ChainEarliestArrival) {
+  const Scenario s = testing::chain_scenario();  // A->B->C, 8 Mbit/s, 1 MB item
+  Topology topo(s);
+  NetworkState state(s);
+  const RouteTree tree = compute_route_tree(state, topo, ItemId(0));
+
+  // 1 MB = 8e6 bits over 8e6 bits/s = 1 s per hop.
+  EXPECT_EQ(tree.arrival(MachineId(0)), SimTime::zero());
+  EXPECT_FALSE(tree.has_parent(MachineId(0)));
+  EXPECT_EQ(tree.arrival(MachineId(1)), testing::at_sec(1));
+  EXPECT_EQ(tree.arrival(MachineId(2)), testing::at_sec(2));
+  ASSERT_TRUE(tree.has_parent(MachineId(2)));
+
+  const auto path = tree.path_to(MachineId(2));
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0].from, MachineId(0));
+  EXPECT_EQ(path[0].to, MachineId(1));
+  EXPECT_EQ(path[1].to, MachineId(2));
+  EXPECT_EQ(tree.first_hop(MachineId(2)).to, MachineId(1));
+}
+
+TEST(DijkstraTest, PicksFasterOfParallelRoutes) {
+  // Direct slow link 0->2 vs fast two-hop 0->1->2.
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB).machine(kGB)
+                         .link(0, 2, 1'000'000, kAlways)   // 8 s for 1 MB
+                         .link(0, 1, 8'000'000, kAlways)   // 1 s
+                         .link(1, 2, 8'000'000, kAlways)   // 1 s
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(2, at_min(30))
+                         .build();
+  Topology topo(s);
+  NetworkState state(s);
+  const RouteTree tree = compute_route_tree(state, topo, ItemId(0));
+  EXPECT_EQ(tree.arrival(MachineId(2)), testing::at_sec(2));
+  EXPECT_EQ(tree.path_to(MachineId(2)).size(), 2u);
+}
+
+TEST(DijkstraTest, WaitsForLinkWindow) {
+  // Link to destination only opens at minute 10.
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, Interval{at_min(10), at_min(60)})
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_min(30))
+                         .build();
+  Topology topo(s);
+  NetworkState state(s);
+  const RouteTree tree = compute_route_tree(state, topo, ItemId(0));
+  EXPECT_EQ(tree.arrival(MachineId(1)), at_min(10) + SimDuration::seconds(1));
+}
+
+TEST(DijkstraTest, TransferMustFitInsideWindow) {
+  // Window long enough to start but not to finish the 1 s transfer.
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000,
+                               Interval{SimTime::zero(), testing::at_sec(1) - SimDuration::from_usec(1)})
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_min(30))
+                         .build();
+  Topology topo(s);
+  NetworkState state(s);
+  const RouteTree tree = compute_route_tree(state, topo, ItemId(0));
+  EXPECT_FALSE(tree.reached(MachineId(1)));
+}
+
+TEST(DijkstraTest, UsesLaterWindowWhenFirstIsTooShort) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000,
+                               Interval{SimTime::zero(), SimTime::from_usec(500'000)})
+                         .window(Interval{at_min(5), at_min(10)})
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_min(30))
+                         .build();
+  Topology topo(s);
+  NetworkState state(s);
+  const RouteTree tree = compute_route_tree(state, topo, ItemId(0));
+  EXPECT_EQ(tree.arrival(MachineId(1)), at_min(5) + SimDuration::seconds(1));
+}
+
+TEST(DijkstraTest, LatencyAddsToOccupancy) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways, SimDuration::milliseconds(250))
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_min(30))
+                         .build();
+  Topology topo(s);
+  NetworkState state(s);
+  const RouteTree tree = compute_route_tree(state, topo, ItemId(0));
+  EXPECT_EQ(tree.arrival(MachineId(1)),
+            testing::at_sec(1) + SimDuration::milliseconds(250));
+}
+
+TEST(DijkstraTest, MultiSourcePrefersNearestSource) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB).machine(kGB).machine(kGB)
+                         .link(0, 3, 1'000'000, kAlways)   // slow from far source
+                         .link(1, 3, 8'000'000, kAlways)   // fast from near source
+                         .link(3, 2, 8'000'000, kAlways)   // connectivity filler
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .source(1, SimTime::zero())
+                         .request(3, at_min(30))
+                         .build();
+  Topology topo(s);
+  NetworkState state(s);
+  const RouteTree tree = compute_route_tree(state, topo, ItemId(0));
+  ASSERT_TRUE(tree.has_parent(MachineId(3)));
+  EXPECT_EQ(tree.parent_edge(MachineId(3)).from, MachineId(1));
+  EXPECT_EQ(tree.arrival(MachineId(3)), testing::at_sec(1));
+}
+
+TEST(DijkstraTest, SourceAvailabilityDelaysDeparture) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways)
+                         .item(1'000'000)
+                         .source(0, at_min(20))
+                         .request(1, at_min(30))
+                         .build();
+  Topology topo(s);
+  NetworkState state(s);
+  const RouteTree tree = compute_route_tree(state, topo, ItemId(0));
+  EXPECT_EQ(tree.arrival(MachineId(1)), at_min(20) + SimDuration::seconds(1));
+}
+
+TEST(DijkstraTest, CapacityBlocksIntermediate) {
+  // B can't store the item; the only route around is the direct slow link.
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB)
+                         .machine(100)  // tiny intermediate
+                         .machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways)
+                         .link(1, 2, 8'000'000, kAlways)
+                         .link(0, 2, 1'000'000, kAlways)
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(2, at_min(30))
+                         .build();
+  Topology topo(s);
+  NetworkState state(s);
+  const RouteTree tree = compute_route_tree(state, topo, ItemId(0));
+  EXPECT_FALSE(tree.reached(MachineId(1)));
+  EXPECT_EQ(tree.arrival(MachineId(2)), testing::at_sec(8));
+  EXPECT_EQ(tree.path_to(MachineId(2)).size(), 1u);
+}
+
+TEST(DijkstraTest, ExistingReservationDelaysTransfer) {
+  const Scenario s = testing::chain_scenario();
+  Topology topo(s);
+  NetworkState state(s);
+  // Occupy the first link for [0, 1s) with the item itself (a prior transfer
+  // of the same item would conflict on the same link otherwise).
+  const RouteTree before = compute_route_tree(state, topo, ItemId(0));
+  state.apply_transfer(ItemId(0), before.parent_edge(MachineId(1)).link,
+                       SimTime::zero());
+  // The item now sits on both A (t=0) and B (t=1s): C is reached from B.
+  const RouteTree after = compute_route_tree(state, topo, ItemId(0));
+  EXPECT_EQ(after.arrival(MachineId(1)), testing::at_sec(1));
+  EXPECT_FALSE(after.has_parent(MachineId(1)));  // now a root (copy holder)
+  EXPECT_EQ(after.arrival(MachineId(2)), testing::at_sec(2));
+  EXPECT_EQ(after.path_to(MachineId(2)).size(), 1u);
+}
+
+TEST(DijkstraTest, PruneAfterCutsExpansion) {
+  const Scenario s = testing::chain_scenario();
+  Topology topo(s);
+  NetworkState state(s);
+  DijkstraOptions opt;
+  opt.prune_after = SimTime::zero() + SimDuration::milliseconds(1500);
+  const RouteTree tree = compute_route_tree(state, topo, ItemId(0), opt);
+  EXPECT_TRUE(tree.reached(MachineId(1)));   // arrives at 1 s
+  EXPECT_FALSE(tree.reached(MachineId(2)));  // would arrive at 2 s > prune
+}
+
+TEST(DijkstraTest, StatsAreCounted) {
+  const Scenario s = testing::chain_scenario();
+  Topology topo(s);
+  NetworkState state(s);
+  DijkstraStats stats;
+  compute_route_tree(state, topo, ItemId(0), {}, &stats);
+  EXPECT_GT(stats.pops, 0u);
+  EXPECT_GT(stats.relaxations, 0u);
+}
+
+}  // namespace
+}  // namespace datastage

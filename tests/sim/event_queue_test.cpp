@@ -1,0 +1,69 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace datastage {
+namespace {
+
+SimEvent ev(std::int64_t usec, SimEventKind kind, std::size_t step = 0) {
+  return SimEvent{SimTime::from_usec(usec), kind, step};
+}
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  q.push(ev(30, SimEventKind::kTransferStart, 1));
+  q.push(ev(10, SimEventKind::kTransferStart, 2));
+  q.push(ev(20, SimEventKind::kTransferStart, 3));
+  EXPECT_EQ(q.pop().step, 2u);
+  EXPECT_EQ(q.pop().step, 3u);
+  EXPECT_EQ(q.pop().step, 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, ArrivalBeforeStartAtSameTime) {
+  EventQueue q;
+  q.push(ev(10, SimEventKind::kTransferStart, 1));
+  q.push(ev(10, SimEventKind::kArrival, 2));
+  EXPECT_EQ(q.pop().kind, SimEventKind::kArrival);
+  EXPECT_EQ(q.pop().kind, SimEventKind::kTransferStart);
+}
+
+TEST(EventQueueTest, InsertionOrderBreaksRemainingTies) {
+  EventQueue q;
+  q.push(ev(10, SimEventKind::kArrival, 1));
+  q.push(ev(10, SimEventKind::kArrival, 2));
+  q.push(ev(10, SimEventKind::kArrival, 3));
+  EXPECT_EQ(q.pop().step, 1u);
+  EXPECT_EQ(q.pop().step, 2u);
+  EXPECT_EQ(q.pop().step, 3u);
+}
+
+TEST(EventQueueTest, SizeTracksPushesAndPops) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.push(ev(1, SimEventKind::kArrival));
+  q.push(ev(2, SimEventKind::kArrival));
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, InterleavedPushPop) {
+  EventQueue q;
+  q.push(ev(50, SimEventKind::kArrival, 1));
+  EXPECT_EQ(q.pop().step, 1u);
+  q.push(ev(40, SimEventKind::kArrival, 2));
+  q.push(ev(60, SimEventKind::kArrival, 3));
+  EXPECT_EQ(q.pop().step, 2u);
+  q.push(ev(45, SimEventKind::kArrival, 4));
+  EXPECT_EQ(q.pop().step, 4u);
+  EXPECT_EQ(q.pop().step, 3u);
+}
+
+TEST(EventQueueDeathTest, PopOnEmptyAborts) {
+  EventQueue q;
+  EXPECT_DEATH(q.pop(), "");
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,81 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace datastage {
+namespace {
+
+bool parse(CliFlags& flags, std::vector<const char*> argv,
+           std::vector<std::string> known) {
+  argv.insert(argv.begin(), "prog");
+  return flags.parse(static_cast<int>(argv.size()), argv.data(), known);
+}
+
+TEST(CliFlagsTest, EqualsSyntax) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--cases=12", "--name=hello"}, {"cases", "name"}));
+  EXPECT_EQ(flags.get_int("cases", 0), 12);
+  EXPECT_EQ(flags.get_string("name", ""), "hello");
+}
+
+TEST(CliFlagsTest, SpaceSyntax) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--cases", "7"}, {"cases"}));
+  EXPECT_EQ(flags.get_int("cases", 0), 7);
+}
+
+TEST(CliFlagsTest, BareBooleanFlag) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--verbose"}, {"verbose"}));
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_TRUE(flags.has("verbose"));
+  EXPECT_FALSE(flags.has("other"));
+}
+
+TEST(CliFlagsTest, BooleanBeforeAnotherFlagStaysBoolean) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--verbose", "--cases=3"}, {"verbose", "cases"}));
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_EQ(flags.get_int("cases", 0), 3);
+}
+
+TEST(CliFlagsTest, UnknownFlagFails) {
+  CliFlags flags;
+  EXPECT_FALSE(parse(flags, {"--bogus=1"}, {"cases"}));
+}
+
+TEST(CliFlagsTest, PositionalArguments) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"input.txt", "--cases=1", "more"}, {"cases"}));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.txt");
+  EXPECT_EQ(flags.positional()[1], "more");
+}
+
+TEST(CliFlagsTest, FallbacksWhenAbsent) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {}, {"cases"}));
+  EXPECT_EQ(flags.get_int("cases", 42), 42);
+  EXPECT_EQ(flags.get_string("cases", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(flags.get_double("cases", 1.5), 1.5);
+  EXPECT_TRUE(flags.get_bool("cases", true));
+}
+
+TEST(CliFlagsTest, DoubleParsing) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--ratio=-2.5"}, {"ratio"}));
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio", 0.0), -2.5);
+}
+
+TEST(CliFlagsTest, BoolValueVariants) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--a=true", "--b=1", "--c=yes", "--d=no"},
+                    {"a", "b", "c", "d"}));
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_TRUE(flags.get_bool("b", false));
+  EXPECT_TRUE(flags.get_bool("c", false));
+  EXPECT_FALSE(flags.get_bool("d", true));
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,57 @@
+#include "util/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <type_traits>
+#include <unordered_set>
+
+namespace datastage {
+namespace {
+
+TEST(StrongIdTest, DefaultIsInvalid) {
+  const MachineId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, MachineId::invalid());
+}
+
+TEST(StrongIdTest, ValueAndIndex) {
+  const ItemId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7);
+  EXPECT_EQ(id.index(), 7u);
+}
+
+TEST(StrongIdTest, OrderingAndEquality) {
+  EXPECT_LT(MachineId(1), MachineId(2));
+  EXPECT_EQ(MachineId(3), MachineId(3));
+  EXPECT_NE(MachineId(3), MachineId(4));
+}
+
+TEST(StrongIdTest, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<MachineId, ItemId>);
+  static_assert(!std::is_same_v<PhysLinkId, VirtLinkId>);
+}
+
+TEST(StrongIdTest, Hashable) {
+  std::unordered_set<MachineId> set;
+  set.insert(MachineId(1));
+  set.insert(MachineId(2));
+  set.insert(MachineId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(RequestRefTest, CompositeOrdering) {
+  const RequestRef a{ItemId(0), 1};
+  const RequestRef b{ItemId(0), 2};
+  const RequestRef c{ItemId(1), 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (RequestRef{ItemId(0), 1}));
+  std::set<RequestRef> refs{c, a, b};
+  EXPECT_EQ(refs.size(), 3u);
+  EXPECT_EQ(*refs.begin(), a);
+}
+
+}  // namespace
+}  // namespace datastage

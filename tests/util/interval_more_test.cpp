@@ -1,0 +1,87 @@
+// Directed tests for IntervalSet::subtract (the fuzz suite covers it
+// statistically; these pin the exact split/trim/merge behaviors) and for
+// Interval rendering.
+#include <gtest/gtest.h>
+
+#include "util/interval.hpp"
+
+namespace datastage {
+namespace {
+
+Interval iv(std::int64_t a, std::int64_t b) {
+  return Interval{SimTime::from_usec(a), SimTime::from_usec(b)};
+}
+
+TEST(IntervalSubtractTest, NoOverlapIsNoOp) {
+  IntervalSet set;
+  set.insert_disjoint(iv(10, 20));
+  set.subtract(iv(30, 40));
+  set.subtract(iv(0, 10));   // touching left
+  set.subtract(iv(20, 25));  // touching right
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], iv(10, 20));
+}
+
+TEST(IntervalSubtractTest, SplitsMiddle) {
+  IntervalSet set;
+  set.insert_disjoint(iv(10, 50));
+  set.subtract(iv(20, 30));
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.intervals()[0], iv(10, 20));
+  EXPECT_EQ(set.intervals()[1], iv(30, 50));
+}
+
+TEST(IntervalSubtractTest, TrimsEdges) {
+  IntervalSet set;
+  set.insert_disjoint(iv(10, 50));
+  set.subtract(iv(0, 20));
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], iv(20, 50));
+  set.subtract(iv(40, 60));
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], iv(20, 40));
+}
+
+TEST(IntervalSubtractTest, RemovesWholeMembers) {
+  IntervalSet set;
+  set.insert_disjoint(iv(10, 20));
+  set.insert_disjoint(iv(30, 40));
+  set.insert_disjoint(iv(50, 60));
+  set.subtract(iv(15, 55));
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.intervals()[0], iv(10, 15));
+  EXPECT_EQ(set.intervals()[1], iv(55, 60));
+}
+
+TEST(IntervalSubtractTest, ExactMemberVanishes) {
+  IntervalSet set;
+  set.insert_disjoint(iv(10, 20));
+  set.subtract(iv(10, 20));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalSubtractTest, EmptySubtrahendIsNoOp) {
+  IntervalSet set;
+  set.insert_disjoint(iv(10, 20));
+  set.subtract(iv(15, 15));
+  ASSERT_EQ(set.size(), 1u);
+}
+
+TEST(IntervalSubtractTest, SubtractFromEmptySet) {
+  IntervalSet set;
+  set.subtract(iv(0, 100));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(IntervalToStringTest, RendersBothEnds) {
+  const Interval window{SimTime::zero() + SimDuration::minutes(90),
+                        SimTime::infinity()};
+  const std::string text = window.to_string();
+  EXPECT_NE(text.find("01:30:00.000"), std::string::npos);
+  EXPECT_NE(text.find("inf"), std::string::npos);
+  EXPECT_EQ(text.front(), '[');
+  EXPECT_EQ(text.back(), ')');
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,124 @@
+#include "util/interval.hpp"
+
+#include <gtest/gtest.h>
+
+namespace datastage {
+namespace {
+
+Interval iv(std::int64_t a, std::int64_t b) {
+  return Interval{SimTime::from_usec(a), SimTime::from_usec(b)};
+}
+
+TEST(IntervalTest, BasicPredicates) {
+  EXPECT_TRUE(iv(5, 5).empty());
+  EXPECT_FALSE(iv(5, 6).empty());
+  EXPECT_EQ(iv(2, 10).length(), SimDuration::from_usec(8));
+  EXPECT_TRUE(iv(2, 10).contains(SimTime::from_usec(2)));
+  EXPECT_FALSE(iv(2, 10).contains(SimTime::from_usec(10)));  // half-open
+  EXPECT_TRUE(iv(0, 10).contains(iv(3, 7)));
+  EXPECT_TRUE(iv(0, 10).contains(iv(0, 10)));
+  EXPECT_FALSE(iv(0, 10).contains(iv(3, 11)));
+}
+
+TEST(IntervalTest, OverlapIsHalfOpen) {
+  EXPECT_TRUE(iv(0, 5).overlaps(iv(4, 8)));
+  EXPECT_FALSE(iv(0, 5).overlaps(iv(5, 8)));  // touching is not overlap
+  EXPECT_FALSE(iv(5, 8).overlaps(iv(0, 5)));
+  EXPECT_TRUE(iv(0, 10).overlaps(iv(3, 4)));
+}
+
+TEST(IntervalSetTest, DisjointInsertAndOverlapQuery) {
+  IntervalSet set;
+  set.insert_disjoint(iv(10, 20));
+  set.insert_disjoint(iv(30, 40));
+  set.insert_disjoint(iv(0, 5));  // out-of-order insert keeps sortedness
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.overlaps(iv(15, 16)));
+  EXPECT_TRUE(set.overlaps(iv(19, 31)));
+  EXPECT_FALSE(set.overlaps(iv(20, 30)));  // exactly the gap
+  EXPECT_FALSE(set.overlaps(iv(5, 10)));
+  EXPECT_EQ(set.intervals()[0], iv(0, 5));
+  EXPECT_EQ(set.intervals()[2], iv(30, 40));
+}
+
+TEST(IntervalSetTest, InsertMergeCoalesces) {
+  IntervalSet set;
+  set.insert_merge(iv(0, 10));
+  set.insert_merge(iv(20, 30));
+  set.insert_merge(iv(5, 25));  // bridges both
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], iv(0, 30));
+  set.insert_merge(iv(30, 35));  // adjacent merges too
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.intervals()[0], iv(0, 35));
+}
+
+TEST(IntervalSetTest, EarliestFitEmptySet) {
+  const IntervalSet set;
+  const auto fit = set.earliest_fit(SimTime::from_usec(3), SimDuration::from_usec(4),
+                                    iv(0, 100));
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->usec(), 3);
+}
+
+TEST(IntervalSetTest, EarliestFitRespectsWindowStart) {
+  const IntervalSet set;
+  const auto fit = set.earliest_fit(SimTime::from_usec(0), SimDuration::from_usec(4),
+                                    iv(10, 100));
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->usec(), 10);
+}
+
+TEST(IntervalSetTest, EarliestFitSkipsBusyIntervals) {
+  IntervalSet set;
+  set.insert_disjoint(iv(10, 20));
+  set.insert_disjoint(iv(25, 40));
+  // Needs 6 units: gap [20,25) too small, first fit is 40.
+  const auto fit = set.earliest_fit(SimTime::from_usec(12), SimDuration::from_usec(6),
+                                    iv(0, 100));
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_EQ(fit->usec(), 40);
+  // Needs 5 units: gap [20,25) is exactly enough.
+  const auto snug = set.earliest_fit(SimTime::from_usec(12), SimDuration::from_usec(5),
+                                     iv(0, 100));
+  ASSERT_TRUE(snug.has_value());
+  EXPECT_EQ(snug->usec(), 20);
+}
+
+TEST(IntervalSetTest, EarliestFitFailsWhenWindowTooShort) {
+  IntervalSet set;
+  set.insert_disjoint(iv(10, 90));
+  EXPECT_FALSE(set.earliest_fit(SimTime::from_usec(0), SimDuration::from_usec(20),
+                                iv(0, 100))
+                   .has_value());
+  // Zero-length always fits if the window has room at/after not_before.
+  const auto zero = set.earliest_fit(SimTime::from_usec(95), SimDuration::zero(),
+                                     iv(0, 100));
+  ASSERT_TRUE(zero.has_value());
+  EXPECT_EQ(zero->usec(), 95);
+}
+
+TEST(IntervalSetTest, EarliestFitStartAfterWindowEnd) {
+  const IntervalSet set;
+  EXPECT_FALSE(set.earliest_fit(SimTime::from_usec(101), SimDuration::from_usec(1),
+                                iv(0, 100))
+                   .has_value());
+}
+
+TEST(IntervalSetTest, CoveredWithinClipsToWindow) {
+  IntervalSet set;
+  set.insert_disjoint(iv(10, 20));
+  set.insert_disjoint(iv(30, 50));
+  EXPECT_EQ(set.covered_within(iv(0, 100)), SimDuration::from_usec(30));
+  EXPECT_EQ(set.covered_within(iv(15, 35)), SimDuration::from_usec(10));
+  EXPECT_EQ(set.covered_within(iv(20, 30)), SimDuration::zero());
+}
+
+TEST(IntervalSetDeathTest, OverlappingDisjointInsertAborts) {
+  IntervalSet set;
+  set.insert_disjoint(iv(10, 20));
+  EXPECT_DEATH(set.insert_disjoint(iv(15, 25)), "overlaps");
+}
+
+}  // namespace
+}  // namespace datastage

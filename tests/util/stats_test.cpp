@@ -1,0 +1,79 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace datastage {
+namespace {
+
+TEST(AccumulatorTest, SingleValue) {
+  Accumulator acc;
+  acc.add(5.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 5.0);
+}
+
+TEST(AccumulatorTest, KnownSample) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(AccumulatorTest, NegativeValues) {
+  Accumulator acc;
+  acc.add(-3.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -3.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+}
+
+TEST(AccumulatorTest, NumericallyStableAroundLargeOffset) {
+  // Welford's method must not catastrophically cancel.
+  Accumulator acc;
+  const double offset = 1e12;
+  for (const double x : {offset + 1.0, offset + 2.0, offset + 3.0}) acc.add(x);
+  EXPECT_NEAR(acc.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(acc.variance(), 1.0, 1e-6);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(PercentileTest, EndpointsAndMedian) {
+  const std::vector<double> v{4.0, 1.0, 3.0, 2.0};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);  // interpolated median
+}
+
+TEST(PercentileTest, Interpolation) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.14159, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+  EXPECT_EQ(format_double(2.0), "2.00");  // default precision 2
+}
+
+}  // namespace
+}  // namespace datastage

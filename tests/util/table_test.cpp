@@ -1,0 +1,58 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace datastage {
+namespace {
+
+TEST(TableTest, TextRenderingAlignsColumns) {
+  Table table({"name", "v"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "22"});
+  const std::string text = table.to_text();
+  EXPECT_EQ(text,
+            "| name   | v  |\n"
+            "|--------|----|\n"
+            "| a      | 1  |\n"
+            "| longer | 22 |\n");
+}
+
+TEST(TableTest, HeaderWiderThanCells) {
+  Table table({"wide-header"});
+  table.add_row({"x"});
+  EXPECT_EQ(table.to_text(),
+            "| wide-header |\n"
+            "|-------------|\n"
+            "| x           |\n");
+}
+
+TEST(TableTest, CsvPlainFields) {
+  Table table({"a", "b"});
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table table({"field"});
+  table.add_row({"with,comma"});
+  table.add_row({"with\"quote"});
+  table.add_row({"with\nnewline"});
+  EXPECT_EQ(table.to_csv(),
+            "field\n\"with,comma\"\n\"with\"\"quote\"\n\"with\nnewline\"\n");
+}
+
+TEST(TableTest, RowCount) {
+  Table table({"x"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(TableDeathTest, MismatchedRowWidthAborts) {
+  Table table({"a", "b"});
+  EXPECT_DEATH(table.add_row({"only-one"}), "width");
+}
+
+}  // namespace
+}  // namespace datastage

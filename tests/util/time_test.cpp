@@ -1,0 +1,81 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace datastage {
+namespace {
+
+TEST(SimDurationTest, NamedConstructorsAgree) {
+  EXPECT_EQ(SimDuration::seconds(1).usec(), 1'000'000);
+  EXPECT_EQ(SimDuration::milliseconds(1).usec(), 1'000);
+  EXPECT_EQ(SimDuration::minutes(2), SimDuration::seconds(120));
+  EXPECT_EQ(SimDuration::hours(1), SimDuration::minutes(60));
+}
+
+TEST(SimDurationTest, Arithmetic) {
+  const SimDuration a = SimDuration::seconds(90);
+  const SimDuration b = SimDuration::seconds(30);
+  EXPECT_EQ(a + b, SimDuration::minutes(2));
+  EXPECT_EQ(a - b, SimDuration::minutes(1));
+  EXPECT_EQ(-b, SimDuration::seconds(-30));
+  EXPECT_EQ(b * 4, SimDuration::minutes(2));
+  EXPECT_EQ(a / 3, SimDuration::seconds(30));
+}
+
+TEST(SimTimeTest, PointDurationAlgebra) {
+  const SimTime t = SimTime::zero() + SimDuration::minutes(10);
+  EXPECT_EQ((t + SimDuration::minutes(5)) - t, SimDuration::minutes(5));
+  EXPECT_EQ(t - SimDuration::minutes(10), SimTime::zero());
+  EXPECT_LT(SimTime::zero(), t);
+  EXPECT_LT(t, SimTime::infinity());
+}
+
+TEST(SimTimeTest, InfinityIsSticky) {
+  EXPECT_TRUE(SimTime::infinity().is_infinite());
+  EXPECT_TRUE((SimTime::infinity() + SimDuration::hours(1000)).is_infinite());
+  EXPECT_FALSE(SimTime::zero().is_infinite());
+}
+
+TEST(SimTimeTest, MinMax) {
+  const SimTime a = SimTime::from_usec(5);
+  const SimTime b = SimTime::from_usec(9);
+  EXPECT_EQ(min(a, b), a);
+  EXPECT_EQ(max(a, b), b);
+}
+
+TEST(SimTimeTest, ToStringFormatsHMS) {
+  const SimTime t = SimTime::zero() + SimDuration::hours(1) +
+                    SimDuration::minutes(2) + SimDuration::seconds(3) +
+                    SimDuration::milliseconds(45);
+  EXPECT_EQ(t.to_string(), "01:02:03.045");
+  EXPECT_EQ(SimTime::infinity().to_string(), "inf");
+}
+
+TEST(TransferDurationTest, ExactDivision) {
+  // 1000 bytes = 8000 bits over 8000 bits/s -> exactly 1 second.
+  EXPECT_EQ(transfer_duration(1000, 8000), SimDuration::seconds(1));
+}
+
+TEST(TransferDurationTest, RoundsUp) {
+  // 1 byte = 8 bits over 3 bits/s -> ceil(8/3 * 1e6) usec.
+  EXPECT_EQ(transfer_duration(1, 3).usec(), (8 * 1'000'000 + 2) / 3);
+}
+
+TEST(TransferDurationTest, ZeroBytesIsInstant) {
+  EXPECT_EQ(transfer_duration(0, 1000), SimDuration::zero());
+}
+
+TEST(TransferDurationTest, PaperScaleValues) {
+  // 100 MB over 10 Kbit/s: the oversubscription extreme of §5.3 — far beyond
+  // any deadline (~22.2 hours).
+  const SimDuration d = transfer_duration(100 * 1024 * 1024, 10'000);
+  EXPECT_GT(d, SimDuration::hours(22));
+  EXPECT_LT(d, SimDuration::hours(24));
+  // 10 KB over 1.5 Mbit/s: the fast extreme (~55 ms).
+  const SimDuration f = transfer_duration(10 * 1024, 1'500'000);
+  EXPECT_GT(f, SimDuration::milliseconds(50));
+  EXPECT_LT(f, SimDuration::milliseconds(60));
+}
+
+}  // namespace
+}  // namespace datastage

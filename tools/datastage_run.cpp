@@ -1,0 +1,122 @@
+// datastage_run — schedule a scenario file and report the outcome.
+//
+//   $ datastage_run case7.ds --scheduler=full_one/C4 --ratio=2
+//   $ datastage_run case7.ds --scheduler=partial/C3 --report --save=plan.dss
+//
+// Flags:
+//   --scheduler=NAME   heuristic/criterion pair (default full_one/C4); also
+//                      accepts the baselines single_dij_random,
+//                      random_dijkstra, priority_first, edf, and the beam
+//                      search ("beam", see --width)
+//   --width=N          beam width for --scheduler=beam (default 8)
+//   --ratio=X          log10(W_E/W_U), default 1
+//   --weighting=W      1,10,100 (default) or 1,5,10
+//   --report           print request/link/storage tables
+//   --trace            print the transfer log
+//   --save=PATH        write the schedule file
+//   --seed=N           RNG seed for the random baselines
+#include <cstdio>
+
+#include "core/bounds.hpp"
+#include "core/exact.hpp"
+#include "core/heuristics.hpp"
+#include "core/registry.hpp"
+#include "core/schedule_io.hpp"
+#include "model/scenario_io.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "util/cli.hpp"
+
+using namespace datastage;
+
+int main(int argc, char** argv) {
+  CliFlags flags;
+  const std::vector<std::string> known{"scheduler", "ratio", "weighting",
+                                       "report", "trace", "save", "seed", "width"};
+  if (!flags.parse(argc, argv, known)) return 1;
+  if (flags.positional().size() != 1) {
+    std::fprintf(stderr, "usage: datastage_run <scenario-file> [flags]\n");
+    return 1;
+  }
+
+  std::string error;
+  const auto scenario = load_scenario(flags.positional().front(), &error);
+  if (!scenario.has_value()) {
+    std::fprintf(stderr, "cannot load scenario: %s\n", error.c_str());
+    return 1;
+  }
+
+  const std::string weighting_name = flags.get_string("weighting", "1,10,100");
+  const PriorityWeighting weighting = weighting_name == "1,5,10"
+                                          ? PriorityWeighting::w_1_5_10()
+                                          : PriorityWeighting::w_1_10_100();
+
+  EngineOptions options;
+  options.weighting = weighting;
+  options.eu = EUWeights::from_log10_ratio(flags.get_double("ratio", 1.0));
+
+  const std::string scheduler = flags.get_string("scheduler", "full_one/C4");
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+
+  StagingResult result;
+  if (scheduler == "single_dij_random") {
+    result = run_single_dijkstra_random(*scenario, weighting, rng);
+  } else if (scheduler == "random_dijkstra") {
+    result = run_random_dijkstra(*scenario, weighting, rng);
+  } else if (scheduler == "priority_first") {
+    result = run_priority_first(*scenario, weighting);
+  } else if (scheduler == "edf") {
+    result = run_earliest_deadline_first(*scenario, weighting);
+  } else if (scheduler == "beam") {
+    BeamOptions beam;
+    beam.weighting = weighting;
+    beam.width = static_cast<std::size_t>(flags.get_int("width", 8));
+    result = run_beam_search(*scenario, beam);
+  } else {
+    const auto spec = parse_spec(scheduler);
+    if (!spec.has_value()) {
+      std::fprintf(stderr, "unknown scheduler '%s'\n", scheduler.c_str());
+      return 1;
+    }
+    result = run_spec(*spec, *scenario, options);
+  }
+
+  const BoundsReport bounds = compute_bounds(*scenario, weighting);
+  const double value = weighted_value(*scenario, weighting, result.outcomes);
+  std::printf("scheduler:        %s\n", scheduler.c_str());
+  std::printf("weighted value:   %.1f  (possible_satisfy %.1f, upper_bound %.1f)\n",
+              value, bounds.possible_satisfy, bounds.upper_bound);
+  std::printf("satisfied:        %zu / %zu requests\n",
+              satisfied_count(result.outcomes), scenario->request_count());
+  std::printf("transfers:        %zu (%s of link time)\n", result.schedule.size(),
+              result.schedule.total_link_time().to_string().c_str());
+  std::printf("dijkstra runs:    %zu\n", result.dijkstra_runs);
+
+  const SimReport replay = simulate(*scenario, result.schedule);
+  std::printf("replay:           %s\n", replay.ok ? "clean" : "CONSTRAINT VIOLATION");
+  if (!replay.ok) {
+    for (const auto& issue : replay.issues) {
+      std::fprintf(stderr, "  %s\n", issue.c_str());
+    }
+    return 2;
+  }
+
+  if (flags.get_bool("trace", false)) {
+    std::printf("\nSchedule:\n%s", schedule_trace(*scenario, result.schedule).c_str());
+  }
+  if (flags.get_bool("report", false)) {
+    std::printf("\nRequests:\n%s",
+                request_report(*scenario, result.outcomes).to_text().c_str());
+    std::printf("\nLink utilization:\n%s",
+                link_utilization(*scenario, result.schedule).to_text().c_str());
+    std::printf("\nStorage:\n%s",
+                storage_summary(*scenario, result.schedule).to_text().c_str());
+  }
+
+  const std::string save = flags.get_string("save", "");
+  if (!save.empty()) {
+    save_schedule(save, result.schedule);
+    std::printf("schedule written to %s\n", save.c_str());
+  }
+  return 0;
+}
