@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_bounds_comparison"
+  "../bench/fig2_bounds_comparison.pdb"
+  "CMakeFiles/fig2_bounds_comparison.dir/fig2_bounds_comparison.cpp.o"
+  "CMakeFiles/fig2_bounds_comparison.dir/fig2_bounds_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bounds_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_full_one"
+  "../bench/fig4_full_one.pdb"
+  "CMakeFiles/fig4_full_one.dir/fig4_full_one.cpp.o"
+  "CMakeFiles/fig4_full_one.dir/fig4_full_one.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_full_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

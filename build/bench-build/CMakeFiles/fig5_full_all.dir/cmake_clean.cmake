@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_full_all"
+  "../bench/fig5_full_all.pdb"
+  "CMakeFiles/fig5_full_all.dir/fig5_full_all.cpp.o"
+  "CMakeFiles/fig5_full_all.dir/fig5_full_all.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_full_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

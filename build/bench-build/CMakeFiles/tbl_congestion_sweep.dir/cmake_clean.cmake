@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tbl_congestion_sweep"
+  "../bench/tbl_congestion_sweep.pdb"
+  "CMakeFiles/tbl_congestion_sweep.dir/tbl_congestion_sweep.cpp.o"
+  "CMakeFiles/tbl_congestion_sweep.dir/tbl_congestion_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_congestion_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

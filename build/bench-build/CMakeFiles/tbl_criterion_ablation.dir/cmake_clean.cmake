@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tbl_criterion_ablation"
+  "../bench/tbl_criterion_ablation.pdb"
+  "CMakeFiles/tbl_criterion_ablation.dir/tbl_criterion_ablation.cpp.o"
+  "CMakeFiles/tbl_criterion_ablation.dir/tbl_criterion_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_criterion_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tbl_dynamic_outage"
+  "../bench/tbl_dynamic_outage.pdb"
+  "CMakeFiles/tbl_dynamic_outage.dir/tbl_dynamic_outage.cpp.o"
+  "CMakeFiles/tbl_dynamic_outage.dir/tbl_dynamic_outage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_dynamic_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

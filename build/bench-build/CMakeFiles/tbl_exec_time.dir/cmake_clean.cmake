@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tbl_exec_time"
+  "../bench/tbl_exec_time.pdb"
+  "CMakeFiles/tbl_exec_time.dir/tbl_exec_time.cpp.o"
+  "CMakeFiles/tbl_exec_time.dir/tbl_exec_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tbl_links_traversed"
+  "../bench/tbl_links_traversed.pdb"
+  "CMakeFiles/tbl_links_traversed.dir/tbl_links_traversed.cpp.o"
+  "CMakeFiles/tbl_links_traversed.dir/tbl_links_traversed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_links_traversed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

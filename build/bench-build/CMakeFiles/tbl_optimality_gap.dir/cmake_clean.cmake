@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tbl_optimality_gap"
+  "../bench/tbl_optimality_gap.pdb"
+  "CMakeFiles/tbl_optimality_gap.dir/tbl_optimality_gap.cpp.o"
+  "CMakeFiles/tbl_optimality_gap.dir/tbl_optimality_gap.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_optimality_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tbl_priority_first"
+  "../bench/tbl_priority_first.pdb"
+  "CMakeFiles/tbl_priority_first.dir/tbl_priority_first.cpp.o"
+  "CMakeFiles/tbl_priority_first.dir/tbl_priority_first.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_priority_first.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

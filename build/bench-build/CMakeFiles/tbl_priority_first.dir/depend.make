@@ -1,0 +1,2 @@
+# Empty dependencies file for tbl_priority_first.
+# This may be replaced when dependencies are built.

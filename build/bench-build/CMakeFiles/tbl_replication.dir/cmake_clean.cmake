@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tbl_replication"
+  "../bench/tbl_replication.pdb"
+  "CMakeFiles/tbl_replication.dir/tbl_replication.cpp.o"
+  "CMakeFiles/tbl_replication.dir/tbl_replication.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tbl_sensitivity_grid"
+  "../bench/tbl_sensitivity_grid.pdb"
+  "CMakeFiles/tbl_sensitivity_grid.dir/tbl_sensitivity_grid.cpp.o"
+  "CMakeFiles/tbl_sensitivity_grid.dir/tbl_sensitivity_grid.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_sensitivity_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tbl_weighting_schemes"
+  "../bench/tbl_weighting_schemes.pdb"
+  "CMakeFiles/tbl_weighting_schemes.dir/tbl_weighting_schemes.cpp.o"
+  "CMakeFiles/tbl_weighting_schemes.dir/tbl_weighting_schemes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_weighting_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

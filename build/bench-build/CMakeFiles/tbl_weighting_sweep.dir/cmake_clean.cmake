@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tbl_weighting_sweep"
+  "../bench/tbl_weighting_sweep.pdb"
+  "CMakeFiles/tbl_weighting_sweep.dir/tbl_weighting_sweep.cpp.o"
+  "CMakeFiles/tbl_weighting_sweep.dir/tbl_weighting_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_weighting_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battlefield_staging.dir/battlefield_staging.cpp.o"
+  "CMakeFiles/battlefield_staging.dir/battlefield_staging.cpp.o.d"
+  "battlefield_staging"
+  "battlefield_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battlefield_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_cost_criterion.dir/custom_cost_criterion.cpp.o"
+  "CMakeFiles/custom_cost_criterion.dir/custom_cost_criterion.cpp.o.d"
+  "custom_cost_criterion"
+  "custom_cost_criterion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_cost_criterion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

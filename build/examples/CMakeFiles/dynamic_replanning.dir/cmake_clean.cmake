@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_replanning.dir/dynamic_replanning.cpp.o"
+  "CMakeFiles/dynamic_replanning.dir/dynamic_replanning.cpp.o.d"
+  "dynamic_replanning"
+  "dynamic_replanning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_replanning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_outage_study.dir/link_outage_study.cpp.o"
+  "CMakeFiles/link_outage_study.dir/link_outage_study.cpp.o.d"
+  "link_outage_study"
+  "link_outage_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_outage_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_and_inspect.dir/replay_and_inspect.cpp.o"
+  "CMakeFiles/replay_and_inspect.dir/replay_and_inspect.cpp.o.d"
+  "replay_and_inspect"
+  "replay_and_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_and_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cpp" "src/CMakeFiles/datastage.dir/core/bounds.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/core/bounds.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/CMakeFiles/datastage.dir/core/cost.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/core/cost.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/datastage.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/exact.cpp" "src/CMakeFiles/datastage.dir/core/exact.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/core/exact.cpp.o.d"
+  "/root/repo/src/core/full_path_all.cpp" "src/CMakeFiles/datastage.dir/core/full_path_all.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/core/full_path_all.cpp.o.d"
+  "/root/repo/src/core/full_path_one.cpp" "src/CMakeFiles/datastage.dir/core/full_path_one.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/core/full_path_one.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/datastage.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/partial_path.cpp" "src/CMakeFiles/datastage.dir/core/partial_path.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/core/partial_path.cpp.o.d"
+  "/root/repo/src/core/priority_first.cpp" "src/CMakeFiles/datastage.dir/core/priority_first.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/core/priority_first.cpp.o.d"
+  "/root/repo/src/core/random_baselines.cpp" "src/CMakeFiles/datastage.dir/core/random_baselines.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/core/random_baselines.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/datastage.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/satisfaction.cpp" "src/CMakeFiles/datastage.dir/core/satisfaction.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/core/satisfaction.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/CMakeFiles/datastage.dir/core/schedule.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/core/schedule.cpp.o.d"
+  "/root/repo/src/core/schedule_io.cpp" "src/CMakeFiles/datastage.dir/core/schedule_io.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/core/schedule_io.cpp.o.d"
+  "/root/repo/src/dynamic/stager.cpp" "src/CMakeFiles/datastage.dir/dynamic/stager.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/dynamic/stager.cpp.o.d"
+  "/root/repo/src/gen/generator.cpp" "src/CMakeFiles/datastage.dir/gen/generator.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/gen/generator.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/datastage.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/CMakeFiles/datastage.dir/harness/report.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/harness/report.cpp.o.d"
+  "/root/repo/src/harness/sweep.cpp" "src/CMakeFiles/datastage.dir/harness/sweep.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/harness/sweep.cpp.o.d"
+  "/root/repo/src/model/describe.cpp" "src/CMakeFiles/datastage.dir/model/describe.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/model/describe.cpp.o.d"
+  "/root/repo/src/model/priority.cpp" "src/CMakeFiles/datastage.dir/model/priority.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/model/priority.cpp.o.d"
+  "/root/repo/src/model/scenario.cpp" "src/CMakeFiles/datastage.dir/model/scenario.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/model/scenario.cpp.o.d"
+  "/root/repo/src/model/scenario_io.cpp" "src/CMakeFiles/datastage.dir/model/scenario_io.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/model/scenario_io.cpp.o.d"
+  "/root/repo/src/model/transforms.cpp" "src/CMakeFiles/datastage.dir/model/transforms.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/model/transforms.cpp.o.d"
+  "/root/repo/src/net/link_schedule.cpp" "src/CMakeFiles/datastage.dir/net/link_schedule.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/net/link_schedule.cpp.o.d"
+  "/root/repo/src/net/network_state.cpp" "src/CMakeFiles/datastage.dir/net/network_state.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/net/network_state.cpp.o.d"
+  "/root/repo/src/net/storage_timeline.cpp" "src/CMakeFiles/datastage.dir/net/storage_timeline.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/net/storage_timeline.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/datastage.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/net/topology.cpp.o.d"
+  "/root/repo/src/routing/dijkstra.cpp" "src/CMakeFiles/datastage.dir/routing/dijkstra.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/routing/dijkstra.cpp.o.d"
+  "/root/repo/src/routing/path.cpp" "src/CMakeFiles/datastage.dir/routing/path.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/routing/path.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/datastage.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/datastage.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/datastage.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/datastage.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/interval.cpp" "src/CMakeFiles/datastage.dir/util/interval.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/util/interval.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/datastage.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/datastage.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/datastage.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/datastage.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/time.cpp" "src/CMakeFiles/datastage.dir/util/time.cpp.o" "gcc" "src/CMakeFiles/datastage.dir/util/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bounds_test.cpp" "tests/CMakeFiles/datastage_tests.dir/core/bounds_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/core/bounds_test.cpp.o.d"
+  "/root/repo/tests/core/cost_property_test.cpp" "tests/CMakeFiles/datastage_tests.dir/core/cost_property_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/core/cost_property_test.cpp.o.d"
+  "/root/repo/tests/core/cost_test.cpp" "tests/CMakeFiles/datastage_tests.dir/core/cost_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/core/cost_test.cpp.o.d"
+  "/root/repo/tests/core/engine_invalidation_test.cpp" "tests/CMakeFiles/datastage_tests.dir/core/engine_invalidation_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/core/engine_invalidation_test.cpp.o.d"
+  "/root/repo/tests/core/engine_test.cpp" "tests/CMakeFiles/datastage_tests.dir/core/engine_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/core/engine_test.cpp.o.d"
+  "/root/repo/tests/core/exact_test.cpp" "tests/CMakeFiles/datastage_tests.dir/core/exact_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/core/exact_test.cpp.o.d"
+  "/root/repo/tests/core/heuristics_test.cpp" "tests/CMakeFiles/datastage_tests.dir/core/heuristics_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/core/heuristics_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/datastage_tests.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/registry_test.cpp" "tests/CMakeFiles/datastage_tests.dir/core/registry_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/core/registry_test.cpp.o.d"
+  "/root/repo/tests/core/satisfaction_test.cpp" "tests/CMakeFiles/datastage_tests.dir/core/satisfaction_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/core/satisfaction_test.cpp.o.d"
+  "/root/repo/tests/core/schedule_io_test.cpp" "tests/CMakeFiles/datastage_tests.dir/core/schedule_io_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/core/schedule_io_test.cpp.o.d"
+  "/root/repo/tests/core/schedule_test.cpp" "tests/CMakeFiles/datastage_tests.dir/core/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/core/schedule_test.cpp.o.d"
+  "/root/repo/tests/dynamic/stager_more_test.cpp" "tests/CMakeFiles/datastage_tests.dir/dynamic/stager_more_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/dynamic/stager_more_test.cpp.o.d"
+  "/root/repo/tests/dynamic/stager_param_test.cpp" "tests/CMakeFiles/datastage_tests.dir/dynamic/stager_param_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/dynamic/stager_param_test.cpp.o.d"
+  "/root/repo/tests/dynamic/stager_test.cpp" "tests/CMakeFiles/datastage_tests.dir/dynamic/stager_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/dynamic/stager_test.cpp.o.d"
+  "/root/repo/tests/gen/generator_config_test.cpp" "tests/CMakeFiles/datastage_tests.dir/gen/generator_config_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/gen/generator_config_test.cpp.o.d"
+  "/root/repo/tests/gen/generator_test.cpp" "tests/CMakeFiles/datastage_tests.dir/gen/generator_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/gen/generator_test.cpp.o.d"
+  "/root/repo/tests/harness/harness_more_test.cpp" "tests/CMakeFiles/datastage_tests.dir/harness/harness_more_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/harness/harness_more_test.cpp.o.d"
+  "/root/repo/tests/harness/harness_test.cpp" "tests/CMakeFiles/datastage_tests.dir/harness/harness_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/harness/harness_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/datastage_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/fuzz_test.cpp" "tests/CMakeFiles/datastage_tests.dir/integration/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/integration/fuzz_test.cpp.o.d"
+  "/root/repo/tests/integration/invariants_test.cpp" "tests/CMakeFiles/datastage_tests.dir/integration/invariants_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/integration/invariants_test.cpp.o.d"
+  "/root/repo/tests/integration/property_test.cpp" "tests/CMakeFiles/datastage_tests.dir/integration/property_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/integration/property_test.cpp.o.d"
+  "/root/repo/tests/integration/search_hierarchy_test.cpp" "tests/CMakeFiles/datastage_tests.dir/integration/search_hierarchy_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/integration/search_hierarchy_test.cpp.o.d"
+  "/root/repo/tests/model/describe_test.cpp" "tests/CMakeFiles/datastage_tests.dir/model/describe_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/model/describe_test.cpp.o.d"
+  "/root/repo/tests/model/priority_test.cpp" "tests/CMakeFiles/datastage_tests.dir/model/priority_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/model/priority_test.cpp.o.d"
+  "/root/repo/tests/model/scenario_io_test.cpp" "tests/CMakeFiles/datastage_tests.dir/model/scenario_io_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/model/scenario_io_test.cpp.o.d"
+  "/root/repo/tests/model/scenario_test.cpp" "tests/CMakeFiles/datastage_tests.dir/model/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/model/scenario_test.cpp.o.d"
+  "/root/repo/tests/model/transforms_test.cpp" "tests/CMakeFiles/datastage_tests.dir/model/transforms_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/model/transforms_test.cpp.o.d"
+  "/root/repo/tests/net/link_schedule_test.cpp" "tests/CMakeFiles/datastage_tests.dir/net/link_schedule_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/net/link_schedule_test.cpp.o.d"
+  "/root/repo/tests/net/network_state_test.cpp" "tests/CMakeFiles/datastage_tests.dir/net/network_state_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/net/network_state_test.cpp.o.d"
+  "/root/repo/tests/net/storage_timeline_test.cpp" "tests/CMakeFiles/datastage_tests.dir/net/storage_timeline_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/net/storage_timeline_test.cpp.o.d"
+  "/root/repo/tests/net/topology_test.cpp" "tests/CMakeFiles/datastage_tests.dir/net/topology_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/net/topology_test.cpp.o.d"
+  "/root/repo/tests/routing/dijkstra_property_test.cpp" "tests/CMakeFiles/datastage_tests.dir/routing/dijkstra_property_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/routing/dijkstra_property_test.cpp.o.d"
+  "/root/repo/tests/routing/dijkstra_test.cpp" "tests/CMakeFiles/datastage_tests.dir/routing/dijkstra_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/routing/dijkstra_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/datastage_tests.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_more_test.cpp" "tests/CMakeFiles/datastage_tests.dir/sim/simulator_more_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/sim/simulator_more_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/datastage_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/datastage_tests.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/sim/trace_test.cpp.o.d"
+  "/root/repo/tests/testing/builders.cpp" "tests/CMakeFiles/datastage_tests.dir/testing/builders.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/testing/builders.cpp.o.d"
+  "/root/repo/tests/util/cli_test.cpp" "tests/CMakeFiles/datastage_tests.dir/util/cli_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/util/cli_test.cpp.o.d"
+  "/root/repo/tests/util/ids_test.cpp" "tests/CMakeFiles/datastage_tests.dir/util/ids_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/util/ids_test.cpp.o.d"
+  "/root/repo/tests/util/interval_more_test.cpp" "tests/CMakeFiles/datastage_tests.dir/util/interval_more_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/util/interval_more_test.cpp.o.d"
+  "/root/repo/tests/util/interval_test.cpp" "tests/CMakeFiles/datastage_tests.dir/util/interval_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/util/interval_test.cpp.o.d"
+  "/root/repo/tests/util/log_test.cpp" "tests/CMakeFiles/datastage_tests.dir/util/log_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/util/log_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/datastage_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/datastage_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/datastage_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/time_test.cpp" "tests/CMakeFiles/datastage_tests.dir/util/time_test.cpp.o" "gcc" "tests/CMakeFiles/datastage_tests.dir/util/time_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/datastage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datastage_gen.dir/datastage_gen.cpp.o"
+  "CMakeFiles/datastage_gen.dir/datastage_gen.cpp.o.d"
+  "datastage_gen"
+  "datastage_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datastage_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

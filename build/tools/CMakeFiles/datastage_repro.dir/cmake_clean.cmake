@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datastage_repro.dir/datastage_repro.cpp.o"
+  "CMakeFiles/datastage_repro.dir/datastage_repro.cpp.o.d"
+  "datastage_repro"
+  "datastage_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datastage_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

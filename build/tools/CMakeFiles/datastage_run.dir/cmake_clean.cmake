@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datastage_run.dir/datastage_run.cpp.o"
+  "CMakeFiles/datastage_run.dir/datastage_run.cpp.o.d"
+  "datastage_run"
+  "datastage_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datastage_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

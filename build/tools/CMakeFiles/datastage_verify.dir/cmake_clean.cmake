@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datastage_verify.dir/datastage_verify.cpp.o"
+  "CMakeFiles/datastage_verify.dir/datastage_verify.cpp.o.d"
+  "datastage_verify"
+  "datastage_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datastage_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
