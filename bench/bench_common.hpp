@@ -15,12 +15,46 @@
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
+#include "obs/observer.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace datastage::benchtool {
+
+/// Engine cost counters of one scheduler run (observability snapshot); lets
+/// the result tables explain *why* heuristics differ in cost, not just by
+/// how much. Doubles because google-benchmark counters are doubles.
+struct EngineCostSnapshot {
+  double iterations = 0.0;
+  double recomputes = 0.0;   ///< Dijkstra tree recomputes (cache misses)
+  double cache_hits = 0.0;   ///< cached route trees reused
+  double candidates = 0.0;   ///< candidates generated and scored
+  double steps = 0.0;        ///< communication steps committed
+};
+
+/// Runs `spec` once on `scenario` with a metrics observer attached and
+/// returns the engine's cost counters. Observation does not change the
+/// schedule, so the snapshot describes the same run the timings measure.
+inline EngineCostSnapshot snapshot_engine_cost(const SchedulerSpec& spec,
+                                               const Scenario& scenario,
+                                               EngineOptions options) {
+  obs::MetricsRegistry registry;
+  obs::RunObserver observer{&registry, nullptr};
+  options.observer = &observer;
+  run_spec(spec, scenario, options);
+  const auto value = [&registry](const char* name) {
+    return static_cast<double>(registry.counter_value(name));
+  };
+  EngineCostSnapshot snapshot;
+  snapshot.iterations = value("engine.iterations");
+  snapshot.recomputes = value("engine.tree_recomputes");
+  snapshot.cache_hits = value("engine.cache_hits");
+  snapshot.candidates = value("engine.candidates_scored");
+  snapshot.steps = value("engine.steps_committed");
+  return snapshot;
+}
 
 struct BenchSetup {
   ExperimentConfig config;

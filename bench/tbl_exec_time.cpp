@@ -1,8 +1,13 @@
 // TR companion data (§5.4 mentions execution time was collected): wall-clock
 // microbenchmarks of every heuristic/criterion pair and the baselines on one
 // fixed generated scenario, via google-benchmark.
+// Next to the wall-clock numbers, each heuristic/criterion benchmark reports
+// the engine's cost counters (iterations, Dijkstra recomputes, route-cache
+// hits) as google-benchmark counters, so the table explains *why* the pairs
+// differ in cost, not just by how much.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/bounds.hpp"
 #include "core/heuristics.hpp"
 #include "core/registry.hpp"
@@ -40,6 +45,12 @@ void BM_Pair(benchmark::State& state, SchedulerSpec spec) {
         run_spec(spec, scenario, bench_options(spec.criterion));
     benchmark::DoNotOptimize(result.schedule.size());
   }
+  const benchtool::EngineCostSnapshot snap =
+      benchtool::snapshot_engine_cost(spec, scenario, bench_options(spec.criterion));
+  state.counters["iters"] = snap.iterations;
+  state.counters["recomputes"] = snap.recomputes;
+  state.counters["cache_hits"] = snap.cache_hits;
+  state.counters["candidates"] = snap.candidates;
 }
 
 void BM_SingleDijkstraRandom(benchmark::State& state) {
@@ -84,12 +95,17 @@ void BM_Bounds(benchmark::State& state) {
 /// This pair of benchmarks quantifies the cache's speedup (ablation).
 void BM_PartialC4_Paranoid(benchmark::State& state) {
   const Scenario& scenario = bench_scenario();
+  EngineOptions options = bench_options(CostCriterion::kC4);
+  options.paranoid = true;
   for (auto _ : state) {
-    EngineOptions options = bench_options(CostCriterion::kC4);
-    options.paranoid = true;
     const StagingResult result = run_partial_path(scenario, options);
     benchmark::DoNotOptimize(result.dijkstra_runs);
   }
+  const benchtool::EngineCostSnapshot snap = benchtool::snapshot_engine_cost(
+      {HeuristicKind::kPartial, CostCriterion::kC4}, scenario, options);
+  state.counters["iters"] = snap.iterations;
+  state.counters["recomputes"] = snap.recomputes;
+  state.counters["cache_hits"] = snap.cache_hits;  // 0: the ablation's point
 }
 
 const int kRegistered = [] {

@@ -3,10 +3,47 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/observer.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
 namespace datastage {
+
+/// Counter handles resolved once at engine construction. Grouped here (not
+/// in the header) so engine.hpp only needs forward declarations of obs.
+struct StagingEngine::Instr {
+  obs::Counter iterations;
+  obs::Counter rounds;              ///< candidate scoring rounds (refreshes)
+  obs::Counter tree_recomputes;     ///< Dijkstra reruns (cache miss/dirty)
+  obs::Counter cache_hits;          ///< clean cached trees reused in a round
+  obs::Counter candidates;          ///< candidates generated and scored
+  obs::Counter steps_committed;     ///< tree edges committed to the network
+  obs::Counter requests_satisfied;  ///< requests resolved by a committed edge
+  obs::Counter invalidations_link;
+  obs::Counter invalidations_storage;
+  obs::Counter invalidations_self;  ///< scheduled item's own plan dirtied
+  obs::Counter dijkstra_pops;
+  obs::Counter dijkstra_relaxations;
+  obs::Counter dijkstra_capacity_rejections;
+  obs::Counter guard_trips;
+
+  explicit Instr(obs::MetricsRegistry& m)
+      : iterations(m.counter("engine.iterations")),
+        rounds(m.counter("engine.scoring_rounds")),
+        tree_recomputes(m.counter("engine.tree_recomputes")),
+        cache_hits(m.counter("engine.cache_hits")),
+        candidates(m.counter("engine.candidates_scored")),
+        steps_committed(m.counter("engine.steps_committed")),
+        requests_satisfied(m.counter("engine.requests_satisfied")),
+        invalidations_link(m.counter("engine.invalidations_link")),
+        invalidations_storage(m.counter("engine.invalidations_storage")),
+        invalidations_self(m.counter("engine.invalidations_self")),
+        dijkstra_pops(m.counter("dijkstra.heap_pops")),
+        dijkstra_relaxations(m.counter("dijkstra.relaxations")),
+        dijkstra_capacity_rejections(m.counter("dijkstra.capacity_rejections")),
+        guard_trips(m.counter("engine.guard_trips")) {}
+};
+
 namespace {
 
 /// Deterministic total order on candidates: cost first, then stable
@@ -32,9 +69,19 @@ StagingEngine::StagingEngine(const Scenario& scenario, EngineOptions options)
   max_iterations_ = options_.max_iterations != 0
                         ? options_.max_iterations
                         : 1000 + 200 * scenario.request_count();
+  if (options_.observer != nullptr) {
+    trace_ = options_.observer->trace;
+    if (options_.observer->metrics != nullptr) {
+      instr_ = std::make_unique<Instr>(*options_.observer->metrics);
+      state_.attach_metrics(*options_.observer->metrics);
+    }
+  }
 }
 
+StagingEngine::~StagingEngine() = default;
+
 void StagingEngine::refresh_all() {
+  if (instr_ != nullptr) instr_->rounds.inc();
   for (std::size_t i = 0; i < plans_.size(); ++i) {
     const ItemId item(static_cast<std::int32_t>(i));
     ItemPlan& plan = plans_[i];
@@ -44,7 +91,18 @@ void StagingEngine::refresh_all() {
       continue;
     }
     plan.exhausted = false;
-    if (plan.dirty || options_.paranoid) recompute_plan(item);
+    if (plan.dirty || options_.paranoid) {
+      recompute_plan(item);
+    } else {
+      // The cached tree is provably identical to a recompute (see the header
+      // note); reusing it is the cache hit every perf PR wants counted.
+      if (instr_ != nullptr) instr_->cache_hits.inc();
+      if (trace_ != nullptr) {
+        trace_->event("cache_hit")
+            .field("iter", iterations_)
+            .field("item", item.value());
+      }
+    }
   }
 }
 
@@ -52,8 +110,23 @@ void StagingEngine::recompute_plan(ItemId item) {
   ItemPlan& plan = plans_[item.index()];
   DijkstraOptions dopt;
   dopt.prune_after = tracker_.latest_pending_deadline(item);
-  plan.tree = compute_route_tree(state_, topology_, item, dopt);
+  DijkstraStats stats;
+  plan.tree = compute_route_tree(state_, topology_, item, dopt,
+                                 instr_ != nullptr ? &stats : nullptr);
   ++dijkstra_runs_;
+  if (instr_ != nullptr) {
+    instr_->tree_recomputes.inc();
+    instr_->dijkstra_pops.inc(stats.pops);
+    instr_->dijkstra_relaxations.inc(stats.relaxations);
+    instr_->dijkstra_capacity_rejections.inc(stats.capacity_rejections);
+  }
+  if (trace_ != nullptr) {
+    trace_->event("recompute")
+        .field("iter", iterations_)
+        .field("item", item.value())
+        .field("pending", tracker_.pending_of(item).size())
+        .field("prune_after_usec", dopt.prune_after.usec());
+  }
   build_candidates(item, plan);
   plan.dirty = false;
 }
@@ -150,16 +223,31 @@ void StagingEngine::build_candidates(ItemId item, ItemPlan& plan) {
       }
     }
   }
+
+  if (instr_ != nullptr) instr_->candidates.inc(plan.candidates.size());
 }
 
 std::optional<Candidate> StagingEngine::best_candidate() {
   if (guard_tripped_) return std::nullopt;
   refresh_all();
   const Candidate* best = nullptr;
+  std::size_t total = 0;
   for (const ItemPlan& plan : plans_) {
     if (plan.exhausted) continue;
+    total += plan.candidates.size();
     for (const Candidate& c : plan.candidates) {
       if (best == nullptr || candidate_less(c, *best)) best = &c;
+    }
+  }
+  if (trace_ != nullptr) {
+    auto event = trace_->event("round");
+    event.field("iter", iterations_)
+        .field("candidates", total)
+        .field("pending_requests", tracker_.pending_count());
+    if (best != nullptr) {
+      event.field("best_item", best->item.value())
+          .field("best_cost", best->cost)
+          .field("best_hop_to", best->hop.to.value());
     }
   }
   if (best == nullptr) return std::nullopt;
@@ -177,12 +265,32 @@ std::vector<Candidate> StagingEngine::all_candidates() {
 }
 
 AppliedTransfer StagingEngine::commit_edge(ItemId item, const TreeEdge& edge) {
+  const std::size_t pending_before =
+      (instr_ != nullptr || trace_ != nullptr) ? tracker_.pending_count() : 0;
   const AppliedTransfer applied = state_.apply_transfer(item, edge.link, edge.start);
   DS_ASSERT_MSG(applied.arrival == edge.arrival,
                 "committed transfer deviates from the planned tree edge");
   schedule_.add(
       CommStep{item, edge.from, edge.to, edge.link, edge.start, applied.arrival});
   tracker_.note_arrival(item, edge.to, applied.arrival);
+  if (instr_ != nullptr || trace_ != nullptr) {
+    const std::size_t satisfied = pending_before - tracker_.pending_count();
+    if (instr_ != nullptr) {
+      instr_->steps_committed.inc();
+      instr_->requests_satisfied.inc(satisfied);
+    }
+    if (trace_ != nullptr) {
+      trace_->event("commit")
+          .field("iter", iterations_)
+          .field("item", item.value())
+          .field("from", edge.from.value())
+          .field("to", edge.to.value())
+          .field("link", edge.link.value())
+          .field("start_usec", edge.start.usec())
+          .field("arrival_usec", applied.arrival.usec())
+          .field("satisfied", satisfied);
+    }
+  }
   return applied;
 }
 
@@ -261,6 +369,7 @@ void StagingEngine::invalidate(ItemId scheduled_item,
                                std::span<const AppliedTransfer> applied) {
   // The scheduled item's sources, pending set and resources all changed.
   plans_[scheduled_item.index()].dirty = true;
+  if (instr_ != nullptr) instr_->invalidations_self.inc();
 
   for (std::size_t i = 0; i < plans_.size(); ++i) {
     if (i == scheduled_item.index()) continue;
@@ -268,17 +377,18 @@ void StagingEngine::invalidate(ItemId scheduled_item,
     if (plan.dirty || plan.exhausted) continue;
     const std::int64_t bytes = scenario_->items[i].size_bytes;
 
-    bool dirty = false;
+    enum class Cause { kNone, kLink, kStorage };
+    Cause cause = Cause::kNone;
     for (const AppliedTransfer& t : applied) {
       // Link conflict: the new reservation overlaps a link interval one of
       // this plan's satisfiable paths occupies.
       for (const auto& [link, interval] : plan.used_links) {
         if (link == t.link && interval.overlaps(t.link_busy)) {
-          dirty = true;
+          cause = Cause::kLink;
           break;
         }
       }
-      if (dirty) break;
+      if (cause != Cause::kNone) break;
       // Storage conflict: new usage overlaps a hold window this plan checked
       // and the hold no longer fits. (If it still fits, the cached tree's
       // capacity decisions are unchanged — alternatives only got worse.)
@@ -287,21 +397,39 @@ void StagingEngine::invalidate(ItemId scheduled_item,
           if (machine != t.storage_machine) continue;
           if (!hold.overlaps(*t.storage_interval)) continue;
           if (!state_.storage(machine).fits(bytes, hold)) {
-            dirty = true;
+            cause = Cause::kStorage;
             break;
           }
         }
       }
-      if (dirty) break;
+      if (cause != Cause::kNone) break;
     }
-    if (dirty) plan.dirty = true;
+    if (cause == Cause::kNone) continue;
+    plan.dirty = true;
+    if (instr_ != nullptr) {
+      (cause == Cause::kLink ? instr_->invalidations_link
+                             : instr_->invalidations_storage)
+          .inc();
+    }
+    if (trace_ != nullptr) {
+      trace_->event("invalidate")
+          .field("iter", iterations_)
+          .field("item", static_cast<std::int64_t>(i))
+          .field("by_item", scheduled_item.value())
+          .field("cause", cause == Cause::kLink ? "link" : "storage");
+    }
   }
 }
 
 void StagingEngine::count_iteration() {
   ++iterations_;
+  if (instr_ != nullptr) instr_->iterations.inc();
   if (iterations_ >= max_iterations_) {
     guard_tripped_ = true;
+    if (instr_ != nullptr) instr_->guard_trips.inc();
+    if (trace_ != nullptr) {
+      trace_->event("guard_trip").field("iter", iterations_);
+    }
     log_warn("staging engine iteration guard tripped; stopping the loop");
   }
 }
@@ -312,7 +440,49 @@ const RouteTree& StagingEngine::plan_tree(ItemId item) {
   return plan.tree;
 }
 
+void StagingEngine::observe_finish() {
+  std::size_t satisfied = 0;
+  std::size_t dropped = 0;
+  const OutcomeMatrix& outcomes = tracker_.outcomes();
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    for (std::size_t k = 0; k < outcomes[i].size(); ++k) {
+      const RequestOutcome& outcome = outcomes[i][k];
+      outcome.satisfied ? ++satisfied : ++dropped;
+      if (trace_ != nullptr) {
+        const Request& request = scenario_->items[i].requests[k];
+        auto event = trace_->event("request");
+        event.field("item", static_cast<std::int64_t>(i))
+            .field("k", static_cast<std::int64_t>(k))
+            .field("dest", request.destination.value())
+            .field("deadline_usec", request.deadline.usec())
+            .field("priority", static_cast<std::int64_t>(request.priority))
+            .field("satisfied", outcome.satisfied);
+        if (!outcome.arrival.is_infinite()) {
+          event.field("arrival_usec", outcome.arrival.usec());
+        }
+      }
+    }
+  }
+  if (instr_ != nullptr && options_.observer != nullptr &&
+      options_.observer->metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.observer->metrics;
+    m.counter("engine.requests_satisfied_final").inc(satisfied);
+    m.counter("engine.requests_dropped").inc(dropped);
+    m.counter("engine.runs").inc();
+  }
+  if (trace_ != nullptr) {
+    trace_->event("finish")
+        .field("iterations", iterations_)
+        .field("dijkstra_runs", dijkstra_runs_)
+        .field("steps", schedule_.size())
+        .field("satisfied", satisfied)
+        .field("dropped", dropped)
+        .field("guard_tripped", guard_tripped_);
+  }
+}
+
 StagingResult StagingEngine::finish() {
+  if (instr_ != nullptr || trace_ != nullptr) observe_finish();
   StagingResult result;
   result.schedule = std::move(schedule_);
   result.outcomes = tracker_.take_outcomes();

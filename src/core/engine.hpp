@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -34,6 +35,11 @@
 
 namespace datastage {
 
+namespace obs {
+struct RunObserver;
+class RunTrace;
+}  // namespace obs
+
 struct EngineOptions {
   PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
   CostCriterion criterion = CostCriterion::kC4;
@@ -45,6 +51,10 @@ struct EngineOptions {
   /// request count. The loop provably terminates on well-formed scenarios;
   /// the guard protects experiments from pathological hand-built inputs.
   std::size_t max_iterations = 0;
+  /// Optional observability sinks (see obs/observer.hpp). nullptr — the
+  /// default — keeps the hot loop free of any metric or trace work; set, it
+  /// never changes scheduling decisions, only records them.
+  obs::RunObserver* observer = nullptr;
 };
 
 /// A valid next communication step: move `item` over `hop` (the shared first
@@ -60,6 +70,7 @@ struct Candidate {
 class StagingEngine {
  public:
   StagingEngine(const Scenario& scenario, EngineOptions options);
+  ~StagingEngine();  // out-of-line: Instr is defined in engine.cpp
 
   /// Refreshes dirty plans and returns the lowest-cost candidate (ties broken
   /// deterministically by item, next machine, destination). nullopt when no
@@ -110,6 +121,8 @@ class StagingEngine {
   void refresh_all();
   void recompute_plan(ItemId item);
   void build_candidates(ItemId item, ItemPlan& plan);
+  /// Emits per-request outcome events and final satisfaction counters.
+  void observe_finish();
   /// Commits one tree edge: network transfer + schedule step + satisfaction.
   AppliedTransfer commit_edge(ItemId item, const TreeEdge& edge);
   /// Marks plans dirty whose used resources overlap the applied transfers.
@@ -127,6 +140,13 @@ class StagingEngine {
   std::size_t iterations_ = 0;
   std::size_t max_iterations_ = 0;
   bool guard_tripped_ = false;
+
+  /// Pre-resolved metric counter handles; allocated once at construction
+  /// when (and only when) an observer with a metrics registry is configured,
+  /// so the unobserved hot loop performs no metric work beyond null checks.
+  struct Instr;
+  std::unique_ptr<Instr> instr_;
+  obs::RunTrace* trace_ = nullptr;
 };
 
 }  // namespace datastage

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/observer.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -240,6 +241,9 @@ void DynamicStager::replan() {
   ++replans_;
   run_garbage_collection();
   const Scenario residual = residual_scenario();
+  if (options_.observer != nullptr && options_.observer->metrics != nullptr) {
+    options_.observer->metrics->counter("dynamic.replans").inc();
+  }
 
   // The residual intentionally relaxes two validation rules (items with no
   // requests; destinations holding copies never coexist with outstanding
@@ -253,6 +257,17 @@ void DynamicStager::replan() {
     // The step's virtual-link id indexes the residual scenario; resolve the
     // stable physical id now (residual physical links mirror the base ones).
     plan_.push_back(PlannedStep{step, residual.vlink(step.link).phys});
+  }
+  if (options_.observer != nullptr && options_.observer->trace != nullptr) {
+    std::size_t residual_requests = 0;
+    for (const DataItem& item : residual.items) residual_requests += item.requests.size();
+    options_.observer->trace->event("replan")
+        .field("replan", replans_)
+        .field("t_usec", now_.usec())
+        .field("residual_items", residual.items.size())
+        .field("residual_requests", residual_requests)
+        .field("planned_steps", plan_.size())
+        .field("committed_steps", committed_.size());
   }
 }
 

@@ -1,5 +1,6 @@
 #include "harness/experiment.hpp"
 
+#include "obs/observer.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
@@ -36,6 +37,37 @@ ValueStats pair_value_stats(const CaseSet& cases, const PriorityWeighting& weigh
     acc.add(weighted_value(scenario, weighting, result.outcomes));
   }
   return ValueStats{acc.mean(), acc.min(), acc.max(), acc.stddev()};
+}
+
+Table scheduler_cost_table(const CaseSet& cases, const PriorityWeighting& weighting,
+                           const EUWeights& eu,
+                           const std::vector<SchedulerSpec>& specs) {
+  Table table({"scheduler", "iterations", "recomputes", "cache_hits", "hit_rate",
+               "candidates", "steps"});
+  const double n = static_cast<double>(cases.scenarios.size());
+  for (const SchedulerSpec& spec : specs) {
+    obs::MetricsRegistry registry;
+    obs::RunObserver observer{&registry, nullptr};
+    EngineOptions options;
+    options.weighting = weighting;
+    options.eu = eu;
+    options.observer = &observer;
+    for (const Scenario& scenario : cases.scenarios) {
+      run_spec(spec, scenario, options);
+    }
+    const auto mean = [&](const char* name) {
+      return static_cast<double>(registry.counter_value(name)) / n;
+    };
+    const double recomputes = mean("engine.tree_recomputes");
+    const double hits = mean("engine.cache_hits");
+    const double refreshes = recomputes + hits;
+    table.add_row({spec.name(), format_double(mean("engine.iterations"), 1),
+                   format_double(recomputes, 1), format_double(hits, 1),
+                   format_double(refreshes == 0.0 ? 0.0 : hits / refreshes, 3),
+                   format_double(mean("engine.candidates_scored"), 1),
+                   format_double(mean("engine.steps_committed"), 1)});
+  }
+  return table;
 }
 
 AveragedBounds average_bounds(const CaseSet& cases, const PriorityWeighting& weighting) {

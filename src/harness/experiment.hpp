@@ -14,6 +14,7 @@
 #include "gen/generator.hpp"
 #include "model/priority.hpp"
 #include "model/scenario.hpp"
+#include "util/table.hpp"
 
 namespace datastage {
 
@@ -50,6 +51,14 @@ struct AveragedBounds {
   double possible_satisfy = 0.0;
 };
 AveragedBounds average_bounds(const CaseSet& cases, const PriorityWeighting& weighting);
+
+/// Mean per-case engine cost counters for each spec: iterations, Dijkstra
+/// recomputes, route-cache hits (plus hit rate) and candidates scored —
+/// the "why heuristics differ in cost" companion to their value numbers.
+/// Observation does not perturb results (asserted by the integration tests).
+Table scheduler_cost_table(const CaseSet& cases, const PriorityWeighting& weighting,
+                           const EUWeights& eu,
+                           const std::vector<SchedulerSpec>& specs);
 
 /// Mean value of the §5.2 random baselines (RNG derived from the case seed).
 double average_single_dijkstra_random(const CaseSet& cases,

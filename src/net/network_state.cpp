@@ -37,6 +37,15 @@ NetworkState::NetworkState(const Scenario& scenario)
   }
 }
 
+void NetworkState::attach_metrics(obs::MetricsRegistry& registry) {
+  counters_ = NetCounters{
+      registry.counter("net.transfers"),
+      registry.counter("net.link_reservations"),
+      registry.counter("net.storage_allocations"),
+      registry.counter("net.hold_extensions"),
+  };
+}
+
 std::optional<SimTime> NetworkState::copy_available_at(ItemId item,
                                                        MachineId machine) const {
   for (const Copy& c : copies_[item.index()]) {
@@ -101,6 +110,10 @@ AppliedTransfer NetworkState::apply_transfer(ItemId item, VirtLinkId link,
 
   links_.reserve(link, bytes, start);
   const SimTime arrival = start + links_.occupancy(link, bytes);
+  if (counters_.has_value()) {
+    counters_->transfers.inc();
+    counters_->link_reservations.inc();
+  }
 
   AppliedTransfer applied;
   applied.start = start;
@@ -119,6 +132,7 @@ AppliedTransfer NetworkState::apply_transfer(ItemId item, VirtLinkId link,
       st.allocate(bytes, extension);
       applied.storage_interval = extension;
       hb = start;
+      if (counters_.has_value()) counters_->hold_extensions.inc();
     }
     for (Copy& c : copies_[item.index()]) {
       if (c.machine == vl.to) {
@@ -132,6 +146,7 @@ AppliedTransfer NetworkState::apply_transfer(ItemId item, VirtLinkId link,
     applied.storage_interval = hold;
     hb = start;
     copies_[item.index()].push_back(Copy{vl.to, arrival});
+    if (counters_.has_value()) counters_->storage_allocations.inc();
   }
 
   ++transfer_count_;

@@ -20,6 +20,7 @@
 #include "model/scenario.hpp"
 #include "net/link_schedule.hpp"
 #include "net/storage_timeline.hpp"
+#include "obs/metrics.hpp"
 #include "util/ids.hpp"
 
 namespace datastage {
@@ -103,7 +104,20 @@ class NetworkState {
   /// Number of transfers applied so far.
   std::size_t transfer_count() const { return transfer_count_; }
 
+  /// Wires resource-accounting counters (`net.*`) into `registry`. Without
+  /// this call the state counts nothing beyond transfer_count(). Handles are
+  /// copied with the state (branch-and-bound clones share the registry).
+  void attach_metrics(obs::MetricsRegistry& registry);
+
  private:
+  /// Pre-resolved counter handles; engaged only after attach_metrics.
+  struct NetCounters {
+    obs::Counter transfers;
+    obs::Counter link_reservations;    ///< busy-window subtractions on links
+    obs::Counter storage_allocations;  ///< new hold windows charged
+    obs::Counter hold_extensions;      ///< existing holds extended earlier
+  };
+
   const Scenario* scenario_;
   LinkSchedule links_;
   std::vector<StorageTimeline> storage_;
@@ -112,6 +126,7 @@ class NetworkState {
   std::vector<std::vector<SimTime>> hold_begin_;
   std::vector<std::vector<bool>> dest_flags_;  // [item][machine]
   std::size_t transfer_count_ = 0;
+  std::optional<NetCounters> counters_;
 };
 
 }  // namespace datastage

@@ -1,0 +1,48 @@
+// Minimal JSON value, writer helpers and recursive-descent parser.
+//
+// The observability layer emits machine-readable artifacts (metrics
+// documents, trace event lines) and the tests parse them back to assert
+// round-trip fidelity. Scope is deliberately small: the subset of JSON these
+// artifacts use (objects, arrays, finite numbers, strings, booleans, null) —
+// not a general-purpose JSON library.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace datastage::obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered; metrics documents keep keys sorted by construction.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Member lookup on objects; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+};
+
+/// Parses `text` into a value. On failure returns nullopt and, when `error`
+/// is non-null, stores a message with the byte offset of the problem.
+std::optional<JsonValue> json_parse(std::string_view text, std::string* error = nullptr);
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// Renders a double as JSON: shortest round-trip form, integral values
+/// without a trailing ".0" mantissa are kept exact.
+std::string json_number(double v);
+
+}  // namespace datastage::obs

@@ -1,0 +1,27 @@
+// The single hook the scheduling engine exposes for observability.
+//
+// A RunObserver bundles the two optional sinks — a MetricsRegistry for
+// aggregate counters/gauges/histograms and a RunTrace for per-event
+// JSON-lines — behind one pointer carried by EngineOptions. The contract:
+//
+//   * observer == nullptr (the default): instrumented code takes a single
+//     branch and does nothing else. No allocation, no formatting, no handle
+//     resolution — the hot loop is byte-for-byte the uninstrumented one.
+//   * observer != nullptr: each sink is still individually optional, so a
+//     caller can collect counters without paying for trace formatting.
+//
+// Observation never changes scheduling decisions; the integration tests
+// assert that observed and unobserved runs produce identical schedules.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace datastage::obs {
+
+struct RunObserver {
+  MetricsRegistry* metrics = nullptr;
+  RunTrace* trace = nullptr;
+};
+
+}  // namespace datastage::obs

@@ -1,11 +1,14 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace datastage {
 namespace {
 
 LogLevel g_level = LogLevel::kWarn;
+std::atomic<std::size_t> g_warnings_emitted{0};
+std::atomic<std::size_t> g_errors_emitted{0};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,9 +26,29 @@ const char* level_name(LogLevel level) {
 void set_log_level(LogLevel level) { g_level = level; }
 LogLevel log_level() { return g_level; }
 
+bool log_enabled(LogLevel level) { return level >= g_level; }
+
 void log_message(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
+  if (!log_enabled(level)) return;
+  if (level == LogLevel::kWarn) {
+    g_warnings_emitted.fetch_add(1, std::memory_order_relaxed);
+  } else if (level == LogLevel::kError) {
+    g_errors_emitted.fetch_add(1, std::memory_order_relaxed);
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+std::size_t log_warnings_emitted() {
+  return g_warnings_emitted.load(std::memory_order_relaxed);
+}
+
+std::size_t log_errors_emitted() {
+  return g_errors_emitted.load(std::memory_order_relaxed);
+}
+
+void reset_log_emission_counts() {
+  g_warnings_emitted.store(0, std::memory_order_relaxed);
+  g_errors_emitted.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace datastage

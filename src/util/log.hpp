@@ -1,9 +1,17 @@
 // Leveled stderr logging. Deliberately tiny: the library itself logs nothing
 // on hot paths; logging exists for the generator, harness and examples to
 // narrate what they are doing at --verbose.
+//
+// Messages that cost something to build (string concatenation, formatted
+// numbers) should use the lazy callable overloads: the callable runs only
+// when the level passes the threshold, so verbose-only formatting is never
+// paid at the default kWarn level.
 #pragma once
 
+#include <concepts>
+#include <cstddef>
 #include <string>
+#include <utility>
 
 namespace datastage {
 
@@ -14,11 +22,45 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// True iff a message at `level` would currently be emitted.
+bool log_enabled(LogLevel level);
+
 void log_message(LogLevel level, const std::string& msg);
+
+/// Constrains the lazy overloads to callables producing a string, so plain
+/// string/char* arguments keep resolving to the eager overload above.
+template <typename F>
+concept LogMessageFn = std::invocable<F&> &&
+    std::convertible_to<std::invoke_result_t<F&>, std::string>;
+
+/// Lazy overload: `make_msg` is invoked — and its message formatted — only
+/// when `level` passes the threshold.
+template <LogMessageFn F>
+void log_message(LogLevel level, F&& make_msg) {
+  if (!log_enabled(level)) return;
+  log_message(level, std::string(std::forward<F>(make_msg)()));
+}
 
 inline void log_debug(const std::string& msg) { log_message(LogLevel::kDebug, msg); }
 inline void log_info(const std::string& msg) { log_message(LogLevel::kInfo, msg); }
 inline void log_warn(const std::string& msg) { log_message(LogLevel::kWarn, msg); }
 inline void log_error(const std::string& msg) { log_message(LogLevel::kError, msg); }
+
+template <LogMessageFn F>
+void log_debug(F&& make_msg) { log_message(LogLevel::kDebug, std::forward<F>(make_msg)); }
+template <LogMessageFn F>
+void log_info(F&& make_msg) { log_message(LogLevel::kInfo, std::forward<F>(make_msg)); }
+template <LogMessageFn F>
+void log_warn(F&& make_msg) { log_message(LogLevel::kWarn, std::forward<F>(make_msg)); }
+template <LogMessageFn F>
+void log_error(F&& make_msg) { log_message(LogLevel::kError, std::forward<F>(make_msg)); }
+
+/// Process-wide emission counters: warnings/errors actually written to
+/// stderr (suppressed messages are not counted). The observability layer
+/// snapshots these into a MetricsRegistry (obs::record_log_metrics).
+std::size_t log_warnings_emitted();
+std::size_t log_errors_emitted();
+/// Resets both emission counters (tests; per-run metric snapshots).
+void reset_log_emission_counts();
 
 }  // namespace datastage

@@ -1,0 +1,177 @@
+// Integration tests for the observability layer: attaching an observer must
+// not change any scheduling decision, and the counters/trace it produces must
+// be consistent with each other and with the paranoid-mode ablation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "gen/generator.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
+
+namespace datastage {
+namespace {
+
+Scenario seeded_scenario() {
+  GeneratorConfig config;
+  config.min_machines = 8;
+  config.max_machines = 8;
+  config.min_requests_per_machine = 6;
+  config.max_requests_per_machine = 6;
+  Rng rng(4242);
+  return generate_scenario(config, rng);
+}
+
+EngineOptions base_options() {
+  EngineOptions options;
+  options.criterion = CostCriterion::kC4;
+  options.eu = EUWeights::from_log10_ratio(1.0);
+  return options;
+}
+
+const SchedulerSpec kSpec{HeuristicKind::kFullOne, CostCriterion::kC4};
+
+std::vector<CommStep> steps_of(const StagingResult& result) {
+  const auto span = result.schedule.steps();
+  return {span.begin(), span.end()};
+}
+
+TEST(EngineObserverTest, ObservationDoesNotChangeTheSchedule) {
+  const Scenario scenario = seeded_scenario();
+
+  EngineOptions plain = base_options();
+  const StagingResult unobserved = run_spec(kSpec, scenario, plain);
+
+  obs::MetricsRegistry registry;
+  std::ostringstream trace_out;
+  obs::RunTrace trace(trace_out);
+  obs::RunObserver observer{&registry, &trace};
+  EngineOptions observed_options = base_options();
+  observed_options.observer = &observer;
+  const StagingResult observed = run_spec(kSpec, scenario, observed_options);
+
+  EXPECT_EQ(steps_of(unobserved), steps_of(observed));
+  EXPECT_EQ(unobserved.outcomes, observed.outcomes);
+  EXPECT_EQ(unobserved.dijkstra_runs, observed.dijkstra_runs);
+}
+
+TEST(EngineObserverTest, CachedAndParanoidCountersAreConsistent) {
+  const Scenario scenario = seeded_scenario();
+
+  obs::MetricsRegistry cached_metrics;
+  obs::RunObserver cached_observer{&cached_metrics, nullptr};
+  EngineOptions cached_options = base_options();
+  cached_options.observer = &cached_observer;
+  const StagingResult cached = run_spec(kSpec, scenario, cached_options);
+
+  obs::MetricsRegistry paranoid_metrics;
+  obs::RunObserver paranoid_observer{&paranoid_metrics, nullptr};
+  EngineOptions paranoid_options = base_options();
+  paranoid_options.paranoid = true;
+  paranoid_options.observer = &paranoid_observer;
+  const StagingResult paranoid = run_spec(kSpec, scenario, paranoid_options);
+
+  // The cache is an optimization, never a behavior change.
+  EXPECT_EQ(steps_of(cached), steps_of(paranoid));
+  EXPECT_EQ(cached.outcomes, paranoid.outcomes);
+
+  // Cached mode reuses trees; paranoid mode rebuilds every pending plan each
+  // round, so it never reports a cache hit and recomputes strictly more.
+  EXPECT_GT(cached_metrics.counter_value("engine.cache_hits"), 0u);
+  EXPECT_GT(cached_metrics.counter_value("engine.tree_recomputes"), 0u);
+  EXPECT_EQ(paranoid_metrics.counter_value("engine.cache_hits"), 0u);
+  EXPECT_GT(paranoid_metrics.counter_value("engine.tree_recomputes"),
+            cached_metrics.counter_value("engine.tree_recomputes"));
+
+  // The recompute counter is the same quantity StagingResult already reports.
+  EXPECT_EQ(cached_metrics.counter_value("engine.tree_recomputes"),
+            cached.dijkstra_runs);
+  EXPECT_EQ(paranoid_metrics.counter_value("engine.tree_recomputes"),
+            paranoid.dijkstra_runs);
+
+  // Both modes took the same decisions, so the decision counters agree.
+  EXPECT_EQ(cached_metrics.counter_value("engine.steps_committed"),
+            paranoid_metrics.counter_value("engine.steps_committed"));
+  EXPECT_EQ(cached_metrics.counter_value("engine.steps_committed"),
+            cached.schedule.size());
+  EXPECT_EQ(cached_metrics.counter_value("engine.iterations"),
+            cached.iterations);
+
+  // Dijkstra inner-loop work shrinks along with the recompute count.
+  EXPECT_GT(cached_metrics.counter_value("dijkstra.heap_pops"), 0u);
+  EXPECT_GT(paranoid_metrics.counter_value("dijkstra.heap_pops"),
+            cached_metrics.counter_value("dijkstra.heap_pops"));
+}
+
+TEST(EngineObserverTest, TraceEventsMatchTheRun) {
+  const Scenario scenario = seeded_scenario();
+
+  obs::MetricsRegistry registry;
+  std::ostringstream trace_out;
+  obs::RunTrace trace(trace_out);
+  obs::RunObserver observer{&registry, &trace};
+  EngineOptions options = base_options();
+  options.observer = &observer;
+  const StagingResult result = run_spec(kSpec, scenario, options);
+
+  std::size_t commits = 0;
+  std::size_t requests = 0;
+  std::size_t satisfied_in_trace = 0;
+  std::size_t finishes = 0;
+  std::uint64_t expected_seq = 0;
+  std::istringstream in(trace_out.str());
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string error;
+    const auto v = obs::json_parse(line, &error);
+    ASSERT_TRUE(v.has_value()) << line << ": " << error;
+    ASSERT_NE(v->find("seq"), nullptr);
+    EXPECT_DOUBLE_EQ(v->find("seq")->number, static_cast<double>(expected_seq));
+    ++expected_seq;
+    const std::string& type = v->find("type")->string;
+    if (type == "commit") ++commits;
+    if (type == "request") {
+      ++requests;
+      if (v->find("satisfied")->boolean) ++satisfied_in_trace;
+    }
+    if (type == "finish") ++finishes;
+  }
+  EXPECT_EQ(trace.events_written(), expected_seq);
+
+  EXPECT_EQ(commits, result.schedule.size());
+  EXPECT_EQ(finishes, 1u);
+
+  std::size_t total_requests = 0;
+  std::size_t satisfied = 0;
+  for (const auto& per_item : result.outcomes) {
+    for (const auto& outcome : per_item) {
+      ++total_requests;
+      if (outcome.satisfied) ++satisfied;
+    }
+  }
+  EXPECT_EQ(requests, total_requests);
+  EXPECT_EQ(satisfied_in_trace, satisfied);
+  EXPECT_EQ(registry.counter_value("engine.requests_satisfied_final"), satisfied);
+  EXPECT_EQ(registry.counter_value("engine.requests_dropped"),
+            total_requests - satisfied);
+}
+
+TEST(EngineObserverTest, MetricsOnlyObserverNeedsNoTrace) {
+  const Scenario scenario = seeded_scenario();
+  obs::MetricsRegistry registry;
+  obs::RunObserver observer{&registry, nullptr};
+  EngineOptions options = base_options();
+  options.observer = &observer;
+  run_spec(kSpec, scenario, options);
+  EXPECT_GT(registry.counter_value("engine.iterations"), 0u);
+  EXPECT_GT(registry.counter_value("net.transfers"), 0u);
+  EXPECT_EQ(registry.counter_value("engine.runs"), 1u);
+}
+
+}  // namespace
+}  // namespace datastage

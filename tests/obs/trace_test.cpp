@@ -1,0 +1,98 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace datastage::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(RunTraceTest, WritesOneJsonObjectPerEvent) {
+  std::ostringstream out;
+  RunTrace trace(out);
+  trace.event("alpha").field("x", std::int64_t{1});
+  trace.event("beta").field("y", 2.5).field("ok", true);
+  EXPECT_EQ(trace.events_written(), 2u);
+
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    std::string error;
+    const auto v = json_parse(line, &error);
+    ASSERT_TRUE(v.has_value()) << line << ": " << error;
+    EXPECT_EQ(v->kind, JsonValue::Kind::kObject);
+    ASSERT_NE(v->find("type"), nullptr);
+    ASSERT_NE(v->find("seq"), nullptr);
+  }
+}
+
+TEST(RunTraceTest, SequenceNumbersIncreaseFromZero) {
+  std::ostringstream out;
+  RunTrace trace(out);
+  for (int i = 0; i < 5; ++i) trace.event("tick");
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 5u);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto v = json_parse(lines[i]);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_DOUBLE_EQ(v->find("seq")->number, static_cast<double>(i));
+  }
+}
+
+TEST(RunTraceTest, FieldTypesSurviveParsing) {
+  std::ostringstream out;
+  RunTrace trace(out);
+  trace.event("mixed")
+      .field("neg", std::int64_t{-42})
+      .field("big", std::uint64_t{1} << 53)
+      .field("pi", 3.5)
+      .field("no", false)
+      .field("name", std::string_view("req/7"))
+      .field("narrow", 17)  // int dispatches through the widening template
+      .field("idx", std::size_t{9});
+
+  const auto v = json_parse(lines_of(out.str()).at(0));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->find("neg")->number, -42.0);
+  EXPECT_DOUBLE_EQ(v->find("big")->number, 9007199254740992.0);
+  EXPECT_DOUBLE_EQ(v->find("pi")->number, 3.5);
+  EXPECT_FALSE(v->find("no")->boolean);
+  EXPECT_EQ(v->find("name")->string, "req/7");
+  EXPECT_DOUBLE_EQ(v->find("narrow")->number, 17.0);
+  EXPECT_DOUBLE_EQ(v->find("idx")->number, 9.0);
+}
+
+TEST(RunTraceTest, EscapesStringsInTypeAndFields) {
+  std::ostringstream out;
+  RunTrace trace(out);
+  trace.event("quote\"type").field("s", std::string_view("a\\b\n\tc"));
+  const auto v = json_parse(lines_of(out.str()).at(0));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("type")->string, "quote\"type");
+  EXPECT_EQ(v->find("s")->string, "a\\b\n\tc");
+}
+
+TEST(RunTraceTest, EventWithNoExtraFieldsIsValid) {
+  std::ostringstream out;
+  RunTrace trace(out);
+  trace.event("bare");
+  const auto v = json_parse(lines_of(out.str()).at(0));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->find("type")->string, "bare");
+}
+
+}  // namespace
+}  // namespace datastage::obs

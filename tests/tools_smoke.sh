@@ -28,13 +28,44 @@ test -s "$WORK_DIR/plan.dss"
 "$TOOLS_DIR/datastage_run" "$WORK_DIR/case.ds" --scheduler=random_dijkstra \
     --seed=9 > /dev/null
 
+# Observability: --metrics-out writes valid JSON with nonzero cache counters,
+# --trace-out writes valid JSON-lines, and --paranoid reports zero cache hits
+# while producing the exact same schedule.
+"$TOOLS_DIR/datastage_run" "$WORK_DIR/case.ds" --scheduler=full_one/C4 \
+    --metrics-out="$WORK_DIR/metrics.json" --trace-out="$WORK_DIR/trace.jsonl" \
+    --save="$WORK_DIR/cached.dss" > /dev/null
+"$TOOLS_DIR/datastage_run" "$WORK_DIR/case.ds" --scheduler=full_one/C4 \
+    --paranoid --metrics-out="$WORK_DIR/metrics_paranoid.json" \
+    --save="$WORK_DIR/paranoid.dss" > /dev/null
+cmp -s "$WORK_DIR/cached.dss" "$WORK_DIR/paranoid.dss"
+python3 - "$WORK_DIR/metrics.json" "$WORK_DIR/metrics_paranoid.json" \
+    "$WORK_DIR/trace.jsonl" <<'PYEOF'
+import json, sys
+cached = json.load(open(sys.argv[1]))["counters"]
+paranoid = json.load(open(sys.argv[2]))["counters"]
+assert cached["engine.cache_hits"] > 0, cached
+assert cached["engine.tree_recomputes"] > 0, cached
+assert paranoid["engine.cache_hits"] == 0, paranoid
+assert paranoid["engine.tree_recomputes"] > cached["engine.tree_recomputes"]
+events = [json.loads(line) for line in open(sys.argv[3])]
+assert events, "empty trace"
+assert [e["seq"] for e in events] == list(range(len(events)))
+types = {e["type"] for e in events}
+for required in ("recompute", "cache_hit", "round", "commit", "finish"):
+    assert required in types, (required, types)
+commits = sum(1 for e in events if e["type"] == "commit")
+assert commits == cached["engine.steps_committed"], (commits, cached)
+PYEOF
+
 # The one-shot reproduction tool must emit every figure and write CSVs.
 "$TOOLS_DIR/datastage_repro" --cases=1 --outdir="$WORK_DIR/results" \
     > "$WORK_DIR/repro.txt"
 grep -q "Figure 2" "$WORK_DIR/repro.txt"
 grep -q "Figure 5" "$WORK_DIR/repro.txt"
+grep -q "Engine cost metrics" "$WORK_DIR/repro.txt"
 test -s "$WORK_DIR/results/fig2.csv"
 test -s "$WORK_DIR/results/priority_first.csv"
+test -s "$WORK_DIR/results/engine_cost.csv"
 
 # Corrupting the schedule must be detected.
 printf 'step 0 0 1 0 0 1\n' >> "$WORK_DIR/plan.dss"

@@ -58,5 +58,70 @@ TEST(LogTest, DebugLevelEmitsAll) {
   EXPECT_NE(err.find("[INFO] b"), std::string::npos);
 }
 
+TEST(LogTest, LogEnabledMatchesThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+}
+
+TEST(LogTest, LazyCallableNotInvokedBelowThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  int calls = 0;
+  log_debug([&calls] {
+    ++calls;
+    return std::string("expensive debug message");
+  });
+  log_info([&calls] {
+    ++calls;
+    return std::string("expensive info message");
+  });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(LogTest, LazyCallableInvokedAtOrAboveThreshold) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kInfo);
+  int calls = 0;
+  ::testing::internal::CaptureStderr();
+  log_info([&calls] {
+    ++calls;
+    return std::string("built lazily");
+  });
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(calls, 1);
+  EXPECT_NE(err.find("[INFO] built lazily"), std::string::npos);
+}
+
+TEST(LogTest, EmissionCountersCountOnlyEmittedWarningsAndErrors) {
+  LogLevelGuard guard;
+  reset_log_emission_counts();
+  EXPECT_EQ(log_warnings_emitted(), 0u);
+  EXPECT_EQ(log_errors_emitted(), 0u);
+
+  set_log_level(LogLevel::kWarn);
+  ::testing::internal::CaptureStderr();
+  log_warn("w1");
+  log_warn([] { return std::string("w2"); });
+  log_error("e1");
+  log_info("suppressed: below threshold, not counted");
+  set_log_level(LogLevel::kOff);
+  log_warn("suppressed: level off, not counted");
+  log_error("suppressed: level off, not counted");
+  ::testing::internal::GetCapturedStderr();
+
+  EXPECT_EQ(log_warnings_emitted(), 2u);
+  EXPECT_EQ(log_errors_emitted(), 1u);
+
+  reset_log_emission_counts();
+  EXPECT_EQ(log_warnings_emitted(), 0u);
+  EXPECT_EQ(log_errors_emitted(), 0u);
+}
+
 }  // namespace
 }  // namespace datastage

@@ -110,6 +110,19 @@ int main(int argc, char** argv) {
     if (!outdir.empty()) table.write_csv_file(csv_path(outdir, "weighting"));
   }
 
+  // Engine cost metrics: why the heuristics differ in execution cost (route
+  // cache effectiveness, iteration and candidate volume). Not a paper
+  // artifact — the observability layer's per-run accounting, averaged the
+  // same way as the figures.
+  {
+    const Table table = scheduler_cost_table(cases, weighting,
+                                             EUWeights::from_log10_ratio(1.0),
+                                             paper_pairs());
+    std::printf("=== Engine cost metrics (all pairs, ratio 10^1) ===\n%s\n",
+                table.to_text().c_str());
+    if (!outdir.empty()) table.write_csv_file(csv_path(outdir, "engine_cost"));
+  }
+
   // §5.4 priority-first comparison (heuristics at their best ratio).
   {
     Table table({"scheduler", "best log10(E-U)", "value"});

@@ -15,7 +15,15 @@
 //   --trace            print the transfer log
 //   --save=PATH        write the schedule file
 //   --seed=N           RNG seed for the random baselines
+//   --paranoid         disable the engine's route-tree cache (recompute every
+//                      iteration; validates the cache against the paper's
+//                      literal procedure)
+//   --metrics-out=F    write a JSON metrics document (engine/net counters,
+//                      phase timings) to F
+//   --trace-out=F      write a JSON-lines structured run trace to F
 #include <cstdio>
+#include <fstream>
+#include <optional>
 
 #include "core/bounds.hpp"
 #include "core/exact.hpp"
@@ -23,6 +31,7 @@
 #include "core/registry.hpp"
 #include "core/schedule_io.hpp"
 #include "model/scenario_io.hpp"
+#include "obs/observer.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "util/cli.hpp"
@@ -31,16 +40,44 @@ using namespace datastage;
 
 int main(int argc, char** argv) {
   CliFlags flags;
-  const std::vector<std::string> known{"scheduler", "ratio", "weighting",
-                                       "report", "trace", "save", "seed", "width"};
+  const std::vector<std::string> known{"scheduler",    "ratio",     "weighting",
+                                       "report",       "trace",     "save",
+                                       "seed",         "width",     "paranoid",
+                                       "metrics-out",  "trace-out"};
   if (!flags.parse(argc, argv, known)) return 1;
   if (flags.positional().size() != 1) {
     std::fprintf(stderr, "usage: datastage_run <scenario-file> [flags]\n");
     return 1;
   }
 
+  const std::string metrics_out = flags.get_string("metrics-out", "");
+  const std::string trace_out = flags.get_string("trace-out", "");
+  obs::MetricsRegistry registry;
+  obs::PhaseTimer phases;
+  std::ofstream trace_file;
+  std::optional<obs::RunTrace> run_trace;
+  obs::RunObserver observer;
+  const bool observing = !metrics_out.empty() || !trace_out.empty();
+  if (observing) {
+    observer.metrics = &registry;
+    if (!trace_out.empty()) {
+      trace_file.open(trace_out);
+      if (!trace_file) {
+        std::fprintf(stderr, "cannot open trace file %s\n", trace_out.c_str());
+        return 1;
+      }
+      run_trace.emplace(trace_file);
+      observer.trace = &*run_trace;
+    }
+  }
+  obs::PhaseTimer* timing = observing ? &phases : nullptr;
+
   std::string error;
-  const auto scenario = load_scenario(flags.positional().front(), &error);
+  std::optional<Scenario> scenario;
+  {
+    obs::ScopedTimer timer(timing, "load");
+    scenario = load_scenario(flags.positional().front(), &error);
+  }
   if (!scenario.has_value()) {
     std::fprintf(stderr, "cannot load scenario: %s\n", error.c_str());
     return 1;
@@ -54,31 +91,36 @@ int main(int argc, char** argv) {
   EngineOptions options;
   options.weighting = weighting;
   options.eu = EUWeights::from_log10_ratio(flags.get_double("ratio", 1.0));
+  options.paranoid = flags.get_bool("paranoid", false);
+  if (observing) options.observer = &observer;
 
   const std::string scheduler = flags.get_string("scheduler", "full_one/C4");
   Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
 
   StagingResult result;
-  if (scheduler == "single_dij_random") {
-    result = run_single_dijkstra_random(*scenario, weighting, rng);
-  } else if (scheduler == "random_dijkstra") {
-    result = run_random_dijkstra(*scenario, weighting, rng);
-  } else if (scheduler == "priority_first") {
-    result = run_priority_first(*scenario, weighting);
-  } else if (scheduler == "edf") {
-    result = run_earliest_deadline_first(*scenario, weighting);
-  } else if (scheduler == "beam") {
-    BeamOptions beam;
-    beam.weighting = weighting;
-    beam.width = static_cast<std::size_t>(flags.get_int("width", 8));
-    result = run_beam_search(*scenario, beam);
-  } else {
-    const auto spec = parse_spec(scheduler);
-    if (!spec.has_value()) {
-      std::fprintf(stderr, "unknown scheduler '%s'\n", scheduler.c_str());
-      return 1;
+  {
+    obs::ScopedTimer schedule_timer(timing, "schedule");
+    if (scheduler == "single_dij_random") {
+      result = run_single_dijkstra_random(*scenario, weighting, rng);
+    } else if (scheduler == "random_dijkstra") {
+      result = run_random_dijkstra(*scenario, weighting, rng);
+    } else if (scheduler == "priority_first") {
+      result = run_priority_first(*scenario, weighting);
+    } else if (scheduler == "edf") {
+      result = run_earliest_deadline_first(*scenario, weighting);
+    } else if (scheduler == "beam") {
+      BeamOptions beam;
+      beam.weighting = weighting;
+      beam.width = static_cast<std::size_t>(flags.get_int("width", 8));
+      result = run_beam_search(*scenario, beam);
+    } else {
+      const auto spec = parse_spec(scheduler);
+      if (!spec.has_value()) {
+        std::fprintf(stderr, "unknown scheduler '%s'\n", scheduler.c_str());
+        return 1;
+      }
+      result = run_spec(*spec, *scenario, options);
     }
-    result = run_spec(*spec, *scenario, options);
   }
 
   const BoundsReport bounds = compute_bounds(*scenario, weighting);
@@ -92,7 +134,12 @@ int main(int argc, char** argv) {
               result.schedule.total_link_time().to_string().c_str());
   std::printf("dijkstra runs:    %zu\n", result.dijkstra_runs);
 
-  const SimReport replay = simulate(*scenario, result.schedule);
+  std::optional<SimReport> replay_report;
+  {
+    obs::ScopedTimer timer(timing, "replay");
+    replay_report = simulate(*scenario, result.schedule);
+  }
+  const SimReport& replay = *replay_report;
   std::printf("replay:           %s\n", replay.ok ? "clean" : "CONSTRAINT VIOLATION");
   if (!replay.ok) {
     for (const auto& issue : replay.issues) {
@@ -117,6 +164,26 @@ int main(int argc, char** argv) {
   if (!save.empty()) {
     save_schedule(save, result.schedule);
     std::printf("schedule written to %s\n", save.c_str());
+  }
+
+  if (!metrics_out.empty()) {
+    phases.export_gauges(registry);
+    obs::record_log_metrics(registry);
+    registry.set_gauge("run.weighted_value", value);
+    registry.set_gauge("run.satisfied",
+                       static_cast<double>(satisfied_count(result.outcomes)));
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open metrics file %s\n", metrics_out.c_str());
+      return 1;
+    }
+    out << registry.to_json() << '\n';
+    std::printf("\nMetrics:\n%s", registry.to_table().to_text().c_str());
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (run_trace.has_value()) {
+    std::printf("trace written to %s (%llu events)\n", trace_out.c_str(),
+                static_cast<unsigned long long>(run_trace->events_written()));
   }
   return 0;
 }
