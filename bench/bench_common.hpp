@@ -5,6 +5,8 @@
 //   --seed=S       base RNG seed for case generation
 //   --weighting=A  "1,10,100" (default) or "1,5,10"
 //   --csv=PATH     also write the data series as CSV
+//   --jobs=N       worker threads for the experiment grid (default: hardware
+//                  concurrency; output is byte-identical for any value)
 //   --verbose      progress logging while sweeping
 #pragma once
 
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
 #include "obs/observer.hpp"
@@ -43,7 +46,7 @@ inline EngineCostSnapshot snapshot_engine_cost(const SchedulerSpec& spec,
   obs::MetricsRegistry registry;
   obs::RunObserver observer{&registry, nullptr};
   options.observer = &observer;
-  run_spec(spec, scenario, options);
+  run_case(spec, scenario, options);
   const auto value = [&registry](const char* name) {
     return static_cast<double>(registry.counter_value(name));
   };
@@ -60,12 +63,14 @@ struct BenchSetup {
   ExperimentConfig config;
   PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
   std::string csv_path;
+  std::size_t jobs = 0;  ///< resolved worker count (after parse)
   bool verbose = false;
 };
 
 inline bool parse_bench_flags(int argc, const char* const* argv, BenchSetup& setup,
                               std::vector<std::string> extra_flags = {}) {
-  std::vector<std::string> known{"cases", "seed", "weighting", "csv", "verbose"};
+  std::vector<std::string> known{"cases", "seed", "weighting", "csv", "jobs",
+                                 "verbose"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   CliFlags flags;
   if (!flags.parse(argc, argv, known)) return false;
@@ -75,6 +80,11 @@ inline bool parse_bench_flags(int argc, const char* const* argv, BenchSetup& set
   setup.csv_path = flags.get_string("csv", "");
   setup.verbose = flags.get_bool("verbose", false);
   if (setup.verbose) set_log_level(LogLevel::kInfo);
+
+  // 0 = hardware concurrency; the harness entry points all fan out through
+  // the process-wide executor configured here.
+  set_default_jobs(static_cast<std::size_t>(flags.get_int("jobs", 0)));
+  setup.jobs = default_jobs();
 
   const std::string weighting = flags.get_string("weighting", "1,10,100");
   if (weighting == "1,10,100") {
@@ -91,6 +101,8 @@ inline bool parse_bench_flags(int argc, const char* const* argv, BenchSetup& set
 
 inline void print_header(const std::string& title, const BenchSetup& setup) {
   std::printf("%s\n", title.c_str());
+  // --jobs intentionally absent: headers must be byte-identical across jobs
+  // values (the determinism suite diffs whole stdout captures).
   std::printf("cases=%zu seed=%llu weighting=%s\n\n", setup.config.cases,
               static_cast<unsigned long long>(setup.config.seed),
               setup.weighting.to_string().c_str());

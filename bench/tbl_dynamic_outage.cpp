@@ -70,16 +70,21 @@ int main(int argc, char** argv) {
                "dynamic % of clairvoyant", "no-replan % of clairvoyant"});
 
   for (const int outage_count : {0, 1, 2, 4, 8}) {
-    double oracle_total = 0.0;
-    double dynamic_total = 0.0;
-    double oblivious_total = 0.0;
-
-    for (std::size_t c = 0; c < cases.scenarios.size(); ++c) {
+    // Per-case outage traces split off (base seed, outage count, case index):
+    // the trace for case c is the same for any job count or case order.
+    const Rng trace_root = Rng(setup.config.seed)
+                               .split(0xabcdef12345ULL +
+                                      static_cast<std::uint64_t>(
+                                          static_cast<unsigned>(outage_count)));
+    struct CaseEval {
+      double oracle = 0.0;
+      double dynamic_value = 0.0;
+      double oblivious = 0.0;
+    };
+    const std::vector<CaseEval> evals = default_executor().map<CaseEval>(
+        cases.scenarios.size(), [&](std::size_t c) {
       const Scenario& scenario = cases.scenarios[c];
-      const std::uint64_t trace_seed =
-          setup.config.seed ^ (0xabcdef12345ULL * (c + 1)) ^
-          static_cast<std::uint64_t>(static_cast<unsigned>(outage_count));
-      Rng rng(trace_seed);
+      Rng rng = trace_root.split(c);
 
       // Build the outage trace: distinct links, times in (0, 90) minutes.
       std::vector<StagingEvent> events;
@@ -104,22 +109,35 @@ int main(int argc, char** argv) {
                          return a.at < b.at;
                        });
 
+      CaseEval eval;
+
       // Dynamic replanning.
       DynamicStager stager(scenario, spec, options);
       for (const StagingEvent& event : events) stager.on_event(event);
       const Scenario effective = stager.effective_scenario();
       const DynamicResult dynamic = stager.finish();
-      dynamic_total += dynamic.weighted_value(setup.weighting);
+      eval.dynamic_value = dynamic.weighted_value(setup.weighting);
 
       // Clairvoyant: one static pass on the effective availability.
+      // (run_spec, not run_case: the value must be computed against the
+      // *effective* scenario's requests.)
       const StagingResult clairvoyant = run_spec(spec, effective, options);
-      oracle_total +=
-          weighted_value(effective, setup.weighting, clairvoyant.outcomes);
+      eval.oracle = weighted_value(effective, setup.weighting, clairvoyant.outcomes);
 
       // Oblivious: original static plan executed against reality.
       const StagingResult naive = run_spec(spec, scenario, options);
-      oblivious_total +=
+      eval.oblivious =
           oblivious_value(scenario, effective, naive.schedule, setup.weighting);
+      return eval;
+    });
+
+    double oracle_total = 0.0;
+    double dynamic_total = 0.0;
+    double oblivious_total = 0.0;
+    for (const CaseEval& eval : evals) {
+      oracle_total += eval.oracle;
+      dynamic_total += eval.dynamic_value;
+      oblivious_total += eval.oblivious;
     }
 
     const auto n = static_cast<double>(cases.scenarios.size());

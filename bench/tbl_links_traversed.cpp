@@ -25,12 +25,11 @@ int main(int argc, char** argv) {
     double satisfied = 0.0;
     double dijkstra = 0.0;
     double iterations = 0.0;
-    for (const Scenario& scenario : cases.scenarios) {
-      const StagingResult result = run_spec(spec, scenario, options);
-      steps += static_cast<double>(result.schedule.size());
-      satisfied += static_cast<double>(satisfied_count(result.outcomes));
-      dijkstra += static_cast<double>(result.dijkstra_runs);
-      iterations += static_cast<double>(result.iterations);
+    for (const CaseResult& result : run_cases(cases, spec, options)) {
+      steps += static_cast<double>(result.staging.schedule.size());
+      satisfied += static_cast<double>(result.satisfied);
+      dijkstra += static_cast<double>(result.staging.dijkstra_runs);
+      iterations += static_cast<double>(result.staging.iterations);
     }
     const double per = satisfied > 0.0 ? steps / satisfied : 0.0;
     table.add_row({spec.name(), format_double(per, 3), format_double(steps / n, 1),

@@ -50,28 +50,51 @@ int main(int argc, char** argv) {
   std::size_t complete = 0;
   std::vector<double> pair_totals(paper_pairs().size(), 0.0);
 
-  for (const Scenario& scenario : cases.scenarios) {
-    SearchOptions search;
-    search.weighting = setup.weighting;
-    search.max_nodes = 500'000;
-    const SearchReport report = exhaustive_step_search(scenario, search);
-    if (report.complete) ++complete;
-    envelope_total += report.best_value;
-    possible_total += compute_bounds(scenario, setup.weighting).possible_satisfy;
+  // Per-case fan-out: the exhaustive envelope dominates the cost, so each
+  // case (envelope + beam + all pairs) is one parallel job; totals reduce
+  // sequentially in case order below.
+  struct CaseEval {
+    bool complete = false;
+    double envelope = 0.0;
+    double possible = 0.0;
+    double beam = 0.0;
+    std::vector<double> pair_values;
+  };
+  const auto pairs = paper_pairs();
+  const std::vector<CaseEval> evals = default_executor().map<CaseEval>(
+      cases.scenarios.size(), [&](std::size_t i) {
+        const Scenario& scenario = cases.scenarios[i];
+        CaseEval eval;
+        SearchOptions search;
+        search.weighting = setup.weighting;
+        search.max_nodes = 500'000;
+        const SearchReport report = exhaustive_step_search(scenario, search);
+        eval.complete = report.complete;
+        eval.envelope = report.best_value;
+        eval.possible = compute_bounds(scenario, setup.weighting).possible_satisfy;
 
-    BeamOptions beam;
-    beam.weighting = setup.weighting;
-    beam.width = 8;
-    beam_total += weighted_value(scenario, setup.weighting,
-                                 run_beam_search(scenario, beam).outcomes);
+        BeamOptions beam;
+        beam.weighting = setup.weighting;
+        beam.width = 8;
+        eval.beam = weighted_value(scenario, setup.weighting,
+                                   run_beam_search(scenario, beam).outcomes);
 
-    const auto pairs = paper_pairs();
+        EngineOptions options;
+        options.weighting = setup.weighting;
+        options.eu = EUWeights::from_log10_ratio(2.0);
+        eval.pair_values.reserve(pairs.size());
+        for (const SchedulerSpec& pair : pairs) {
+          eval.pair_values.push_back(run_case(pair, scenario, options).weighted_value);
+        }
+        return eval;
+      });
+  for (const CaseEval& eval : evals) {
+    if (eval.complete) ++complete;
+    envelope_total += eval.envelope;
+    possible_total += eval.possible;
+    beam_total += eval.beam;
     for (std::size_t p = 0; p < pairs.size(); ++p) {
-      EngineOptions options;
-      options.weighting = setup.weighting;
-      options.eu = EUWeights::from_log10_ratio(2.0);
-      const StagingResult result = run_spec(pairs[p], scenario, options);
-      pair_totals[p] += weighted_value(scenario, setup.weighting, result.outcomes);
+      pair_totals[p] += eval.pair_values[p];
     }
   }
 
@@ -90,7 +113,6 @@ int main(int argc, char** argv) {
                  "100.0"});
   table.add_row({"beam search (width 8)", format_double(beam_total / n, 1),
                  pct(beam_total)});
-  const auto pairs = paper_pairs();
   for (std::size_t p = 0; p < pairs.size(); ++p) {
     table.add_row({pairs[p].name(), format_double(pair_totals[p] / n, 1),
                    pct(pair_totals[p])});

@@ -22,10 +22,9 @@ Evaluation evaluate(const CaseSet& cases, const PriorityWeighting& weighting,
   EngineOptions options;
   options.weighting = weighting;
   options.eu = eu;
-  for (const Scenario& scenario : cases.scenarios) {
-    const StagingResult result = run_spec(spec, scenario, options);
-    eval.value += weighted_value(scenario, weighting, result.outcomes);
-    eval.high += static_cast<double>(satisfied_by_class(scenario, 3, result.outcomes)[2]);
+  for (const CaseResult& result : run_cases(cases, spec, options)) {
+    eval.value += result.weighted_value;
+    eval.high += static_cast<double>(result.by_class[2]);
   }
   const auto n = static_cast<double>(cases.scenarios.size());
   eval.value /= n;

@@ -53,23 +53,35 @@ int main(int argc, char** argv) {
 
   for (const std::size_t max_sources : {std::size_t{1}, std::size_t{2},
                                         std::size_t{3}, std::size_t{5}}) {
+    struct CaseEval {
+      double possible = 0.0;
+      double value = 0.0;
+      double outage_value = 0.0;
+    };
+    const std::vector<CaseEval> evals = default_executor().map<CaseEval>(
+        cases.scenarios.size(), [&](std::size_t i) {
+          const Scenario scenario = limit_sources(cases.scenarios[i], max_sources);
+          CaseEval eval;
+          eval.possible = compute_bounds(scenario, setup.weighting).possible_satisfy;
+          const CaseResult result = run_case(spec, scenario, options);
+          eval.value = result.weighted_value;
+
+          // Fail the busiest link of the static plan at minute 30, replan.
+          DynamicStager stager(scenario, spec, options);
+          stager.on_event(StagingEvent{
+              SimTime::zero() + SimDuration::minutes(30),
+              LinkOutageEvent{busiest_link(scenario, result.staging.schedule)}});
+          const DynamicResult dynamic = stager.finish();
+          eval.outage_value = dynamic.weighted_value(setup.weighting);
+          return eval;
+        });
     double possible = 0.0;
     double value = 0.0;
     double outage_value = 0.0;
-
-    for (const Scenario& base : cases.scenarios) {
-      const Scenario scenario = limit_sources(base, max_sources);
-      possible += compute_bounds(scenario, setup.weighting).possible_satisfy;
-      const StagingResult result = run_spec(spec, scenario, options);
-      value += weighted_value(scenario, setup.weighting, result.outcomes);
-
-      // Fail the busiest link of the static plan at minute 30, replan.
-      DynamicStager stager(scenario, spec, options);
-      stager.on_event(StagingEvent{
-          SimTime::zero() + SimDuration::minutes(30),
-          LinkOutageEvent{busiest_link(scenario, result.schedule)}});
-      const DynamicResult dynamic = stager.finish();
-      outage_value += dynamic.weighted_value(setup.weighting);
+    for (const CaseEval& eval : evals) {
+      possible += eval.possible;
+      value += eval.value;
+      outage_value += eval.outage_value;
     }
 
     const auto n = static_cast<double>(cases.scenarios.size());

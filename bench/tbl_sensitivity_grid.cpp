@@ -29,16 +29,38 @@ int main(int argc, char** argv) {
   options.weighting = setup.weighting;
   options.eu = EUWeights::from_log10_ratio(1.0);
 
+  // One grid cell per (bandwidth factor, deadline factor, case); every cell
+  // perturbs its own copy of the case, so all cells fan out independently.
+  struct CellValue {
+    double value = 0.0;
+    double possible = 0.0;
+  };
+  const std::size_t n = cases.scenarios.size();
+  const std::size_t cells_per_row = deadline_factors.size() * n;
+  const std::vector<CellValue> cell_values =
+      default_executor().map<CellValue>(
+          bandwidth_factors.size() * cells_per_row, [&](std::size_t i) {
+            const double bf = bandwidth_factors[i / cells_per_row];
+            const double df = deadline_factors[(i % cells_per_row) / n];
+            const Scenario& base = cases.scenarios[i % n];
+            const Scenario perturbed = scale_deadlines(scale_bandwidth(base, bf), df);
+            CellValue cell;
+            cell.value = run_case(spec, perturbed, options).weighted_value;
+            cell.possible =
+                compute_bounds(perturbed, setup.weighting).possible_satisfy;
+            return cell;
+          });
+
+  std::size_t next_cell = 0;
   for (const double bf : bandwidth_factors) {
     std::vector<std::string> row{"x" + format_double(bf, 2)};
-    for (const double df : deadline_factors) {
+    for (std::size_t d = 0; d < deadline_factors.size(); ++d) {
       double value = 0.0;
       double possible = 0.0;
-      for (const Scenario& base : cases.scenarios) {
-        const Scenario perturbed = scale_deadlines(scale_bandwidth(base, bf), df);
-        const StagingResult result = run_spec(spec, perturbed, options);
-        value += weighted_value(perturbed, setup.weighting, result.outcomes);
-        possible += compute_bounds(perturbed, setup.weighting).possible_satisfy;
+      for (std::size_t c = 0; c < n; ++c) {
+        value += cell_values[next_cell].value;
+        possible += cell_values[next_cell].possible;
+        ++next_cell;
       }
       row.push_back(possible > 0.0 ? format_double(100.0 * value / possible, 1)
                                    : "-");

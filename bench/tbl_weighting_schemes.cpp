@@ -21,13 +21,11 @@ ClassMeans evaluate(const CaseSet& cases, const PriorityWeighting& weighting,
   EngineOptions options;
   options.weighting = weighting;
   options.eu = eu;
-  for (const Scenario& scenario : cases.scenarios) {
-    const StagingResult result = run_spec(spec, scenario, options);
-    const auto counts = satisfied_by_class(scenario, 3, result.outcomes);
-    means.low += static_cast<double>(counts[0]);
-    means.medium += static_cast<double>(counts[1]);
-    means.high += static_cast<double>(counts[2]);
-    means.value += weighted_value(scenario, weighting, result.outcomes);
+  for (const CaseResult& result : run_cases(cases, spec, options)) {
+    means.low += static_cast<double>(result.by_class[0]);
+    means.medium += static_cast<double>(result.by_class[1]);
+    means.high += static_cast<double>(result.by_class[2]);
+    means.value += result.weighted_value;
   }
   const auto n = static_cast<double>(cases.scenarios.size());
   means.low /= n;

@@ -26,12 +26,10 @@ int main(int argc, char** argv) {
     EngineOptions options;
     options.weighting = weighting;
     options.eu = EUWeights::from_log10_ratio(0.0);
-    for (const Scenario& scenario : cases.scenarios) {
-      const StagingResult result = run_spec(spec, scenario, options);
-      const auto counts = satisfied_by_class(scenario, 3, result.outcomes);
-      low += static_cast<double>(counts[0]);
-      medium += static_cast<double>(counts[1]);
-      high += static_cast<double>(counts[2]);
+    for (const CaseResult& result : run_cases(cases, spec, options)) {
+      low += static_cast<double>(result.by_class[0]);
+      medium += static_cast<double>(result.by_class[1]);
+      high += static_cast<double>(result.by_class[2]);
     }
     const auto n = static_cast<double>(cases.scenarios.size());
     table.add_row({weighting.to_string(), format_double(high / n, 2),

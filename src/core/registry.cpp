@@ -75,4 +75,16 @@ StagingResult run_spec(const SchedulerSpec& spec, const Scenario& scenario,
   DS_UNREACHABLE("bad heuristic kind");
 }
 
+CaseResult run_case(const SchedulerSpec& spec, const Scenario& scenario,
+                    const EngineOptions& options) {
+  CaseResult result;
+  result.staging = run_spec(spec, scenario, options);
+  result.weighted_value =
+      weighted_value(scenario, options.weighting, result.staging.outcomes);
+  result.satisfied = satisfied_count(result.staging.outcomes);
+  result.by_class = satisfied_by_class(scenario, options.weighting.num_classes(),
+                                       result.staging.outcomes);
+  return result;
+}
+
 }  // namespace datastage

@@ -52,4 +52,22 @@ bool is_valid_pair(const SchedulerSpec& spec);
 StagingResult run_spec(const SchedulerSpec& spec, const Scenario& scenario,
                        const EngineOptions& options);
 
+/// Everything the experiment layer needs from one (scheduler, scenario) run:
+/// the raw staging result plus the evaluation numbers every figure and table
+/// derives from it, computed once under options.weighting.
+struct CaseResult {
+  StagingResult staging;
+  double weighted_value = 0.0;        ///< Σ W[priority] over satisfied requests
+  std::size_t satisfied = 0;          ///< satisfied request count
+  std::vector<std::size_t> by_class;  ///< satisfied per priority class
+                                      ///< (size = weighting.num_classes())
+};
+
+/// The single entry point for evaluating one scheduler on one scenario — the
+/// unit of work the parallel executor dispatches. Wraps run_spec and derives
+/// the standard evaluation numbers so harness and bench code never hand-roll
+/// engine/bounds/baseline plumbing per call site.
+CaseResult run_case(const SchedulerSpec& spec, const Scenario& scenario,
+                    const EngineOptions& options);
+
 }  // namespace datastage

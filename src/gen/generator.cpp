@@ -295,10 +295,12 @@ std::vector<Scenario> generate_cases(const GeneratorConfig& config, std::uint64_
                                      std::size_t count) {
   std::vector<Scenario> cases;
   cases.reserve(count);
+  // Each case draws from its own stream split off the root by case index:
+  // adding cases never perturbs the earlier ones, and case i is identical no
+  // matter how many cases are generated, in what order, or on which thread.
+  const Rng root(seed);
   for (std::size_t i = 0; i < count; ++i) {
-    // Each case draws from its own stream: adding cases never perturbs the
-    // earlier ones.
-    Rng rng(seed + 0x9e3779b97f4a7c15ULL * (i + 1));
+    Rng rng = root.split(i);
     cases.push_back(generate_scenario(config, rng));
   }
   return cases;

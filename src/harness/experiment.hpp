@@ -18,6 +18,10 @@
 
 namespace datastage {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 struct ExperimentConfig {
   GeneratorConfig gen;
   std::uint64_t seed = 2000;  ///< base seed for case generation
@@ -30,6 +34,17 @@ struct CaseSet {
 };
 
 CaseSet build_cases(const ExperimentConfig& config);
+
+/// Runs `spec` on every case through run_case, fanned across the process-wide
+/// parallel executor (harness/parallel.hpp). Results come back in case order
+/// regardless of thread count or completion order. When `merged` is non-null,
+/// each case runs with its own obs::MetricsRegistry/RunObserver and the
+/// per-case registries are folded into `merged` in case order — counters
+/// aggregate losslessly and identically for any --jobs value.
+std::vector<CaseResult> run_cases(const CaseSet& cases,
+                                  const SchedulerSpec& spec,
+                                  const EngineOptions& options,
+                                  obs::MetricsRegistry* merged = nullptr);
 
 /// Mean weighted value of one heuristic/criterion pair across the cases.
 double average_pair_value(const CaseSet& cases, const PriorityWeighting& weighting,
@@ -56,9 +71,13 @@ AveragedBounds average_bounds(const CaseSet& cases, const PriorityWeighting& wei
 /// recomputes, route-cache hits (plus hit rate) and candidates scored —
 /// the "why heuristics differ in cost" companion to their value numbers.
 /// Observation does not perturb results (asserted by the integration tests).
+/// When `merged` is non-null it additionally receives every engine counter,
+/// prefixed "<spec name>/", merged in (spec, case) order — a deterministic
+/// machine-readable companion to the table.
 Table scheduler_cost_table(const CaseSet& cases, const PriorityWeighting& weighting,
                            const EUWeights& eu,
-                           const std::vector<SchedulerSpec>& specs);
+                           const std::vector<SchedulerSpec>& specs,
+                           obs::MetricsRegistry* merged = nullptr);
 
 /// Mean value of the §5.2 random baselines (RNG derived from the case seed).
 double average_single_dijkstra_random(const CaseSet& cases,

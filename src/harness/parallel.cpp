@@ -1,0 +1,67 @@
+#include "harness/parallel.hpp"
+
+#include <memory>
+#include <mutex>
+
+#include "util/thread_pool.hpp"
+
+namespace datastage {
+namespace {
+
+// Process-wide executor state. One pool is cached and rebuilt only when the
+// configured size changes; jobs == 1 never touches (or builds) a pool.
+struct DefaultExecutorState {
+  std::mutex mutex;
+  std::size_t jobs = 0;  // 0 = hardware concurrency, resolved lazily
+  ParallelExecutor executor{0};
+};
+
+DefaultExecutorState& default_state() {
+  static DefaultExecutorState state;
+  return state;
+}
+
+// Shared pool cache for all executors (one batch runs at a time anyway; the
+// pool serializes batches internally).
+ThreadPool& shared_pool(std::size_t threads) {
+  static std::mutex mutex;
+  static std::unique_ptr<ThreadPool> pool;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (pool == nullptr || pool->thread_count() != threads) {
+    pool.reset();  // join the old workers before spawning replacements
+    pool = std::make_unique<ThreadPool>(threads);
+  }
+  return *pool;
+}
+
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(std::size_t jobs)
+    : jobs_(jobs == 0 ? ThreadPool::hardware_jobs() : jobs) {}
+
+void ParallelExecutor::for_each(std::size_t count,
+                                const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  if (jobs_ == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  shared_pool(jobs_).run_indexed(count, fn);
+}
+
+void set_default_jobs(std::size_t jobs) {
+  DefaultExecutorState& state = default_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.jobs = jobs;
+  state.executor = ParallelExecutor(jobs);
+}
+
+std::size_t default_jobs() { return default_executor().jobs(); }
+
+const ParallelExecutor& default_executor() {
+  DefaultExecutorState& state = default_state();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.executor;
+}
+
+}  // namespace datastage

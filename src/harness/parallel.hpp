@@ -1,0 +1,65 @@
+// Deterministic parallel fan-out for experiment grids.
+//
+// Every figure and table is a grid of independent engine runs (scheduler
+// pair x case x E-U axis point). ParallelExecutor maps an indexed job
+// function over such a grid on N threads with a hard determinism contract:
+//
+//   * results are stored by job index (`results[i] = fn(i)`), never by
+//     thread or completion order;
+//   * reductions over the results happen sequentially in index order on the
+//     calling thread;
+//   * any per-job randomness derives from (base seed, job index) via
+//     Rng::split(stream_id), never from a shared advancing stream;
+//   * per-job obs::MetricsRegistry instances merge in index order
+//     (MetricsRegistry::merge), so aggregated counters are lossless.
+//
+// Under that contract the output is byte-identical for --jobs=1 and
+// --jobs=N; the determinism suite and tests/determinism_smoke.sh assert it.
+//
+// The harness entry points (sweep_pairs, run_cases, average_*) all fan out
+// through the process-wide default executor, configured once per process
+// from the --jobs flag via set_default_jobs().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace datastage {
+
+class ParallelExecutor {
+ public:
+  /// `jobs` worker threads; 0 means hardware concurrency. With jobs == 1
+  /// everything runs inline on the calling thread (no pool, no locking).
+  explicit ParallelExecutor(std::size_t jobs = 0);
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Runs fn(0) .. fn(count-1), blocking until all complete. Exceptions
+  /// propagate (lowest job index wins when several jobs throw).
+  void for_each(std::size_t count, const std::function<void(std::size_t)>& fn) const;
+
+  /// results[i] = fn(i), in index order regardless of completion order.
+  /// R must be default-constructible.
+  template <class R, class Fn>
+  std::vector<R> map(std::size_t count, Fn&& fn) const {
+    std::vector<R> results(count);
+    for_each(count, [&](std::size_t i) { results[i] = fn(i); });
+    return results;
+  }
+
+ private:
+  std::size_t jobs_;
+};
+
+/// Configures the process-wide executor used by the harness entry points.
+/// 0 means hardware concurrency (the default when never called).
+void set_default_jobs(std::size_t jobs);
+
+/// The currently configured worker count (resolved, never 0).
+std::size_t default_jobs();
+
+/// The process-wide executor the harness fans out through.
+const ParallelExecutor& default_executor();
+
+}  // namespace datastage

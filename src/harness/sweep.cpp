@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "harness/parallel.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
@@ -29,23 +30,67 @@ SweepResult sweep_pairs(const CaseSet& cases, const PriorityWeighting& weighting
                         const std::vector<double>& axis, bool verbose) {
   SweepResult result;
   result.axis = axis;
-  for (const SchedulerSpec& spec : pairs) {
+
+  // Fan the whole (pair x axis point x case) grid through the parallel
+  // executor in one batch: every cell is an independent run_case call, so
+  // wall-clock scales with the worker count while the reduction below —
+  // sequential, in grid order — keeps the output bit-identical to a serial
+  // sweep. C3 ignores W_E/W_U entirely (§4.8): one evaluated column,
+  // replicated across the axis afterwards.
+  struct Cell {
+    std::size_t series;
+    std::size_t point;
+    std::size_t case_index;
+  };
+  std::vector<std::size_t> evaluated_points;  // per series: 1 for C3
+  std::vector<Cell> grid;
+  evaluated_points.reserve(pairs.size());
+  for (std::size_t s = 0; s < pairs.size(); ++s) {
+    const bool flat = pairs[s].criterion == CostCriterion::kC3;
+    const std::size_t points = flat ? 1 : axis.size();
+    evaluated_points.push_back(points);
+    for (std::size_t p = 0; p < points; ++p) {
+      for (std::size_t c = 0; c < cases.scenarios.size(); ++c) {
+        grid.push_back(Cell{s, p, c});
+      }
+    }
+  }
+
+  const std::vector<double> cell_values =
+      default_executor().map<double>(grid.size(), [&](std::size_t i) {
+        const Cell& cell = grid[i];
+        const bool flat = pairs[cell.series].criterion == CostCriterion::kC3;
+        EngineOptions options;
+        options.weighting = weighting;
+        options.eu = EUWeights::from_log10_ratio(flat ? 0.0 : axis[cell.point]);
+        return run_case(pairs[cell.series], cases.scenarios[cell.case_index], options)
+            .weighted_value;
+      });
+
+  // Sequential reduction in grid order (same order as the old serial loops).
+  const double n = static_cast<double>(cases.scenarios.size());
+  std::vector<std::vector<double>> sums(pairs.size());
+  for (std::size_t s = 0; s < pairs.size(); ++s) {
+    sums[s].assign(evaluated_points[s], 0.0);
+  }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    sums[grid[i].series][grid[i].point] += cell_values[i];
+  }
+
+  for (std::size_t s = 0; s < pairs.size(); ++s) {
     SweepSeries series;
-    series.name = spec.name();
-    series.values.reserve(axis.size());
-    // C3 ignores W_E/W_U entirely (§4.8): evaluate once and replicate.
-    if (spec.criterion == CostCriterion::kC3) {
-      const double value =
-          average_pair_value(cases, weighting, spec, EUWeights::from_log10_ratio(0.0));
+    series.name = pairs[s].name();
+    if (evaluated_points[s] == 1 && axis.size() != 1) {
+      const double value = sums[s][0] / n;
       series.values.assign(axis.size(), value);
       if (verbose) log_info(series.name + " (flat) = " + format_double(value));
     } else {
-      for (const double x : axis) {
-        const double value =
-            average_pair_value(cases, weighting, spec, EUWeights::from_log10_ratio(x));
+      series.values.reserve(axis.size());
+      for (std::size_t p = 0; p < evaluated_points[s]; ++p) {
+        const double value = sums[s][p] / n;
         series.values.push_back(value);
         if (verbose) {
-          log_info(series.name + " @ " + eu_axis_label(x) + " = " +
+          log_info(series.name + " @ " + eu_axis_label(axis[p]) + " = " +
                    format_double(value));
         }
       }

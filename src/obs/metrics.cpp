@@ -95,6 +95,39 @@ const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
   return it == histograms_.end() ? nullptr : &it->second;
 }
 
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counter(name).inc(value);
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    add_gauge(name, value);
+  }
+  for (const auto& [name, theirs] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, theirs);
+      continue;
+    }
+    Histogram& ours = it->second;
+    DS_ASSERT_MSG(ours.bounds_ == theirs.bounds_,
+                  "cannot merge histograms with different bucket bounds");
+    for (std::size_t i = 0; i < ours.counts_.size(); ++i) {
+      ours.counts_[i] += theirs.counts_[i];
+    }
+    if (theirs.count_ > 0) {
+      if (ours.count_ == 0) {
+        ours.min_ = theirs.min_;
+        ours.max_ = theirs.max_;
+      } else {
+        ours.min_ = std::min(ours.min_, theirs.min_);
+        ours.max_ = std::max(ours.max_, theirs.max_);
+      }
+      ours.count_ += theirs.count_;
+      ours.sum_ += theirs.sum_;
+    }
+  }
+}
+
 bool MetricsRegistry::empty() const {
   return counters_.empty() && gauges_.empty() && histograms_.empty();
 }
@@ -243,6 +276,10 @@ void PhaseTimer::add_nanos(std::string_view phase, std::int64_t nanos) {
   } else {
     it->second += nanos;
   }
+}
+
+void PhaseTimer::merge(const PhaseTimer& other) {
+  for (const auto& [phase, nanos] : other.phases_) add_nanos(phase, nanos);
 }
 
 std::int64_t PhaseTimer::nanos(std::string_view phase) const {

@@ -95,6 +95,14 @@ class MetricsRegistry {
     return histograms_;
   }
 
+  /// Folds `other` into this registry: counters and gauges add (gauges are
+  /// treated as additive — phase seconds, totals), histograms merge
+  /// bucket-wise (bounds must match; count/sum/min/max combine exactly).
+  /// Lossless for counters and the aggregation primitive behind the parallel
+  /// executor: per-job registries merged in job-index order produce output
+  /// independent of thread count and completion order.
+  void merge(const MetricsRegistry& other);
+
   /// (kind, name, value) rows, keys sorted, histograms summarized.
   Table to_table() const;
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}}, keys sorted.
@@ -114,6 +122,9 @@ class MetricsRegistry {
 class PhaseTimer {
  public:
   void add_nanos(std::string_view phase, std::int64_t nanos);
+
+  /// Adds every phase total of `other` into this timer.
+  void merge(const PhaseTimer& other);
 
   std::int64_t nanos(std::string_view phase) const;
   double seconds(std::string_view phase) const;

@@ -68,6 +68,18 @@ bool Rng::bernoulli(double p) {
   return uniform_double() < p;
 }
 
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Fold the four state words and the stream id through SplitMix64 into one
+  // seed; the Rng constructor then expands it back to a full 256-bit state.
+  // Const: the parent stream is left exactly where it was.
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL * (stream_id + 1);
+  for (const std::uint64_t word : state_) {
+    std::uint64_t x = h ^ word;
+    h = splitmix64(x);
+  }
+  return Rng(h);
+}
+
 Rng Rng::split() {
   Rng child(0);
   for (auto& word : child.state_) word = next_u64();

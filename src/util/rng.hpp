@@ -60,9 +60,22 @@ class Rng {
     }
   }
 
-  /// Derives an independent child generator; used to give each test case its
-  /// own stream so that adding parameters to one case cannot perturb others.
+  /// Derives an independent child generator by *advancing* this one: the
+  /// child depends on how many values the parent has produced so far. This
+  /// is the old, order-dependent semantics — fine for nested generation
+  /// inside a single stream, wrong for anything evaluated in parallel or in
+  /// varying order. New code constructing per-case streams should use
+  /// split(stream_id) below.
   Rng split();
+
+  /// Derives an independent child generator for `stream_id` WITHOUT
+  /// advancing or otherwise touching this one. The child depends only on
+  /// (parent state, stream_id), so `parent.split(i)` yields the same stream
+  /// no matter how many other splits happened before, in what order, or on
+  /// which thread — the property the parallel executor's determinism
+  /// contract relies on. Distinct stream ids give decorrelated streams
+  /// (SplitMix64 over the state words and the id).
+  Rng split(std::uint64_t stream_id) const;
 
  private:
   std::array<std::uint64_t, 4> state_{};

@@ -1,0 +1,101 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace datastage {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = std::max<std::size_t>(threads, 1);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::hardware_jobs() {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<std::size_t>(reported);
+}
+
+void ThreadPool::run_indexed(std::size_t job_count,
+                             const std::function<void(std::size_t)>& job) {
+  if (job_count == 0) return;
+  std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DS_ASSERT_MSG(job_ == nullptr, "batch already in flight");
+    job_ = &job;
+    job_count_ = job_count;
+    next_index_ = 0;
+    completed_ = 0;
+    first_error_ = nullptr;
+    first_error_index_ = 0;
+    ++batch_id_;
+  }
+  work_cv_.notify_all();
+
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return completed_ == job_count_; });
+    job_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_batch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && batch_id_ != seen_batch);
+      });
+      if (stop_) return;
+      seen_batch = batch_id_;
+      job = job_;
+    }
+    // Claim and run indices until the batch is exhausted.
+    for (;;) {
+      std::size_t index;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // The batch we joined may have completed (and a new one started)
+        // since we last held the lock; claiming an index from a later batch
+        // here would run it with the previous batch's dangling job pointer.
+        if (batch_id_ != seen_batch || next_index_ >= job_count_) break;
+        index = next_index_++;
+      }
+      std::exception_ptr error;
+      try {
+        (*job)(index);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error != nullptr &&
+          (first_error_ == nullptr || index < first_error_index_)) {
+        first_error_ = error;
+        first_error_index_ = index;
+      }
+      if (++completed_ == job_count_) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace datastage

@@ -1,0 +1,68 @@
+// Fixed-size worker pool for fanning out independent jobs.
+//
+// Deliberately minimal — no futures, no task queue, no work stealing. One
+// batch of `job_count` indexed jobs runs at a time: workers claim indices
+// from a shared counter, so scheduling is dynamic but *results* are attached
+// to indices, never to threads. Callers that store `result[i] = f(i)` and
+// reduce in index order therefore get bit-identical output for any thread
+// count (see harness/parallel.hpp for that contract).
+//
+// Exceptions thrown by jobs are captured and the one with the lowest job
+// index is rethrown from run_indexed() after the batch drains — again
+// independent of thread scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace datastage {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+  /// Joins all workers. Must not be called while a batch is in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Runs job(0) .. job(job_count-1) across the workers and blocks until all
+  /// complete. If any job throws, the exception with the smallest job index
+  /// is rethrown here once the batch has drained (remaining jobs still run).
+  /// Not reentrant: one batch at a time per pool (enforced with a mutex).
+  void run_indexed(std::size_t job_count, const std::function<void(std::size_t)>& job);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the function may
+  /// return 0 on platforms that cannot report it).
+  static std::size_t hardware_jobs();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex batch_mutex_;  ///< serializes run_indexed callers
+
+  std::mutex mutex_;  ///< guards everything below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_count_ = 0;
+  std::size_t next_index_ = 0;
+  std::size_t completed_ = 0;
+  std::uint64_t batch_id_ = 0;  ///< bumped per batch so workers wake exactly once
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::size_t first_error_index_ = 0;
+};
+
+}  // namespace datastage

@@ -91,6 +91,27 @@ TEST(RegistryTest, RunSpecDispatchesEveryPair) {
   }
 }
 
+TEST(RegistryTest, RunCaseMatchesRunSpecDerivedStats) {
+  const Scenario s = testing::chain_scenario();
+  EngineOptions options;
+  options.weighting = PriorityWeighting::w_1_10_100();
+  options.eu = EUWeights::from_log10_ratio(1.0);
+  for (const auto& spec : paper_pairs()) {
+    options.criterion = spec.criterion;
+    const CaseResult result = run_case(spec, s, options);
+    const StagingResult direct = run_spec(spec, s, options);
+    EXPECT_EQ(result.weighted_value,
+              weighted_value(s, options.weighting, direct.outcomes))
+        << spec.name();
+    EXPECT_EQ(result.satisfied, satisfied_count(direct.outcomes)) << spec.name();
+    ASSERT_EQ(result.by_class.size(), options.weighting.num_classes());
+    std::size_t by_class_total = 0;
+    for (const std::size_t n : result.by_class) by_class_total += n;
+    EXPECT_EQ(by_class_total, result.satisfied) << spec.name();
+    EXPECT_EQ(result.staging.schedule.size(), direct.schedule.size()) << spec.name();
+  }
+}
+
 TEST(RegistryDeathTest, RunSpecRejectsInvalidPair) {
   const Scenario s = testing::chain_scenario();
   EXPECT_DEATH(

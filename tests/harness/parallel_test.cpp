@@ -1,0 +1,140 @@
+// Determinism suite for the parallel experiment executor: every harness
+// aggregate must be bit-identical no matter how many worker threads run it.
+#include "harness/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
+
+namespace datastage {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.cases = 3;
+  config.seed = 77;
+  config.gen.min_machines = 8;
+  config.gen.max_machines = 8;
+  config.gen.min_requests_per_machine = 4;
+  config.gen.max_requests_per_machine = 6;
+  return config;
+}
+
+// The default executor is process-wide state; restore it after each test so
+// the rest of the suite sees the normal default.
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  ~ParallelDeterminismTest() override { set_default_jobs(0); }
+};
+
+TEST(ParallelExecutorTest, MapStoresResultsByIndex) {
+  const ParallelExecutor executor(8);
+  const std::vector<std::size_t> results =
+      executor.map<std::size_t>(50, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(results.size(), 50u);
+  for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i], i * i);
+}
+
+TEST(ParallelExecutorTest, SingleJobRunsInline) {
+  const ParallelExecutor executor(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  executor.for_each(4, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ParallelExecutorTest, ZeroJobsResolvesToHardware) {
+  const ParallelExecutor executor(0);
+  EXPECT_GE(executor.jobs(), 1u);
+}
+
+TEST_F(ParallelDeterminismTest, DefaultJobsConfigurable) {
+  set_default_jobs(3);
+  EXPECT_EQ(default_jobs(), 3u);
+  set_default_jobs(0);
+  EXPECT_GE(default_jobs(), 1u);
+}
+
+TEST_F(ParallelDeterminismTest, SweepIsBitIdenticalAcrossJobCounts) {
+  const CaseSet cases = build_cases(tiny_config());
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  const std::vector<SchedulerSpec> pairs = paper_pairs();
+  const std::vector<double> axis = paper_eu_axis();
+
+  set_default_jobs(1);
+  const SweepResult serial = sweep_pairs(cases, weighting, pairs, axis);
+  set_default_jobs(8);
+  const SweepResult parallel = sweep_pairs(cases, weighting, pairs, axis);
+
+  ASSERT_EQ(serial.series.size(), parallel.series.size());
+  for (std::size_t s = 0; s < serial.series.size(); ++s) {
+    EXPECT_EQ(serial.series[s].name, parallel.series[s].name);
+    ASSERT_EQ(serial.series[s].values.size(), parallel.series[s].values.size());
+    for (std::size_t p = 0; p < serial.series[s].values.size(); ++p) {
+      // Exact equality, not near: reductions run sequentially in index
+      // order, so even the floating-point rounding must match.
+      EXPECT_EQ(serial.series[s].values[p], parallel.series[s].values[p])
+          << serial.series[s].name << " @ axis point " << p;
+    }
+  }
+}
+
+TEST_F(ParallelDeterminismTest, RunCasesAndMergedMetricsBitIdentical) {
+  const CaseSet cases = build_cases(tiny_config());
+  EngineOptions options;
+  options.weighting = PriorityWeighting::w_1_10_100();
+  options.eu = EUWeights::from_log10_ratio(1.0);
+  const SchedulerSpec spec{HeuristicKind::kFullOne, CostCriterion::kC4};
+
+  set_default_jobs(1);
+  obs::MetricsRegistry serial_metrics;
+  const std::vector<CaseResult> serial = run_cases(cases, spec, options, &serial_metrics);
+  set_default_jobs(8);
+  obs::MetricsRegistry parallel_metrics;
+  const std::vector<CaseResult> parallel =
+      run_cases(cases, spec, options, &parallel_metrics);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].weighted_value, parallel[i].weighted_value);
+    EXPECT_EQ(serial[i].satisfied, parallel[i].satisfied);
+    EXPECT_EQ(serial[i].by_class, parallel[i].by_class);
+    EXPECT_EQ(serial[i].staging.schedule.size(), parallel[i].staging.schedule.size());
+  }
+  EXPECT_FALSE(serial_metrics.empty());
+  EXPECT_EQ(serial_metrics.to_json(), parallel_metrics.to_json());
+}
+
+TEST_F(ParallelDeterminismTest, CostTableAndBaselinesBitIdentical) {
+  const CaseSet cases = build_cases(tiny_config());
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  const EUWeights eu = EUWeights::from_log10_ratio(1.0);
+  const std::vector<SchedulerSpec> pairs = pairs_for(HeuristicKind::kFullOne);
+
+  set_default_jobs(1);
+  obs::MetricsRegistry serial_metrics;
+  const std::string serial_table =
+      scheduler_cost_table(cases, weighting, eu, pairs, &serial_metrics).to_text();
+  const double serial_random = average_random_dijkstra(cases, weighting);
+  const double serial_single = average_single_dijkstra_random(cases, weighting);
+  const double serial_priority = average_priority_first(cases, weighting);
+
+  set_default_jobs(8);
+  obs::MetricsRegistry parallel_metrics;
+  const std::string parallel_table =
+      scheduler_cost_table(cases, weighting, eu, pairs, &parallel_metrics).to_text();
+
+  EXPECT_EQ(serial_table, parallel_table);
+  EXPECT_EQ(serial_metrics.to_json(), parallel_metrics.to_json());
+  EXPECT_EQ(serial_random, average_random_dijkstra(cases, weighting));
+  EXPECT_EQ(serial_single, average_single_dijkstra_random(cases, weighting));
+  EXPECT_EQ(serial_priority, average_priority_first(cases, weighting));
+}
+
+}  // namespace
+}  // namespace datastage

@@ -195,5 +195,83 @@ TEST(PhaseTimerTest, ExportsGauges) {
   EXPECT_DOUBLE_EQ(registry.gauge_value("phase.load_seconds"), 2.0);
 }
 
+TEST(MetricsMergeTest, CountersAndGaugesAdd) {
+  MetricsRegistry a;
+  a.counter("shared").inc(3);
+  a.counter("only_a").inc(1);
+  a.set_gauge("g", 1.5);
+  MetricsRegistry b;
+  b.counter("shared").inc(4);
+  b.counter("only_b").inc(2);
+  b.add_gauge("g", 2.5);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter_value("shared"), 7u);
+  EXPECT_EQ(a.counter_value("only_a"), 1u);
+  EXPECT_EQ(a.counter_value("only_b"), 2u);
+  EXPECT_DOUBLE_EQ(a.gauge_value("g"), 4.0);
+  EXPECT_EQ(b.counter_value("shared"), 4u);  // source untouched
+}
+
+TEST(MetricsMergeTest, HistogramsMergeBucketwise) {
+  MetricsRegistry a;
+  a.histogram("h", {1.0, 10.0}).observe(0.5);
+  a.histogram("h", {1.0, 10.0}).observe(100.0);
+  MetricsRegistry b;
+  b.histogram("h", {1.0, 10.0}).observe(5.0);
+
+  a.merge(b);
+  const Histogram* h = a.find_histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->bucket_counts(), (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(h->count(), 3u);
+  EXPECT_DOUBLE_EQ(h->sum(), 105.5);
+  EXPECT_DOUBLE_EQ(h->min(), 0.5);
+  EXPECT_DOUBLE_EQ(h->max(), 100.0);
+}
+
+TEST(MetricsMergeTest, MergeIsAssociativeOverRegistrySequences) {
+  // The executor merges per-job registries in job-index order; folding them
+  // one-by-one must equal folding a pre-merged pair.
+  MetricsRegistry r1;
+  r1.counter("c").inc(1);
+  MetricsRegistry r2;
+  r2.counter("c").inc(2);
+  MetricsRegistry r3;
+  r3.counter("c").inc(4);
+
+  MetricsRegistry left;
+  left.merge(r1);
+  left.merge(r2);
+  left.merge(r3);
+  MetricsRegistry pair = r2;
+  pair.merge(r3);
+  MetricsRegistry right;
+  right.merge(r1);
+  right.merge(pair);
+  EXPECT_EQ(left.to_json(), right.to_json());
+}
+
+TEST(MetricsMergeTest, MergeIntoEmptyEqualsCopy) {
+  MetricsRegistry src;
+  src.counter("c").inc(9);
+  src.set_gauge("g", 3.25);
+  src.histogram("h", {2.0}).observe(1.0);
+  MetricsRegistry dst;
+  dst.merge(src);
+  EXPECT_EQ(dst.to_json(), src.to_json());
+}
+
+TEST(PhaseTimerTest, MergeAddsPhaseTotals) {
+  PhaseTimer a;
+  a.add_nanos("load", 100);
+  PhaseTimer b;
+  b.add_nanos("load", 50);
+  b.add_nanos("schedule", 7);
+  a.merge(b);
+  EXPECT_EQ(a.nanos("load"), 150);
+  EXPECT_EQ(a.nanos("schedule"), 7);
+}
+
 }  // namespace
 }  // namespace datastage::obs

@@ -139,6 +139,55 @@ TEST(RngTest, SplitStreamsAreIndependentAndDeterministic) {
   EXPECT_LT(same, 4);
 }
 
+TEST(RngTest, KeyedSplitIsDeterministicAndKeyed) {
+  const Rng parent(42);
+  Rng a = parent.split(7);
+  Rng b = parent.split(7);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+
+  Rng c = parent.split(8);
+  int same = 0;
+  Rng d = parent.split(7);
+  for (int i = 0; i < 16; ++i) {
+    if (c.next_u64() == d.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);  // different stream ids diverge
+}
+
+TEST(RngTest, KeyedSplitDoesNotAdvanceTheParent) {
+  Rng parent(42);
+  Rng witness(42);
+  (void)parent.split(3);
+  (void)parent.split(1000);
+  // Unlike the advancing split(), keyed splits leave the parent stream
+  // untouched — the property the parallel executor's determinism rests on.
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(parent.next_u64(), witness.next_u64());
+}
+
+TEST(RngTest, KeyedSplitIsOrderIndependent) {
+  const Rng parent(2000);
+  Rng low_first = parent.split(1);
+  (void)parent.split(9);
+  Rng high_first = parent.split(1);  // derived after an unrelated split
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(low_first.next_u64(), high_first.next_u64());
+  }
+}
+
+TEST(RngTest, KeyedSplitChainsDistinctly) {
+  // Nested derivations (base seed -> stream tag -> case index) must stay
+  // distinct across cases: the harness baselines use exactly this shape.
+  const Rng root(2000);
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t tag : {0ULL, 1ULL, 0xd1b54a32d192ed03ULL}) {
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      Rng child = root.split(tag).split(i);
+      firsts.insert(child.next_u64());
+    }
+  }
+  EXPECT_EQ(firsts.size(), 24u);
+}
+
 // Reference vector: xoshiro256++ seeded via SplitMix64(1). Locks the stream
 // against accidental algorithm changes — every experiment in EXPERIMENTS.md
 // depends on this exact sequence.

@@ -1,0 +1,70 @@
+#include "common_flags.hpp"
+
+#include <cstdio>
+
+#include "harness/parallel.hpp"
+
+namespace datastage::toolflags {
+
+std::vector<std::string> with_common_flags(std::vector<std::string> extra) {
+  std::vector<std::string> names{"seed",     "weighting",   "jobs",
+                                 "paranoid", "metrics-out", "trace-out"};
+  names.insert(names.end(), extra.begin(), extra.end());
+  return names;
+}
+
+std::optional<PriorityWeighting> parse_weighting(const CliFlags& flags) {
+  const std::string name = flags.get_string("weighting", "1,10,100");
+  if (name == "1,10,100") return PriorityWeighting::w_1_10_100();
+  if (name == "1,5,10") return PriorityWeighting::w_1_5_10();
+  std::fprintf(stderr, "unknown --weighting '%s' (use 1,10,100 or 1,5,10)\n",
+               name.c_str());
+  return std::nullopt;
+}
+
+std::uint64_t seed_flag(const CliFlags& flags, std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<std::int64_t>(fallback)));
+}
+
+std::size_t apply_jobs_flag(const CliFlags& flags) {
+  set_default_jobs(static_cast<std::size_t>(flags.get_int("jobs", 0)));
+  return default_jobs();
+}
+
+bool Observability::open(const CliFlags& flags) {
+  metrics_path_ = flags.get_string("metrics-out", "");
+  trace_path_ = flags.get_string("trace-out", "");
+  active_ = !metrics_path_.empty() || !trace_path_.empty();
+  if (!active_) return true;
+  observer_.metrics = &registry_;
+  if (!trace_path_.empty()) {
+    trace_file_.open(trace_path_);
+    if (!trace_file_) {
+      std::fprintf(stderr, "cannot open trace file %s\n", trace_path_.c_str());
+      return false;
+    }
+    run_trace_.emplace(trace_file_);
+    observer_.trace = &*run_trace_;
+  }
+  return true;
+}
+
+std::uint64_t Observability::trace_events_written() const {
+  return run_trace_.has_value() ? run_trace_->events_written() : 0;
+}
+
+bool Observability::write_metrics() {
+  if (metrics_path_.empty()) return true;
+  phases_.export_gauges(registry_);
+  obs::record_log_metrics(registry_);
+  std::ofstream out(metrics_path_);
+  if (!out) {
+    std::fprintf(stderr, "cannot open metrics file %s\n", metrics_path_.c_str());
+    return false;
+  }
+  out << registry_.to_json() << '\n';
+  return true;
+}
+
+}  // namespace datastage::toolflags

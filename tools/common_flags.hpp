@@ -1,0 +1,85 @@
+// Flag plumbing shared by the datastage_* CLI tools.
+//
+// Every tool used to hand-roll the same handful of flags (--seed,
+// --weighting, --jobs, --metrics-out, --trace-out, --paranoid); this module
+// centralizes their names, parsing and the observability file plumbing so a
+// new cross-cutting flag lands in exactly one place. Tools register the
+// groups they support:
+//
+//   CliFlags flags;
+//   flags.parse(argc, argv, toolflags::with_common_flags({"report", "save"}));
+//   const auto weighting = toolflags::parse_weighting(flags);
+//   toolflags::apply_jobs_flag(flags);
+//
+// Flag semantics:
+//   --seed=N         base RNG seed (tool-specific default)
+//   --weighting=W    "1,10,100" (default) or "1,5,10"
+//   --jobs=N         worker threads for experiment fan-out (0/default:
+//                    hardware concurrency; output is jobs-independent)
+//   --paranoid       disable the engine's route-tree cache
+//   --metrics-out=F  write a JSON metrics document to F
+//   --trace-out=F    write a JSON-lines structured run trace to F
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/priority.hpp"
+#include "obs/observer.hpp"
+#include "util/cli.hpp"
+
+namespace datastage::toolflags {
+
+/// The shared flag names plus `extra`, for CliFlags::parse.
+std::vector<std::string> with_common_flags(std::vector<std::string> extra = {});
+
+/// Parses --weighting. nullopt (with a stderr message) on an unknown scheme.
+std::optional<PriorityWeighting> parse_weighting(const CliFlags& flags);
+
+/// --seed with a tool-specific default.
+std::uint64_t seed_flag(const CliFlags& flags, std::uint64_t fallback);
+
+/// Applies --jobs to the process-wide parallel executor
+/// (harness/parallel.hpp) and returns the resolved worker count.
+std::size_t apply_jobs_flag(const CliFlags& flags);
+
+/// --metrics-out/--trace-out plumbing: owns the registry, phase timer and
+/// trace sink, and exposes the observer EngineOptions wants. Inactive (all
+/// accessors nullptr) when neither flag was given.
+class Observability {
+ public:
+  /// Opens the output files named by the flags. Returns false (with a
+  /// stderr message) when a file cannot be opened.
+  bool open(const CliFlags& flags);
+
+  bool active() const { return active_; }
+  /// nullptr when inactive — assign directly to EngineOptions::observer.
+  obs::RunObserver* observer() { return active_ ? &observer_ : nullptr; }
+  /// nullptr when inactive — pass to obs::ScopedTimer for free no-op scopes.
+  obs::PhaseTimer* phases() { return active_ ? &phases_ : nullptr; }
+  obs::MetricsRegistry& registry() { return registry_; }
+
+  const std::string& metrics_path() const { return metrics_path_; }
+  const std::string& trace_path() const { return trace_path_; }
+  std::uint64_t trace_events_written() const;
+
+  /// Exports phase gauges and log counters, then writes the JSON document to
+  /// --metrics-out. No-op (true) when that flag was absent; false with a
+  /// stderr message when the file cannot be written.
+  bool write_metrics();
+
+ private:
+  bool active_ = false;
+  std::string metrics_path_;
+  std::string trace_path_;
+  obs::MetricsRegistry registry_;
+  obs::PhaseTimer phases_;
+  std::ofstream trace_file_;
+  std::optional<obs::RunTrace> run_trace_;
+  obs::RunObserver observer_;
+};
+
+}  // namespace datastage::toolflags

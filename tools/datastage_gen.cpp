@@ -5,6 +5,7 @@
 //                    --out=heavy.ds
 #include <cstdio>
 
+#include "common_flags.hpp"
 #include "gen/generator.hpp"
 #include "model/describe.hpp"
 #include "model/scenario_io.hpp"
@@ -46,7 +47,7 @@ int main(int argc, char** argv) {
   }
   config.load_multiplier = flags.get_double("load", 1.0);
 
-  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  Rng rng(toolflags::seed_flag(flags, 1));
   const Scenario scenario = generate_scenario(config, rng);
 
   const std::string out = flags.get_string("out", "");

@@ -2,14 +2,20 @@
 //
 // Produces the data behind Figures 2-5 and the §5.4 comparison tables,
 // printing each to stdout and (with --outdir) writing one CSV per artifact.
+// Everything fans out across --jobs worker threads; stdout, the CSVs and the
+// --metrics-out JSON are byte-identical for any jobs value.
 //
-//   $ datastage_repro --cases=40 --outdir=results/
+//   $ datastage_repro --cases=40 --outdir=results/ --jobs=8
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
+#include "common_flags.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
@@ -27,14 +33,19 @@ std::string csv_path(const std::string& outdir, const std::string& name) {
 
 int main(int argc, char** argv) {
   CliFlags flags;
-  if (!flags.parse(argc, argv, {"cases", "seed", "outdir", "verbose"})) return 1;
+  if (!flags.parse(argc, argv,
+                   {"cases", "seed", "outdir", "verbose", "jobs", "metrics-out"})) {
+    return 1;
+  }
 
   ExperimentConfig config;
   config.cases = static_cast<std::size_t>(flags.get_int("cases", 40));
-  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2000));
+  config.seed = toolflags::seed_flag(flags, 2000);
   const std::string outdir = flags.get_string("outdir", "");
+  const std::string metrics_out = flags.get_string("metrics-out", "");
   if (!outdir.empty()) std::filesystem::create_directories(outdir);
   if (flags.get_bool("verbose", false)) set_log_level(LogLevel::kInfo);
+  toolflags::apply_jobs_flag(flags);
 
   const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
   std::printf("datastage paper reproduction — cases=%zu seed=%llu weighting=%s\n\n",
@@ -92,13 +103,11 @@ int main(int argc, char** argv) {
         EngineOptions options;
         options.weighting = scheme;
         options.eu = EUWeights::from_log10_ratio(1.0);
-        for (const Scenario& scenario : cases.scenarios) {
-          const StagingResult result =
-              run_spec({kind, CostCriterion::kC4}, scenario, options);
-          const auto counts = satisfied_by_class(scenario, 3, result.outcomes);
-          low += static_cast<double>(counts[0]);
-          medium += static_cast<double>(counts[1]);
-          high += static_cast<double>(counts[2]);
+        for (const CaseResult& result :
+             run_cases(cases, {kind, CostCriterion::kC4}, options)) {
+          low += static_cast<double>(result.by_class[0]);
+          medium += static_cast<double>(result.by_class[1]);
+          high += static_cast<double>(result.by_class[2]);
         }
         const auto n = static_cast<double>(cases.scenarios.size());
         table.add_row({heuristic_name(kind), scheme.to_string(),
@@ -115,12 +124,22 @@ int main(int argc, char** argv) {
   // artifact — the observability layer's per-run accounting, averaged the
   // same way as the figures.
   {
+    obs::MetricsRegistry merged;
     const Table table = scheduler_cost_table(cases, weighting,
                                              EUWeights::from_log10_ratio(1.0),
-                                             paper_pairs());
+                                             paper_pairs(), &merged);
     std::printf("=== Engine cost metrics (all pairs, ratio 10^1) ===\n%s\n",
                 table.to_text().c_str());
     if (!outdir.empty()) table.write_csv_file(csv_path(outdir, "engine_cost"));
+    if (!metrics_out.empty()) {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::fprintf(stderr, "cannot open metrics file %s\n", metrics_out.c_str());
+        return 1;
+      }
+      out << merged.to_json() << '\n';
+      std::printf("(metrics JSON written to %s)\n\n", metrics_out.c_str());
+    }
   }
 
   // §5.4 priority-first comparison (heuristics at their best ratio).

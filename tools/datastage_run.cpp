@@ -2,6 +2,7 @@
 //
 //   $ datastage_run case7.ds --scheduler=full_one/C4 --ratio=2
 //   $ datastage_run case7.ds --scheduler=partial/C3 --report --save=plan.dss
+//   $ datastage_run case7.ds --sweep --jobs=8 --csv=sweep.csv
 //
 // Flags:
 //   --scheduler=NAME   heuristic/criterion pair (default full_one/C4); also
@@ -10,11 +11,18 @@
 //                      search ("beam", see --width)
 //   --width=N          beam width for --scheduler=beam (default 8)
 //   --ratio=X          log10(W_E/W_U), default 1
-//   --weighting=W      1,10,100 (default) or 1,5,10
 //   --report           print request/link/storage tables
 //   --trace            print the transfer log
 //   --save=PATH        write the schedule file
+//   --sweep            sweep every paper pair across the E-U axis on this
+//                      scenario (parallel across the grid, see --jobs) and
+//                      print the figure-style table instead of one run
+//   --csv=PATH         with --sweep: also write the series as CSV
+// Plus the shared tool flags (tools/common_flags.hpp):
 //   --seed=N           RNG seed for the random baselines
+//   --weighting=W      1,10,100 (default) or 1,5,10
+//   --jobs=N           worker threads for --sweep (default: hardware
+//                      concurrency; output is byte-identical for any value)
 //   --paranoid         disable the engine's route-tree cache (recompute every
 //                      iteration; validates the cache against the paper's
 //                      literal procedure)
@@ -22,14 +30,17 @@
 //                      phase timings) to F
 //   --trace-out=F      write a JSON-lines structured run trace to F
 #include <cstdio>
-#include <fstream>
 #include <optional>
 
+#include "common_flags.hpp"
 #include "core/bounds.hpp"
 #include "core/exact.hpp"
 #include "core/heuristics.hpp"
 #include "core/registry.hpp"
 #include "core/schedule_io.hpp"
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "harness/sweep.hpp"
 #include "model/scenario_io.hpp"
 #include "obs/observer.hpp"
 #include "sim/simulator.hpp"
@@ -38,39 +49,43 @@
 
 using namespace datastage;
 
+namespace {
+
+/// --sweep: treat the single scenario as a one-case CaseSet and fan the
+/// (paper pair x E-U axis) grid through the parallel executor.
+int run_sweep_mode(const Scenario& scenario, const PriorityWeighting& weighting,
+                   std::uint64_t seed, const std::string& csv_path) {
+  CaseSet cases;
+  cases.seed = seed;
+  cases.scenarios.push_back(scenario);
+
+  SweepResult sweep =
+      sweep_pairs(cases, weighting, paper_pairs(), paper_eu_axis());
+  const AveragedBounds bounds = average_bounds(cases, weighting);
+  add_flat_series(sweep, "upper_bound", bounds.upper_bound);
+  add_flat_series(sweep, "possible_satisfy", bounds.possible_satisfy);
+  add_flat_series(sweep, "random_Dijkstra", average_random_dijkstra(cases, weighting));
+  add_flat_series(sweep, "single_Dij_random",
+                  average_single_dijkstra_random(cases, weighting));
+  print_sweep("E-U sweep — every paper pair on this scenario:", sweep, csv_path);
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   CliFlags flags;
-  const std::vector<std::string> known{"scheduler",    "ratio",     "weighting",
-                                       "report",       "trace",     "save",
-                                       "seed",         "width",     "paranoid",
-                                       "metrics-out",  "trace-out"};
+  const std::vector<std::string> known = toolflags::with_common_flags(
+      {"scheduler", "ratio", "report", "trace", "save", "width", "sweep", "csv"});
   if (!flags.parse(argc, argv, known)) return 1;
   if (flags.positional().size() != 1) {
     std::fprintf(stderr, "usage: datastage_run <scenario-file> [flags]\n");
     return 1;
   }
 
-  const std::string metrics_out = flags.get_string("metrics-out", "");
-  const std::string trace_out = flags.get_string("trace-out", "");
-  obs::MetricsRegistry registry;
-  obs::PhaseTimer phases;
-  std::ofstream trace_file;
-  std::optional<obs::RunTrace> run_trace;
-  obs::RunObserver observer;
-  const bool observing = !metrics_out.empty() || !trace_out.empty();
-  if (observing) {
-    observer.metrics = &registry;
-    if (!trace_out.empty()) {
-      trace_file.open(trace_out);
-      if (!trace_file) {
-        std::fprintf(stderr, "cannot open trace file %s\n", trace_out.c_str());
-        return 1;
-      }
-      run_trace.emplace(trace_file);
-      observer.trace = &*run_trace;
-    }
-  }
-  obs::PhaseTimer* timing = observing ? &phases : nullptr;
+  toolflags::Observability observability;
+  if (!observability.open(flags)) return 1;
+  obs::PhaseTimer* timing = observability.phases();
 
   std::string error;
   std::optional<Scenario> scenario;
@@ -83,34 +98,39 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const std::string weighting_name = flags.get_string("weighting", "1,10,100");
-  const PriorityWeighting weighting = weighting_name == "1,5,10"
-                                          ? PriorityWeighting::w_1_5_10()
-                                          : PriorityWeighting::w_1_10_100();
+  const std::optional<PriorityWeighting> weighting = toolflags::parse_weighting(flags);
+  if (!weighting.has_value()) return 1;
+  const std::uint64_t seed = toolflags::seed_flag(flags, 1);
+
+  if (flags.get_bool("sweep", false)) {
+    toolflags::apply_jobs_flag(flags);
+    return run_sweep_mode(*scenario, *weighting, seed,
+                          flags.get_string("csv", ""));
+  }
 
   EngineOptions options;
-  options.weighting = weighting;
+  options.weighting = *weighting;
   options.eu = EUWeights::from_log10_ratio(flags.get_double("ratio", 1.0));
   options.paranoid = flags.get_bool("paranoid", false);
-  if (observing) options.observer = &observer;
+  options.observer = observability.observer();
 
   const std::string scheduler = flags.get_string("scheduler", "full_one/C4");
-  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+  Rng rng(seed);
 
   StagingResult result;
   {
     obs::ScopedTimer schedule_timer(timing, "schedule");
     if (scheduler == "single_dij_random") {
-      result = run_single_dijkstra_random(*scenario, weighting, rng);
+      result = run_single_dijkstra_random(*scenario, *weighting, rng);
     } else if (scheduler == "random_dijkstra") {
-      result = run_random_dijkstra(*scenario, weighting, rng);
+      result = run_random_dijkstra(*scenario, *weighting, rng);
     } else if (scheduler == "priority_first") {
-      result = run_priority_first(*scenario, weighting);
+      result = run_priority_first(*scenario, *weighting);
     } else if (scheduler == "edf") {
-      result = run_earliest_deadline_first(*scenario, weighting);
+      result = run_earliest_deadline_first(*scenario, *weighting);
     } else if (scheduler == "beam") {
       BeamOptions beam;
-      beam.weighting = weighting;
+      beam.weighting = *weighting;
       beam.width = static_cast<std::size_t>(flags.get_int("width", 8));
       result = run_beam_search(*scenario, beam);
     } else {
@@ -123,8 +143,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const BoundsReport bounds = compute_bounds(*scenario, weighting);
-  const double value = weighted_value(*scenario, weighting, result.outcomes);
+  const BoundsReport bounds = compute_bounds(*scenario, *weighting);
+  const double value = weighted_value(*scenario, *weighting, result.outcomes);
   std::printf("scheduler:        %s\n", scheduler.c_str());
   std::printf("weighted value:   %.1f  (possible_satisfy %.1f, upper_bound %.1f)\n",
               value, bounds.possible_satisfy, bounds.upper_bound);
@@ -166,24 +186,19 @@ int main(int argc, char** argv) {
     std::printf("schedule written to %s\n", save.c_str());
   }
 
-  if (!metrics_out.empty()) {
-    phases.export_gauges(registry);
-    obs::record_log_metrics(registry);
-    registry.set_gauge("run.weighted_value", value);
-    registry.set_gauge("run.satisfied",
-                       static_cast<double>(satisfied_count(result.outcomes)));
-    std::ofstream out(metrics_out);
-    if (!out) {
-      std::fprintf(stderr, "cannot open metrics file %s\n", metrics_out.c_str());
-      return 1;
-    }
-    out << registry.to_json() << '\n';
-    std::printf("\nMetrics:\n%s", registry.to_table().to_text().c_str());
-    std::printf("metrics written to %s\n", metrics_out.c_str());
+  if (!observability.metrics_path().empty()) {
+    observability.registry().set_gauge("run.weighted_value", value);
+    observability.registry().set_gauge(
+        "run.satisfied", static_cast<double>(satisfied_count(result.outcomes)));
+    if (!observability.write_metrics()) return 1;
+    std::printf("\nMetrics:\n%s",
+                observability.registry().to_table().to_text().c_str());
+    std::printf("metrics written to %s\n", observability.metrics_path().c_str());
   }
-  if (run_trace.has_value()) {
-    std::printf("trace written to %s (%llu events)\n", trace_out.c_str(),
-                static_cast<unsigned long long>(run_trace->events_written()));
+  if (!observability.trace_path().empty()) {
+    std::printf("trace written to %s (%llu events)\n",
+                observability.trace_path().c_str(),
+                static_cast<unsigned long long>(observability.trace_events_written()));
   }
   return 0;
 }

@@ -3,7 +3,9 @@
 //
 //   $ datastage_verify case7.ds plan.dss
 #include <cstdio>
+#include <optional>
 
+#include "common_flags.hpp"
 #include "core/schedule_io.hpp"
 #include "model/scenario_io.hpp"
 #include "sim/simulator.hpp"
@@ -31,18 +33,16 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const std::optional<PriorityWeighting> weighting = toolflags::parse_weighting(flags);
+  if (!weighting.has_value()) return 1;
   const SimReport report = simulate(*scenario, *schedule);
-  const PriorityWeighting weighting =
-      flags.get_string("weighting", "1,10,100") == "1,5,10"
-          ? PriorityWeighting::w_1_5_10()
-          : PriorityWeighting::w_1_10_100();
 
   std::printf("transfers:      %zu\n", report.transfers);
   std::printf("completion:     %s\n", report.completion.to_string().c_str());
   std::printf("satisfied:      %zu / %zu\n", satisfied_count(report.outcomes),
               scenario->request_count());
   std::printf("weighted value: %.1f\n",
-              weighted_value(*scenario, weighting, report.outcomes));
+              weighted_value(*scenario, *weighting, report.outcomes));
   if (report.ok) {
     std::printf("verdict:        VALID\n");
     return 0;
