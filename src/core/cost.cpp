@@ -104,17 +104,17 @@ double evaluate_cost(CostCriterion criterion, const EUWeights& eu,
                      std::span<const DestinationEval> dests) {
   switch (criterion) {
     case CostCriterion::kC1:
-      DS_ASSERT(dests.size() == 1);
+      DS_ASSERT_MSG(dests.size() == 1, "C1 is a per-destination criterion");
       return cost_c1(eu, dests.front());
     case CostCriterion::kC2: return cost_c2(eu, dests);
     case CostCriterion::kC3: return cost_c3(dests);
     case CostCriterion::kC4: return cost_c4(eu, dests);
     case CostCriterion::kPriorityOnly:
-      DS_ASSERT(dests.size() == 1);
+      DS_ASSERT_MSG(dests.size() == 1, "kPriorityOnly is a per-destination criterion");
       return cost_priority_only(dests.front());
     case CostCriterion::kC5: return cost_c5(dests);
     case CostCriterion::kEdf:
-      DS_ASSERT(dests.size() == 1);
+      DS_ASSERT_MSG(dests.size() == 1, "EDF is a per-destination criterion");
       return cost_edf(dests.front());
   }
   DS_UNREACHABLE("bad criterion");

@@ -157,7 +157,8 @@ void StagingEngine::build_candidates(ItemId item, ItemPlan& plan) {
       // The destination already holds a (late) copy: a pending request with a
       // root label means the copy arrived past the deadline. No transfer is
       // proposed for it; it contributes nothing.
-      DS_ASSERT(plan.tree.arrival(dest) > request.deadline);
+      DS_ASSERT_MSG(plan.tree.arrival(dest) > request.deadline,
+                    "rootless pending destination implies a late arrival");
       continue;
     }
 
@@ -295,7 +296,8 @@ AppliedTransfer StagingEngine::commit_edge(ItemId item, const TreeEdge& edge) {
 }
 
 void StagingEngine::apply_hop(const Candidate& candidate) {
-  DS_ASSERT(!plans_[candidate.item.index()].dirty);
+  DS_ASSERT_MSG(!plans_[candidate.item.index()].dirty,
+                "candidate applied after its plan was invalidated");
   const AppliedTransfer applied = commit_edge(candidate.item, candidate.hop);
   invalidate(candidate.item, std::span(&applied, 1));
   count_iteration();
@@ -303,7 +305,7 @@ void StagingEngine::apply_hop(const Candidate& candidate) {
 
 void StagingEngine::apply_full_path_one(const Candidate& candidate) {
   ItemPlan& plan = plans_[candidate.item.index()];
-  DS_ASSERT(!plan.dirty);
+  DS_ASSERT_MSG(!plan.dirty, "candidate applied after its plan was invalidated");
 
   // Pick the destination to complete: the candidate's own for per-destination
   // criteria; otherwise the most urgent satisfiable one of the group.
@@ -330,7 +332,7 @@ void StagingEngine::apply_full_path_one(const Candidate& candidate) {
 
 void StagingEngine::apply_full_path_all(const Candidate& candidate) {
   ItemPlan& plan = plans_[candidate.item.index()];
-  DS_ASSERT(!plan.dirty);
+  DS_ASSERT_MSG(!plan.dirty, "candidate applied after its plan was invalidated");
 
   // Union of the tree paths to every satisfiable destination of the group;
   // each machine has a unique parent edge, so dedupe by edge target.

@@ -29,7 +29,8 @@ class Searcher {
     report_.complete = true;   // cleared if the cap trips
     report_.best_value = -1.0;  // so the root (value 0) becomes the incumbent
     dfs(state, tracker, schedule, 0.0);
-    DS_ASSERT(report_.best_value >= 0.0);
+    DS_ASSERT_MSG(report_.best_value >= 0.0,
+                  "search must at least visit the empty root schedule");
     return std::move(report_);
   }
 

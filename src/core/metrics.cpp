@@ -17,7 +17,8 @@ ResultMetrics compute_metrics(const Scenario& scenario,
   Accumulator slack;
   Accumulator response;
 
-  DS_ASSERT(result.outcomes.size() == scenario.item_count());
+  DS_ASSERT_MSG(result.outcomes.size() == scenario.item_count(),
+                "outcome matrix rows must match scenario items");
   for (std::size_t i = 0; i < scenario.item_count(); ++i) {
     const DataItem& item = scenario.items[i];
     // Earliest availability over the item's sources (its "birth" time).
@@ -29,7 +30,8 @@ ResultMetrics compute_metrics(const Scenario& scenario,
       const RequestOutcome& outcome = result.outcomes[i][k];
       ++m.total_requests;
       const auto cls = static_cast<std::size_t>(request.priority);
-      DS_ASSERT(cls < m.total_per_class.size());
+      DS_ASSERT_MSG(cls < m.total_per_class.size(),
+                    "request priority outside the weighting's class range");
       ++m.total_per_class[cls];
       m.weighted_total += weighting.weight(request.priority);
       if (!outcome.satisfied) continue;

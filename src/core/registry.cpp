@@ -42,7 +42,8 @@ std::vector<SchedulerSpec> paper_pairs() {
        {HeuristicKind::kPartial, HeuristicKind::kFullOne, HeuristicKind::kFullAll}) {
     for (const SchedulerSpec& spec : pairs_for(kind)) pairs.push_back(spec);
   }
-  DS_ASSERT(pairs.size() == 11);
+  DS_ASSERT_MSG(pairs.size() == 11,
+                "paper pair set must list 11 scheduler/criterion pairs");
   return pairs;
 }
 

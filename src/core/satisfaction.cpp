@@ -49,11 +49,13 @@ SimTime OutcomeTracker::latest_pending_deadline(ItemId item) const {
 
 double weighted_value(const Scenario& scenario, const PriorityWeighting& weighting,
                       const OutcomeMatrix& outcomes) {
-  DS_ASSERT(outcomes.size() == scenario.item_count());
+  DS_ASSERT_MSG(outcomes.size() == scenario.item_count(),
+                "outcome matrix rows must match scenario items");
   double total = 0.0;
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     const DataItem& item = scenario.items[i];
-    DS_ASSERT(outcomes[i].size() == item.requests.size());
+    DS_ASSERT_MSG(outcomes[i].size() == item.requests.size(),
+                  "outcome row width must match the item's request count");
     for (std::size_t k = 0; k < outcomes[i].size(); ++k) {
       if (outcomes[i][k].satisfied) {
         total += weighting.weight(item.requests[k].priority);
@@ -71,7 +73,7 @@ std::vector<std::size_t> satisfied_by_class(const Scenario& scenario,
     for (std::size_t k = 0; k < outcomes[i].size(); ++k) {
       if (!outcomes[i][k].satisfied) continue;
       const auto cls = static_cast<std::size_t>(scenario.items[i].requests[k].priority);
-      DS_ASSERT(cls < num_classes);
+      DS_ASSERT_MSG(cls < num_classes, "request priority outside the class range");
       ++counts[cls];
     }
   }

@@ -1,12 +1,12 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "obs/json.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
+#include "util/time.hpp"
 
 namespace datastage::obs {
 
@@ -298,24 +298,14 @@ void PhaseTimer::export_gauges(MetricsRegistry& registry,
   }
 }
 
-namespace {
-
-std::int64_t steady_nanos() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
-
 ScopedTimer::ScopedTimer(PhaseTimer* timer, std::string phase)
     : timer_(timer), phase_(std::move(phase)) {
-  if (timer_ != nullptr) start_nanos_ = steady_nanos();
+  if (timer_ != nullptr) start_nanos_ = steady_clock_nanos();
 }
 
 ScopedTimer::~ScopedTimer() {
   if (timer_ == nullptr) return;
-  const std::int64_t elapsed = steady_nanos() - start_nanos_;
+  const std::int64_t elapsed = steady_clock_nanos() - start_nanos_;
   timer_->add_nanos(phase_, elapsed >= 0 ? elapsed : 0);
 }
 

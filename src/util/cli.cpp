@@ -1,8 +1,10 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <system_error>
 
 namespace datastage {
 
@@ -52,14 +54,43 @@ std::string CliFlags::get_string(const std::string& name,
   return it == values_.end() ? fallback : it->second;
 }
 
+namespace {
+
+// Strict whole-string numeric parsing. std::from_chars rejects leading
+// whitespace and stray signs on its own; requiring the entire value to be
+// consumed catches trailing junk ("--jobs=8x") that strtoll/strtod silently
+// accepted.
+template <class T>
+T parse_numeric_or_die(const std::string& name, const std::string& value,
+                       const char* kind) {
+  T parsed{};
+  const char* last = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(value.data(), last, parsed);
+  if (ec == std::errc::result_out_of_range) {
+    std::fprintf(stderr, "invalid value for --%s: '%s' (out of range for %s)\n",
+                 name.c_str(), value.c_str(), kind);
+    std::exit(2);
+  }
+  if (ec != std::errc() || ptr != last || value.empty()) {
+    std::fprintf(stderr, "invalid value for --%s: '%s' (expected %s)\n", name.c_str(),
+                 value.c_str(), kind);
+    std::exit(2);
+  }
+  return parsed;
+}
+
+}  // namespace
+
 std::int64_t CliFlags::get_int(const std::string& name, std::int64_t fallback) const {
   const auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+  if (it == values_.end()) return fallback;
+  return parse_numeric_or_die<std::int64_t>(name, it->second, "an integer");
 }
 
 double CliFlags::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  if (it == values_.end()) return fallback;
+  return parse_numeric_or_die<double>(name, it->second, "a number");
 }
 
 bool CliFlags::get_bool(const std::string& name, bool fallback) const {

@@ -19,6 +19,10 @@ class CliFlags {
 
   bool has(const std::string& name) const;
   std::string get_string(const std::string& name, const std::string& fallback) const;
+  /// Numeric getters parse strictly (whole value, no trailing junk). A present
+  /// but malformed or out-of-range value prints a clear error and exits with
+  /// status 2 — a typo like `--jobs=8x` or `--seed=abc` must never silently
+  /// run with a different configuration than the user asked for.
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;

@@ -1,5 +1,6 @@
 #include "util/time.hpp"
 
+#include <chrono>  // ds-lint: allow(DS002 steady_clock_nanos is the sanctioned clock accessor)
 #include <cinttypes>
 #include <cstdio>
 
@@ -27,6 +28,12 @@ std::string SimDuration::to_string() const {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.3fs", as_seconds());
   return buf;
+}
+
+std::int64_t steady_clock_nanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace datastage

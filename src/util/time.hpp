@@ -106,6 +106,13 @@ constexpr SimDuration SimTime::operator-(SimTime other) const {
   return SimDuration::from_usec(usec_ - other.usec_);
 }
 
+/// Monotonic host-clock nanoseconds since an arbitrary process-local origin.
+/// This is the library's only sanctioned access to a real-time clock
+/// (ds-lint DS002): host time feeds wall-clock *measurement* (phase timers,
+/// cost tables) and must never feed a scheduling decision, which would break
+/// run-to-run determinism.
+std::int64_t steady_clock_nanos();
+
 constexpr SimTime min(SimTime a, SimTime b) { return a < b ? a : b; }
 constexpr SimTime max(SimTime a, SimTime b) { return a < b ? b : a; }
 constexpr SimDuration min(SimDuration a, SimDuration b) { return a < b ? a : b; }

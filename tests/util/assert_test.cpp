@@ -1,0 +1,56 @@
+// Death-behavior coverage for the invariant-checking macros. These are kept
+// enabled in release builds (see util/assert.hpp), so the exact abort
+// behavior and diagnostic text are part of the library's contract.
+#include "util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace datastage {
+namespace {
+
+TEST(AssertTest, PassingAssertIsSilent) {
+  DS_ASSERT(1 + 1 == 2);
+  DS_ASSERT_MSG(2 * 2 == 4, "arithmetic still works");
+}
+
+TEST(AssertTest, AssertEvaluatesExpressionExactlyOnce) {
+  int calls = 0;
+  DS_ASSERT([&] {
+    ++calls;
+    return true;
+  }());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(AssertDeathTest, FailingAssertAbortsWithExpression) {
+  EXPECT_DEATH(DS_ASSERT(1 == 2),
+               "datastage assertion failed: 1 == 2\n  at .*assert_test\\.cpp");
+}
+
+TEST(AssertDeathTest, FailingAssertMsgAbortsWithMessage) {
+  EXPECT_DEATH(DS_ASSERT_MSG(false, "the schedule would be corrupt"),
+               "datastage assertion failed: false\n"
+               "  at .*assert_test\\.cpp:[0-9]+\n"
+               "  the schedule would be corrupt");
+}
+
+TEST(AssertDeathTest, UnreachableAbortsWithMessage) {
+  EXPECT_DEATH(DS_UNREACHABLE("bad enum value"),
+               "datastage assertion failed: unreachable\n"
+               "  at .*assert_test\\.cpp:[0-9]+\n"
+               "  bad enum value");
+}
+
+TEST(AssertDeathTest, SideEffectsBeforeFailureAreVisible) {
+  // The failure path goes through abort(), not exceptions: stderr written
+  // before the failing check must still be flushed.
+  EXPECT_DEATH(
+      {
+        std::fprintf(stderr, "about to fail\n");
+        DS_ASSERT_MSG(false, "after side effect");
+      },
+      "about to fail\n.*after side effect");
+}
+
+}  // namespace
+}  // namespace datastage

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 namespace datastage {
 namespace {
 
@@ -65,6 +68,81 @@ TEST(CliFlagsTest, DoubleParsing) {
   CliFlags flags;
   ASSERT_TRUE(parse(flags, {"--ratio=-2.5"}, {"ratio"}));
   EXPECT_DOUBLE_EQ(flags.get_double("ratio", 0.0), -2.5);
+}
+
+TEST(CliFlagsTest, IntParsingAcceptsFullRange) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags,
+                    {"--lo=-9223372036854775808", "--hi=9223372036854775807", "--z=0"},
+                    {"lo", "hi", "z"}));
+  EXPECT_EQ(flags.get_int("lo", 0), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(flags.get_int("hi", 0), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(flags.get_int("z", 7), 0);
+}
+
+TEST(CliFlagsDeathTest, TrailingJunkOnIntExits) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--jobs=8x"}, {"jobs"}));
+  EXPECT_EXIT(flags.get_int("jobs", 1), testing::ExitedWithCode(2),
+              "invalid value for --jobs: '8x' \\(expected an integer\\)");
+}
+
+TEST(CliFlagsDeathTest, NonNumericIntExits) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--seed=abc"}, {"seed"}));
+  EXPECT_EXIT(flags.get_int("seed", 0), testing::ExitedWithCode(2),
+              "invalid value for --seed: 'abc' \\(expected an integer\\)");
+}
+
+TEST(CliFlagsDeathTest, ValuelessNumericFlagExits) {
+  // `--cases` with no value parses as boolean "true", which is not a number.
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--cases"}, {"cases"}));
+  EXPECT_EXIT(flags.get_int("cases", 3), testing::ExitedWithCode(2),
+              "invalid value for --cases: 'true' \\(expected an integer\\)");
+}
+
+TEST(CliFlagsDeathTest, IntOverflowExits) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--cases=99999999999999999999"}, {"cases"}));
+  EXPECT_EXIT(flags.get_int("cases", 0), testing::ExitedWithCode(2),
+              "invalid value for --cases: '99999999999999999999' "
+              "\\(out of range for an integer\\)");
+}
+
+TEST(CliFlagsDeathTest, FloatValueForIntExits) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--jobs=2.5"}, {"jobs"}));
+  EXPECT_EXIT(flags.get_int("jobs", 1), testing::ExitedWithCode(2),
+              "expected an integer");
+}
+
+TEST(CliFlagsDeathTest, TrailingJunkOnDoubleExits) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--ratio=1.5e"}, {"ratio"}));
+  EXPECT_EXIT(flags.get_double("ratio", 0.0), testing::ExitedWithCode(2),
+              "invalid value for --ratio: '1.5e' \\(expected a number\\)");
+}
+
+TEST(CliFlagsDeathTest, NonNumericDoubleExits) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--ratio=fast"}, {"ratio"}));
+  EXPECT_EXIT(flags.get_double("ratio", 0.0), testing::ExitedWithCode(2),
+              "invalid value for --ratio: 'fast' \\(expected a number\\)");
+}
+
+TEST(CliFlagsDeathTest, DoubleOverflowExits) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--ratio=1e999"}, {"ratio"}));
+  EXPECT_EXIT(flags.get_double("ratio", 0.0), testing::ExitedWithCode(2),
+              "out of range for a number");
+}
+
+TEST(CliFlagsDeathTest, LeadingWhitespaceRejected) {
+  CliFlags flags;
+  ASSERT_TRUE(parse(flags, {"--cases= 5"}, {"cases"}));
+  EXPECT_EXIT(flags.get_int("cases", 0), testing::ExitedWithCode(2),
+              "expected an integer");
 }
 
 TEST(CliFlagsTest, BoolValueVariants) {

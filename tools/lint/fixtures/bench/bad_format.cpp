@@ -1,0 +1,13 @@
+// Fixture: DS005 — %-float conversions without pinned precision in output
+// paths. Never compiled.
+#include <cstdio>
+
+void print_row(double v) {
+  std::printf("value = %f\n", v);    // ds-lint-expect: DS005
+  std::printf("wide  = %12e\n", v);  // ds-lint-expect: DS005
+  std::printf("gen   = %-8g\n", v);  // ds-lint-expect: DS005
+  std::printf("ok    = %.3f\n", v);     // pinned precision: not flagged
+  std::printf("star  = %.*f\n", 2, v);  // caller-pinned precision: not flagged
+  std::printf("pct   = 100%%\n");       // literal percent: not flagged
+  std::printf("int   = %d rows\n", 3);  // integer conversion: not flagged
+}

@@ -1,0 +1,10 @@
+// Fixture: DS006 — bare asserts in src/core must name the broken invariant.
+// This file is lint self-test data, never compiled.
+#include "util/assert.hpp"
+
+void check(int x) {
+  DS_ASSERT(x > 0);  // ds-lint-expect: DS006
+  assert(x != 1);    // ds-lint-expect: DS006
+  DS_ASSERT_MSG(x < 100, "x is a percentage");  // compliant: not flagged
+  static_assert(sizeof(int) >= 4);              // compile-time check: not flagged
+}

@@ -1,0 +1,15 @@
+// Fixture: DS001 — ad-hoc randomness outside util/rng. Never compiled.
+#include <cstdlib>
+#include <random>
+
+int roll() {
+  std::random_device rd;                    // ds-lint-expect: DS001
+  std::mt19937 engine(rd());                // ds-lint-expect: DS001
+  std::srand(42);                           // ds-lint-expect: DS001
+  return std::rand() % 6;                   // ds-lint-expect: DS001
+}
+
+int fine(int operand_count) {
+  // Identifier-boundary checks: none of these are the banned tokens.
+  return operand_count;  // "rand(" must not match inside operand_count(...)
+}

@@ -1,0 +1,18 @@
+// Fixture: banned names inside comments and string literals must not fire.
+// std::rand, unordered_map, system_clock, std::thread — all fine up here.
+// Never compiled.
+#include <string>
+
+/* block comment mentioning std::random_device and %f too */
+const char* kDoc = "docs may mention std::rand and unordered_map freely";
+const std::string kRaw = R"(raw string with system_clock and std::async)";
+
+// A backslash-continued comment extends onto the next line: \
+std::unordered_map<int, int> still_commented_out;
+
+int modulo(int a, int b) {
+  const long big = 1'000'000;  // digit separators must not open a char literal
+  const char pct = '%';
+  int fudge = a % b;  // modulo, not a format conversion
+  return fudge + static_cast<int>(big) + pct;
+}

@@ -1,0 +1,11 @@
+// Fixture: suppression mechanics. A reasoned allow() silences the rule; a
+// reasonless allow() is itself a DS000 finding and does NOT suppress.
+// Never compiled.
+#include <cstdlib>
+#include <unordered_map>  // ds-lint: allow(DS003 fixture demonstrates a reasoned suppression)
+
+std::unordered_map<int, int> probe_cache;  // ds-lint: allow(DS003 probe only, never iterated for output)
+
+int bad() {
+  return std::rand();  // ds-lint: allow(DS001) ds-lint-expect: DS000 DS001
+}

@@ -1,0 +1,11 @@
+// Fixture: DS004 — raw threads outside util/thread_pool bypass the
+// ParallelExecutor determinism contract. Never compiled.
+#include <future>  // ds-lint-expect: DS004
+#include <thread>  // ds-lint-expect: DS004
+
+void fan_out() {
+  std::thread worker([] {});                  // ds-lint-expect: DS004
+  auto result = std::async([] { return 1; }); // ds-lint-expect: DS004
+  worker.join();
+  (void)result;
+}

@@ -1,0 +1,11 @@
+// Fixture: DS003 — hash containers in src/ (iteration order feeds output).
+// Never compiled.
+#include <map>
+#include <unordered_map>  // ds-lint-expect: DS003
+#include <unordered_set>  // ds-lint-expect: DS003
+
+struct Index {
+  std::unordered_map<int, int> by_id;      // ds-lint-expect: DS003
+  std::unordered_multiset<int> arrivals;   // ds-lint-expect: DS003
+  std::map<int, int> ordered_ok;           // compliant: not flagged
+};

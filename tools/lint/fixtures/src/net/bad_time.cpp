@@ -1,0 +1,18 @@
+// Fixture: DS002 — host-clock access outside util/time. Never compiled.
+#include <chrono>  // ds-lint-expect: DS002
+#include <ctime>
+
+long now_usec() {
+  const auto t = std::chrono::system_clock::now();     // ds-lint-expect: DS002
+  const auto s = std::chrono::steady_clock::now();     // ds-lint-expect: DS002
+  const long unix_now = time(nullptr);                 // ds-lint-expect: DS002
+  (void)t;
+  (void)s;
+  return unix_now;
+}
+
+long fine() {
+  // SimTime arithmetic is the sanctioned way to talk about time.
+  long sim_time_usec = 0;  // "time(" must not match inside an identifier
+  return sim_time_usec;
+}

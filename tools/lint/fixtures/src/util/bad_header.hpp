@@ -1,0 +1,7 @@
+// Fixture: DS007 (no #pragma once) + DS008. Never compiled.  ds-lint-expect: DS007
+
+#include <string>
+
+using namespace std;  // ds-lint-expect: DS008
+
+inline string greet() { return "hi"; }

@@ -1,0 +1,8 @@
+// Fixture: path exemption — src/util/rng.* is the sanctioned home of raw
+// randomness, so DS001 must not fire here. Never compiled.
+#include <random>
+
+unsigned seed_entropy() {
+  std::random_device rd;  // exempt path: not flagged
+  return rd();
+}

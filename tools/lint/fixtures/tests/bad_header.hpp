@@ -1,0 +1,2 @@
+// Fixture: hygiene rules still apply under tests/.  ds-lint-expect: DS007
+inline int test_helper() { return 1; }

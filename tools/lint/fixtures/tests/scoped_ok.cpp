@@ -1,0 +1,11 @@
+// Fixture: determinism rules (DS001-DS005) do not apply under tests/ —
+// test code legitimately drives the library with raw threads and hash
+// containers. Never compiled.
+#include <thread>
+#include <unordered_set>
+
+void race_the_pool() {
+  std::unordered_set<int> seen;       // not flagged: tests/ scope
+  std::thread t([&] { seen.insert(1); });  // not flagged: tests/ scope
+  t.join();
+}
