@@ -1,7 +1,6 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "obs/observer.hpp"
 #include "util/assert.hpp"
@@ -17,11 +16,14 @@ struct StagingEngine::Instr {
   obs::Counter tree_recomputes;     ///< Dijkstra reruns (cache miss/dirty)
   obs::Counter cache_hits;          ///< clean cached trees reused in a round
   obs::Counter candidates;          ///< candidates generated and scored
+  obs::Counter best_rescans;        ///< per-plan best recomputations
   obs::Counter steps_committed;     ///< tree edges committed to the network
   obs::Counter requests_satisfied;  ///< requests resolved by a committed edge
   obs::Counter invalidations_link;
   obs::Counter invalidations_storage;
   obs::Counter invalidations_self;  ///< scheduled item's own plan dirtied
+  obs::Counter invalidations_checked;     ///< index entries examined
+  obs::Counter invalidations_scan_equiv;  ///< entries a full scan would examine
   obs::Counter dijkstra_pops;
   obs::Counter dijkstra_relaxations;
   obs::Counter dijkstra_capacity_rejections;
@@ -33,11 +35,14 @@ struct StagingEngine::Instr {
         tree_recomputes(m.counter("engine.tree_recomputes")),
         cache_hits(m.counter("engine.cache_hits")),
         candidates(m.counter("engine.candidates_scored")),
+        best_rescans(m.counter("engine.best_rescans")),
         steps_committed(m.counter("engine.steps_committed")),
         requests_satisfied(m.counter("engine.requests_satisfied")),
         invalidations_link(m.counter("engine.invalidations_link")),
         invalidations_storage(m.counter("engine.invalidations_storage")),
         invalidations_self(m.counter("engine.invalidations_self")),
+        invalidations_checked(m.counter("engine.invalidations_checked")),
+        invalidations_scan_equiv(m.counter("engine.invalidations_scan_equiv")),
         dijkstra_pops(m.counter("dijkstra.heap_pops")),
         dijkstra_relaxations(m.counter("dijkstra.relaxations")),
         dijkstra_capacity_rejections(m.counter("dijkstra.capacity_rejections")),
@@ -59,13 +64,31 @@ bool candidate_less(const Candidate& a, const Candidate& b) {
 
 }  // namespace
 
+// The same total order as candidate_less over snapshots. (item, hop_to, k)
+// never tie across distinct plans, so the order is total even when stale
+// snapshots coexist with fresh ones.
+bool StagingEngine::best_entry_after(const StagingEngine::BestEntry& a,
+                                     const StagingEngine::BestEntry& b) {
+  if (a.cost != b.cost) return a.cost > b.cost;
+  if (a.item != b.item) return a.item > b.item;
+  if (a.hop_to != b.hop_to) return a.hop_to > b.hop_to;
+  return a.k > b.k;
+}
+
 StagingEngine::StagingEngine(const Scenario& scenario, EngineOptions options)
     : scenario_(&scenario),
       options_(std::move(options)),
       topology_(scenario),
       state_(scenario),
-      tracker_(scenario) {
+      tracker_(scenario),
+      index_(scenario.virt_links.size(), scenario.machine_count(),
+             scenario.item_count()),
+      node_mark_(scenario.machine_count(), 0) {
   plans_.resize(scenario.item_count());
+  active_plans_ = plans_.size();
+  // Every plan starts dirty: seed the queue so the first refresh builds all.
+  dirty_queue_.resize(plans_.size());
+  for (std::size_t i = 0; i < plans_.size(); ++i) dirty_queue_[i] = i;
   max_iterations_ = options_.max_iterations != 0
                         ? options_.max_iterations
                         : 1000 + 200 * scenario.request_count();
@@ -80,39 +103,85 @@ StagingEngine::StagingEngine(const Scenario& scenario, EngineOptions options)
 
 StagingEngine::~StagingEngine() = default;
 
-void StagingEngine::refresh_all() {
+void StagingEngine::refresh_plans() {
   if (instr_ != nullptr) instr_->rounds.inc();
-  for (std::size_t i = 0; i < plans_.size(); ++i) {
-    const ItemId item(static_cast<std::int32_t>(i));
+  std::size_t recomputed = 0;
+  if (options_.paranoid) {
+    // The paper's literal procedure: rebuild every live plan every round.
+    // Each rebuild bumps the plan's generation, so every existing heap entry
+    // is about to go stale — drop them wholesale instead of popping one by
+    // one later.
+    best_heap_.clear();
+    for (std::size_t i = 0; i < plans_.size(); ++i) {
+      const ItemId item(static_cast<std::int32_t>(i));
+      if (plans_[i].exhausted) continue;
+      if (!tracker_.any_pending(item)) {
+        retire_plan(i);
+        continue;
+      }
+      recompute_plan(item);
+      ++recomputed;
+    }
+    dirty_queue_.clear();
+    last_round_cache_hits_ = 0;
+    return;
+  }
+
+  // Incremental mode: only the plans dirtied since the last refresh. Sorting
+  // keeps the recompute (and hence Dijkstra/trace) order identical to the
+  // old full scan; duplicates are skipped via the dirty flag.
+  std::sort(dirty_queue_.begin(), dirty_queue_.end());
+  for (const std::size_t i : dirty_queue_) {
     ItemPlan& plan = plans_[i];
+    if (!plan.dirty) continue;  // duplicate queue entry or refreshed early
+    const ItemId item(static_cast<std::int32_t>(i));
     if (!tracker_.any_pending(item)) {
-      plan.exhausted = true;
-      plan.candidates.clear();
+      retire_plan(i);
       continue;
     }
-    plan.exhausted = false;
-    if (plan.dirty || options_.paranoid) {
-      recompute_plan(item);
-    } else {
-      // The cached tree is provably identical to a recompute (see the header
-      // note); reusing it is the cache hit every perf PR wants counted.
-      if (instr_ != nullptr) instr_->cache_hits.inc();
-      if (trace_ != nullptr) {
-        trace_->event("cache_hit")
-            .field("iter", iterations_)
-            .field("item", item.value());
-      }
-    }
+    recompute_plan(item);
+    ++recomputed;
   }
+  dirty_queue_.clear();
+  // Every live plan not recomputed this round reused its cached tree; the
+  // cache is provably identical to a recompute (see the header note).
+  last_round_cache_hits_ = active_plans_ - recomputed;
+  if (instr_ != nullptr) instr_->cache_hits.inc(last_round_cache_hits_);
+}
+
+void StagingEngine::retire_plan(std::size_t plan_index) {
+  ItemPlan& plan = plans_[plan_index];
+  plan.exhausted = true;
+  plan.dirty = false;
+  ++plan.generation;  // any tournament entry for this plan is now stale
+  plan.best = kNoBest;
+  candidate_total_ -= plan.candidates.size();
+  // Release, don't just clear: a retired plan must neither hold candidate or
+  // interval memory for the rest of the run nor keep stale index
+  // subscriptions that would attract invalidation dispatches.
+  plan.candidates = {};
+  plan.used_links = {};
+  plan.used_storage = {};
+  plan.groups = {};
+  index_.unsubscribe_all(plan_index);
+  --active_plans_;
 }
 
 void StagingEngine::recompute_plan(ItemId item) {
   ItemPlan& plan = plans_[item.index()];
   DijkstraOptions dopt;
   dopt.prune_after = tracker_.latest_pending_deadline(item);
+  // The engine only reads labels of pending destinations (and their paths):
+  // hand Dijkstra the target set so it can stop once all are settled.
+  target_scratch_.clear();
+  const DataItem& it = scenario_->item(item);
+  for (const std::int32_t k : tracker_.pending_of(item)) {
+    target_scratch_.push_back(it.requests[static_cast<std::size_t>(k)].destination);
+  }
+  dopt.targets = target_scratch_;
   DijkstraStats stats;
-  plan.tree = compute_route_tree(state_, topology_, item, dopt,
-                                 instr_ != nullptr ? &stats : nullptr);
+  compute_route_tree_into(state_, topology_, item, dopt, dijkstra_ws_, plan.tree,
+                          instr_ != nullptr ? &stats : nullptr);
   ++dijkstra_runs_;
   if (instr_ != nullptr) {
     instr_->tree_recomputes.inc();
@@ -132,16 +201,25 @@ void StagingEngine::recompute_plan(ItemId item) {
 }
 
 void StagingEngine::build_candidates(ItemId item, ItemPlan& plan) {
+  const std::size_t plan_index = item.index();
+  ++plan.generation;  // existing tournament entries for this plan go stale
+  candidate_total_ -= plan.candidates.size();
   plan.candidates.clear();
   plan.used_links.clear();
   plan.used_storage.clear();
+  plan.best = kNoBest;
+  index_.unsubscribe_all(plan_index);
 
   const DataItem& it = scenario_->item(item);
 
   // Evaluate every pending destination against the fresh tree and group the
   // reachable ones by the first hop of their path (the paper's Drq[i,r]).
-  std::map<std::int32_t, std::vector<DestinationEval>> groups;  // key: r = hop.to
-  std::map<std::int32_t, TreeEdge> group_hop;
+  // The flat buffer + stable sort reproduce the old std::map grouping —
+  // ascending r, insertion order within a group — without its per-round node
+  // allocations (every machine has a unique parent edge, so all entries of a
+  // group share the same hop).
+  std::vector<ItemPlan::GroupEntry>& groups = plan.groups;
+  groups.clear();
 
   for (const std::int32_t k : tracker_.pending_of(item)) {
     const Request& request = it.requests[static_cast<std::size_t>(k)];
@@ -167,21 +245,30 @@ void StagingEngine::build_candidates(ItemId item, ItemPlan& plan) {
     eval.slack_seconds = eval.sat ? (request.deadline - at).as_seconds() : 0.0;
 
     const TreeEdge& hop = plan.tree.first_hop(dest);
-    groups[hop.to.value()].push_back(eval);
-    group_hop.emplace(hop.to.value(), hop);
+    groups.push_back(ItemPlan::GroupEntry{hop.to.value(), hop, eval});
   }
 
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const ItemPlan::GroupEntry& a, const ItemPlan::GroupEntry& b) {
+                     return a.r < b.r;
+                   });
+
   const bool per_dest = is_per_destination(options_.criterion);
-  for (auto& [r, evals] : groups) {
-    const TreeEdge& hop = group_hop.at(r);
-    const bool any_sat =
-        std::any_of(evals.begin(), evals.end(), [](const DestinationEval& e) {
-          return e.sat;
-        });
-    if (!any_sat) continue;  // Sat == 0 everywhere: no resources (§4.8)
+  for (std::size_t lo = 0; lo < groups.size();) {
+    std::size_t hi = lo;
+    while (hi < groups.size() && groups[hi].r == groups[lo].r) ++hi;
+    const TreeEdge& hop = groups[lo].hop;
+
+    bool any_sat = false;
+    for (std::size_t g = lo; g < hi; ++g) any_sat |= groups[g].eval.sat;
+    if (!any_sat) {  // Sat == 0 everywhere: no resources (§4.8)
+      lo = hi;
+      continue;
+    }
 
     if (per_dest) {
-      for (const DestinationEval& eval : evals) {
+      for (std::size_t g = lo; g < hi; ++g) {
+        const DestinationEval& eval = groups[g].eval;
         if (!eval.sat) continue;
         Candidate c;
         c.item = item;
@@ -194,57 +281,98 @@ void StagingEngine::build_candidates(ItemId item, ItemPlan& plan) {
       Candidate c;
       c.item = item;
       c.hop = hop;
-      c.dests = evals;
+      c.dests.reserve(hi - lo);
+      for (std::size_t g = lo; g < hi; ++g) c.dests.push_back(groups[g].eval);
       c.cost = evaluate_cost(options_.criterion, options_.eu, c.dests);
       plan.candidates.push_back(std::move(c));
     }
 
-    // Record the resources the satisfiable paths of this group rely on; a
-    // later reservation overlapping them forces a recompute.
-    std::vector<bool> node_seen(scenario_->machine_count(), false);
-    for (const DestinationEval& eval : evals) {
+    // Record the resources the satisfiable paths of this group rely on — and
+    // subscribe them in the inverted index so a later overlapping reservation
+    // dispatches an invalidation here.
+    ++node_mark_epoch_;
+    for (std::size_t g = lo; g < hi; ++g) {
+      const DestinationEval& eval = groups[g].eval;
       if (!eval.sat) continue;
       const MachineId dest =
           it.requests[static_cast<std::size_t>(eval.k)].destination;
       for (const TreeEdge& edge : plan.tree.path_to(dest)) {
-        if (node_seen[edge.to.index()]) continue;
-        node_seen[edge.to.index()] = true;
-        plan.used_links.emplace_back(edge.link, Interval{edge.start, edge.arrival});
+        if (node_mark_[edge.to.index()] == node_mark_epoch_) continue;
+        node_mark_[edge.to.index()] = node_mark_epoch_;
+        const Interval busy{edge.start, edge.arrival};
+        plan.used_links.emplace_back(edge.link, busy);
+        index_.subscribe_link(plan_index, edge.link, busy);
         // What can_hold checked for this node: the full hold window for a new
         // copy, or only the extension when an (earlier-scheduled) hold exists.
         const std::optional<SimTime> existing = state_.hold_begin(item, edge.to);
         if (existing.has_value()) {
           if (*existing > edge.start) {
-            plan.used_storage.emplace_back(edge.to, Interval{edge.start, *existing});
+            const Interval ext{edge.start, *existing};
+            plan.used_storage.emplace_back(edge.to, ext);
+            index_.subscribe_storage(plan_index, edge.to, ext);
           }
         } else {
-          plan.used_storage.emplace_back(
-              edge.to, Interval{edge.start, state_.hold_end(item, edge.to)});
+          const Interval hold{edge.start, state_.hold_end(item, edge.to)};
+          plan.used_storage.emplace_back(edge.to, hold);
+          index_.subscribe_storage(plan_index, edge.to, hold);
         }
       }
     }
+    lo = hi;
   }
 
-  if (instr_ != nullptr) instr_->candidates.inc(plan.candidates.size());
+  // Rescore the plan's own best under the global candidate order and enter it
+  // into the tournament. This is the only per-round scoring work for plans
+  // that stay clean: none.
+  for (std::size_t c = 0; c < plan.candidates.size(); ++c) {
+    if (plan.best == kNoBest ||
+        candidate_less(plan.candidates[c], plan.candidates[plan.best])) {
+      plan.best = c;
+    }
+  }
+  candidate_total_ += plan.candidates.size();
+  if (plan.best != kNoBest) push_best(plan_index);
+
+  if (instr_ != nullptr) {
+    instr_->candidates.inc(plan.candidates.size());
+    instr_->best_rescans.inc();
+  }
+}
+
+void StagingEngine::push_best(std::size_t plan_index) {
+  const ItemPlan& plan = plans_[plan_index];
+  const Candidate& c = plan.candidates[plan.best];
+  best_heap_.push_back(BestEntry{c.cost, c.item.value(), c.hop.to.value(),
+                                 c.dests.empty() ? -1 : c.dests.front().k,
+                                 plan.generation});
+  std::push_heap(best_heap_.begin(), best_heap_.end(), best_entry_after);
 }
 
 std::optional<Candidate> StagingEngine::best_candidate() {
   if (guard_tripped_) return std::nullopt;
-  refresh_all();
+  refresh_plans();
+  // Lazy tournament: pop stale snapshots (plan rebuilt or retired since the
+  // push) until the top is live. A live top is the plan's current best, and
+  // every live plan with candidates has a live entry, so it is the global
+  // minimum under candidate_less.
   const Candidate* best = nullptr;
-  std::size_t total = 0;
-  for (const ItemPlan& plan : plans_) {
-    if (plan.exhausted) continue;
-    total += plan.candidates.size();
-    for (const Candidate& c : plan.candidates) {
-      if (best == nullptr || candidate_less(c, *best)) best = &c;
+  while (!best_heap_.empty()) {
+    const BestEntry& top = best_heap_.front();
+    const ItemPlan& plan = plans_[static_cast<std::size_t>(top.item)];
+    if (top.generation == plan.generation && !plan.exhausted &&
+        plan.best != kNoBest) {
+      best = &plan.candidates[plan.best];
+      break;
     }
+    std::pop_heap(best_heap_.begin(), best_heap_.end(), best_entry_after);
+    best_heap_.pop_back();
   }
   if (trace_ != nullptr) {
     auto event = trace_->event("round");
     event.field("iter", iterations_)
-        .field("candidates", total)
-        .field("pending_requests", tracker_.pending_count());
+        .field("candidates", candidate_total_)
+        .field("pending_requests", tracker_.pending_count())
+        .field("cache_hits", last_round_cache_hits_);
     if (best != nullptr) {
       event.field("best_item", best->item.value())
           .field("best_cost", best->cost)
@@ -256,13 +384,19 @@ std::optional<Candidate> StagingEngine::best_candidate() {
 }
 
 std::vector<Candidate> StagingEngine::all_candidates() {
-  refresh_all();
+  refresh_plans();
   std::vector<Candidate> all;
+  all.reserve(candidate_total_);
   for (const ItemPlan& plan : plans_) {
     if (plan.exhausted) continue;
     all.insert(all.end(), plan.candidates.begin(), plan.candidates.end());
   }
   return all;
+}
+
+std::size_t StagingEngine::candidate_count() {
+  refresh_plans();
+  return candidate_total_;
 }
 
 AppliedTransfer StagingEngine::commit_edge(ItemId item, const TreeEdge& edge) {
@@ -336,7 +470,7 @@ void StagingEngine::apply_full_path_all(const Candidate& candidate) {
 
   // Union of the tree paths to every satisfiable destination of the group;
   // each machine has a unique parent edge, so dedupe by edge target.
-  std::vector<bool> node_seen(scenario_->machine_count(), false);
+  ++node_mark_epoch_;
   std::vector<TreeEdge> edges;
   for (const DestinationEval& eval : candidate.dests) {
     if (!eval.sat) continue;
@@ -344,8 +478,8 @@ void StagingEngine::apply_full_path_all(const Candidate& candidate) {
                                .requests[static_cast<std::size_t>(eval.k)]
                                .destination;
     for (const TreeEdge& edge : plan.tree.path_to(dest)) {
-      if (node_seen[edge.to.index()]) continue;
-      node_seen[edge.to.index()] = true;
+      if (node_mark_[edge.to.index()] == node_mark_epoch_) continue;
+      node_mark_[edge.to.index()] = node_mark_epoch_;
       edges.push_back(edge);
     }
   }
@@ -370,55 +504,78 @@ void StagingEngine::apply_full_path_all(const Candidate& candidate) {
 void StagingEngine::invalidate(ItemId scheduled_item,
                                std::span<const AppliedTransfer> applied) {
   // The scheduled item's sources, pending set and resources all changed.
-  plans_[scheduled_item.index()].dirty = true;
-  if (instr_ != nullptr) instr_->invalidations_self.inc();
-
-  for (std::size_t i = 0; i < plans_.size(); ++i) {
-    if (i == scheduled_item.index()) continue;
-    ItemPlan& plan = plans_[i];
-    if (plan.dirty || plan.exhausted) continue;
-    const std::int64_t bytes = scenario_->items[i].size_bytes;
-
-    enum class Cause { kNone, kLink, kStorage };
-    Cause cause = Cause::kNone;
-    for (const AppliedTransfer& t : applied) {
-      // Link conflict: the new reservation overlaps a link interval one of
-      // this plan's satisfiable paths occupies.
-      for (const auto& [link, interval] : plan.used_links) {
-        if (link == t.link && interval.overlaps(t.link_busy)) {
-          cause = Cause::kLink;
-          break;
-        }
-      }
-      if (cause != Cause::kNone) break;
-      // Storage conflict: new usage overlaps a hold window this plan checked
-      // and the hold no longer fits. (If it still fits, the cached tree's
-      // capacity decisions are unchanged — alternatives only got worse.)
-      if (t.storage_interval.has_value()) {
-        for (const auto& [machine, hold] : plan.used_storage) {
-          if (machine != t.storage_machine) continue;
-          if (!hold.overlaps(*t.storage_interval)) continue;
-          if (!state_.storage(machine).fits(bytes, hold)) {
-            cause = Cause::kStorage;
-            break;
-          }
-        }
-      }
-      if (cause != Cause::kNone) break;
+  {
+    ItemPlan& self = plans_[scheduled_item.index()];
+    if (!self.dirty) {
+      self.dirty = true;
+      dirty_queue_.push_back(scheduled_item.index());
     }
-    if (cause == Cause::kNone) continue;
-    plan.dirty = true;
+    if (instr_ != nullptr) instr_->invalidations_self.inc();
+  }
+
+  // Dispatch each applied transfer through the inverted index: only plans
+  // subscribed to the touched link/storage are examined, instead of every
+  // plan's whole resource list. Per plan, the first conflicting (transfer,
+  // link-before-storage) pair wins — the same cause the old full scan
+  // assigned — because a dirtied plan is skipped by later dispatches.
+  const bool record = instr_ != nullptr || trace_ != nullptr;
+  invalidation_scratch_.clear();
+  std::size_t examined = 0;
+  for (const AppliedTransfer& t : applied) {
+    examined += index_.dispatch_link(
+        t.link, t.link_busy, scheduled_item.index(),
+        [&](std::size_t p, const Interval&) {
+          ItemPlan& plan = plans_[p];
+          if (plan.dirty || plan.exhausted) return;
+          plan.dirty = true;
+          dirty_queue_.push_back(p);
+          if (record) {
+            invalidation_scratch_.emplace_back(p, InvalidationCause::kLink);
+          }
+        });
+    if (t.storage_interval.has_value()) {
+      examined += index_.dispatch_storage(
+          t.storage_machine, *t.storage_interval, scheduled_item.index(),
+          [&](std::size_t p, const Interval& hold) {
+            ItemPlan& plan = plans_[p];
+            if (plan.dirty || plan.exhausted) return;
+            // Storage conflict: new usage overlaps a hold window this plan
+            // checked and the hold no longer fits. (If it still fits, the
+            // cached tree's capacity decisions are unchanged — alternatives
+            // only got worse.)
+            const std::int64_t bytes = scenario_->items[p].size_bytes;
+            if (state_.storage(t.storage_machine).fits(bytes, hold)) return;
+            plan.dirty = true;
+            dirty_queue_.push_back(p);
+            if (record) {
+              invalidation_scratch_.emplace_back(p, InvalidationCause::kStorage);
+            }
+          });
+    }
+  }
+
+  if (!record) return;
+  if (instr_ != nullptr) {
+    instr_->invalidations_checked.inc(examined);
+    // What a full scan of every live plan's resource list would have walked
+    // for this commit — the counterfactual the index avoids.
+    instr_->invalidations_scan_equiv.inc(index_.live_entries());
+  }
+  // Emit in ascending plan order, matching the order the old full scan
+  // produced (dispatch discovers plans in posting-list order).
+  std::sort(invalidation_scratch_.begin(), invalidation_scratch_.end());
+  for (const auto& [p, cause] : invalidation_scratch_) {
     if (instr_ != nullptr) {
-      (cause == Cause::kLink ? instr_->invalidations_link
-                             : instr_->invalidations_storage)
+      (cause == InvalidationCause::kLink ? instr_->invalidations_link
+                                         : instr_->invalidations_storage)
           .inc();
     }
     if (trace_ != nullptr) {
       trace_->event("invalidate")
           .field("iter", iterations_)
-          .field("item", static_cast<std::int64_t>(i))
+          .field("item", static_cast<std::int64_t>(p))
           .field("by_item", scheduled_item.value())
-          .field("cause", cause == Cause::kLink ? "link" : "storage");
+          .field("cause", cause == InvalidationCause::kLink ? "link" : "storage");
     }
   }
 }

@@ -10,20 +10,33 @@
 //
 // Performance note: the paper re-runs Dijkstra for every item on every
 // iteration and explicitly leaves the obvious caching optimization to future
-// work (§4.5). We implement it: a cached tree is recomputed only when the
-// resources consumed by a committed step overlap the resources the tree's
-// pending-destination paths rely on. Because reservations and allocations
-// only ever shrink the feasible set, unaffected cached trees stay *exactly*
-// equal to a recompute (tested against `paranoid` mode, which recomputes
-// everything every iteration).
+// work (§4.5). We implement it — and make the per-iteration cost proportional
+// to what actually changed rather than to the scenario size:
+//   * a cached tree is recomputed only when the resources consumed by a
+//     committed step overlap the resources the tree's pending-destination
+//     paths rely on; the overlap test is driven by an inverted resource
+//     index (core/resource_index.hpp) so a commit dispatches only to the
+//     plans subscribed to the touched links/storage, not to every plan;
+//   * each plan caches its own best candidate, and best_candidate() runs a
+//     lazy tournament heap over the per-plan bests — only plans rebuilt this
+//     round are rescored;
+//   * route trees are recomputed into reused buffers through a shared
+//     DijkstraWorkspace, with the search stopping once every pending
+//     destination is settled.
+// Because reservations and allocations only ever shrink the feasible set,
+// unaffected cached trees stay *exactly* equal to a recompute (tested against
+// `paranoid` mode, which recomputes everything every iteration; see
+// docs/PERFORMANCE.md for the equivalence argument).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/cost.hpp"
+#include "core/resource_index.hpp"
 #include "core/satisfaction.hpp"
 #include "core/schedule.hpp"
 #include "model/priority.hpp"
@@ -77,9 +90,15 @@ class StagingEngine {
   /// satisfiable pending request remains — the heuristic loop is done.
   std::optional<Candidate> best_candidate();
 
-  /// All current candidates (refreshes dirty plans). Used by the
-  /// random-choice lower bound and by tests.
+  /// All current candidates (refreshes dirty plans). The returned vector is a
+  /// copy owned by the caller — the engine's own candidate storage is reused
+  /// across rounds. Used by the random-choice lower bound and by tests;
+  /// callers that only need the count should use candidate_count().
   std::vector<Candidate> all_candidates();
+
+  /// Number of current candidates (refreshes dirty plans) without copying
+  /// them — the cheap form for benches and traces.
+  std::size_t candidate_count();
 
   /// Commits exactly one hop (partial path heuristic, §4.5).
   void apply_hop(const Candidate& candidate);
@@ -104,28 +123,71 @@ class StagingEngine {
   const OutcomeTracker& tracker() const { return tracker_; }
   std::size_t dijkstra_runs() const { return dijkstra_runs_; }
   std::size_t iterations() const { return iterations_; }
-  /// The (fresh) route tree of an item; recomputes if dirty.
+  /// The (fresh) route tree of an item; recomputes if dirty. The tree is
+  /// exact on the item's pending destinations and their paths; labels of
+  /// other machines may be tentative (target-set early termination).
   const RouteTree& plan_tree(ItemId item);
 
  private:
+  static constexpr std::size_t kNoBest = static_cast<std::size_t>(-1);
+
   struct ItemPlan {
     RouteTree tree{0};
     bool dirty = true;
     bool exhausted = false;  ///< no pending dests; skip entirely
+    /// Bumped whenever candidates are rebuilt or the plan retires; tournament
+    /// heap entries carrying an older generation are stale.
+    std::uint64_t generation = 0;
+    /// Index of the plan's best candidate under the global order (kNoBest
+    /// when the plan has no candidate).
+    std::size_t best = kNoBest;
     std::vector<Candidate> candidates;
     // Resources the pending-destination paths rely on, for invalidation:
     std::vector<std::pair<VirtLinkId, Interval>> used_links;
     std::vector<std::pair<MachineId, Interval>> used_storage;
+    /// Reusable first-hop grouping buffer (replaces the per-round std::map
+    /// allocations build_candidates used to make).
+    struct GroupEntry {
+      std::int32_t r;  ///< first-hop receiver (the paper's r in Drq[i,r])
+      TreeEdge hop;
+      DestinationEval eval;
+    };
+    std::vector<GroupEntry> groups;
   };
 
-  void refresh_all();
+  /// Tournament-heap entry: a snapshot of one plan's best candidate under the
+  /// deterministic candidate order. Snapshots keep the heap comparator stable
+  /// while plans change; stale entries (generation mismatch) are popped lazily.
+  struct BestEntry {
+    double cost;
+    std::int32_t item;
+    std::int32_t hop_to;
+    std::int32_t k;
+    std::uint64_t generation;
+  };
+  /// Min-heap comparator over BestEntry snapshots: candidate_less inverted
+  /// for std::push_heap/pop_heap.
+  static bool best_entry_after(const BestEntry& a, const BestEntry& b);
+
+  enum class InvalidationCause : std::uint8_t { kLink, kStorage };
+
+  /// Brings every plan up to date: recomputes the dirty set (incremental
+  /// mode) or every pending plan (paranoid mode), retiring exhausted plans.
+  void refresh_plans();
   void recompute_plan(ItemId item);
+  /// Marks a plan exhausted, releasing its candidates, resource records and
+  /// index subscriptions (dead plans must not attract invalidation work or
+  /// hold memory).
+  void retire_plan(std::size_t plan_index);
   void build_candidates(ItemId item, ItemPlan& plan);
+  /// Pushes plan's current best into the tournament heap.
+  void push_best(std::size_t plan_index);
   /// Emits per-request outcome events and final satisfaction counters.
   void observe_finish();
   /// Commits one tree edge: network transfer + schedule step + satisfaction.
   AppliedTransfer commit_edge(ItemId item, const TreeEdge& edge);
-  /// Marks plans dirty whose used resources overlap the applied transfers.
+  /// Marks plans dirty whose used resources overlap the applied transfers,
+  /// dispatching through the inverted resource index.
   void invalidate(ItemId scheduled_item, std::span<const AppliedTransfer> applied);
   void count_iteration();
 
@@ -136,6 +198,23 @@ class StagingEngine {
   OutcomeTracker tracker_;
   Schedule schedule_;
   std::vector<ItemPlan> plans_;
+  /// resource -> subscribed plans; drives invalidate().
+  ResourceIndex index_;
+  /// Plans marked dirty since the last refresh (unique; sorted at refresh).
+  std::vector<std::size_t> dirty_queue_;
+  /// Lazy min-heap over per-plan best candidates (see BestEntry).
+  std::vector<BestEntry> best_heap_;
+  /// Reused Dijkstra scratch (heap storage, settled/target bitmaps).
+  DijkstraWorkspace dijkstra_ws_;
+  std::vector<MachineId> target_scratch_;
+  /// Epoch-stamped per-machine marks: the allocation-free node_seen set used
+  /// by candidate building and full-tree commits.
+  std::vector<std::uint64_t> node_mark_;
+  std::uint64_t node_mark_epoch_ = 0;
+  std::vector<std::pair<std::size_t, InvalidationCause>> invalidation_scratch_;
+  std::size_t active_plans_ = 0;     ///< plans not yet retired
+  std::size_t candidate_total_ = 0;  ///< Σ plan.candidates.size() (live plans)
+  std::size_t last_round_cache_hits_ = 0;  ///< clean plans reused last refresh
   std::size_t dijkstra_runs_ = 0;
   std::size_t iterations_ = 0;
   std::size_t max_iterations_ = 0;

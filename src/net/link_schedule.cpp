@@ -29,14 +29,7 @@ void LinkSchedule::reserve(VirtLinkId link, std::int64_t item_bytes, SimTime sta
   const Interval iv{start, start + dur};
   DS_ASSERT_MSG(vl.window.contains(iv), "reservation outside link window");
   busy_[link.index()].insert_disjoint(iv);
-}
-
-SimDuration LinkSchedule::total_reserved() const {
-  SimDuration total = SimDuration::zero();
-  for (const IntervalSet& set : busy_) {
-    for (const Interval& iv : set.intervals()) total = total + iv.length();
-  }
-  return total;
+  total_reserved_ = total_reserved_ + iv.length();
 }
 
 }  // namespace datastage

@@ -50,11 +50,14 @@ class LinkSchedule {
   }
 
   /// Total reserved time across all virtual links (observability/benches).
-  SimDuration total_reserved() const;
+  /// O(1): maintained as a running sum by reserve() — reservations are never
+  /// released, so the sum only grows.
+  SimDuration total_reserved() const { return total_reserved_; }
 
  private:
   const Scenario* scenario_;
   std::vector<IntervalSet> busy_;
+  SimDuration total_reserved_ = SimDuration::zero();
 };
 
 }  // namespace datastage

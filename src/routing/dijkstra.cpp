@@ -1,52 +1,76 @@
 #include "routing/dijkstra.hpp"
 
-#include <queue>
-#include <vector>
+#include <algorithm>
 
 #include "util/assert.hpp"
 
 namespace datastage {
 namespace {
 
-struct QueueEntry {
-  SimTime arrival;
-  MachineId machine;
-
-  // Min-heap by arrival; machine id breaks ties so the expansion order (and
-  // therefore the tree under equal arrivals) is deterministic.
-  friend bool operator>(const QueueEntry& a, const QueueEntry& b) {
-    if (a.arrival != b.arrival) return a.arrival > b.arrival;
-    return a.machine > b.machine;
-  }
-};
+// Min-heap by arrival; machine id breaks ties so the expansion order (and
+// therefore the tree under equal arrivals) is deterministic.
+bool heap_after(const DijkstraWorkspace::HeapEntry& a,
+                const DijkstraWorkspace::HeapEntry& b) {
+  if (a.arrival != b.arrival) return a.arrival > b.arrival;
+  return a.machine > b.machine;
+}
 
 }  // namespace
 
-RouteTree compute_route_tree(const NetworkState& state, const Topology& topology,
+void compute_route_tree_into(const NetworkState& state, const Topology& topology,
                              ItemId item, const DijkstraOptions& options,
+                             DijkstraWorkspace& workspace, RouteTree& tree,
                              DijkstraStats* stats) {
   const Scenario& scenario = state.scenario();
-  RouteTree tree(scenario.machine_count());
+  const std::size_t n = scenario.machine_count();
+  tree.reset(n);
 
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue;
-  std::vector<bool> settled(scenario.machine_count(), false);
+  std::vector<DijkstraWorkspace::HeapEntry>& heap = workspace.heap;
+  heap.clear();
+  workspace.settled.assign(n, 0);
+
+  // Mark the target set; `targets_left` counts distinct unsettled targets so
+  // the main loop can stop the moment the caller has everything it asked for.
+  std::size_t targets_left = 0;
+  if (!options.targets.empty()) {
+    workspace.is_target.assign(n, 0);
+    for (const MachineId t : options.targets) {
+      if (workspace.is_target[t.index()] == 0) {
+        workspace.is_target[t.index()] = 1;
+        ++targets_left;
+      }
+    }
+  }
+  const bool track_targets = targets_left > 0;
 
   for (const Copy& copy : state.copies(item)) {
     tree.set_root(copy.machine, copy.available_at);
-    queue.push(QueueEntry{tree.arrival(copy.machine), copy.machine});
+    heap.push_back({tree.arrival(copy.machine), copy.machine});
+    std::push_heap(heap.begin(), heap.end(), heap_after);
   }
 
-  while (!queue.empty()) {
-    const QueueEntry entry = queue.top();
-    queue.pop();
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), heap_after);
+    const DijkstraWorkspace::HeapEntry entry = heap.back();
+    heap.pop_back();
     const MachineId u = entry.machine;
-    if (settled[u.index()]) continue;              // lazily deleted duplicate
-    if (entry.arrival != tree.arrival(u)) continue;  // stale entry
-    settled[u.index()] = true;
+    if (workspace.settled[u.index()] != 0) continue;  // lazily deleted duplicate
+    if (entry.arrival != tree.arrival(u)) continue;   // stale entry
+    workspace.settled[u.index()] = 1;
     if (stats != nullptr) ++stats->pops;
 
     const SimTime ready = tree.arrival(u);
-    if (ready > options.prune_after) continue;
+    // Every remaining label is >= ready (min-heap), so nothing past the prune
+    // horizon would ever be expanded: all settled labels are already final
+    // and the rest of the queue can be dropped wholesale.
+    if (ready > options.prune_after) break;
+
+    // Settling the last target finalizes every label the caller will read
+    // (ancestors of a settled machine are settled); stop before expanding.
+    if (track_targets && workspace.is_target[u.index()] != 0 &&
+        --targets_left == 0) {
+      break;
+    }
 
     // The item must still reside on u when a transfer departs; transfers
     // departing after u's hold window has been garbage-collected are invalid.
@@ -56,7 +80,7 @@ RouteTree compute_route_tree(const NetworkState& state, const Topology& topology
       if (stats != nullptr) ++stats->relaxations;
       const VirtualLink& vl = scenario.vlink(link_id);
       const MachineId v = vl.to;
-      if (settled[v.index()]) continue;
+      if (workspace.settled[v.index()] != 0) continue;
 
       const std::optional<LinkFit> fit = state.earliest_fit(item, link_id, ready);
       if (!fit.has_value()) continue;
@@ -69,10 +93,18 @@ RouteTree compute_route_tree(const NetworkState& state, const Topology& topology
       }
 
       tree.set_parent(v, TreeEdge{u, v, link_id, fit->start, fit->arrival});
-      queue.push(QueueEntry{fit->arrival, v});
+      heap.push_back({fit->arrival, v});
+      std::push_heap(heap.begin(), heap.end(), heap_after);
     }
   }
+}
 
+RouteTree compute_route_tree(const NetworkState& state, const Topology& topology,
+                             ItemId item, const DijkstraOptions& options,
+                             DijkstraStats* stats) {
+  DijkstraWorkspace workspace;
+  RouteTree tree(0);
+  compute_route_tree_into(state, topology, item, options, workspace, tree, stats);
   return tree;
 }
 

@@ -11,6 +11,10 @@
 // label-setting Dijkstra computes exact earliest arrivals.
 #pragma once
 
+#include <cstdint>
+#include <span>
+#include <vector>
+
 #include "net/network_state.hpp"
 #include "net/topology.hpp"
 #include "routing/path.hpp"
@@ -24,6 +28,14 @@ struct DijkstraOptions {
   /// that serves a request by its deadline only visits machines at or before
   /// that deadline. Callers pass the latest *pending* deadline of the item.
   SimTime prune_after = SimTime::infinity();
+  /// Optional target set: the machines whose labels the caller will read.
+  /// When non-empty, the search stops as soon as every target is settled —
+  /// arrival times and parent edges of *settled* machines (which includes
+  /// every ancestor on a path to a settled target) equal those of a full
+  /// run; labels of other machines may be tentative. Empty span (the
+  /// default) computes the full forest. The span must stay alive for the
+  /// duration of the call only.
+  std::span<const MachineId> targets;
 };
 
 struct DijkstraStats {
@@ -32,8 +44,31 @@ struct DijkstraStats {
   std::size_t capacity_rejections = 0;
 };
 
-/// Runs the adapted Dijkstra for `item` over the current `state`.
-/// `topology` must be built from `state.scenario()`.
+/// Caller-owned scratch buffers reused across runs: heap storage and the
+/// settled/target bitmaps. Reusing a workspace removes every per-run
+/// allocation from the routing hot path; a default-constructed workspace is
+/// grown on first use. Not thread-safe — one workspace per thread.
+struct DijkstraWorkspace {
+  struct HeapEntry {
+    SimTime arrival;
+    MachineId machine;
+  };
+  std::vector<HeapEntry> heap;         ///< binary min-heap storage
+  std::vector<std::uint8_t> settled;   ///< per-machine settled flags
+  std::vector<std::uint8_t> is_target; ///< per-machine target flags
+};
+
+/// Runs the adapted Dijkstra for `item` over the current `state`, writing the
+/// forest into `tree` (reset in place — prior contents are discarded, buffers
+/// reused). `topology` must be built from `state.scenario()`.
+void compute_route_tree_into(const NetworkState& state, const Topology& topology,
+                             ItemId item, const DijkstraOptions& options,
+                             DijkstraWorkspace& workspace, RouteTree& tree,
+                             DijkstraStats* stats = nullptr);
+
+/// Convenience wrapper allocating a fresh workspace and tree per call. The
+/// scheduling engine uses compute_route_tree_into; one-shot callers (bounds,
+/// baselines, tests) keep this simpler form.
 RouteTree compute_route_tree(const NetworkState& state, const Topology& topology,
                              ItemId item, const DijkstraOptions& options = {},
                              DijkstraStats* stats = nullptr);

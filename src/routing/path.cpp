@@ -11,6 +11,14 @@ RouteTree::RouteTree(std::size_t machine_count)
       has_parent_(machine_count, false),
       edge_(machine_count) {}
 
+void RouteTree::reset(std::size_t machine_count) {
+  arrival_.assign(machine_count, SimTime::infinity());
+  has_parent_.assign(machine_count, false);
+  // Edge slots are only read where has_parent_ is true; stale contents are
+  // unreachable, so a resize (no refill) suffices.
+  edge_.resize(machine_count);
+}
+
 const TreeEdge& RouteTree::parent_edge(MachineId machine) const {
   DS_ASSERT(has_parent(machine));
   return edge_[machine.index()];

@@ -30,6 +30,11 @@ class RouteTree {
  public:
   explicit RouteTree(std::size_t machine_count);
 
+  /// Re-initializes the tree for `machine_count` machines, reusing the
+  /// existing buffers. Equivalent to assigning a fresh RouteTree but without
+  /// reallocating — the engine recomputes trees in place every round.
+  void reset(std::size_t machine_count);
+
   std::size_t machine_count() const { return arrival_.size(); }
 
   /// Earliest arrival of the item at `machine` (A_T when `machine` is a

@@ -1,0 +1,115 @@
+#include "core/resource_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+
+Interval iv(int from_min, int to_min) { return Interval{at_min(from_min), at_min(to_min)}; }
+
+/// Collects the plans a dispatch delivers to.
+struct Hits {
+  std::vector<std::size_t> plans;
+  void operator()(std::size_t plan, const Interval&) { plans.push_back(plan); }
+};
+
+TEST(ResourceIndexTest, DispatchesOnlyOverlappingSubscriptions) {
+  ResourceIndex index(/*link_count=*/2, /*machine_count=*/2, /*plan_count=*/3);
+  index.subscribe_link(0, VirtLinkId(0), iv(0, 10));
+  index.subscribe_link(1, VirtLinkId(0), iv(20, 30));
+  index.subscribe_link(2, VirtLinkId(1), iv(0, 30));  // other link: never hit
+
+  Hits hits;
+  const std::size_t examined =
+      index.dispatch_link(VirtLinkId(0), iv(5, 25), /*skip=*/99, hits);
+  EXPECT_EQ(examined, 2u);  // only link 0's posting list is walked
+  EXPECT_EQ(hits.plans, (std::vector<std::size_t>{0, 1}));
+
+  Hits none;
+  index.dispatch_link(VirtLinkId(0), iv(12, 18), /*skip=*/99, none);
+  EXPECT_TRUE(none.plans.empty());  // gap between the two subscriptions
+}
+
+TEST(ResourceIndexTest, SkipSuppressesTheSchedulingPlan) {
+  ResourceIndex index(1, 1, 2);
+  index.subscribe_link(0, VirtLinkId(0), iv(0, 10));
+  index.subscribe_link(1, VirtLinkId(0), iv(0, 10));
+
+  Hits hits;
+  index.dispatch_link(VirtLinkId(0), iv(0, 10), /*skip=*/0, hits);
+  EXPECT_EQ(hits.plans, (std::vector<std::size_t>{1}));
+}
+
+TEST(ResourceIndexTest, StorageAndLinkNamespacesAreIndependent) {
+  ResourceIndex index(1, 1, 2);
+  index.subscribe_link(0, VirtLinkId(0), iv(0, 10));
+  index.subscribe_storage(1, MachineId(0), iv(0, 10));
+
+  Hits link_hits;
+  index.dispatch_link(VirtLinkId(0), iv(0, 10), 99, link_hits);
+  EXPECT_EQ(link_hits.plans, (std::vector<std::size_t>{0}));
+
+  Hits storage_hits;
+  index.dispatch_storage(MachineId(0), iv(0, 10), 99, storage_hits);
+  EXPECT_EQ(storage_hits.plans, (std::vector<std::size_t>{1}));
+}
+
+TEST(ResourceIndexTest, UnsubscribeAllKillsEverySubscriptionOfThePlan) {
+  ResourceIndex index(2, 2, 2);
+  index.subscribe_link(0, VirtLinkId(0), iv(0, 10));
+  index.subscribe_link(0, VirtLinkId(1), iv(0, 10));
+  index.subscribe_storage(0, MachineId(1), iv(0, 10));
+  index.subscribe_link(1, VirtLinkId(0), iv(0, 10));
+  EXPECT_EQ(index.live_entries(), 4u);
+  EXPECT_EQ(index.plan_entries(0), 3u);
+
+  index.unsubscribe_all(0);
+  EXPECT_EQ(index.live_entries(), 1u);
+  EXPECT_EQ(index.plan_entries(0), 0u);
+
+  Hits hits;
+  const std::size_t examined = index.dispatch_link(VirtLinkId(0), iv(0, 10), 99, hits);
+  EXPECT_EQ(hits.plans, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(examined, 1u);  // dead entries are not counted as work
+}
+
+TEST(ResourceIndexTest, ResubscribeAfterUnsubscribeIsLive) {
+  ResourceIndex index(1, 1, 1);
+  index.subscribe_link(0, VirtLinkId(0), iv(0, 10));
+  index.unsubscribe_all(0);
+  index.subscribe_link(0, VirtLinkId(0), iv(20, 30));
+
+  Hits hits;
+  index.dispatch_link(VirtLinkId(0), iv(25, 26), 99, hits);
+  EXPECT_EQ(hits.plans, (std::vector<std::size_t>{0}));
+
+  Hits old_window;
+  index.dispatch_link(VirtLinkId(0), iv(0, 10), 99, old_window);
+  EXPECT_TRUE(old_window.plans.empty());  // the pre-unsubscribe interval is gone
+}
+
+TEST(ResourceIndexTest, HeavyChurnStaysConsistentAcrossSweeps) {
+  // Enough dead entries to cross the sweep threshold several times; after
+  // every churn cycle the dispatch result must reflect only live state.
+  ResourceIndex index(1, 1, 4);
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    for (std::size_t plan = 0; plan < 4; ++plan) {
+      index.unsubscribe_all(plan);
+      index.subscribe_link(plan, VirtLinkId(0), iv(cycle, cycle + 1));
+    }
+  }
+  EXPECT_EQ(index.live_entries(), 4u);
+  Hits hits;
+  const std::size_t examined = index.dispatch_link(VirtLinkId(0), iv(99, 100), 99, hits);
+  EXPECT_EQ(examined, 4u);
+  EXPECT_EQ(hits.plans, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace datastage

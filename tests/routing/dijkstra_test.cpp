@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "gen/generator.hpp"
 #include "net/network_state.hpp"
 #include "net/topology.hpp"
 #include "testing/builders.hpp"
@@ -206,6 +207,87 @@ TEST(DijkstraTest, StatsAreCounted) {
   compute_route_tree(state, topo, ItemId(0), {}, &stats);
   EXPECT_GT(stats.pops, 0u);
   EXPECT_GT(stats.relaxations, 0u);
+}
+
+TEST(DijkstraTest, TargetEarlyTerminationStopsBeforeFullForest) {
+  // Chain A->B->C with target {B}: the search settles A then B and stops
+  // without popping C.
+  const Scenario s = testing::chain_scenario();
+  Topology topo(s);
+  NetworkState state(s);
+
+  DijkstraStats full_stats;
+  compute_route_tree(state, topo, ItemId(0), {}, &full_stats);
+
+  DijkstraOptions opt;
+  const std::vector<MachineId> targets{MachineId(1)};
+  opt.targets = targets;
+  DijkstraStats target_stats;
+  const RouteTree tree = compute_route_tree(state, topo, ItemId(0), opt, &target_stats);
+
+  EXPECT_EQ(tree.arrival(MachineId(1)), testing::at_sec(1));
+  ASSERT_TRUE(tree.has_parent(MachineId(1)));
+  EXPECT_LT(target_stats.pops, full_stats.pops);
+}
+
+TEST(DijkstraTest, TargetedTreeMatchesFullRunOnEveryDestination) {
+  // On generated scenarios, the targeted search must agree with the full
+  // forest on every requested destination: same arrival, same path edges.
+  for (const Scenario& s : generate_cases(GeneratorConfig::light(), 321, 3)) {
+    Topology topo(s);
+    NetworkState state(s);
+    DijkstraWorkspace workspace;
+    RouteTree targeted(0);
+    for (std::size_t i = 0; i < s.item_count(); ++i) {
+      const ItemId item(static_cast<std::int32_t>(i));
+      const RouteTree full = compute_route_tree(state, topo, item);
+
+      std::vector<MachineId> targets;
+      for (const Request& request : s.items[i].requests) {
+        targets.push_back(request.destination);
+      }
+      DijkstraOptions opt;
+      opt.targets = targets;
+      compute_route_tree_into(state, topo, item, opt, workspace, targeted);
+
+      for (const MachineId dest : targets) {
+        EXPECT_EQ(targeted.reached(dest), full.reached(dest));
+        if (!full.reached(dest)) continue;
+        EXPECT_EQ(targeted.arrival(dest), full.arrival(dest));
+        const auto full_path = full.path_to(dest);
+        const auto target_path = targeted.path_to(dest);
+        ASSERT_EQ(target_path.size(), full_path.size());
+        for (std::size_t e = 0; e < full_path.size(); ++e) {
+          EXPECT_EQ(target_path[e].to, full_path[e].to);
+          EXPECT_EQ(target_path[e].link, full_path[e].link);
+          EXPECT_EQ(target_path[e].start, full_path[e].start);
+          EXPECT_EQ(target_path[e].arrival, full_path[e].arrival);
+        }
+      }
+    }
+  }
+}
+
+TEST(DijkstraTest, WorkspaceReuseMatchesFreshRuns) {
+  // One workspace (and one tree) recycled across items must reproduce the
+  // allocating wrapper exactly — stale buffer contents must not leak through.
+  const std::vector<Scenario> cases = generate_cases(GeneratorConfig::light(), 99, 2);
+  DijkstraWorkspace workspace;
+  RouteTree reused(0);
+  for (const Scenario& s : cases) {
+    Topology topo(s);
+    NetworkState state(s);
+    for (std::size_t i = 0; i < s.item_count(); ++i) {
+      const ItemId item(static_cast<std::int32_t>(i));
+      const RouteTree fresh = compute_route_tree(state, topo, item);
+      compute_route_tree_into(state, topo, item, {}, workspace, reused);
+      for (std::size_t m = 0; m < s.machine_count(); ++m) {
+        const MachineId machine(static_cast<std::int32_t>(m));
+        EXPECT_EQ(reused.arrival(machine), fresh.arrival(machine));
+        EXPECT_EQ(reused.has_parent(machine), fresh.has_parent(machine));
+      }
+    }
+  }
 }
 
 }  // namespace

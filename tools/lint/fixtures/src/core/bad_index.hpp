@@ -1,0 +1,13 @@
+// Fixture: DS003 in a core header — an inverted resource index built on hash
+// containers would feed hash-iteration order into invalidation dispatch and
+// break run reproducibility (the real core/resource_index.hpp uses ordered
+// posting-list vectors). Never compiled.
+#pragma once
+
+#include <unordered_map>  // ds-lint-expect: DS003
+#include <vector>
+
+struct BadResourceIndex {
+  std::unordered_map<int, std::vector<int>> by_link;  // ds-lint-expect: DS003
+  std::vector<std::vector<int>> by_storage_ok;        // compliant: not flagged
+};
