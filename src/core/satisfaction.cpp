@@ -23,18 +23,29 @@ OutcomeTracker::OutcomeTracker(const Scenario& scenario) : scenario_(&scenario) 
 void OutcomeTracker::note_arrival(ItemId item, MachineId machine, SimTime arrival) {
   const DataItem& it = scenario_->item(item);
   auto& pending = pending_[item.index()];
-  for (auto cursor = pending.begin(); cursor != pending.end(); ++cursor) {
+  // Checked scenarios carry at most one request per (item, machine), but the
+  // dynamic stager legally replays unchecked effective scenarios where an
+  // original and an ad-hoc request share a destination. Resolve *every*
+  // pending request the arrival serves; stopping at the first would leave a
+  // duplicate pending and score the replay differently from the stager's own
+  // records. The deadline is closed: arriving exactly at the deadline counts
+  // (the delivery window is [start, deadline + 1µs) at µs resolution).
+  for (auto cursor = pending.begin(); cursor != pending.end();) {
     const auto k = static_cast<std::size_t>(*cursor);
     const Request& request = it.requests[k];
-    if (request.destination != machine) continue;
+    if (request.destination != machine) {
+      ++cursor;
+      continue;
+    }
     RequestOutcome& outcome = outcomes_[item.index()][k];
     outcome.arrival = min(outcome.arrival, arrival);
     if (arrival <= request.deadline) {
       outcome.satisfied = true;
-      pending.erase(cursor);
+      cursor = pending.erase(cursor);
       --pending_count_;
+    } else {
+      ++cursor;
     }
-    return;  // at most one request per (item, machine) — model invariant
   }
 }
 

@@ -12,6 +12,7 @@
 
 #include "model/scenario.hpp"
 #include "util/ids.hpp"
+#include "util/interval.hpp"
 #include "util/time.hpp"
 
 namespace datastage {
@@ -38,8 +39,28 @@ struct LinkRestoreEvent {
   PhysLinkId link;
 };
 
+/// A physical link runs at `factor` of its nominal bandwidth during
+/// `window`. Announced at window.begin (the stager learns of a brownout when
+/// it starts, like an outage); transfers in flight on the link are dropped
+/// and replanned at the degraded rate. Overlapping degradations compound by
+/// taking the minimum factor.
+struct LinkDegradeEvent {
+  PhysLinkId link;
+  Interval window;
+  double factor = 1.0;
+};
+
+/// The copy of `item_name` held by `machine` is destroyed now. Requests the
+/// copy had satisfied whose deadline has not passed are re-opened; the stager
+/// re-stages from surviving copies with the usual deadline feasibility.
+struct CopyLossEvent {
+  std::string item_name;
+  MachineId machine;
+};
+
 using StagingEventBody =
-    std::variant<NewItemEvent, NewRequestEvent, LinkOutageEvent, LinkRestoreEvent>;
+    std::variant<NewItemEvent, NewRequestEvent, LinkOutageEvent, LinkRestoreEvent,
+                 LinkDegradeEvent, CopyLossEvent>;
 
 struct StagingEvent {
   SimTime at;

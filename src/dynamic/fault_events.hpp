@@ -1,0 +1,26 @@
+// Converts a declarative FaultSpec into the time-ordered event stream the
+// DynamicStager consumes, so the same fault scenario that scores a committed
+// schedule a posteriori (sim/fault_replay) can drive online recovery.
+//
+// Outage windows of one link are merged (overlapping or adjacent windows
+// become one outage period) and emitted as LinkOutage/LinkRestore pairs; a
+// window reaching infinity emits no restore. Degradations are announced at
+// their window begin; copy losses at their loss time. The resulting stream
+// is sorted by time with a deterministic tie order (restores, outages,
+// degrades, copy losses; then by link id / item name), so feeding it to a
+// DynamicStager is a pure function of (Scenario, FaultSpec).
+#pragma once
+
+#include <vector>
+
+#include "dynamic/events.hpp"
+#include "model/fault.hpp"
+
+namespace datastage {
+
+/// `faults` must be valid for the scenario it will be replayed against
+/// (FaultSpec::validate) — empty windows or out-of-range links abort in the
+/// stager, not here.
+std::vector<StagingEvent> fault_events(const FaultSpec& faults);
+
+}  // namespace datastage

@@ -62,6 +62,32 @@ SimTime DynamicStager::TrackedItem::latest_known_deadline() const {
   return latest;
 }
 
+std::optional<SimTime> DynamicStager::TrackedItem::last_loss_at(
+    MachineId machine) const {
+  std::optional<SimTime> latest;
+  for (const LossMark& loss : losses) {
+    if (loss.machine != machine) continue;
+    if (!latest.has_value() || loss.at > *latest) latest = loss.at;
+  }
+  return latest;
+}
+
+std::optional<SimTime> DynamicStager::TrackedItem::first_loss_at(
+    MachineId machine) const {
+  std::optional<SimTime> earliest;
+  for (const LossMark& loss : losses) {
+    if (loss.machine != machine) continue;
+    if (!earliest.has_value() || loss.at < *earliest) earliest = loss.at;
+  }
+  return earliest;
+}
+
+void DynamicStager::bump(const char* counter) const {
+  if (options_.observer != nullptr && options_.observer->metrics != nullptr) {
+    options_.observer->metrics->counter(counter).inc();
+  }
+}
+
 DynamicStager::DynamicStager(Scenario initial, SchedulerSpec spec,
                              EngineOptions options)
     : base_(std::move(initial)), spec_(spec), options_(std::move(options)) {
@@ -169,13 +195,19 @@ Scenario DynamicStager::residual_scenario() const {
 
   for (std::size_t p = 0; p < base_.phys_links.size(); ++p) {
     const PhysicalLink& pl = base_.phys_links[p];
+    const PhysLinkId link(static_cast<std::int32_t>(p));
     for (const Interval& window : available_[p].intervals()) {
       if (window.end <= now_) continue;
       const Interval clipped{max(window.begin, now_), window.end};
       if (clipped.empty()) continue;
-      residual.virt_links.push_back(
-          VirtualLink{PhysLinkId(static_cast<std::int32_t>(p)), pl.from, pl.to,
-                      pl.bandwidth_bps, pl.latency, clipped});
+      // Announced brownouts split the window into fragments carrying the
+      // degraded rate, so the replan prices transfers at what the link will
+      // actually move.
+      for (const auto& [frag, bps] :
+           degraded_fragments(clipped, pl.bandwidth_bps, link, degradations_)) {
+        residual.virt_links.push_back(
+            VirtualLink{link, pl.from, pl.to, bps, pl.latency, frag});
+      }
     }
   }
 
@@ -218,8 +250,8 @@ Scenario DynamicStager::residual_scenario() const {
         continue;
       }
       src.hold_until = gc;
-      if (src.hold_until <= src.available_at) continue;  // empty window
-      const Interval hold{src.available_at, src.hold_until};
+      const Interval hold = src.hold_window();
+      if (hold.empty()) continue;  // gc already due: the copy is gone
       StorageTimeline& st = charge[copy.machine.index()];
       if (!st.fits(item.size_bytes, hold)) {
         log_debug("dynamic: dropping staged copy of " + item.name +
@@ -324,15 +356,88 @@ void DynamicStager::on_event(const StagingEvent& event) {
     outage_since_[p] = now_;
     available_[p].subtract(Interval{now_, SimTime::infinity()});
     fail_in_flight(outage->link);
+    bump("faults.outages");
   } else if (const auto* restore = std::get_if<LinkRestoreEvent>(&event.body)) {
     const std::size_t p = restore->link.index();
     DS_ASSERT_MSG(!link_up_[p], "restore on a link that is up");
     link_up_[p] = true;
     outages_[p].insert_merge(Interval{outage_since_[p], now_});
     rebuild_availability(restore->link);
+    bump("faults.restores");
+  } else if (const auto* degrade = std::get_if<LinkDegradeEvent>(&event.body)) {
+    const std::size_t p = degrade->link.index();
+    DS_ASSERT_MSG(p < base_.phys_links.size(), "degrade on unknown link");
+    DS_ASSERT_MSG(!degrade->window.empty() && degrade->window.begin == now_,
+                  "degradations are announced at their window begin");
+    DS_ASSERT_MSG(degrade->factor > 0.0 && degrade->factor < 1.0,
+                  "degradation factor must lie in (0, 1)");
+    degradations_.push_back(
+        LinkDegradation{degrade->link, degrade->window, degrade->factor});
+    // In-flight transfers on the link were planned at the nominal rate and
+    // no longer complete on time: drop and let the replan re-stage them at
+    // the degraded rate. With the link down the availability is already
+    // gone and nothing is in flight.
+    if (link_up_[p]) {
+      fail_in_flight(degrade->link);
+      rebuild_availability(degrade->link);
+    }
+    bump("faults.degrades");
+    if (options_.observer != nullptr && options_.observer->trace != nullptr) {
+      options_.observer->trace->event("fault")
+          .field("kind", "degrade")
+          .field("t_usec", now_.usec())
+          .field("link", degrade->link.value())
+          .field("until_usec", degrade->window.end.usec());
+    }
+  } else if (const auto* loss = std::get_if<CopyLossEvent>(&event.body)) {
+    TrackedItem* item = find_item(loss->item_name);
+    DS_ASSERT_MSG(item != nullptr, "copy loss for unknown item");
+    apply_copy_loss(*item, loss->machine);
+    bump("faults.copy_losses");
+    if (options_.observer != nullptr && options_.observer->trace != nullptr) {
+      options_.observer->trace->event("fault")
+          .field("kind", "copy_loss")
+          .field("t_usec", now_.usec())
+          .field("item", loss->item_name)
+          .field("machine", loss->machine.value());
+    }
   }
 
   replan();
+}
+
+void DynamicStager::apply_copy_loss(TrackedItem& item, MachineId machine) {
+  // Destroy the copy present now; a copy still in flight (available_at in
+  // the future) lands after the loss and survives.
+  bool destroyed = false;
+  std::vector<Copy> kept;
+  for (const Copy& copy : item.copies) {
+    if (copy.machine == machine && copy.available_at <= now_) {
+      destroyed = true;
+      continue;
+    }
+    kept.push_back(copy);
+  }
+  item.copies = std::move(kept);
+  if (!destroyed) {
+    bump("faults.copy_losses_noop");
+    return;
+  }
+  item.losses.push_back(LossMark{machine, now_});
+
+  // Re-open requests the lost copy had satisfied, if their delivery window
+  // [start, deadline] still admits a re-delivery; a request whose deadline
+  // already passed keeps its outcome (the consumer had the data for the
+  // whole window). The replan then re-stages with the usual deadline
+  // feasibility — an infeasible re-delivery simply stays unsatisfied.
+  for (TrackedRequest& tracked : item.requests) {
+    if (tracked.request.destination != machine || !tracked.resolved) continue;
+    if (tracked.request.deadline < now_) continue;
+    tracked.resolved = false;
+    tracked.satisfied = false;
+    tracked.arrival = SimTime::infinity();
+    bump("faults.requeued_requests");
+  }
 }
 
 void DynamicStager::fail_in_flight(PhysLinkId link) {
@@ -349,6 +454,7 @@ void DynamicStager::fail_in_flight(PhysLinkId link) {
       continue;
     }
     consumed_[link.index()].subtract(Interval{step.start, step.arrival});
+    bump("faults.inflight_dropped");
     TrackedItem& item = items_[step.item.index()];
     for (TrackedRequest& tracked : item.requests) {
       if (tracked.request.destination == step.to &&
@@ -366,12 +472,21 @@ void DynamicStager::fail_in_flight(PhysLinkId link) {
 
 void DynamicStager::rebuild_copies(ItemId id) {
   TrackedItem& item = items_[id.index()];
+  // A candidate copy destroyed by a copy-loss fault must not be resurrected:
+  // anything that materialized at or before the machine's latest loss is
+  // gone; only later (re-staged) arrivals count.
+  const auto survives = [&item](MachineId machine, SimTime available_at) {
+    const std::optional<SimTime> lost = item.last_loss_at(machine);
+    return !lost.has_value() || available_at > *lost;
+  };
   item.copies.clear();
   for (const SourceLocation& src : item.original_sources) {
+    if (!survives(src.machine, src.available_at)) continue;
     item.copies.push_back(Copy{src.machine, src.available_at});
   }
   for (const PlannedStep& planned : committed_) {
     if (planned.step.item != id) continue;
+    if (!survives(planned.step.to, planned.step.arrival)) continue;
     bool merged = false;
     for (Copy& copy : item.copies) {
       if (copy.machine == planned.step.to) {
@@ -490,9 +605,11 @@ Scenario DynamicStager::effective_scenario() const {
       windows.subtract(Interval{outage_since_[vl.phys.index()], SimTime::infinity()});
     }
     for (const Interval& window : windows.intervals()) {
-      effective.virt_links.push_back(VirtualLink{vl.phys, vl.from, vl.to,
-                                                 vl.bandwidth_bps, vl.latency,
-                                                 window});
+      for (const auto& [frag, bps] : degraded_fragments(
+               window, vl.bandwidth_bps, vl.phys, degradations_)) {
+        effective.virt_links.push_back(
+            VirtualLink{vl.phys, vl.from, vl.to, bps, vl.latency, frag});
+      }
     }
   }
 
@@ -500,7 +617,14 @@ Scenario DynamicStager::effective_scenario() const {
     DataItem d;
     d.name = item.name;
     d.size_bytes = item.size_bytes;
-    d.sources = item.original_sources;
+    // A copy-loss fault ends the source's hold window at the loss time; a
+    // source that never materialized a copy before the loss is dropped.
+    for (SourceLocation src : item.original_sources) {
+      const std::optional<SimTime> lost = item.first_loss_at(src.machine);
+      if (lost.has_value()) src.hold_until = min(src.hold_until, *lost);
+      if (src.hold_window().empty()) continue;
+      d.sources.push_back(src);
+    }
     for (const TrackedRequest& tracked : item.requests) {
       d.requests.push_back(tracked.request);
     }

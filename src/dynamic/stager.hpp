@@ -23,12 +23,14 @@
 // replayed through sim/simulator like any static schedule.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/registry.hpp"
 #include "core/schedule.hpp"
 #include "dynamic/events.hpp"
+#include "model/fault.hpp"
 #include "model/scenario.hpp"
 #include "util/interval.hpp"
 
@@ -85,12 +87,20 @@ class DynamicStager {
     SimTime arrival = SimTime::infinity();
   };
 
+  /// A copy-loss fault that destroyed a copy at `machine` at time `at`.
+  /// Copies materialized after `at` (re-staged deliveries) are unaffected.
+  struct LossMark {
+    MachineId machine;
+    SimTime at;
+  };
+
   struct TrackedItem {
     std::string name;
     std::int64_t size_bytes = 0;
     std::vector<SourceLocation> original_sources;
     std::vector<Copy> copies;  ///< current copies incl. staged/in-flight ones
     std::vector<TrackedRequest> requests;
+    std::vector<LossMark> losses;  ///< applied copy-loss faults
 
     bool machine_holds(MachineId machine) const;
     bool is_original_source(MachineId machine) const;
@@ -100,6 +110,12 @@ class DynamicStager {
     /// Latest deadline among every request known so far (resolved or not);
     /// drives garbage collection exactly as the static model's rule does.
     SimTime latest_known_deadline() const;
+    /// Latest copy-loss time at `machine` (survival cutoff for re-derived
+    /// copies); nullopt when no loss ever hit the machine.
+    std::optional<SimTime> last_loss_at(MachineId machine) const;
+    /// Earliest copy-loss time at `machine` — the loss that destroyed the
+    /// original source copy, ending its effective hold window.
+    std::optional<SimTime> first_loss_at(MachineId machine) const;
   };
 
   /// A transfer with its physical link resolved. Virtual-link ids in planned
@@ -113,6 +129,11 @@ class DynamicStager {
 
   void commit_started(SimTime now);
   void note_arrival(TrackedItem& item, MachineId machine, SimTime arrival);
+  /// Applies a copy-loss fault: destroys the copy present at `machine` (if
+  /// any), records the loss mark, and re-opens requests the lost copy had
+  /// satisfied whose deadline still admits a re-delivery.
+  void apply_copy_loss(TrackedItem& item, MachineId machine);
+  void bump(const char* counter) const;
   /// True for copies that persist to the end of the run: original sources
   /// and destinations that received the item.
   bool copy_is_permanent(const TrackedItem& item, const Copy& copy) const;
@@ -143,6 +164,10 @@ class DynamicStager {
   std::vector<SimTime> outage_since_;  // valid while !link_up_
   /// Busy time consumed by committed transfers, per plink.
   std::vector<IntervalSet> consumed_;
+  /// Bandwidth degradation windows announced so far (all links, appended in
+  /// event order). residual_scenario and effective_scenario split link
+  /// windows into fragments carrying the degraded rate.
+  std::vector<LinkDegradation> degradations_;
   std::vector<TrackedItem> items_;
 
   // --- schedule state ---

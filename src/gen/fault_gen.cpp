@@ -1,0 +1,80 @@
+#include "gen/fault_gen.hpp"
+
+#include <algorithm>
+
+#include "model/fault_io.hpp"
+#include "util/assert.hpp"
+
+namespace datastage {
+namespace {
+
+// A window of `frac` of the horizon placed uniformly inside it. Fractions
+// are resolved to µs before drawing so the result is pure integer math on
+// the Rng stream.
+Interval place_window(SimTime horizon, double frac, Rng& rng) {
+  const std::int64_t h = horizon.usec();
+  std::int64_t len = static_cast<std::int64_t>(static_cast<double>(h) * frac);
+  len = std::clamp<std::int64_t>(len, 1, h);
+  const std::int64_t begin = rng.uniform_i64(0, h - len);
+  return Interval{SimTime::from_usec(begin), SimTime::from_usec(begin + len)};
+}
+
+double window_frac(double min_frac, double span_frac, double intensity, Rng& rng) {
+  const double span = span_frac * intensity;
+  return min_frac + span * rng.uniform_double();
+}
+
+}  // namespace
+
+FaultSpec generate_faults(const Scenario& scenario, const FaultGenConfig& config,
+                          Rng& rng) {
+  DS_ASSERT_MSG(config.intensity >= 0.0 && config.intensity <= 1.0,
+                "fault intensity must lie in [0, 1]");
+  FaultSpec faults;
+  if (config.intensity <= 0.0) return faults;
+  const double x = config.intensity;
+
+  // Links are visited in index order and items in scenario order; each draw
+  // is independent, so the spec is a pure function of (scenario, config, rng
+  // state).
+  for (std::size_t p = 0; p < scenario.phys_links.size(); ++p) {
+    if (!rng.bernoulli(std::min(1.0, x * config.outage_prob_scale))) continue;
+    const double frac =
+        window_frac(config.outage_min_frac, config.outage_span_frac, x, rng);
+    faults.outages.push_back(LinkOutage{PhysLinkId(static_cast<std::int32_t>(p)),
+                                        place_window(scenario.horizon, frac, rng)});
+  }
+
+  for (std::size_t p = 0; p < scenario.phys_links.size(); ++p) {
+    if (!rng.bernoulli(std::min(1.0, x * config.degrade_prob_scale))) continue;
+    const double frac =
+        window_frac(config.degrade_min_frac, config.degrade_span_frac, x, rng);
+    const Interval window = place_window(scenario.horizon, frac, rng);
+    const double factor =
+        config.factor_min +
+        (config.factor_max - config.factor_min) * rng.uniform_double();
+    faults.degradations.push_back(
+        LinkDegradation{PhysLinkId(static_cast<std::int32_t>(p)), window,
+                        quantize_factor(factor)});
+  }
+
+  for (const DataItem& item : scenario.items) {
+    // Losing the only source would make the item unschedulable from the
+    // start rather than exercising recovery; require a surviving source.
+    if (item.sources.size() < 2) continue;
+    if (!rng.bernoulli(std::min(1.0, x * config.loss_prob_scale))) continue;
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.uniform_i64(0, static_cast<std::int64_t>(item.sources.size()) - 1));
+    const SourceLocation& src = item.sources[pick];
+    // The loss must hit while the copy exists and inside the horizon.
+    const std::int64_t lo = src.available_at.usec();
+    const std::int64_t hi =
+        std::max(lo, min(src.hold_until, scenario.horizon).usec() - 1);
+    const SimTime at = SimTime::from_usec(rng.uniform_i64(lo, hi));
+    faults.copy_losses.push_back(CopyLoss{item.name, src.machine, at});
+  }
+
+  return faults;
+}
+
+}  // namespace datastage

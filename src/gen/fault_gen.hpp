@@ -1,0 +1,49 @@
+// Seeded random fault generation, mirroring gen/generator for scenarios.
+//
+// One `intensity` knob in [0, 1] scales everything: the probability that a
+// link suffers an outage or a brownout, the length of the windows, and the
+// probability that an item loses a staged source copy. intensity == 0 always
+// yields an empty FaultSpec, so a zero-intensity sweep point is byte-
+// identical to a fault-free run. All randomness flows through the caller's
+// Rng — same scenario + config + rng state => same FaultSpec — and
+// degradation factors are pre-quantized to the serialization resolution, so
+// an in-memory spec and its write -> read image behave identically.
+#pragma once
+
+#include "model/fault.hpp"
+#include "model/scenario.hpp"
+#include "util/rng.hpp"
+
+namespace datastage {
+
+struct FaultGenConfig {
+  /// Master fault-intensity knob in [0, 1].
+  double intensity = 0.2;
+
+  /// Per-link outage probability = min(1, intensity * outage_prob_scale).
+  double outage_prob_scale = 1.0;
+  /// Outage length fraction of the horizon: uniform in
+  /// [outage_min_frac, outage_min_frac + intensity * outage_span_frac].
+  double outage_min_frac = 0.02;
+  double outage_span_frac = 0.25;
+
+  /// Per-link brownout probability = min(1, intensity * degrade_prob_scale).
+  double degrade_prob_scale = 0.75;
+  double degrade_min_frac = 0.05;
+  double degrade_span_frac = 0.35;
+  /// Degraded bandwidth factor: uniform in [factor_min, factor_max].
+  double factor_min = 0.15;
+  double factor_max = 0.70;
+
+  /// Per-item source-copy-loss probability = min(1, intensity * loss_prob_scale).
+  /// Only items with at least two sources lose a copy, so recovery always
+  /// has somewhere to re-stage from.
+  double loss_prob_scale = 0.75;
+};
+
+/// Draws a FaultSpec for `scenario`. Deterministic in (scenario, config, rng
+/// state); the result passes FaultSpec::validate for the scenario.
+FaultSpec generate_faults(const Scenario& scenario, const FaultGenConfig& config,
+                          Rng& rng);
+
+}  // namespace datastage

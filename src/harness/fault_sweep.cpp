@@ -1,0 +1,157 @@
+#include "harness/fault_sweep.hpp"
+
+#include "dynamic/fault_events.hpp"
+#include "dynamic/stager.hpp"
+#include "harness/parallel.hpp"
+#include "obs/observer.hpp"
+#include "sim/fault_replay.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace datastage {
+namespace {
+
+// Stream tag for the fault draw; each (intensity, case) cell derives its Rng
+// as Rng(fault_seed).split(tag).split(intensity index).split(case index), so
+// the spec never depends on the scheduler, the grid shape or the thread (the
+// same convention as experiment.cpp's baseline streams).
+constexpr std::uint64_t kStreamFaultGen = 0xa3c59ac2f0136d21ULL;
+
+struct CellOutcome {
+  double outage_fraction = 0.0;
+  double planned = 0.0;
+  double realized = 0.0;
+  double recovered = 0.0;
+  double clairvoyant = 0.0;
+};
+
+FaultSpec draw_faults(const Scenario& scenario, const FaultSweepConfig& config,
+                      std::size_t intensity_index, std::size_t case_index) {
+  FaultGenConfig gen = config.faults;
+  gen.intensity = config.intensities[intensity_index];
+  if (gen.intensity <= 0.0) return FaultSpec{};
+  Rng rng = Rng(config.fault_seed)
+                .split(kStreamFaultGen)
+                .split(intensity_index)
+                .split(case_index);
+  return generate_faults(scenario, gen, rng);
+}
+
+CellOutcome evaluate_cell(const SchedulerSpec& spec, const Scenario& scenario,
+                          const FaultSpec& faults, const EngineOptions& options) {
+  CellOutcome out;
+  out.outage_fraction = outage_fraction(faults, scenario);
+
+  const CaseResult nominal = run_case(spec, scenario, options);
+  out.planned = nominal.weighted_value;
+
+  const FaultReplayReport replay =
+      replay_under_faults(scenario, nominal.staging.schedule, faults);
+  out.realized = weighted_value(scenario, options.weighting, replay.outcomes);
+
+  DynamicStager stager(scenario, spec, options);
+  for (const StagingEvent& event : fault_events(faults)) stager.on_event(event);
+  out.recovered = stager.finish().weighted_value(options.weighting);
+
+  const Scenario masked = apply_faults(scenario, faults);
+  const StagingResult clair = run_spec(spec, masked, options);
+  out.clairvoyant = weighted_value(masked, options.weighting, clair.outcomes);
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> default_fault_intensities() {
+  return {0.0, 0.2, 0.4, 0.6, 0.8};
+}
+
+FaultSweepResult run_fault_sweep(const CaseSet& cases,
+                                 const std::vector<SchedulerSpec>& specs,
+                                 const FaultSweepConfig& config,
+                                 const EngineOptions& base_options,
+                                 obs::MetricsRegistry* merged) {
+  FaultSweepConfig resolved = config;
+  if (resolved.intensities.empty()) {
+    resolved.intensities = default_fault_intensities();
+  }
+  const std::size_t cases_n = cases.scenarios.size();
+  const std::size_t points = resolved.intensities.size();
+  const std::size_t grid = specs.size() * points * cases_n;
+
+  // Every cell is independent: fan the whole grid through the executor and
+  // reduce sequentially in grid order afterwards (the parallel determinism
+  // contract, see harness/parallel.hpp).
+  std::vector<obs::MetricsRegistry> registries(merged != nullptr ? grid : 0);
+  const std::vector<CellOutcome> cells =
+      default_executor().map<CellOutcome>(grid, [&](std::size_t g) {
+        const std::size_t c = g % cases_n;
+        const std::size_t i = (g / cases_n) % points;
+        const std::size_t s = g / (cases_n * points);
+        EngineOptions options = base_options;
+        obs::RunObserver observer;
+        if (merged != nullptr) {
+          observer.metrics = &registries[g];
+          options.observer = &observer;
+        }
+        const FaultSpec faults = draw_faults(cases.scenarios[c], resolved, i, c);
+        return evaluate_cell(specs[s], cases.scenarios[c], faults, options);
+      });
+  if (merged != nullptr) {
+    for (const obs::MetricsRegistry& registry : registries) merged->merge(registry);
+  }
+
+  FaultSweepResult result;
+  result.intensities = resolved.intensities;
+  const double n = static_cast<double>(cases_n);
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    FaultSweepSeries series;
+    series.spec = specs[s];
+    for (std::size_t i = 0; i < points; ++i) {
+      FaultSweepPoint point;
+      point.intensity = resolved.intensities[i];
+      for (std::size_t c = 0; c < cases_n; ++c) {
+        const CellOutcome& cell = cells[(s * points + i) * cases_n + c];
+        point.outage_fraction += cell.outage_fraction;
+        point.planned += cell.planned;
+        point.realized += cell.realized;
+        point.recovered += cell.recovered;
+        point.clairvoyant += cell.clairvoyant;
+      }
+      point.outage_fraction /= n;
+      point.planned /= n;
+      point.realized /= n;
+      point.recovered /= n;
+      point.clairvoyant /= n;
+      series.points.push_back(point);
+    }
+    result.series.push_back(std::move(series));
+  }
+  return result;
+}
+
+std::string FaultSweepResult::to_csv() const {
+  std::string csv =
+      "scheduler,intensity,outage_fraction,planned,realized,recovered,"
+      "clairvoyant\n";
+  for (const FaultSweepSeries& entry : series) {
+    for (const FaultSweepPoint& point : entry.points) {
+      csv += entry.spec.name();
+      csv += ',';
+      csv += format_double(point.intensity, 2);
+      csv += ',';
+      csv += format_double(point.outage_fraction, 4);
+      csv += ',';
+      csv += format_double(point.planned, 3);
+      csv += ',';
+      csv += format_double(point.realized, 3);
+      csv += ',';
+      csv += format_double(point.recovered, 3);
+      csv += ',';
+      csv += format_double(point.clairvoyant, 3);
+      csv += '\n';
+    }
+  }
+  return csv;
+}
+
+}  // namespace datastage

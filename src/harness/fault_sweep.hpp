@@ -1,0 +1,78 @@
+// Fault-intensity sweeps: degradation curves for the robustness experiments.
+//
+// For each (scheduler, intensity, case) cell the sweep draws a seeded
+// FaultSpec (intensity 0 => empty spec) and scores four outcomes of the same
+// fault scenario:
+//   planned      the nominal plan's value with no faults (the clean run),
+//   realized     the nominal plan replayed under the faults with no reaction
+//                (sim/fault_replay),
+//   recovered    the DynamicStager reacting to the faults as they occur
+//                (dynamic/fault_events),
+//   clairvoyant  a fresh plan computed against apply_faults(scenario, faults)
+//                — the faults known upfront, an upper reference for recovery.
+// Values are averaged over the cases per (scheduler, intensity) point, along
+// with the realized outage fraction of link capacity.
+//
+// Faults depend only on (fault_seed, intensity index, case index) — never on
+// the scheduler — so every series faces the identical fault draw and the
+// curves are comparable. The grid fans through the default parallel executor
+// with a sequential in-order reduction, so the result (and its CSV image) is
+// byte-identical for any --jobs value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "gen/fault_gen.hpp"
+#include "harness/experiment.hpp"
+
+namespace datastage {
+
+struct FaultSweepConfig {
+  /// Intensity grid; defaults to default_fault_intensities().
+  std::vector<double> intensities;
+  /// Generator knobs; the intensity field is overridden per grid point.
+  FaultGenConfig faults;
+  /// Seed of the fault draw (independent of the scenario seed).
+  std::uint64_t fault_seed = 9000;
+};
+
+/// The default grid: 0 (fault-free anchor) to 0.8 in steps of 0.2.
+std::vector<double> default_fault_intensities();
+
+/// One (scheduler, intensity) point, averaged over the cases.
+struct FaultSweepPoint {
+  double intensity = 0.0;
+  double outage_fraction = 0.0;  ///< mean fraction of link capacity lost
+  double planned = 0.0;
+  double realized = 0.0;
+  double recovered = 0.0;
+  double clairvoyant = 0.0;
+};
+
+struct FaultSweepSeries {
+  SchedulerSpec spec;
+  std::vector<FaultSweepPoint> points;  ///< one per intensity
+};
+
+struct FaultSweepResult {
+  std::vector<double> intensities;
+  std::vector<FaultSweepSeries> series;
+
+  /// "scheduler,intensity,outage_fraction,planned,realized,recovered,
+  /// clairvoyant" rows, fixed precision (deterministic bytes).
+  std::string to_csv() const;
+};
+
+/// Runs the sweep over the grid (specs x config.intensities x cases). When
+/// `merged` is non-null, per-cell metrics registries are merged into it in
+/// grid order (the faults.* recovery counters land here).
+FaultSweepResult run_fault_sweep(const CaseSet& cases,
+                                 const std::vector<SchedulerSpec>& specs,
+                                 const FaultSweepConfig& config,
+                                 const EngineOptions& base_options,
+                                 obs::MetricsRegistry* merged = nullptr);
+
+}  // namespace datastage

@@ -61,8 +61,10 @@ std::vector<std::string> Scenario::validate() const {
     if (vl.from != pl.from || vl.to != pl.to) {
       error(os.str() + "endpoints disagree with physical link");
     }
-    if (vl.bandwidth_bps != pl.bandwidth_bps) {
-      error(os.str() + "bandwidth disagrees with physical link");
+    // A virtual link may run *below* the physical rate (a degraded window
+    // produced by fault masking) but never above it.
+    if (vl.bandwidth_bps <= 0 || vl.bandwidth_bps > pl.bandwidth_bps) {
+      error(os.str() + "bandwidth exceeds physical link or is non-positive");
     }
     if (vl.latency != pl.latency) {
       error(os.str() + "latency disagrees with physical link");
@@ -129,6 +131,15 @@ std::vector<std::string> Scenario::validate() const {
   }
 
   return errors;
+}
+
+SimTime copy_hold_end(const Scenario& scenario, ItemId item, MachineId machine,
+                      bool is_destination) {
+  if (is_destination) return SimTime::infinity();
+  for (const SourceLocation& src : scenario.item(item).sources) {
+    if (src.machine == machine) return src.hold_until;
+  }
+  return scenario.gc_time(item);
 }
 
 void Scenario::check_valid() const {

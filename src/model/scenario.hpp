@@ -52,6 +52,12 @@ struct SourceLocation {
   /// The dynamic extension uses finite values for staged copies carried into
   /// a residual problem, whose garbage collection is already scheduled.
   SimTime hold_until = SimTime::infinity();
+
+  /// Storage hold window of this initial copy. validate() rejects empty
+  /// windows, but unchecked residual/faulted scenarios may carry them (a
+  /// copy lost the instant it appears); every consumer must skip a source
+  /// whose hold_window() is empty — it never materializes a copy.
+  constexpr Interval hold_window() const { return Interval{available_at, hold_until}; }
 };
 
 /// One request for a data item: Request[i,k], Rft[i,k], Priority[i,k].
@@ -112,5 +118,14 @@ struct Scenario {
   /// Convenience: validate() and abort with a message on the first defect.
   void check_valid() const;
 };
+
+/// End of the storage hold window for a copy of `item` staged on `machine`
+/// (§4.4): a destination keeps its data to the end of the simulation, an
+/// initial source until its hold_until, any other machine until gc_time
+/// (latest deadline + γ). `is_destination` is supplied by the caller because
+/// each resource tracker derives it differently. Shared by NetworkState, the
+/// replay simulator and the fault replay so the hold rules cannot diverge.
+SimTime copy_hold_end(const Scenario& scenario, ItemId item, MachineId machine,
+                      bool is_destination);
 
 }  // namespace datastage

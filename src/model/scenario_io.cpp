@@ -1,5 +1,6 @@
 #include "model/scenario_io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
 
@@ -26,7 +27,13 @@ void write_scenario(std::ostream& os, const Scenario& s) {
   }
   for (const VirtualLink& vl : s.virt_links) {
     os << "vlink " << vl.phys.value() << ' ' << vl.window.begin.usec() << ' '
-       << vl.window.end.usec() << '\n';
+       << vl.window.end.usec();
+    // A degraded window (fault masking) runs below the physical rate; the
+    // optional fourth field keeps undegraded scenarios in the original form.
+    if (vl.bandwidth_bps != s.phys_links[vl.phys.index()].bandwidth_bps) {
+      os << ' ' << vl.bandwidth_bps;
+    }
+    os << '\n';
   }
   for (const DataItem& item : s.items) {
     os << "item " << item.name << ' ' << item.size_bytes << '\n';
@@ -109,10 +116,44 @@ class Parser {
     error_ = "line " + std::to_string(line_no_) + ": " + msg;
   }
 
-  template <class T>
-  bool read(std::istringstream& ss, T& out, const char* what) {
+  bool read_name(std::istringstream& ss, std::string& out, const char* what) {
     if (!(ss >> out)) {
       fail(std::string("expected ") + what);
+      return false;
+    }
+    return true;
+  }
+
+  /// Whole-token integer parse, same contract as the hardened CliFlags
+  /// numeric getters: a partial parse like "12x" or an overflow is an error,
+  /// never a silent truncation or fallback.
+  template <class Int>
+  bool parse_token(const std::string& token, Int& out, const char* what) {
+    const char* last = token.data() + token.size();
+    const auto [ptr, ec] = std::from_chars(token.data(), last, out);
+    if (ec != std::errc() || ptr != last) {
+      fail(std::string("malformed ") + what + " '" + token + "'");
+      return false;
+    }
+    return true;
+  }
+
+  template <class Int>
+  bool read_int(std::istringstream& ss, Int& out, const char* what) {
+    std::string token;
+    if (!(ss >> token)) {
+      fail(std::string("expected ") + what);
+      return false;
+    }
+    return parse_token(token, out, what);
+  }
+
+  /// Directives carry a fixed field list; anything after it is an error
+  /// (trailing junk used to be silently ignored).
+  bool at_line_end(std::istringstream& ss) {
+    std::string junk;
+    if (ss >> junk) {
+      fail("unexpected trailing token '" + junk + "'");
       return false;
     }
     return true;
@@ -124,14 +165,18 @@ class Parser {
     ss >> directive;
     if (directive == "horizon") {
       std::int64_t usec = 0;
-      if (read(ss, usec, "horizon usec")) s.horizon = SimTime::from_usec(usec);
+      if (read_int(ss, usec, "horizon usec") && at_line_end(ss)) {
+        s.horizon = SimTime::from_usec(usec);
+      }
     } else if (directive == "gamma") {
       std::int64_t usec = 0;
-      if (read(ss, usec, "gamma usec")) s.gc_gamma = SimDuration::from_usec(usec);
+      if (read_int(ss, usec, "gamma usec") && at_line_end(ss)) {
+        s.gc_gamma = SimDuration::from_usec(usec);
+      }
     } else if (directive == "machine") {
       Machine m;
-      if (read(ss, m.name, "machine name") &&
-          read(ss, m.capacity_bytes, "machine capacity")) {
+      if (read_name(ss, m.name, "machine name") &&
+          read_int(ss, m.capacity_bytes, "machine capacity") && at_line_end(ss)) {
         s.machines.push_back(std::move(m));
       }
     } else if (directive == "plink") {
@@ -139,8 +184,9 @@ class Parser {
       std::int32_t to = 0;
       std::int64_t bw = 0;
       std::int64_t lat = 0;
-      if (read(ss, from, "from") && read(ss, to, "to") && read(ss, bw, "bandwidth") &&
-          read(ss, lat, "latency")) {
+      if (read_int(ss, from, "from") && read_int(ss, to, "to") &&
+          read_int(ss, bw, "bandwidth") && read_int(ss, lat, "latency") &&
+          at_line_end(ss)) {
         s.phys_links.push_back(PhysicalLink{MachineId(from), MachineId(to), bw,
                                             SimDuration::from_usec(lat)});
       }
@@ -148,8 +194,8 @@ class Parser {
       std::int32_t phys = 0;
       std::int64_t begin = 0;
       std::int64_t end = 0;
-      if (!read(ss, phys, "phys id") || !read(ss, begin, "begin") ||
-          !read(ss, end, "end")) {
+      if (!read_int(ss, phys, "phys id") || !read_int(ss, begin, "begin") ||
+          !read_int(ss, end, "end")) {
         return;
       }
       if (phys < 0 || static_cast<std::size_t>(phys) >= s.phys_links.size()) {
@@ -157,12 +203,19 @@ class Parser {
         return;
       }
       const PhysicalLink& pl = s.phys_links[static_cast<std::size_t>(phys)];
+      // Optional fourth field: a degraded bandwidth below the physical rate.
+      std::int64_t bw = pl.bandwidth_bps;
+      std::string token;
+      if (ss >> token) {
+        if (!parse_token(token, bw, "vlink bandwidth") || !at_line_end(ss)) return;
+      }
       s.virt_links.push_back(VirtualLink{
-          PhysLinkId(phys), pl.from, pl.to, pl.bandwidth_bps, pl.latency,
+          PhysLinkId(phys), pl.from, pl.to, bw, pl.latency,
           Interval{SimTime::from_usec(begin), SimTime::from_usec(end)}});
     } else if (directive == "item") {
       DataItem item;
-      if (read(ss, item.name, "item name") && read(ss, item.size_bytes, "item size")) {
+      if (read_name(ss, item.name, "item name") &&
+          read_int(ss, item.size_bytes, "item size") && at_line_end(ss)) {
         s.items.push_back(std::move(item));
       }
     } else if (directive == "source") {
@@ -172,13 +225,23 @@ class Parser {
       }
       std::int32_t machine = 0;
       std::int64_t at = 0;
-      if (read(ss, machine, "machine") && read(ss, at, "available time")) {
-        SourceLocation src{MachineId(machine), SimTime::from_usec(at),
-                           SimTime::infinity()};
-        std::int64_t hold_until = 0;
-        if (ss >> hold_until) src.hold_until = SimTime::from_usec(hold_until);
-        s.items.back().sources.push_back(src);
+      if (!read_int(ss, machine, "machine") || !read_int(ss, at, "available time")) {
+        return;
       }
+      SourceLocation src{MachineId(machine), SimTime::from_usec(at),
+                         SimTime::infinity()};
+      // Optional third field: a finite hold end. A token that is present but
+      // malformed must fail — falling back to infinity would silently turn
+      // an expiring staged copy into a permanent one.
+      std::int64_t hold_until = 0;
+      std::string token;
+      if (ss >> token) {
+        if (!parse_token(token, hold_until, "source hold end") || !at_line_end(ss)) {
+          return;
+        }
+        src.hold_until = SimTime::from_usec(hold_until);
+      }
+      s.items.back().sources.push_back(src);
     } else if (directive == "request") {
       if (s.items.empty()) {
         fail("request before any item");
@@ -187,8 +250,8 @@ class Parser {
       std::int32_t machine = 0;
       std::int64_t deadline = 0;
       Priority priority = 0;
-      if (read(ss, machine, "machine") && read(ss, deadline, "deadline") &&
-          read(ss, priority, "priority")) {
+      if (read_int(ss, machine, "machine") && read_int(ss, deadline, "deadline") &&
+          read_int(ss, priority, "priority") && at_line_end(ss)) {
         s.items.back().requests.push_back(
             Request{MachineId(machine), SimTime::from_usec(deadline), priority});
       }

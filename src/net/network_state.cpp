@@ -26,8 +26,13 @@ NetworkState::NetworkState(const Scenario& scenario)
       dest_flags_[i][r.destination.index()] = true;
     }
     for (const SourceLocation& src : item.sources) {
+      // A source with an empty hold window never materializes a copy (shared
+      // rule with the simulator and the dynamic stager). Registering it would
+      // fake has_copy() and let can_hold()'s existing-hold shortcut skip the
+      // capacity check while charging nothing to storage.
+      const Interval hold = src.hold_window();
+      if (hold.empty()) continue;
       StorageTimeline& st = storage_[src.machine.index()];
-      const Interval hold{src.available_at, src.hold_until};
       DS_ASSERT_MSG(st.fits(item.size_bytes, hold),
                     "initial source copies exceed machine capacity");
       st.allocate(item.size_bytes, hold);
@@ -55,12 +60,7 @@ std::optional<SimTime> NetworkState::copy_available_at(ItemId item,
 }
 
 SimTime NetworkState::hold_end(ItemId item, MachineId machine) const {
-  const DataItem& it = scenario_->item(item);
-  if (is_destination(item, machine)) return SimTime::infinity();
-  for (const SourceLocation& src : it.sources) {
-    if (src.machine == machine) return src.hold_until;
-  }
-  return scenario_->gc_time(item);
+  return copy_hold_end(*scenario_, item, machine, is_destination(item, machine));
 }
 
 std::optional<SimTime> NetworkState::hold_begin(ItemId item, MachineId machine) const {

@@ -1,0 +1,60 @@
+// Replays a committed schedule under a FaultSpec and scores the realized
+// outcome — what actually happens when a plan built against the nominal
+// scenario meets outages, brownouts and copy losses it did not anticipate.
+//
+// Semantics (shared with the dynamic stager's recovery path):
+//  - A transfer whose realized busy interval overlaps an outage window of its
+//    physical link never completes (in-flight data on a dead link is lost).
+//  - A degradation window stretches the transmission: inside a degraded
+//    fragment the link moves bits at factor * nominal rate, so the realized
+//    arrival is later than planned. A transfer stretched past the end of its
+//    virtual-link window is dropped (the link is unavailable after it).
+//  - A copy loss destroys the copy present at the machine at the loss time;
+//    arrivals after the loss re-create the copy. A transfer whose sender no
+//    longer holds the item at start is dropped (cascading failure).
+//  - A request satisfied by an arrival is *un*-satisfied by a destination
+//    copy loss at or before its deadline (the consumer lost the data inside
+//    its delivery window) unless a later arrival at or before the deadline
+//    re-delivers it. The deadline itself stays closed: arriving exactly at
+//    the deadline counts, and a loss exactly at the deadline still voids it.
+//
+// With an empty FaultSpec the realized outcomes equal simulate()'s outcomes
+// for any schedule that passes the clean replay. Storage is not re-audited
+// here — the clean replay already audits it, and faults only remove capacity
+// from links and copies.
+#pragma once
+
+#include <cstddef>
+
+#include "core/satisfaction.hpp"
+#include "core/schedule.hpp"
+#include "model/fault.hpp"
+#include "model/scenario.hpp"
+
+namespace datastage {
+
+/// What a schedule realized under faults.
+struct FaultReplayReport {
+  OutcomeMatrix outcomes;
+
+  std::size_t transfers = 0;             ///< steps that completed
+  std::size_t dropped_outage = 0;        ///< steps killed by an outage window
+  std::size_t dropped_missing_copy = 0;  ///< sender lost the copy (cascade)
+  std::size_t dropped_window = 0;        ///< stretched past the link window
+  std::size_t stretched = 0;             ///< completed later than planned
+  std::size_t copy_losses_applied = 0;   ///< losses that destroyed a copy
+  SimTime completion = SimTime::zero();  ///< last realized arrival
+
+  std::size_t dropped() const {
+    return dropped_outage + dropped_missing_copy + dropped_window;
+  }
+};
+
+/// Deterministically replays `schedule` (planned against `scenario`) under
+/// `faults`. The schedule must be structurally valid for the scenario (id
+/// ranges are asserted, not reported).
+FaultReplayReport replay_under_faults(const Scenario& scenario,
+                                      const Schedule& schedule,
+                                      const FaultSpec& faults);
+
+}  // namespace datastage

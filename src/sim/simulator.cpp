@@ -56,19 +56,18 @@ class Simulator {
   }
 
   SimTime hold_end(ItemId item, MachineId machine) const {
-    if (is_destination(item, machine)) return SimTime::infinity();
-    for (const SourceLocation& s : scenario_.item(item).sources) {
-      if (s.machine == machine) return s.hold_until;
-    }
-    return scenario_.gc_time(item);
+    return copy_hold_end(scenario_, item, machine, is_destination(item, machine));
   }
 
   void charge_initial_copies() {
     for (std::size_t i = 0; i < scenario_.item_count(); ++i) {
       const DataItem& item = scenario_.items[i];
       for (const SourceLocation& src : item.sources) {
+        // Empty hold window: the copy never exists (shared rule with
+        // NetworkState and the dynamic stager) — charge and register nothing.
+        const Interval hold = src.hold_window();
+        if (hold.empty()) continue;
         StorageTimeline& st = storage_[src.machine.index()];
-        const Interval hold{src.available_at, src.hold_until};
         if (!st.fits(item.size_bytes, hold)) {
           issue("initial copy of item " + std::to_string(i) + " does not fit on machine " +
                 std::to_string(src.machine.value()));

@@ -78,6 +78,37 @@ TEST(OutcomeTrackerTest, ArrivalExactlyAtDeadlineSatisfies) {
   EXPECT_TRUE(tracker.outcomes()[0][0].satisfied);
 }
 
+TEST(OutcomeTrackerTest, ArrivalOneMicrosecondPastDeadlineStaysPending) {
+  const Scenario s = two_item_scenario();
+  OutcomeTracker tracker(s);
+  tracker.note_arrival(ItemId(0), MachineId(1),
+                       at_min(10) + SimDuration::from_usec(1));
+  EXPECT_FALSE(tracker.outcomes()[0][0].satisfied);
+  // The late arrival is still recorded (for arrival statistics).
+  EXPECT_EQ(tracker.outcomes()[0][0].arrival,
+            at_min(10) + SimDuration::from_usec(1));
+  EXPECT_EQ(tracker.pending_count(), 3u);
+}
+
+TEST(OutcomeTrackerTest, DuplicateDestinationRequestsAllResolved) {
+  // Unchecked scenarios (the dynamic stager's effective replay) may carry an
+  // original and an ad-hoc request sharing one destination. A single arrival
+  // must resolve every pending request it serves, not just the first.
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways)
+                         .item(1'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_min(10), kPriorityHigh)
+                         .request(1, at_min(20), kPriorityLow)
+                         .build_unchecked();
+  OutcomeTracker tracker(s);
+  tracker.note_arrival(ItemId(0), MachineId(1), at_min(5));
+  EXPECT_EQ(tracker.pending_count(), 0u);
+  EXPECT_TRUE(tracker.outcomes()[0][0].satisfied);
+  EXPECT_TRUE(tracker.outcomes()[0][1].satisfied);
+}
+
 TEST(OutcomeTrackerTest, LatestPendingDeadlineZeroWhenDrained) {
   const Scenario s = two_item_scenario();
   OutcomeTracker tracker(s);

@@ -36,6 +36,18 @@ sed 's/sweep[18]\.csv//' "$WORK_DIR/sweep1.txt" > "$WORK_DIR/sweep1.norm"
 sed 's/sweep[18]\.csv//' "$WORK_DIR/sweep8.txt" > "$WORK_DIR/sweep8.norm"
 cmp -s "$WORK_DIR/sweep1.norm" "$WORK_DIR/sweep8.norm"
 
+# datastage_run --fault-sweep: the degradation-curve CSV must be
+# byte-identical across job counts (faults are drawn per grid cell from the
+# fault seed, never from scheduler or thread state).
+(cd "$WORK_DIR" && "$TOOLS_DIR/datastage_run" case.ds --fault-sweep --jobs=1 \
+    --csv=faults1.csv > faults1.txt)
+(cd "$WORK_DIR" && "$TOOLS_DIR/datastage_run" case.ds --fault-sweep --jobs=8 \
+    --csv=faults8.csv > faults8.txt)
+cmp -s "$WORK_DIR/faults1.csv" "$WORK_DIR/faults8.csv"
+sed 's/faults[18]\.csv//' "$WORK_DIR/faults1.txt" > "$WORK_DIR/faults1.norm"
+sed 's/faults[18]\.csv//' "$WORK_DIR/faults8.txt" > "$WORK_DIR/faults8.norm"
+cmp -s "$WORK_DIR/faults1.norm" "$WORK_DIR/faults8.norm"
+
 # Saved schedules are jobs-independent too (the single-run path does not fan
 # out, but the flag must be accepted and harmless everywhere).
 "$TOOLS_DIR/datastage_run" "$WORK_DIR/case.ds" --scheduler=full_one/C4 \

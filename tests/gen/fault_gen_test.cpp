@@ -1,0 +1,106 @@
+#include "gen/fault_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/fault_io.hpp"
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+using testing::ScenarioBuilder;
+
+constexpr std::int64_t kGB = 1 << 30;
+const Interval kAlways{SimTime::zero(), at_min(120)};
+
+// Several links and a mix of single- and dual-source items, so every fault
+// kind has somewhere to land.
+Scenario fault_target() {
+  return ScenarioBuilder()
+      .machine(kGB).machine(kGB).machine(kGB).machine(kGB)
+      .link(0, 1, 8'000'000, kAlways)
+      .link(1, 2, 8'000'000, kAlways)
+      .link(3, 2, 4'000'000, kAlways)
+      .item(1'000'000)
+      .source(0, SimTime::zero())
+      .source(3, SimTime::zero())
+      .request(2, at_min(30), kPriorityHigh)
+      .item(2'000'000)
+      .source(0, at_min(1))
+      .request(2, at_min(40))
+      .build();
+}
+
+TEST(FaultGenTest, DeterministicInSeed) {
+  const Scenario s = fault_target();
+  FaultGenConfig config;
+  config.intensity = 0.6;
+  Rng a(1234);
+  Rng b(1234);
+  const FaultSpec fa = generate_faults(s, config, a);
+  const FaultSpec fb = generate_faults(s, config, b);
+  EXPECT_EQ(faults_to_string(fa), faults_to_string(fb));
+}
+
+TEST(FaultGenTest, ZeroIntensityIsEmpty) {
+  const Scenario s = fault_target();
+  FaultGenConfig config;
+  config.intensity = 0.0;
+  Rng rng(42);
+  EXPECT_TRUE(generate_faults(s, config, rng).empty());
+}
+
+TEST(FaultGenTest, GeneratedSpecValidates) {
+  const Scenario s = fault_target();
+  FaultGenConfig config;
+  config.intensity = 1.0;
+  Rng rng(7);
+  const FaultSpec faults = generate_faults(s, config, rng);
+  EXPECT_FALSE(faults.empty());
+  EXPECT_TRUE(faults.validate(s).empty());
+}
+
+TEST(FaultGenTest, FullIntensityOutagesEveryLink) {
+  // outage probability = min(1, intensity * scale) saturates at 1.
+  const Scenario s = fault_target();
+  FaultGenConfig config;
+  config.intensity = 1.0;
+  config.outage_prob_scale = 1.0;
+  Rng rng(99);
+  const FaultSpec faults = generate_faults(s, config, rng);
+  EXPECT_EQ(faults.outages.size(), s.phys_links.size());
+}
+
+TEST(FaultGenTest, FactorsArePreQuantized) {
+  const Scenario s = fault_target();
+  FaultGenConfig config;
+  config.intensity = 1.0;
+  config.degrade_prob_scale = 2.0;  // saturate: every link gets a brownout
+  Rng rng(5);
+  const FaultSpec faults = generate_faults(s, config, rng);
+  ASSERT_EQ(faults.degradations.size(), s.phys_links.size());
+  for (const LinkDegradation& d : faults.degradations) {
+    EXPECT_EQ(d.factor, quantize_factor(d.factor));
+    EXPECT_GT(d.factor, 0.0);
+    EXPECT_LT(d.factor, 1.0);
+  }
+}
+
+TEST(FaultGenTest, LossesOnlyHitMultiSourceItems) {
+  const Scenario s = fault_target();
+  FaultGenConfig config;
+  config.intensity = 1.0;
+  config.loss_prob_scale = 2.0;  // saturate the per-item loss probability
+  Rng rng(11);
+  const FaultSpec faults = generate_faults(s, config, rng);
+  // d1 has a single source and must keep it; d0 (two sources) loses one, and
+  // the loss lands while the copy exists.
+  ASSERT_EQ(faults.copy_losses.size(), 1u);
+  EXPECT_EQ(faults.copy_losses[0].item_name, "d0");
+  EXPECT_GE(faults.copy_losses[0].at, SimTime::zero());
+  EXPECT_LT(faults.copy_losses[0].at, s.horizon);
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,98 @@
+// Fault-intensity sweeps: the zero-intensity anchor, determinism across
+// thread counts, and the faults.* counter merge.
+#include "harness/fault_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "harness/parallel.hpp"
+#include "obs/metrics.hpp"
+
+namespace datastage {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig config;
+  config.cases = 2;
+  config.seed = 77;
+  config.gen.min_machines = 8;
+  config.gen.max_machines = 8;
+  config.gen.min_requests_per_machine = 4;
+  config.gen.max_requests_per_machine = 6;
+  return config;
+}
+
+EngineOptions sweep_options() {
+  EngineOptions options;
+  options.weighting = PriorityWeighting::w_1_10_100();
+  options.eu = EUWeights::from_log10_ratio(1.0);
+  return options;
+}
+
+FaultSweepConfig tiny_sweep() {
+  FaultSweepConfig config;
+  config.intensities = {0.0, 0.5};
+  config.fault_seed = 4321;
+  return config;
+}
+
+std::vector<SchedulerSpec> one_spec() {
+  return {{HeuristicKind::kFullOne, CostCriterion::kC4}};
+}
+
+// The default executor is process-wide state; restore it after each test.
+class FaultSweepTest : public ::testing::Test {
+ protected:
+  ~FaultSweepTest() override { set_default_jobs(0); }
+};
+
+TEST_F(FaultSweepTest, ZeroIntensityAnchorMatchesCleanRun) {
+  const CaseSet cases = build_cases(tiny_config());
+  const FaultSweepResult result =
+      run_fault_sweep(cases, one_spec(), tiny_sweep(), sweep_options());
+
+  ASSERT_EQ(result.series.size(), 1u);
+  ASSERT_EQ(result.series[0].points.size(), 2u);
+  const FaultSweepPoint& anchor = result.series[0].points[0];
+  // No faults: all four scores collapse to the nominal plan's value.
+  EXPECT_EQ(anchor.intensity, 0.0);
+  EXPECT_EQ(anchor.outage_fraction, 0.0);
+  EXPECT_EQ(anchor.realized, anchor.planned);
+  EXPECT_EQ(anchor.recovered, anchor.planned);
+  EXPECT_EQ(anchor.clairvoyant, anchor.planned);
+  EXPECT_GT(anchor.planned, 0.0);
+
+  // Faults bite at intensity 0.5: the blind replay can only lose value.
+  const FaultSweepPoint& faulty = result.series[0].points[1];
+  EXPECT_LE(faulty.realized, faulty.planned);
+}
+
+TEST_F(FaultSweepTest, BitIdenticalAcrossJobCounts) {
+  const CaseSet cases = build_cases(tiny_config());
+
+  set_default_jobs(1);
+  obs::MetricsRegistry serial_metrics;
+  const FaultSweepResult serial = run_fault_sweep(
+      cases, one_spec(), tiny_sweep(), sweep_options(), &serial_metrics);
+  set_default_jobs(4);
+  obs::MetricsRegistry parallel_metrics;
+  const FaultSweepResult parallel = run_fault_sweep(
+      cases, one_spec(), tiny_sweep(), sweep_options(), &parallel_metrics);
+
+  EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+  EXPECT_EQ(serial_metrics.to_json(), parallel_metrics.to_json());
+}
+
+TEST_F(FaultSweepTest, MergedRegistryCollectsFaultCounters) {
+  const CaseSet cases = build_cases(tiny_config());
+  obs::MetricsRegistry metrics;
+  run_fault_sweep(cases, one_spec(), tiny_sweep(), sweep_options(), &metrics);
+  // Intensity 0.5 over generated cases draws at least one fault of some
+  // kind; the recovery counters flow into the merged registry.
+  const std::uint64_t seen = metrics.counter_value("faults.outages") +
+                             metrics.counter_value("faults.degrades") +
+                             metrics.counter_value("faults.copy_losses");
+  EXPECT_GT(seen, 0u);
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,118 @@
+#include "model/fault_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+
+FaultSpec sample_faults() {
+  FaultSpec faults;
+  faults.outages.push_back(LinkOutage{PhysLinkId(0), {at_min(5), at_min(10)}});
+  faults.outages.push_back(
+      LinkOutage{PhysLinkId(3), {at_min(20), SimTime::infinity()}});
+  faults.degradations.push_back(
+      LinkDegradation{PhysLinkId(1), {at_min(1), at_min(3)}, quantize_factor(0.5)});
+  faults.degradations.push_back(LinkDegradation{
+      PhysLinkId(2), {at_min(7), at_min(9)}, quantize_factor(0.123456)});
+  faults.copy_losses.push_back(CopyLoss{"d0", MachineId(0), at_min(2)});
+  return faults;
+}
+
+void expect_same(const FaultSpec& a, const FaultSpec& b) {
+  EXPECT_EQ(a.outages, b.outages);
+  EXPECT_EQ(a.degradations, b.degradations);
+  EXPECT_EQ(a.copy_losses, b.copy_losses);
+}
+
+TEST(FaultIoTest, RoundTrip) {
+  const FaultSpec original = sample_faults();
+  const std::string text = faults_to_string(original);
+  std::string error;
+  const auto parsed = faults_from_string(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  expect_same(original, *parsed);
+  // Write -> read -> write is byte-identical (canonical form).
+  EXPECT_EQ(text, faults_to_string(*parsed));
+}
+
+TEST(FaultIoTest, EmptySpecRoundTrip) {
+  std::string error;
+  const auto parsed = faults_from_string(faults_to_string(FaultSpec{}), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(FaultIoTest, QuantizedFactorsSurviveExactly) {
+  // quantize_factor is idempotent and exactly representable in the ppm
+  // serialization, so an in-memory spec equals its round-trip image.
+  for (const double factor : {0.1, 0.25, 1.0 / 3.0, 0.654321, 0.999999}) {
+    const double q = quantize_factor(factor);
+    EXPECT_EQ(q, quantize_factor(q));
+    FaultSpec faults;
+    faults.degradations.push_back(
+        LinkDegradation{PhysLinkId(0), {at_min(1), at_min(2)}, q});
+    std::string error;
+    const auto parsed = faults_from_string(faults_to_string(faults), &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(parsed->degradations[0].factor, q);
+  }
+}
+
+TEST(FaultIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "datastage-faults v1\n"
+      "# a comment\n"
+      "\n"
+      "outage 0 100 200  # trailing comment\n";
+  std::string error;
+  const auto parsed = faults_from_string(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->outages.size(), 1u);
+  EXPECT_EQ(parsed->outages[0].window,
+            (Interval{SimTime::from_usec(100), SimTime::from_usec(200)}));
+}
+
+TEST(FaultIoTest, RejectsBadMagic) {
+  std::string error;
+  EXPECT_FALSE(faults_from_string("datastage v1\noutage 0 1 2\n", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FaultIoTest, RejectsUnknownDirective) {
+  std::string error;
+  EXPECT_FALSE(
+      faults_from_string("datastage-faults v1\nbrownout 0 1 2\n", &error).has_value());
+  EXPECT_NE(error.find("brownout"), std::string::npos);
+}
+
+TEST(FaultIoTest, RejectsMalformedToken) {
+  std::string error;
+  EXPECT_FALSE(
+      faults_from_string("datastage-faults v1\noutage 0 1x0 200\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("malformed"), std::string::npos);
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+}
+
+TEST(FaultIoTest, RejectsTrailingJunk) {
+  std::string error;
+  EXPECT_FALSE(
+      faults_from_string("datastage-faults v1\noutage 0 100 200 300\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(FaultIoTest, RejectsMissingFields) {
+  std::string error;
+  EXPECT_FALSE(
+      faults_from_string("datastage-faults v1\ndegrade 0 100 200\n", &error)
+          .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace datastage

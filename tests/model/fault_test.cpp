@@ -1,0 +1,195 @@
+#include "model/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/scenario_io.hpp"
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+using testing::at_sec;
+using testing::ScenarioBuilder;
+
+constexpr std::int64_t kGB = 1 << 30;
+
+FaultSpec sample_faults() {
+  FaultSpec faults;
+  faults.outages.push_back(LinkOutage{PhysLinkId(0), {at_min(5), at_min(10)}});
+  faults.degradations.push_back(
+      LinkDegradation{PhysLinkId(1), {at_min(1), at_min(3)}, 0.5});
+  faults.copy_losses.push_back(CopyLoss{"d0", MachineId(0), at_min(2)});
+  return faults;
+}
+
+TEST(FaultSpecTest, EmptyAndNonEmpty) {
+  EXPECT_TRUE(FaultSpec{}.empty());
+  EXPECT_FALSE(sample_faults().empty());
+}
+
+TEST(FaultSpecTest, ValidateAcceptsWellFormed) {
+  const Scenario s = testing::chain_scenario();
+  EXPECT_TRUE(sample_faults().validate(s).empty());
+}
+
+TEST(FaultSpecTest, ValidateCatchesDefects) {
+  const Scenario s = testing::chain_scenario();  // 2 plinks, 3 machines, item d0
+
+  FaultSpec faults;
+  faults.outages.push_back(LinkOutage{PhysLinkId(7), {at_min(1), at_min(2)}});
+  faults.outages.push_back(LinkOutage{PhysLinkId(0), {at_min(2), at_min(2)}});
+  faults.outages.push_back(
+      LinkOutage{PhysLinkId(0), {SimTime::from_usec(-5), at_min(2)}});
+  faults.degradations.push_back(
+      LinkDegradation{PhysLinkId(0), {at_min(1), at_min(2)}, 0.0});
+  faults.degradations.push_back(
+      LinkDegradation{PhysLinkId(0), {at_min(1), at_min(2)}, 1.0});
+  faults.copy_losses.push_back(CopyLoss{"nonexistent", MachineId(0), at_min(1)});
+  faults.copy_losses.push_back(CopyLoss{"d0", MachineId(9), at_min(1)});
+
+  const std::vector<std::string> defects = faults.validate(s);
+  EXPECT_EQ(defects.size(), 7u);
+}
+
+TEST(OutageFractionTest, EmptyFaultsIsZero) {
+  EXPECT_EQ(outage_fraction(FaultSpec{}, testing::chain_scenario()), 0.0);
+}
+
+TEST(OutageFractionTest, ExactFractionOnSingleLink) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, {SimTime::zero(), at_sec(100)})
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_min(30))
+                         .build();
+  FaultSpec faults;
+  faults.outages.push_back(LinkOutage{PhysLinkId(0), {SimTime::zero(), at_sec(25)}});
+  EXPECT_DOUBLE_EQ(outage_fraction(faults, s), 0.25);
+
+  // Overlapping windows are merged, not double-counted.
+  faults.outages.push_back(LinkOutage{PhysLinkId(0), {at_sec(10), at_sec(25)}});
+  EXPECT_DOUBLE_EQ(outage_fraction(faults, s), 0.25);
+}
+
+TEST(DegradedFragmentsTest, NoDegradationIsIdentity) {
+  const Interval window{at_sec(0), at_sec(100)};
+  const auto fragments = degraded_fragments(window, 1000, PhysLinkId(0), {});
+  ASSERT_EQ(fragments.size(), 1u);
+  EXPECT_EQ(fragments[0].first, window);
+  EXPECT_EQ(fragments[0].second, 1000);
+}
+
+TEST(DegradedFragmentsTest, SplitsAtWindowEdges) {
+  const std::vector<LinkDegradation> degradations{
+      {PhysLinkId(0), {at_sec(20), at_sec(40)}, 0.5}};
+  const auto fragments =
+      degraded_fragments({at_sec(0), at_sec(100)}, 1000, PhysLinkId(0), degradations);
+  ASSERT_EQ(fragments.size(), 3u);
+  EXPECT_EQ(fragments[0].first, (Interval{at_sec(0), at_sec(20)}));
+  EXPECT_EQ(fragments[0].second, 1000);
+  EXPECT_EQ(fragments[1].first, (Interval{at_sec(20), at_sec(40)}));
+  EXPECT_EQ(fragments[1].second, 500);
+  EXPECT_EQ(fragments[2].first, (Interval{at_sec(40), at_sec(100)}));
+  EXPECT_EQ(fragments[2].second, 1000);
+}
+
+TEST(DegradedFragmentsTest, OverlapTakesMinimumFactor) {
+  const std::vector<LinkDegradation> degradations{
+      {PhysLinkId(0), {at_sec(0), at_sec(60)}, 0.5},
+      {PhysLinkId(0), {at_sec(30), at_sec(90)}, 0.25}};
+  const auto fragments =
+      degraded_fragments({at_sec(0), at_sec(100)}, 1000, PhysLinkId(0), degradations);
+  // [0,30) at 0.5; [30,60) and [60,90) both resolve to 0.25 and merge.
+  ASSERT_EQ(fragments.size(), 3u);
+  EXPECT_EQ(fragments[0].first, (Interval{at_sec(0), at_sec(30)}));
+  EXPECT_EQ(fragments[0].second, 500);
+  EXPECT_EQ(fragments[1].first, (Interval{at_sec(30), at_sec(90)}));
+  EXPECT_EQ(fragments[1].second, 250);
+  EXPECT_EQ(fragments[2].first, (Interval{at_sec(90), at_sec(100)}));
+  EXPECT_EQ(fragments[2].second, 1000);
+}
+
+TEST(DegradedFragmentsTest, OtherLinksDegradationsIgnored) {
+  const std::vector<LinkDegradation> degradations{
+      {PhysLinkId(3), {at_sec(20), at_sec(40)}, 0.5}};
+  const auto fragments =
+      degraded_fragments({at_sec(0), at_sec(100)}, 1000, PhysLinkId(0), degradations);
+  ASSERT_EQ(fragments.size(), 1u);
+  EXPECT_EQ(fragments[0].second, 1000);
+}
+
+TEST(DegradedFragmentsTest, AdjacentEqualRateFragmentsMerge) {
+  const std::vector<LinkDegradation> degradations{
+      {PhysLinkId(0), {at_sec(10), at_sec(20)}, 0.5},
+      {PhysLinkId(0), {at_sec(20), at_sec(30)}, 0.5}};
+  const auto fragments =
+      degraded_fragments({at_sec(0), at_sec(100)}, 1000, PhysLinkId(0), degradations);
+  ASSERT_EQ(fragments.size(), 3u);
+  EXPECT_EQ(fragments[1].first, (Interval{at_sec(10), at_sec(30)}));
+  EXPECT_EQ(fragments[1].second, 500);
+}
+
+TEST(ApplyFaultsTest, EmptySpecIsIdentity) {
+  const Scenario s = testing::chain_scenario();
+  const Scenario masked = apply_faults(s, FaultSpec{});
+  EXPECT_EQ(scenario_to_string(s), scenario_to_string(masked));
+}
+
+TEST(ApplyFaultsTest, OutageSubtractsLinkWindows) {
+  const Scenario s = testing::chain_scenario();  // vlink windows [0, 120min)
+  FaultSpec faults;
+  faults.outages.push_back(LinkOutage{PhysLinkId(0), {at_min(10), at_min(20)}});
+  const Scenario masked = apply_faults(s, faults);
+  // The outage splits plink 0's window into two vlinks; plink 1 is untouched.
+  ASSERT_EQ(masked.virt_links.size(), 3u);
+  EXPECT_EQ(masked.virt_links[0].window, (Interval{SimTime::zero(), at_min(10)}));
+  EXPECT_EQ(masked.virt_links[1].window, (Interval{at_min(20), at_min(120)}));
+  EXPECT_EQ(masked.virt_links[2].window, (Interval{SimTime::zero(), at_min(120)}));
+}
+
+TEST(ApplyFaultsTest, DegradationFragmentsCarryReducedBandwidth) {
+  const Scenario s = testing::chain_scenario();  // 8 Mbit/s links
+  FaultSpec faults;
+  faults.degradations.push_back(
+      LinkDegradation{PhysLinkId(0), {at_min(10), at_min(20)}, 0.5});
+  const Scenario masked = apply_faults(s, faults);
+  ASSERT_EQ(masked.virt_links.size(), 4u);
+  EXPECT_EQ(masked.virt_links[0].bandwidth_bps, 8'000'000);
+  EXPECT_EQ(masked.virt_links[1].bandwidth_bps, 4'000'000);
+  EXPECT_EQ(masked.virt_links[1].window, (Interval{at_min(10), at_min(20)}));
+  EXPECT_EQ(masked.virt_links[2].bandwidth_bps, 8'000'000);
+  // The masked scenario stays structurally valid (degraded <= physical rate).
+  EXPECT_TRUE(masked.validate().empty());
+}
+
+TEST(ApplyFaultsTest, CopyLossClampsHoldWindow) {
+  const Scenario s = testing::chain_scenario();
+  FaultSpec faults;
+  faults.copy_losses.push_back(CopyLoss{"d0", MachineId(0), at_min(2)});
+  const Scenario masked = apply_faults(s, faults);
+  ASSERT_EQ(masked.items[0].sources.size(), 1u);
+  EXPECT_EQ(masked.items[0].sources[0].hold_until, at_min(2));
+}
+
+TEST(ApplyFaultsTest, CopyLossAtAvailabilityDropsSource) {
+  const Scenario s = testing::chain_scenario();  // source available at 0
+  FaultSpec faults;
+  faults.copy_losses.push_back(CopyLoss{"d0", MachineId(0), SimTime::zero()});
+  const Scenario masked = apply_faults(s, faults);
+  // hold window [0, 0) is empty: the source never usable, so it is dropped.
+  EXPECT_TRUE(masked.items[0].sources.empty());
+}
+
+TEST(ApplyFaultsTest, CopyLossAtOtherMachineIgnored) {
+  const Scenario s = testing::chain_scenario();
+  FaultSpec faults;
+  faults.copy_losses.push_back(CopyLoss{"d0", MachineId(1), at_min(2)});
+  const Scenario masked = apply_faults(s, faults);
+  ASSERT_EQ(masked.items[0].sources.size(), 1u);
+  EXPECT_TRUE(masked.items[0].sources[0].hold_until.is_infinite());
+}
+
+}  // namespace
+}  // namespace datastage

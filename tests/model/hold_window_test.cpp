@@ -1,0 +1,136 @@
+// Source hold-window semantics shared by NetworkState, the replay simulator
+// and the scheduling engine (model/scenario.cpp: copy_hold_end). Regression
+// suite for the divergent triplicated logic these sites used to carry:
+// empty hold windows must mean "the copy never exists" everywhere, and
+// infinite holds must never be garbage-collected.
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "model/scenario.hpp"
+#include "net/network_state.hpp"
+#include "sim/simulator.hpp"
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+using testing::at_sec;
+using testing::ScenarioBuilder;
+
+constexpr std::int64_t kGB = 1 << 30;
+const Interval kAlways{SimTime::zero(), at_min(120)};
+
+// Two sources for one item: M0's hold window is empty (lost the instant it
+// appears — only unchecked scenarios carry this), M1's is the normal
+// infinite hold. Both have a link to the destination M2.
+Scenario empty_hold_scenario() {
+  return ScenarioBuilder()
+      .machine(kGB).machine(kGB).machine(kGB)
+      .link(0, 2, 8'000'000, kAlways)
+      .link(1, 2, 8'000'000, kAlways)
+      .item(1'000'000)
+      .source(0, at_sec(5), at_sec(5))
+      .source(1, SimTime::zero())
+      .request(2, at_min(30), kPriorityHigh)
+      .build_unchecked();
+}
+
+TEST(CopyHoldEndTest, RolesResolveToDistinctHoldEnds) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways)
+                         .link(1, 2, 8'000'000, kAlways)
+                         .item(1'000'000)
+                         .source(0, SimTime::zero(), at_min(50))
+                         .request(2, at_min(30), kPriorityHigh)
+                         .build();
+  // Source: its own (finite) hold_until.
+  EXPECT_EQ(copy_hold_end(s, ItemId(0), MachineId(0), false), at_min(50));
+  // Intermediate: gc time = latest deadline + gamma (30 + 6 min).
+  EXPECT_EQ(copy_hold_end(s, ItemId(0), MachineId(1), false), at_min(36));
+  // Destination: keeps the data for the rest of the simulation.
+  EXPECT_TRUE(copy_hold_end(s, ItemId(0), MachineId(2), true).is_infinite());
+}
+
+TEST(CopyHoldEndTest, InfiniteSourceHoldIsNeverCollected) {
+  const Scenario s = testing::chain_scenario();
+  EXPECT_TRUE(copy_hold_end(s, ItemId(0), MachineId(0), false).is_infinite());
+}
+
+TEST(HoldWindowTest, NetworkStateSkipsEmptyHoldSource) {
+  const Scenario s = empty_hold_scenario();
+  const NetworkState state(s);
+  EXPECT_FALSE(state.has_copy(ItemId(0), MachineId(0)));
+  EXPECT_FALSE(state.copy_available_at(ItemId(0), MachineId(0)).has_value());
+  EXPECT_TRUE(state.has_copy(ItemId(0), MachineId(1)));
+}
+
+TEST(HoldWindowTest, SimulatorRejectsStepFromEmptyHoldSource) {
+  const Scenario s = empty_hold_scenario();
+  Schedule schedule;
+  schedule.add(CommStep{ItemId(0), MachineId(0), MachineId(2), VirtLinkId(0),
+                        at_sec(10), at_sec(11)});
+  const SimReport report = simulate(s, schedule);
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.issues.empty());
+  EXPECT_NE(report.issues[0].find("sender does not hold the item"),
+            std::string::npos);
+}
+
+TEST(HoldWindowTest, SimulatorRejectsStartAfterFiniteHold) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways)
+                         .item(1'000'000)
+                         .source(0, SimTime::zero(), at_sec(5))
+                         .request(1, at_min(30), kPriorityHigh)
+                         .build();
+  Schedule schedule;
+  schedule.add(CommStep{ItemId(0), MachineId(0), MachineId(1), VirtLinkId(0),
+                        at_sec(10), at_sec(11)});
+  const SimReport report = simulate(s, schedule);
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.issues.empty());
+  EXPECT_NE(report.issues[0].find("garbage-collected"), std::string::npos);
+}
+
+TEST(HoldWindowTest, EngineStagesOnlyFromUsableSource) {
+  const Scenario s = empty_hold_scenario();
+  EngineOptions options;
+  options.eu = EUWeights::from_log10_ratio(1.0);
+  const StagingResult result =
+      run_spec({HeuristicKind::kFullOne, CostCriterion::kC4}, s, options);
+  ASSERT_EQ(result.schedule.size(), 1u);
+  EXPECT_EQ(result.schedule.steps()[0].from, MachineId(1));
+  EXPECT_TRUE(result.outcomes[0][0].satisfied);
+  // The plan replays cleanly: the empty-hold source is skipped identically
+  // by the scheduler's NetworkState and the simulator.
+  EXPECT_TRUE(simulate(s, result.schedule).ok);
+}
+
+TEST(HoldWindowTest, InfiniteHoldUsableArbitrarilyLate) {
+  const Scenario chain = testing::chain_scenario();
+  const NetworkState state(chain);
+  EXPECT_TRUE(state.hold_end(ItemId(0), MachineId(0)).is_infinite());
+
+  // A transfer leaving the source long after every deadline is still legal
+  // (late, but the copy is never collected); the receiver is the request's
+  // destination, so its own hold is infinite too.
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways)
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_min(30), kPriorityHigh)
+                         .build();
+  Schedule schedule;
+  schedule.add(CommStep{ItemId(0), MachineId(0), MachineId(1), VirtLinkId(0),
+                        at_min(100), at_min(100) + SimDuration::seconds(1)});
+  const SimReport report = simulate(s, schedule);
+  EXPECT_TRUE(report.ok);
+  EXPECT_FALSE(report.outcomes[0][0].satisfied);  // late, but structurally fine
+}
+
+}  // namespace
+}  // namespace datastage

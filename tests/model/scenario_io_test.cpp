@@ -84,6 +84,48 @@ TEST(ScenarioIoTest, FiniteSourceHoldRoundTrips) {
             std::string::npos);
 }
 
+TEST(ScenarioIoTest, RejectsMalformedHoldToken) {
+  // A present-but-broken optional hold field must fail loudly: falling back
+  // to infinity would silently make an expiring copy permanent.
+  std::string error;
+  const std::string text =
+      "datastage-scenario v1\nmachine A 1000\nitem d0 10\nsource 0 0 12x3\n";
+  EXPECT_FALSE(scenario_from_string(text, &error).has_value());
+  EXPECT_NE(error.find("malformed"), std::string::npos);
+  EXPECT_NE(error.find("12x3"), std::string::npos);
+}
+
+TEST(ScenarioIoTest, RejectsTrailingJunkOnSource) {
+  std::string error;
+  const std::string text =
+      "datastage-scenario v1\nmachine A 1000\nitem d0 10\nsource 0 0 500 junk\n";
+  EXPECT_FALSE(scenario_from_string(text, &error).has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(ScenarioIoTest, RejectsTrailingJunkOnFixedDirectives) {
+  std::string error;
+  EXPECT_FALSE(
+      scenario_from_string("datastage-scenario v1\nmachine A 1000 extra\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+  EXPECT_FALSE(
+      scenario_from_string("datastage-scenario v1\nhorizon 100 100\n", &error)
+          .has_value());
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(ScenarioIoTest, RejectsCorruptedRewrite) {
+  // Corrupt a canonical rendering in place: strict parsing catches it.
+  std::string text = scenario_to_string(testing::chain_scenario());
+  const std::size_t pos = text.find("source 0 0");
+  ASSERT_NE(pos, std::string::npos);
+  text.insert(pos + std::string("source 0 0").size(), " 77oops");
+  std::string error;
+  EXPECT_FALSE(scenario_from_string(text, &error).has_value());
+  EXPECT_NE(error.find("malformed"), std::string::npos);
+}
+
 TEST(ScenarioIoTest, CommentsAndBlankLinesIgnored) {
   std::string text = scenario_to_string(testing::chain_scenario());
   text.insert(text.find('\n') + 1, "# a comment\n\n   \n");

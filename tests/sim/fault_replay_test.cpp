@@ -1,0 +1,219 @@
+#include "sim/fault_replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "sim/simulator.hpp"
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+using testing::at_sec;
+using testing::ScenarioBuilder;
+
+constexpr std::int64_t kGB = 1 << 30;
+const Interval kAlways{SimTime::zero(), at_min(120)};
+
+// A->B, 8 Mbit/s, one 1 MB item: the transfer takes exactly 1 s.
+Scenario single_hop(SimTime deadline = at_min(30)) {
+  return ScenarioBuilder()
+      .machine(kGB).machine(kGB)
+      .link(0, 1, 8'000'000, kAlways)
+      .item(1'000'000)
+      .source(0, SimTime::zero())
+      .request(1, deadline, kPriorityHigh)
+      .build();
+}
+
+Schedule single_hop_schedule() {
+  Schedule schedule;
+  schedule.add(CommStep{ItemId(0), MachineId(0), MachineId(1), VirtLinkId(0),
+                        SimTime::zero(), at_sec(1)});
+  return schedule;
+}
+
+Schedule chain_schedule() {
+  Schedule schedule;
+  schedule.add(CommStep{ItemId(0), MachineId(0), MachineId(1), VirtLinkId(0),
+                        SimTime::zero(), at_sec(1)});
+  schedule.add(CommStep{ItemId(0), MachineId(1), MachineId(2), VirtLinkId(1),
+                        at_sec(1), at_sec(2)});
+  return schedule;
+}
+
+TEST(FaultReplayTest, EmptyFaultsMatchesSimulate) {
+  const Scenario s = testing::chain_scenario();
+  const SimReport clean = simulate(s, chain_schedule());
+  ASSERT_TRUE(clean.ok);
+  const FaultReplayReport report =
+      replay_under_faults(s, chain_schedule(), FaultSpec{});
+  EXPECT_EQ(report.outcomes, clean.outcomes);
+  EXPECT_EQ(report.transfers, 2u);
+  EXPECT_EQ(report.dropped(), 0u);
+  EXPECT_EQ(report.stretched, 0u);
+  EXPECT_EQ(report.completion, at_sec(2));
+}
+
+TEST(FaultReplayTest, EmptyFaultsOnEngineSchedule) {
+  const Scenario s = testing::chain_scenario();
+  EngineOptions options;
+  options.eu = EUWeights::from_log10_ratio(1.0);
+  const StagingResult staged =
+      run_spec({HeuristicKind::kFullOne, CostCriterion::kC4}, s, options);
+  const FaultReplayReport report =
+      replay_under_faults(s, staged.schedule, FaultSpec{});
+  EXPECT_EQ(report.outcomes, staged.outcomes);
+}
+
+TEST(FaultReplayTest, OutageDropsTransferAndCascades) {
+  const Scenario s = testing::chain_scenario();
+  FaultSpec faults;
+  faults.outages.push_back(LinkOutage{PhysLinkId(0), {SimTime::zero(), at_sec(10)}});
+  const FaultReplayReport report = replay_under_faults(s, chain_schedule(), faults);
+  EXPECT_EQ(report.dropped_outage, 1u);
+  // The second hop's sender never received the item.
+  EXPECT_EQ(report.dropped_missing_copy, 1u);
+  EXPECT_EQ(report.transfers, 0u);
+  EXPECT_FALSE(report.outcomes[0][0].satisfied);
+  EXPECT_TRUE(report.outcomes[0][0].arrival.is_infinite());
+}
+
+TEST(FaultReplayTest, OutageOutsideBusyIntervalIsHarmless) {
+  const Scenario s = testing::chain_scenario();
+  FaultSpec faults;
+  faults.outages.push_back(LinkOutage{PhysLinkId(0), {at_sec(5), at_sec(10)}});
+  const FaultReplayReport report = replay_under_faults(s, chain_schedule(), faults);
+  EXPECT_EQ(report.dropped(), 0u);
+  EXPECT_TRUE(report.outcomes[0][0].satisfied);
+}
+
+TEST(FaultReplayTest, DegradationStretchesArrival) {
+  const Scenario s = single_hop();
+  FaultSpec faults;
+  faults.degradations.push_back(
+      LinkDegradation{PhysLinkId(0), {SimTime::zero(), at_min(120)}, 0.5});
+  const FaultReplayReport report =
+      replay_under_faults(s, single_hop_schedule(), faults);
+  EXPECT_EQ(report.transfers, 1u);
+  EXPECT_EQ(report.stretched, 1u);
+  // Half rate: the 1 s transfer takes 2 s.
+  EXPECT_EQ(report.outcomes[0][0].arrival, at_sec(2));
+  EXPECT_TRUE(report.outcomes[0][0].satisfied);
+}
+
+TEST(FaultReplayTest, PartialDegradationStretchesProportionally) {
+  const Scenario s = single_hop();
+  FaultSpec faults;
+  // Half rate during the second half-second only: 0.5 s at full rate moves
+  // half the bits, the remaining half takes 1 s at half rate -> finish 1.5 s.
+  faults.degradations.push_back(LinkDegradation{
+      PhysLinkId(0), {SimTime::from_usec(500'000), at_min(120)}, 0.5});
+  const FaultReplayReport report =
+      replay_under_faults(s, single_hop_schedule(), faults);
+  EXPECT_EQ(report.transfers, 1u);
+  EXPECT_EQ(report.outcomes[0][0].arrival, SimTime::from_usec(1'500'000));
+}
+
+TEST(FaultReplayTest, StretchPastWindowDrops) {
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, {SimTime::zero(), at_sec(1)})
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_min(30))
+                         .build();
+  FaultSpec faults;
+  faults.degradations.push_back(
+      LinkDegradation{PhysLinkId(0), {SimTime::zero(), at_sec(1)}, 0.5});
+  const FaultReplayReport report =
+      replay_under_faults(s, single_hop_schedule(), faults);
+  EXPECT_EQ(report.dropped_window, 1u);
+  EXPECT_FALSE(report.outcomes[0][0].satisfied);
+}
+
+TEST(FaultReplayTest, CopyLossBeforeStartDropsTransfer) {
+  const Scenario s = single_hop();
+  FaultSpec faults;
+  faults.copy_losses.push_back(CopyLoss{"d0", MachineId(0), SimTime::zero()});
+  const FaultReplayReport report =
+      replay_under_faults(s, single_hop_schedule(), faults);
+  EXPECT_EQ(report.copy_losses_applied, 1u);
+  EXPECT_EQ(report.dropped_missing_copy, 1u);
+  EXPECT_FALSE(report.outcomes[0][0].satisfied);
+}
+
+TEST(FaultReplayTest, LossAtArrivalInstantKillsDeliveredCopy) {
+  // The copy lands at B at t=1s; a loss at exactly 1s destroys it before the
+  // second hop (also starting at 1s) can use it — arrivals, then losses,
+  // then starts at equal timestamps.
+  const Scenario s = testing::chain_scenario();
+  FaultSpec faults;
+  faults.copy_losses.push_back(CopyLoss{"d0", MachineId(1), at_sec(1)});
+  const FaultReplayReport report = replay_under_faults(s, chain_schedule(), faults);
+  EXPECT_EQ(report.copy_losses_applied, 1u);
+  EXPECT_EQ(report.dropped_missing_copy, 1u);
+  EXPECT_FALSE(report.outcomes[0][0].satisfied);
+}
+
+TEST(FaultReplayTest, LossBeforeDeliveryDoesNotDestroyLaterArrival) {
+  // A loss at B at 0.5 s precedes the arrival at 1 s: the in-flight copy
+  // survives and the cascade does not trigger.
+  const Scenario s = testing::chain_scenario();
+  FaultSpec faults;
+  faults.copy_losses.push_back(
+      CopyLoss{"d0", MachineId(1), SimTime::from_usec(500'000)});
+  const FaultReplayReport report = replay_under_faults(s, chain_schedule(), faults);
+  EXPECT_EQ(report.copy_losses_applied, 0u);
+  EXPECT_EQ(report.transfers, 2u);
+  EXPECT_TRUE(report.outcomes[0][0].satisfied);
+}
+
+TEST(FaultReplayTest, DestinationLossInsideDeadlineUnsatisfies) {
+  const Scenario s = single_hop();
+  FaultSpec faults;
+  faults.copy_losses.push_back(CopyLoss{"d0", MachineId(1), at_min(5)});
+  const FaultReplayReport report =
+      replay_under_faults(s, single_hop_schedule(), faults);
+  EXPECT_EQ(report.copy_losses_applied, 1u);
+  // The consumer lost the data inside its delivery window.
+  EXPECT_FALSE(report.outcomes[0][0].satisfied);
+}
+
+TEST(FaultReplayTest, DestinationLossAfterDeadlineKeepsSatisfaction) {
+  const Scenario s = single_hop(at_min(30));
+  FaultSpec faults;
+  faults.copy_losses.push_back(CopyLoss{"d0", MachineId(1), at_min(31)});
+  const FaultReplayReport report =
+      replay_under_faults(s, single_hop_schedule(), faults);
+  EXPECT_EQ(report.copy_losses_applied, 1u);
+  EXPECT_TRUE(report.outcomes[0][0].satisfied);
+}
+
+TEST(FaultReplayTest, ArrivalExactlyAtDeadlineIsSatisfied) {
+  // The deadline convention is uniformly closed: arriving exactly at the
+  // deadline counts, under faults just as in the clean replay.
+  const Scenario s = single_hop(at_sec(2));
+  FaultSpec faults;
+  faults.degradations.push_back(
+      LinkDegradation{PhysLinkId(0), {SimTime::zero(), at_min(120)}, 0.5});
+  const FaultReplayReport report =
+      replay_under_faults(s, single_hop_schedule(), faults);
+  EXPECT_EQ(report.outcomes[0][0].arrival, at_sec(2));
+  EXPECT_TRUE(report.outcomes[0][0].satisfied);
+}
+
+TEST(FaultReplayTest, ArrivalOneTickPastDeadlineIsNot) {
+  const Scenario s = single_hop(SimTime::from_usec(1'999'999));
+  FaultSpec faults;
+  faults.degradations.push_back(
+      LinkDegradation{PhysLinkId(0), {SimTime::zero(), at_min(120)}, 0.5});
+  const FaultReplayReport report =
+      replay_under_faults(s, single_hop_schedule(), faults);
+  EXPECT_EQ(report.outcomes[0][0].arrival, at_sec(2));
+  EXPECT_FALSE(report.outcomes[0][0].satisfied);
+}
+
+}  // namespace
+}  // namespace datastage

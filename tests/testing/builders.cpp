@@ -46,10 +46,11 @@ ScenarioBuilder& ScenarioBuilder::item(std::int64_t size_bytes) {
   return *this;
 }
 
-ScenarioBuilder& ScenarioBuilder::source(std::int32_t machine, SimTime available_at) {
+ScenarioBuilder& ScenarioBuilder::source(std::int32_t machine, SimTime available_at,
+                                         SimTime hold_until) {
   DS_ASSERT_MSG(!scenario_.items.empty(), "source() before item()");
   scenario_.items.back().sources.push_back(
-      SourceLocation{MachineId(machine), available_at});
+      SourceLocation{MachineId(machine), available_at, hold_until});
   return *this;
 }
 

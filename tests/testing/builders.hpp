@@ -35,7 +35,8 @@ class ScenarioBuilder {
   ScenarioBuilder& window(Interval window);
 
   ScenarioBuilder& item(std::int64_t size_bytes);
-  ScenarioBuilder& source(std::int32_t machine, SimTime available_at);
+  ScenarioBuilder& source(std::int32_t machine, SimTime available_at,
+                          SimTime hold_until = SimTime::infinity());
   ScenarioBuilder& request(std::int32_t machine, SimTime deadline,
                            Priority priority = kPriorityHigh);
 

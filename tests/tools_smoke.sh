@@ -60,6 +60,24 @@ commits = sum(1 for e in events if e["type"] == "commit")
 assert commits == cached["engine.steps_committed"], (commits, cached)
 PYEOF
 
+# Fault chain: seeded fault generation, replay + recovery under a fault
+# spec, and the fault-intensity sweep with its CSV.
+"$TOOLS_DIR/datastage_gen" --seed=5 --preset=light \
+    --out="$WORK_DIR/fcase.ds" --faults-out="$WORK_DIR/case.dsf" \
+    --fault-intensity=0.4 --fault-seed=17 2>&1 | grep -q "faults:"
+test -s "$WORK_DIR/case.dsf"
+grep -q "datastage-faults" "$WORK_DIR/case.dsf"
+
+"$TOOLS_DIR/datastage_run" "$WORK_DIR/fcase.ds" --scheduler=full_one/C4 \
+    --faults="$WORK_DIR/case.dsf" > "$WORK_DIR/faults.txt"
+grep -q "realized value" "$WORK_DIR/faults.txt"
+grep -q "recovered value" "$WORK_DIR/faults.txt"
+
+"$TOOLS_DIR/datastage_run" "$WORK_DIR/fcase.ds" --fault-sweep \
+    --csv="$WORK_DIR/fault_sweep.csv" > "$WORK_DIR/fault_sweep.txt"
+grep -q "clairvoyant" "$WORK_DIR/fault_sweep.txt"
+head -1 "$WORK_DIR/fault_sweep.csv" | grep -q "scheduler,intensity"
+
 # The one-shot reproduction tool must emit every figure and write CSVs.
 "$TOOLS_DIR/datastage_repro" --cases=1 --outdir="$WORK_DIR/results" \
     > "$WORK_DIR/repro.txt"

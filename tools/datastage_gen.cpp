@@ -3,11 +3,22 @@
 //   $ datastage_gen --seed=7 --out=case7.ds
 //   $ datastage_gen --machines=12 --requests-per-machine=30 --load=2.0
 //                    --out=heavy.ds
+//   $ datastage_gen --seed=7 --out=case7.ds --faults-out=case7.faults
+//                    --fault-intensity=0.4 --fault-seed=11
+//
+// Fault flags (see gen/fault_gen.hpp):
+//   --faults-out=F        also draw a FaultSpec for the generated scenario
+//                         and write it to F (datastage_run --faults=F)
+//   --fault-intensity=X   master fault-intensity knob in [0, 1] (default 0.2)
+//   --fault-seed=N        seed of the fault draw, independent of --seed
+//                         (default 9000)
 #include <cstdio>
 
 #include "common_flags.hpp"
+#include "gen/fault_gen.hpp"
 #include "gen/generator.hpp"
 #include "model/describe.hpp"
+#include "model/fault_io.hpp"
 #include "model/scenario_io.hpp"
 #include "net/topology.hpp"
 #include "util/cli.hpp"
@@ -18,7 +29,9 @@ int main(int argc, char** argv) {
   CliFlags flags;
   const std::vector<std::string> known{"seed",   "out",  "machines",
                                        "requests-per-machine", "load",
-                                       "preset", "stats", "quiet"};
+                                       "preset", "stats", "quiet",
+                                       "faults-out", "fault-intensity",
+                                       "fault-seed"};
   if (!flags.parse(argc, argv, known)) return 1;
 
   GeneratorConfig config;
@@ -57,6 +70,26 @@ int main(int argc, char** argv) {
     std::fputs(scenario_to_string(scenario).c_str(), stdout);
   }
   if (!out.empty()) save_scenario(out, scenario);
+
+  const std::string faults_out = flags.get_string("faults-out", "");
+  if (!faults_out.empty()) {
+    FaultGenConfig fault_config;
+    fault_config.intensity = flags.get_double("fault-intensity", 0.2);
+    if (fault_config.intensity < 0.0 || fault_config.intensity > 1.0) {
+      std::fprintf(stderr, "--fault-intensity must lie in [0, 1]\n");
+      return 1;
+    }
+    Rng fault_rng(static_cast<std::uint64_t>(flags.get_int("fault-seed", 9000)));
+    const FaultSpec faults = generate_faults(scenario, fault_config, fault_rng);
+    save_faults(faults_out, faults);
+    if (!flags.get_bool("quiet", false)) {
+      std::fprintf(stderr,
+                   "faults: %zu outages, %zu degradations, %zu copy losses -> %s\n",
+                   faults.outages.size(), faults.degradations.size(),
+                   faults.copy_losses.size(), faults_out.c_str());
+    }
+  }
+
   if (!flags.get_bool("quiet", false)) {
     std::fprintf(stderr,
                  "generated: %zu machines, %zu physical links, %zu virtual links, "

@@ -17,7 +17,16 @@
 //   --sweep            sweep every paper pair across the E-U axis on this
 //                      scenario (parallel across the grid, see --jobs) and
 //                      print the figure-style table instead of one run
-//   --csv=PATH         with --sweep: also write the series as CSV
+//   --csv=PATH         with --sweep/--fault-sweep: also write the series as CSV
+//   --faults=F         score the plan under the FaultSpec file F: realized
+//                      value via sim/fault_replay plus the dynamic stager's
+//                      recovered value (for heuristic/criterion schedulers)
+//   --fault-sweep      sweep fault intensities on this scenario (degradation
+//                      curve: planned/realized/recovered/clairvoyant values;
+//                      parallel across the grid, byte-identical for any
+//                      --jobs). Sweeps --scheduler when given, else
+//                      partial/C4 and full_one/C4
+//   --fault-seed=N     seed of the --fault-sweep fault draw (default 9000)
 // Plus the shared tool flags (tools/common_flags.hpp):
 //   --seed=N           RNG seed for the random baselines
 //   --weighting=W      1,10,100 (default) or 1,5,10
@@ -30,6 +39,7 @@
 //                      phase timings) to F
 //   --trace-out=F      write a JSON-lines structured run trace to F
 #include <cstdio>
+#include <fstream>
 #include <optional>
 
 #include "common_flags.hpp"
@@ -38,14 +48,21 @@
 #include "core/heuristics.hpp"
 #include "core/registry.hpp"
 #include "core/schedule_io.hpp"
+#include "dynamic/fault_events.hpp"
+#include "dynamic/stager.hpp"
 #include "harness/experiment.hpp"
+#include "harness/fault_sweep.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
+#include "model/fault_io.hpp"
 #include "model/scenario_io.hpp"
 #include "obs/observer.hpp"
+#include "sim/fault_replay.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 #include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
 
 using namespace datastage;
 
@@ -71,12 +88,73 @@ int run_sweep_mode(const Scenario& scenario, const PriorityWeighting& weighting,
   return 0;
 }
 
+/// --fault-sweep: degradation curve on this scenario across the default
+/// intensity grid. Sweeps --scheduler when given, else partial/C4 and
+/// full_one/C4 (the two primary heuristics under the paper's criterion).
+int run_fault_sweep_mode(const Scenario& scenario, const PriorityWeighting& weighting,
+                         const CliFlags& flags, std::uint64_t seed,
+                         const std::string& csv_path) {
+  CaseSet cases;
+  cases.seed = seed;
+  cases.scenarios.push_back(scenario);
+
+  std::vector<SchedulerSpec> specs;
+  if (flags.has("scheduler")) {
+    const std::string scheduler = flags.get_string("scheduler", "");
+    const std::optional<SchedulerSpec> spec = parse_spec(scheduler);
+    if (!spec.has_value()) {
+      std::fprintf(stderr, "unknown scheduler '%s' for --fault-sweep\n",
+                   scheduler.c_str());
+      return 1;
+    }
+    specs.push_back(*spec);
+  } else {
+    specs.push_back(SchedulerSpec{HeuristicKind::kPartial, CostCriterion::kC4});
+    specs.push_back(SchedulerSpec{HeuristicKind::kFullOne, CostCriterion::kC4});
+  }
+
+  FaultSweepConfig config;
+  config.fault_seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 9000));
+
+  EngineOptions options;
+  options.weighting = weighting;
+  options.eu = EUWeights::from_log10_ratio(flags.get_double("ratio", 1.0));
+
+  const FaultSweepResult sweep = run_fault_sweep(cases, specs, config, options);
+
+  Table table({"scheduler", "intensity", "outage_frac", "planned", "realized",
+               "recovered", "clairvoyant"});
+  for (const FaultSweepSeries& series : sweep.series) {
+    for (const FaultSweepPoint& point : series.points) {
+      table.add_row({series.spec.name(), format_double(point.intensity, 2),
+                     format_double(point.outage_fraction, 4),
+                     format_double(point.planned, 3),
+                     format_double(point.realized, 3),
+                     format_double(point.recovered, 3),
+                     format_double(point.clairvoyant, 3)});
+    }
+  }
+  std::printf("Fault-intensity sweep:\n%s", table.to_text().c_str());
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    out << sweep.to_csv();
+    std::printf("CSV written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliFlags flags;
   const std::vector<std::string> known = toolflags::with_common_flags(
-      {"scheduler", "ratio", "report", "trace", "save", "width", "sweep", "csv"});
+      {"scheduler", "ratio", "report", "trace", "save", "width", "sweep", "csv",
+       "faults", "fault-sweep", "fault-seed"});
   if (!flags.parse(argc, argv, known)) return 1;
   if (flags.positional().size() != 1) {
     std::fprintf(stderr, "usage: datastage_run <scenario-file> [flags]\n");
@@ -106,6 +184,11 @@ int main(int argc, char** argv) {
     toolflags::apply_jobs_flag(flags);
     return run_sweep_mode(*scenario, *weighting, seed,
                           flags.get_string("csv", ""));
+  }
+  if (flags.get_bool("fault-sweep", false)) {
+    toolflags::apply_jobs_flag(flags);
+    return run_fault_sweep_mode(*scenario, *weighting, flags, seed,
+                                flags.get_string("csv", ""));
   }
 
   EngineOptions options;
@@ -166,6 +249,47 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "  %s\n", issue.c_str());
     }
     return 2;
+  }
+
+  const std::string faults_path = flags.get_string("faults", "");
+  if (!faults_path.empty()) {
+    std::string fault_error;
+    const std::optional<FaultSpec> faults = load_faults(faults_path, &fault_error);
+    if (!faults.has_value()) {
+      std::fprintf(stderr, "cannot load faults: %s\n", fault_error.c_str());
+      return 1;
+    }
+    const std::vector<std::string> defects = faults->validate(*scenario);
+    if (!defects.empty()) {
+      for (const std::string& defect : defects) {
+        std::fprintf(stderr, "fault spec: %s\n", defect.c_str());
+      }
+      return 1;
+    }
+    const FaultReplayReport realized =
+        replay_under_faults(*scenario, result.schedule, *faults);
+    std::printf("\nUnder faults (%s):\n", faults_path.c_str());
+    std::printf("outage fraction:  %.4f\n", outage_fraction(*faults, *scenario));
+    std::printf("realized value:   %.1f  (planned %.1f)\n",
+                weighted_value(*scenario, *weighting, realized.outcomes), value);
+    std::printf("realized:         %zu transfers, %zu dropped "
+                "(%zu outage, %zu missing copy, %zu window), %zu stretched\n",
+                realized.transfers, realized.dropped(), realized.dropped_outage,
+                realized.dropped_missing_copy, realized.dropped_window,
+                realized.stretched);
+    // Recovery needs a replanning heuristic — only defined for the
+    // heuristic/criterion pairs, not the baselines or the beam search.
+    const std::optional<SchedulerSpec> pair_spec = parse_spec(scheduler);
+    if (pair_spec.has_value()) {
+      DynamicStager stager(*scenario, *pair_spec, options);
+      for (const StagingEvent& event : fault_events(*faults)) {
+        stager.on_event(event);
+      }
+      const DynamicResult recovered = stager.finish();
+      std::printf("recovered value:  %.1f  (%zu replans, %zu satisfied)\n",
+                  recovered.weighted_value(*weighting), recovered.replans,
+                  recovered.satisfied_count());
+    }
   }
 
   if (flags.get_bool("trace", false)) {
