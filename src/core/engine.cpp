@@ -28,6 +28,8 @@ struct StagingEngine::Instr {
   obs::Counter dijkstra_relaxations;
   obs::Counter dijkstra_capacity_rejections;
   obs::Counter guard_trips;
+  /// Deadline margin (seconds) of each satisfied request, recorded at finish.
+  obs::Histogram* satisfied_slack_seconds;
 
   explicit Instr(obs::MetricsRegistry& m)
       : iterations(m.counter("engine.iterations")),
@@ -46,7 +48,68 @@ struct StagingEngine::Instr {
         dijkstra_pops(m.counter("dijkstra.heap_pops")),
         dijkstra_relaxations(m.counter("dijkstra.relaxations")),
         dijkstra_capacity_rejections(m.counter("dijkstra.capacity_rejections")),
-        guard_trips(m.counter("engine.guard_trips")) {}
+        guard_trips(m.counter("engine.guard_trips")),
+        satisfied_slack_seconds(&m.histogram("engine.satisfied_slack_seconds",
+                                             {0.1, 1.0, 10.0, 60.0, 600.0, 3600.0})) {}
+};
+
+/// Per-request lifecycle state behind the span-model trace events. Kept out
+/// of the header (like Instr) and allocated only when a trace is attached.
+struct StagingEngine::Lifecycle {
+  enum class Status : std::uint8_t {
+    kUnknown,             ///< plan not classified yet
+    kFeasible,            ///< a route arriving before the deadline exists
+    kDeadlineInfeasible,  ///< reachable, but every route arrives too late
+    kNoRoute,             ///< no capacity-feasible route at all
+    kSatisfied,           ///< a committed transfer resolved the request
+  };
+
+  struct RequestState {
+    Status status = Status::kUnknown;
+    bool ever_feasible = false;
+    /// Item whose commit caused the final feasible -> infeasible transition.
+    std::int32_t lost_to = -1;
+  };
+
+  explicit Lifecycle(const Scenario& scenario) {
+    // Static reachability from each item's sources over the physical
+    // topology. The engine's route trees are deadline-pruned, so a
+    // destination they never reach may still be connected — this separates
+    // "the graph cannot carry the item there" (no_feasible_route) from "it
+    // can, but not in time" (deadline_infeasible).
+    std::vector<std::vector<std::int32_t>> out(scenario.machine_count());
+    for (const PhysicalLink& link : scenario.phys_links) {
+      out[link.from.index()].push_back(link.to.value());
+    }
+    requests.resize(scenario.item_count());
+    reachable.resize(scenario.item_count());
+    std::vector<std::int32_t> stack;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      requests[i].resize(scenario.items[i].requests.size());
+      std::vector<char>& seen = reachable[i];
+      seen.assign(scenario.machine_count(), 0);
+      stack.clear();
+      for (const SourceLocation& source : scenario.items[i].sources) {
+        if (seen[source.machine.index()] == 0) {
+          seen[source.machine.index()] = 1;
+          stack.push_back(source.machine.value());
+        }
+      }
+      while (!stack.empty()) {
+        const std::int32_t m = stack.back();
+        stack.pop_back();
+        for (const std::int32_t next : out[static_cast<std::size_t>(m)]) {
+          if (seen[static_cast<std::size_t>(next)] == 0) {
+            seen[static_cast<std::size_t>(next)] = 1;
+            stack.push_back(next);
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<RequestState>> requests;  ///< [item][k]
+  std::vector<std::vector<char>> reachable;         ///< [item][machine]
 };
 
 namespace {
@@ -94,6 +157,9 @@ StagingEngine::StagingEngine(const Scenario& scenario, EngineOptions options)
                         : 1000 + 200 * scenario.request_count();
   if (options_.observer != nullptr) {
     trace_ = options_.observer->trace;
+    if (trace_ != nullptr) {
+      lifecycle_ = std::make_unique<Lifecycle>(scenario);
+    }
     if (options_.observer->metrics != nullptr) {
       instr_ = std::make_unique<Instr>(*options_.observer->metrics);
       state_.attach_metrics(*options_.observer->metrics);
@@ -197,7 +263,65 @@ void StagingEngine::recompute_plan(ItemId item) {
         .field("prune_after_usec", dopt.prune_after.usec());
   }
   build_candidates(item, plan);
+  if (lifecycle_ != nullptr) classify_requests(item, plan);
   plan.dirty = false;
+  plan.last_invalidated_by = -1;
+}
+
+void StagingEngine::classify_requests(ItemId item, const ItemPlan& plan) {
+  using Status = Lifecycle::Status;
+  const DataItem& it = scenario_->item(item);
+  for (const std::int32_t k : tracker_.pending_of(item)) {
+    const Request& request = it.requests[static_cast<std::size_t>(k)];
+    const MachineId dest = request.destination;
+    Status next;
+    if (!plan.tree.reached(dest)) {
+      // The route tree is deadline-pruned: an unreached destination is a
+      // dead drop only when the static topology cannot carry the item there
+      // at all; otherwise every connecting route just arrives too late.
+      next = lifecycle_->reachable[item.index()][dest.index()] != 0
+                 ? Status::kDeadlineInfeasible
+                 : Status::kNoRoute;
+    } else if (!plan.tree.has_parent(dest)) {
+      // Destination already holds a late copy and no fresh route improves on
+      // it — the request is reachable but can no longer meet its deadline.
+      next = Status::kDeadlineInfeasible;
+    } else {
+      next = plan.tree.arrival(dest) <= request.deadline
+                 ? Status::kFeasible
+                 : Status::kDeadlineInfeasible;
+    }
+    Lifecycle::RequestState& st =
+        lifecycle_->requests[item.index()][static_cast<std::size_t>(k)];
+    if (st.status == next) continue;
+    const bool was_feasible = st.status == Status::kFeasible;
+    if (next == Status::kFeasible) {
+      // Feasibility can return: a commit of this item staged a copy closer to
+      // the destination, opening a faster route than before.
+      if (st.status != Status::kUnknown) {
+        trace_->event("request_revived")
+            .field("iter", iterations_)
+            .field("item", item.value())
+            .field("k", k)
+            .field("dest", dest.value());
+      }
+      st.ever_feasible = true;
+      st.lost_to = -1;
+    } else {
+      auto event = trace_->event("request_lost");
+      event.field("iter", iterations_)
+          .field("item", item.value())
+          .field("k", k)
+          .field("dest", dest.value())
+          .field("reason", next == Status::kNoRoute ? "no_feasible_route"
+                                                    : "deadline_infeasible");
+      if (was_feasible && plan.last_invalidated_by >= 0) {
+        st.lost_to = plan.last_invalidated_by;
+        event.field("lost_to", plan.last_invalidated_by);
+      }
+    }
+    st.status = next;
+  }
 }
 
 void StagingEngine::build_candidates(ItemId item, ItemPlan& plan) {
@@ -407,6 +531,29 @@ AppliedTransfer StagingEngine::commit_edge(ItemId item, const TreeEdge& edge) {
                 "committed transfer deviates from the planned tree edge");
   schedule_.add(
       CommStep{item, edge.from, edge.to, edge.link, edge.start, applied.arrival});
+  if (lifecycle_ != nullptr) {
+    // Emit request_satisfied before note_arrival mutates the pending set:
+    // exactly the requests of this item at the receiving machine whose
+    // deadline the arrival meets (note_arrival's own resolution rule).
+    const DataItem& it = scenario_->item(item);
+    for (const std::int32_t k : tracker_.pending_of(item)) {
+      const Request& request = it.requests[static_cast<std::size_t>(k)];
+      if (request.destination != edge.to || applied.arrival > request.deadline) {
+        continue;
+      }
+      Lifecycle::RequestState& st =
+          lifecycle_->requests[item.index()][static_cast<std::size_t>(k)];
+      st.status = Lifecycle::Status::kSatisfied;
+      st.ever_feasible = true;
+      trace_->event("request_satisfied")
+          .field("iter", iterations_)
+          .field("item", item.value())
+          .field("k", k)
+          .field("dest", edge.to.value())
+          .field("arrival_usec", applied.arrival.usec())
+          .field("slack_usec", (request.deadline - applied.arrival).usec());
+    }
+  }
   tracker_.note_arrival(item, edge.to, applied.arrival);
   if (instr_ != nullptr || trace_ != nullptr) {
     const std::size_t satisfied = pending_before - tracker_.pending_count();
@@ -508,6 +655,11 @@ void StagingEngine::invalidate(ItemId scheduled_item,
     ItemPlan& self = plans_[scheduled_item.index()];
     if (!self.dirty) {
       self.dirty = true;
+      if (lifecycle_ != nullptr) {
+        // Self-attribution is real: committing one destination of an item can
+        // consume resources its other pending destinations relied on.
+        self.last_invalidated_by = scheduled_item.value();
+      }
       dirty_queue_.push_back(scheduled_item.index());
     }
     if (instr_ != nullptr) instr_->invalidations_self.inc();
@@ -528,6 +680,9 @@ void StagingEngine::invalidate(ItemId scheduled_item,
           ItemPlan& plan = plans_[p];
           if (plan.dirty || plan.exhausted) return;
           plan.dirty = true;
+          if (lifecycle_ != nullptr) {
+            plan.last_invalidated_by = scheduled_item.value();
+          }
           dirty_queue_.push_back(p);
           if (record) {
             invalidation_scratch_.emplace_back(p, InvalidationCause::kLink);
@@ -546,6 +701,9 @@ void StagingEngine::invalidate(ItemId scheduled_item,
             const std::int64_t bytes = scenario_->items[p].size_bytes;
             if (state_.storage(t.storage_machine).fits(bytes, hold)) return;
             plan.dirty = true;
+            if (lifecycle_ != nullptr) {
+              plan.last_invalidated_by = scheduled_item.value();
+            }
             dirty_queue_.push_back(p);
             if (record) {
               invalidation_scratch_.emplace_back(p, InvalidationCause::kStorage);
@@ -600,13 +758,21 @@ const RouteTree& StagingEngine::plan_tree(ItemId item) {
 }
 
 void StagingEngine::observe_finish() {
+  using Status = Lifecycle::Status;
   std::size_t satisfied = 0;
   std::size_t dropped = 0;
+  // Loss-reason tallies (lifecycle tracing only): indexed to match `kinds`.
+  std::size_t lost_by_reason[4] = {0, 0, 0, 0};
   const OutcomeMatrix& outcomes = tracker_.outcomes();
   for (std::size_t i = 0; i < outcomes.size(); ++i) {
     for (std::size_t k = 0; k < outcomes[i].size(); ++k) {
       const RequestOutcome& outcome = outcomes[i][k];
       outcome.satisfied ? ++satisfied : ++dropped;
+      if (instr_ != nullptr && outcome.satisfied) {
+        const Request& request = scenario_->items[i].requests[k];
+        instr_->satisfied_slack_seconds->observe(
+            (request.deadline - outcome.arrival).as_seconds());
+      }
       if (trace_ != nullptr) {
         const Request& request = scenario_->items[i].requests[k];
         auto event = trace_->event("request");
@@ -619,6 +785,33 @@ void StagingEngine::observe_finish() {
         if (!outcome.arrival.is_infinite()) {
           event.field("arrival_usec", outcome.arrival.usec());
         }
+        if (!outcome.satisfied && lifecycle_ != nullptr) {
+          // Final loss reason from the last classification. A request still
+          // marked feasible (or never classified) was abandoned mid-loop —
+          // the guard tripped or the caller stopped early.
+          const Lifecycle::RequestState& st = lifecycle_->requests[i][k];
+          const char* reason = nullptr;
+          std::size_t reason_index = 0;
+          switch (st.status) {
+            case Status::kNoRoute:
+              reason = "no_feasible_route";
+              reason_index = 0;
+              break;
+            case Status::kDeadlineInfeasible:
+              reason = st.ever_feasible ? "lost_tournament" : "deadline_infeasible";
+              reason_index = st.ever_feasible ? 2 : 1;
+              break;
+            case Status::kUnknown:
+            case Status::kFeasible:
+            case Status::kSatisfied:
+              reason = guard_tripped_ ? "guard_tripped" : "not_scheduled";
+              reason_index = 3;
+              break;
+          }
+          ++lost_by_reason[reason_index];
+          event.field("reason", reason);
+          if (st.lost_to >= 0) event.field("lost_to", st.lost_to);
+        }
       }
     }
   }
@@ -628,6 +821,12 @@ void StagingEngine::observe_finish() {
     m.counter("engine.requests_satisfied_final").inc(satisfied);
     m.counter("engine.requests_dropped").inc(dropped);
     m.counter("engine.runs").inc();
+    if (lifecycle_ != nullptr) {
+      m.counter("engine.lost_no_feasible_route").inc(lost_by_reason[0]);
+      m.counter("engine.lost_deadline_infeasible").inc(lost_by_reason[1]);
+      m.counter("engine.lost_tournament").inc(lost_by_reason[2]);
+      m.counter("engine.lost_abandoned").inc(lost_by_reason[3]);
+    }
   }
   if (trace_ != nullptr) {
     trace_->event("finish")

@@ -145,6 +145,9 @@ class StagingEngine {
     // Resources the pending-destination paths rely on, for invalidation:
     std::vector<std::pair<VirtLinkId, Interval>> used_links;
     std::vector<std::pair<MachineId, Interval>> used_storage;
+    /// Item whose commit most recently dirtied this plan (-1: none). Only
+    /// maintained when lifecycle tracing is on; feeds `lost_to` attribution.
+    std::int32_t last_invalidated_by = -1;
     /// Reusable first-hop grouping buffer (replaces the per-round std::map
     /// allocations build_candidates used to make).
     struct GroupEntry {
@@ -180,6 +183,11 @@ class StagingEngine {
   /// hold memory).
   void retire_plan(std::size_t plan_index);
   void build_candidates(ItemId item, ItemPlan& plan);
+  /// Lifecycle tracing: reclassifies every pending request of a freshly
+  /// recomputed plan (feasible / deadline infeasible / no route) and emits
+  /// request_lost / request_revived transitions. Only called when a trace is
+  /// attached — the unobserved and metrics-only paths never run it.
+  void classify_requests(ItemId item, const ItemPlan& plan);
   /// Pushes plan's current best into the tournament heap.
   void push_best(std::size_t plan_index);
   /// Emits per-request outcome events and final satisfaction counters.
@@ -226,6 +234,13 @@ class StagingEngine {
   struct Instr;
   std::unique_ptr<Instr> instr_;
   obs::RunTrace* trace_ = nullptr;
+  /// Per-request lifecycle state (feasibility status, ever-feasible flag,
+  /// lost-to attribution) behind the request_lost/request_revived/
+  /// request_satisfied trace events and the final loss-reason taxonomy.
+  /// Allocated only when a trace is attached: metrics-only runs (the perf
+  /// benches) skip the classification pass entirely.
+  struct Lifecycle;
+  std::unique_ptr<Lifecycle> lifecycle_;
 };
 
 }  // namespace datastage

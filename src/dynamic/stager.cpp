@@ -88,6 +88,21 @@ void DynamicStager::bump(const char* counter) const {
   }
 }
 
+obs::RunTrace* DynamicStager::trace() const {
+  return options_.observer != nullptr ? options_.observer->trace : nullptr;
+}
+
+void DynamicStager::trace_requeue(const TrackedItem& item, const Request& request,
+                                  const char* reason) const {
+  if (trace() == nullptr) return;
+  trace()->event("requeue")
+      .field("t_usec", now_.usec())
+      .field("item", item.name)
+      .field("dest", request.destination.value())
+      .field("deadline_usec", request.deadline.usec())
+      .field("reason", reason);
+}
+
 DynamicStager::DynamicStager(Scenario initial, SchedulerSpec spec,
                              EngineOptions options)
     : base_(std::move(initial)), spec_(spec), options_(std::move(options)) {
@@ -355,8 +370,14 @@ void DynamicStager::on_event(const StagingEvent& event) {
     link_up_[p] = false;
     outage_since_[p] = now_;
     available_[p].subtract(Interval{now_, SimTime::infinity()});
-    fail_in_flight(outage->link);
+    fail_in_flight(outage->link, "link_outage");
     bump("faults.outages");
+    if (trace() != nullptr) {
+      trace()->event("fault")
+          .field("kind", "outage")
+          .field("t_usec", now_.usec())
+          .field("link", outage->link.value());
+    }
   } else if (const auto* restore = std::get_if<LinkRestoreEvent>(&event.body)) {
     const std::size_t p = restore->link.index();
     DS_ASSERT_MSG(!link_up_[p], "restore on a link that is up");
@@ -364,6 +385,13 @@ void DynamicStager::on_event(const StagingEvent& event) {
     outages_[p].insert_merge(Interval{outage_since_[p], now_});
     rebuild_availability(restore->link);
     bump("faults.restores");
+    if (trace() != nullptr) {
+      trace()->event("fault")
+          .field("kind", "restore")
+          .field("t_usec", now_.usec())
+          .field("link", restore->link.value())
+          .field("down_since_usec", outage_since_[p].usec());
+    }
   } else if (const auto* degrade = std::get_if<LinkDegradeEvent>(&event.body)) {
     const std::size_t p = degrade->link.index();
     DS_ASSERT_MSG(p < base_.phys_links.size(), "degrade on unknown link");
@@ -378,7 +406,7 @@ void DynamicStager::on_event(const StagingEvent& event) {
     // the degraded rate. With the link down the availability is already
     // gone and nothing is in flight.
     if (link_up_[p]) {
-      fail_in_flight(degrade->link);
+      fail_in_flight(degrade->link, "link_degrade");
       rebuild_availability(degrade->link);
     }
     bump("faults.degrades");
@@ -436,11 +464,13 @@ void DynamicStager::apply_copy_loss(TrackedItem& item, MachineId machine) {
     tracked.resolved = false;
     tracked.satisfied = false;
     tracked.arrival = SimTime::infinity();
+    tracked.requeued = true;
     bump("faults.requeued_requests");
+    trace_requeue(item, tracked.request, "copy_loss");
   }
 }
 
-void DynamicStager::fail_in_flight(PhysLinkId link) {
+void DynamicStager::fail_in_flight(PhysLinkId link, const char* reason) {
   // A transfer in flight on a failing link never completes: drop its step,
   // undo its request resolution, then rebuild the affected items' copy sets
   // from the surviving committed transfers (a destination may still be
@@ -462,6 +492,8 @@ void DynamicStager::fail_in_flight(PhysLinkId link) {
         tracked.resolved = false;
         tracked.satisfied = false;
         tracked.arrival = SimTime::infinity();
+        tracked.requeued = true;
+        trace_requeue(item, tracked.request, reason);
       }
     }
     affected.push_back(step.item);
@@ -583,6 +615,18 @@ DynamicResult DynamicStager::finish() {
       record.satisfied = tracked.satisfied;
       record.arrival = tracked.arrival;
       result.requests.push_back(std::move(record));
+      if (tracked.requeued && tracked.satisfied && trace() != nullptr) {
+        // The request survived a fault: it was requeued at least once and a
+        // re-staged delivery still met the deadline.
+        trace()->event("request_recovered")
+            .field("item", item.name)
+            .field("dest", tracked.request.destination.value())
+            .field("deadline_usec", tracked.request.deadline.usec())
+            .field("arrival_usec", tracked.arrival.usec());
+      }
+      if (tracked.requeued && tracked.satisfied) {
+        bump("faults.recovered_requests");
+      }
     }
   }
   return result;

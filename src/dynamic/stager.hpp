@@ -36,6 +36,10 @@
 
 namespace datastage {
 
+namespace obs {
+class RunTrace;
+}  // namespace obs
+
 /// Final state of one (possibly ad-hoc) request across the dynamic run.
 struct DynamicRequestRecord {
   std::string item_name;
@@ -85,6 +89,9 @@ class DynamicStager {
     bool resolved = false;  ///< satisfied, or closed as hopeless
     bool satisfied = false;
     SimTime arrival = SimTime::infinity();
+    /// A fault un-resolved this request at least once (in-flight failure or
+    /// copy loss). Requeued-then-satisfied requests emit request_recovered.
+    bool requeued = false;
   };
 
   /// A copy-loss fault that destroyed a copy at `machine` at time `at`.
@@ -134,13 +141,20 @@ class DynamicStager {
   /// satisfied whose deadline still admits a re-delivery.
   void apply_copy_loss(TrackedItem& item, MachineId machine);
   void bump(const char* counter) const;
+  /// The attached trace, or nullptr when tracing is off.
+  obs::RunTrace* trace() const;
+  /// Emits a `requeue` trace event: a fault re-opened request (`item`,
+  /// destination) for reason "link_outage" / "link_degrade" / "copy_loss".
+  void trace_requeue(const TrackedItem& item, const Request& request,
+                     const char* reason) const;
   /// True for copies that persist to the end of the run: original sources
   /// and destinations that received the item.
   bool copy_is_permanent(const TrackedItem& item, const Copy& copy) const;
   void run_garbage_collection();
   Scenario residual_scenario() const;
   void replan();
-  void fail_in_flight(PhysLinkId link);
+  /// `reason` labels the requeue trace events ("link_outage"/"link_degrade").
+  void fail_in_flight(PhysLinkId link, const char* reason);
   void rebuild_availability(PhysLinkId link);
   /// Re-derives an item's copy set from its original sources and the
   /// surviving committed transfers (gc-filtered), then re-resolves any

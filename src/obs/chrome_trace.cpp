@@ -1,0 +1,133 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace datastage::obs {
+
+namespace {
+
+constexpr int kSimPid = 1;
+constexpr int kWallPid = 2;
+
+void append_event(std::string& out, const std::string& body) {
+  if (out.back() != '[') out += ',';
+  out += '{' + body + '}';
+}
+
+std::string field(std::string_view key, const std::string& raw) {
+  return '"' + std::string(key) + "\":" + raw;
+}
+
+std::string str_field(std::string_view key, std::string_view value) {
+  return '"' + std::string(key) + "\":\"" + json_escape(value) + '"';
+}
+
+void append_metadata(std::string& out, std::string_view name, int pid, int tid,
+                     std::string_view value) {
+  append_event(out, str_field("name", name) + ",\"ph\":\"M\"," +
+                        field("pid", std::to_string(pid)) + ',' +
+                        field("tid", std::to_string(tid)) + ",\"args\":{" +
+                        str_field("name", value) + '}');
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Scenario& scenario, const Schedule& schedule,
+                              const ChromeTraceOptions& options) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+  // --- pid 1: simulation time, one thread per physical link ---------------
+  append_metadata(out, "process_name", kSimPid, 0, "simulation (sim time, us)");
+  for (std::size_t i = 0; i < scenario.phys_links.size(); ++i) {
+    const PhysicalLink& link = scenario.phys_links[i];
+    const std::string label = "link " + std::to_string(i) + ": " +
+                              scenario.machine(link.from).name + " -> " +
+                              scenario.machine(link.to).name;
+    append_metadata(out, "thread_name", kSimPid, static_cast<int>(i) + 1, label);
+  }
+  const int miss_tid = static_cast<int>(scenario.phys_links.size()) + 1;
+  if (options.outcomes != nullptr) {
+    append_metadata(out, "thread_name", kSimPid, miss_tid, "deadline misses");
+  }
+
+  // Canonical slice order: physical link ascending, then start time, then the
+  // remaining fields — independent of the order the scheduler emitted steps.
+  std::vector<const CommStep*> steps;
+  steps.reserve(schedule.size());
+  for (const CommStep& step : schedule.steps()) steps.push_back(&step);
+  std::sort(steps.begin(), steps.end(), [&](const CommStep* a, const CommStep* b) {
+    const auto key = [&](const CommStep* s) {
+      return std::tuple(scenario.vlink(s->link).phys.index(), s->start.usec(),
+                        s->arrival.usec(), s->item.index(), s->link.index());
+    };
+    return key(a) < key(b);
+  });
+  for (const CommStep* step : steps) {
+    const std::size_t phys = scenario.vlink(step->link).phys.index();
+    const std::int64_t dur = (step->arrival - step->start).usec();
+    append_event(
+        out,
+        str_field("name", scenario.item(step->item).name) + ",\"ph\":\"X\"," +
+            field("pid", std::to_string(kSimPid)) + ',' +
+            field("tid", std::to_string(phys + 1)) + ',' +
+            field("ts", std::to_string(step->start.usec())) + ',' +
+            field("dur", std::to_string(dur)) + ",\"args\":{" +
+            str_field("from", scenario.machine(step->from).name) + ',' +
+            str_field("to", scenario.machine(step->to).name) + ',' +
+            field("vlink", std::to_string(step->link.index())) + '}');
+  }
+
+  if (options.outcomes != nullptr) {
+    for (std::size_t i = 0; i < scenario.items.size(); ++i) {
+      const DataItem& item = scenario.items[i];
+      for (std::size_t k = 0; k < item.requests.size(); ++k) {
+        if ((*options.outcomes)[i][k].satisfied) continue;
+        const Request& request = item.requests[k];
+        append_event(
+            out,
+            str_field("name", "miss " + item.name + " @" +
+                                  scenario.machine(request.destination).name) +
+                ",\"ph\":\"i\",\"s\":\"t\"," +
+                field("pid", std::to_string(kSimPid)) + ',' +
+                field("tid", std::to_string(miss_tid)) + ',' +
+                field("ts", std::to_string(request.deadline.usec())) +
+                ",\"args\":{" + field("item", std::to_string(i)) + ',' +
+                field("k", std::to_string(k)) + '}');
+      }
+    }
+  }
+
+  // --- pid 2: wall-clock engine phases, laid end to end -------------------
+  if (options.phases != nullptr && !options.phases->phases().empty()) {
+    append_metadata(out, "process_name", kWallPid, 0, "engine (wall clock)");
+    append_metadata(out, "thread_name", kWallPid, 1, "phases");
+    std::vector<std::string> order;
+    for (const char* canonical : {"load", "schedule", "replay"}) {
+      if (options.phases->nanos(canonical) > 0) order.emplace_back(canonical);
+    }
+    for (const auto& [phase, nanos] : options.phases->phases()) {
+      if (std::find(order.begin(), order.end(), phase) == order.end()) {
+        order.push_back(phase);
+      }
+    }
+    double cursor_us = 0.0;
+    for (const std::string& phase : order) {
+      const double dur_us = static_cast<double>(options.phases->nanos(phase)) / 1e3;
+      append_event(out, str_field("name", phase) + ",\"ph\":\"X\"," +
+                            field("pid", std::to_string(kWallPid)) +
+                            ",\"tid\":1," + field("ts", json_number(cursor_us)) +
+                            ',' + field("dur", json_number(dur_us)) + ",\"args\":{}");
+      cursor_us += dur_us;
+    }
+  }
+
+  out += "]}";
+  return out;
+}
+
+}  // namespace datastage::obs

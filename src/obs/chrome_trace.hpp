@@ -1,0 +1,41 @@
+// Chrome Trace Event (Perfetto) export of a scheduling run.
+//
+// Renders a scenario + schedule (+ optionally the request outcomes and the
+// wall-clock phase timers) as a Chrome Trace Event JSON document that loads
+// directly in ui.perfetto.dev or chrome://tracing. Two process tracks:
+//
+//   * pid 1 "simulation": one thread per *physical* link, with a complete
+//     ("X") slice per scheduled transfer occupying [start, arrival) in
+//     simulation microseconds, plus a "deadline misses" thread carrying an
+//     instant ("i") event per unsatisfied request at its deadline.
+//   * pid 2 "wall clock": one thread of engine phase slices (load, schedule,
+//     replay, ...) laid end to end, so the relative cost of each phase is
+//     visible next to the simulated timeline.
+//
+// Chrome trace timestamps are microseconds, which matches SimTime exactly —
+// simulation slices need no unit conversion and stay bit-deterministic.
+// Emission order is canonical (links ascending, steps by start time), so the
+// document is byte-identical across `--jobs` for the same schedule.
+#pragma once
+
+#include <string>
+
+#include "core/satisfaction.hpp"
+#include "core/schedule.hpp"
+#include "model/scenario.hpp"
+#include "obs/metrics.hpp"
+
+namespace datastage::obs {
+
+struct ChromeTraceOptions {
+  /// Unsatisfied requests to render as deadline-miss instants; may be null.
+  const OutcomeMatrix* outcomes = nullptr;
+  /// Wall-clock phase totals for the pid-2 track; may be null.
+  const PhaseTimer* phases = nullptr;
+};
+
+/// Renders the run as `{"displayTimeUnit":"ms","traceEvents":[...]}`.
+std::string chrome_trace_json(const Scenario& scenario, const Schedule& schedule,
+                              const ChromeTraceOptions& options = {});
+
+}  // namespace datastage::obs

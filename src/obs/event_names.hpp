@@ -1,0 +1,44 @@
+// Central registry of run-trace event names.
+//
+// Every `RunTrace::event("...")` call site in the library and tools must use
+// a name listed here: the DS009 lint rule (tools/lint/datastage_lint.cpp)
+// extracts the string literals from this header and flags any trace event
+// whose literal name is not registered, so an event-name typo fails lint
+// instead of silently forking the trace vocabulary consumers like
+// `datastage_explain` rely on. Keep the list sorted and update
+// docs/OBSERVABILITY.md when adding a name.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace datastage::obs::events {
+
+// Engine (src/core/engine.cpp).
+inline constexpr std::string_view kCommit = "commit";
+inline constexpr std::string_view kFinish = "finish";
+inline constexpr std::string_view kGuardTrip = "guard_trip";
+inline constexpr std::string_view kInvalidate = "invalidate";
+inline constexpr std::string_view kRecompute = "recompute";
+inline constexpr std::string_view kRequest = "request";
+inline constexpr std::string_view kRequestLost = "request_lost";
+inline constexpr std::string_view kRequestRevived = "request_revived";
+inline constexpr std::string_view kRequestSatisfied = "request_satisfied";
+inline constexpr std::string_view kRound = "round";
+
+// Dynamic stager (src/dynamic/stager.cpp).
+inline constexpr std::string_view kFault = "fault";
+inline constexpr std::string_view kReplan = "replan";
+inline constexpr std::string_view kRequestRecovered = "request_recovered";
+inline constexpr std::string_view kRequeue = "requeue";
+
+/// Every registered name, sorted — the vocabulary `datastage_explain`
+/// understands and the trace tests check against.
+inline constexpr std::array<std::string_view, 14> kAllEventNames = {
+    kCommit,          kFault,           kFinish,           kGuardTrip,
+    kInvalidate,      kRecompute,       kReplan,           kRequest,
+    kRequestLost,     kRequestRecovered, kRequestRevived,  kRequestSatisfied,
+    kRequeue,         kRound,
+};
+
+}  // namespace datastage::obs::events

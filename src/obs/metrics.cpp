@@ -42,6 +42,29 @@ double Histogram::mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const double target = q * static_cast<double>(count_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = cum;
+    cum += static_cast<double>(counts_[i]);
+    if (cum < target) continue;
+    // Bucket i spans (bounds[i-1], bounds[i]]; clamp to [min, max] so the
+    // estimate never leaves the observed range (and the overflow bucket,
+    // which has no upper bound, closes at max).
+    const double hi = i < bounds_.size() ? std::min(bounds_[i], max_) : max_;
+    double lo = i == 0 ? min_ : std::max(bounds_[i - 1], min_);
+    lo = std::min(lo, hi);
+    const double frac = (target - before) / static_cast<double>(counts_[i]);
+    return lo + frac * (hi - lo);
+  }
+  return max_;
+}
+
 // --- MetricsRegistry -------------------------------------------------------
 
 Counter MetricsRegistry::counter(std::string_view name) {
@@ -145,7 +168,9 @@ Table MetricsRegistry::to_table() const {
                    "count=" + std::to_string(h.count()) +
                        " mean=" + format_double(h.mean(), 3) +
                        " min=" + format_double(h.min(), 3) +
-                       " max=" + format_double(h.max(), 3)});
+                       " max=" + format_double(h.max(), 3) +
+                       " p50=" + format_double(h.p50(), 3) +
+                       " p99=" + format_double(h.p99(), 3)});
   }
   return table;
 }
@@ -184,6 +209,11 @@ std::string MetricsRegistry::to_json() const {
     out += ",\"sum\":" + json_number(h.sum());
     out += ",\"min\":" + json_number(h.min());
     out += ",\"max\":" + json_number(h.max());
+    // Derived from the buckets above; from_json ignores them, so the
+    // document still round-trips exactly.
+    out += ",\"p50\":" + json_number(h.p50());
+    out += ",\"p90\":" + json_number(h.p90());
+    out += ",\"p99\":" + json_number(h.p99());
     out += '}';
   }
   out += "}}";

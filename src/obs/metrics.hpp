@@ -57,6 +57,16 @@ class Histogram {
   double max() const { return max_; }
   double mean() const;
 
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// bucket holding the target rank, clamped to the observed [min, max] so
+  /// sparse buckets cannot widen the estimate. Always finite: the empty
+  /// histogram reports 0.0 and overflow-bucket-only data interpolates
+  /// between the last bound and the observed max — never NaN or infinity.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p90() const { return quantile(0.90); }
+  double p99() const { return quantile(0.99); }
+
  private:
   friend class MetricsRegistry;  // from_json rebuilds internal state exactly
   std::vector<double> bounds_;

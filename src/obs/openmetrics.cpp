@@ -1,0 +1,47 @@
+#include "obs/openmetrics.hpp"
+
+#include "obs/json.hpp"
+
+namespace datastage::obs {
+
+std::string openmetrics_name(std::string_view name) {
+  std::string out = "datastage_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string to_openmetrics(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, value] : registry.counters()) {
+    const std::string metric = openmetrics_name(name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + "_total " + std::to_string(value) + '\n';
+  }
+  for (const auto& [name, value] : registry.gauges()) {
+    const std::string metric = openmetrics_name(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + ' ' + json_number(value) + '\n';
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    const std::string metric = openmetrics_name(name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
+      cumulative += h.bucket_counts()[i];
+      out += metric + "_bucket{le=\"" + json_number(h.upper_bounds()[i]) + "\"} " +
+             std::to_string(cumulative) + '\n';
+    }
+    cumulative += h.bucket_counts().back();
+    out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + '\n';
+    out += metric + "_sum " + json_number(h.sum()) + '\n';
+    out += metric + "_count " + std::to_string(h.count()) + '\n';
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+}  // namespace datastage::obs

@@ -1,0 +1,31 @@
+// OpenMetrics (Prometheus text exposition) rendering of a MetricsRegistry.
+//
+// This is the scrape surface a long-running `datastage_serve` daemon will
+// expose; the CLI tools reach it today through
+// `--metrics-out=F --metrics-format=openmetrics`. Mapping:
+//
+//   * counters  -> `# TYPE <name> counter` + `<name>_total <value>`
+//   * gauges    -> `# TYPE <name> gauge` + `<name> <value>`
+//   * histograms-> `# TYPE <name> histogram` with *cumulative* `_bucket{le=}`
+//                  samples, a `le="+Inf"` bucket, `_sum` and `_count`
+//
+// Metric names are sanitized to [a-zA-Z0-9_:] (dots become underscores) and
+// prefixed `datastage_`; the document ends with the mandatory `# EOF` line.
+// Rendering is deterministic: registry maps are sorted and numbers use the
+// same shortest-round-trip formatting as the JSON exporter.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace datastage::obs {
+
+/// Renders the whole registry as an OpenMetrics text document.
+std::string to_openmetrics(const MetricsRegistry& registry);
+
+/// `datastage_` + `name` with every character outside [a-zA-Z0-9_:]
+/// replaced by '_' (exposed for tests and the explain tooling).
+std::string openmetrics_name(std::string_view name);
+
+}  // namespace datastage::obs

@@ -36,6 +36,12 @@ class RunTrace {
     Event& field(const char* key, double value);
     Event& field(const char* key, bool value);
     Event& field(const char* key, std::string_view value);
+    /// C-string literals must land in the string overload — without this,
+    /// overload resolution prefers the pointer-to-bool standard conversion
+    /// over the user-defined conversion to string_view.
+    Event& field(const char* key, const char* value) {
+      return field(key, std::string_view(value));
+    }
     /// Narrower integers widen to the matching 64-bit overload.
     template <typename T>
       requires(std::integral<T> && !std::same_as<T, bool> &&

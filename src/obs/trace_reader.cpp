@@ -1,0 +1,94 @@
+#include "obs/trace_reader.hpp"
+
+#include <fstream>
+#include <istream>
+
+namespace datastage::obs {
+
+namespace {
+
+const JsonValue* lookup(const JsonValue& value, std::string_view key) {
+  return value.find(key);
+}
+
+}  // namespace
+
+std::int64_t TraceEvent::num(std::string_view key, std::int64_t fallback) const {
+  const JsonValue* v = lookup(value, key);
+  return v != nullptr && v->is_number() ? static_cast<std::int64_t>(v->number)
+                                        : fallback;
+}
+
+double TraceEvent::real(std::string_view key, double fallback) const {
+  const JsonValue* v = lookup(value, key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::string TraceEvent::str(std::string_view key, std::string_view fallback) const {
+  const JsonValue* v = lookup(value, key);
+  return v != nullptr && v->kind == JsonValue::Kind::kString ? v->string
+                                                             : std::string(fallback);
+}
+
+bool TraceEvent::flag(std::string_view key, bool fallback) const {
+  const JsonValue* v = lookup(value, key);
+  return v != nullptr && v->kind == JsonValue::Kind::kBool ? v->boolean : fallback;
+}
+
+std::optional<std::vector<TraceEvent>> read_trace(std::istream& in,
+                                                  std::string* error) {
+  const auto fail = [error](std::size_t line_no, const std::string& msg)
+      -> std::optional<std::vector<TraceEvent>> {
+    if (error != nullptr) {
+      *error = "trace line " + std::to_string(line_no) + ": " + msg;
+    }
+    return std::nullopt;
+  };
+
+  std::vector<TraceEvent> events;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string parse_error;
+    std::optional<JsonValue> value = json_parse(line, &parse_error);
+    if (!value.has_value()) return fail(line_no, parse_error);
+    if (!value->is_object()) return fail(line_no, "event is not a JSON object");
+    const JsonValue* seq = value->find("seq");
+    const JsonValue* type = value->find("type");
+    if (seq == nullptr || !seq->is_number()) {
+      return fail(line_no, "missing numeric \"seq\" field");
+    }
+    if (type == nullptr || type->kind != JsonValue::Kind::kString) {
+      return fail(line_no, "missing string \"type\" field");
+    }
+    TraceEvent event;
+    event.seq = static_cast<std::uint64_t>(seq->number);
+    if (event.seq != events.size()) {
+      return fail(line_no, "seq " + std::to_string(event.seq) +
+                               " out of order (expected " +
+                               std::to_string(events.size()) +
+                               "; truncated or interleaved trace?)");
+    }
+    event.type = type->string;
+    event.value = std::move(*value);
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::optional<std::vector<TraceEvent>> read_trace_file(const std::string& path,
+                                                       std::string* error) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    if (error != nullptr) *error = "cannot open trace file: " + path;
+    return std::nullopt;
+  }
+  std::string inner;
+  std::optional<std::vector<TraceEvent>> events = read_trace(in, &inner);
+  if (!events.has_value() && error != nullptr) *error = path + ": " + inner;
+  return events;
+}
+
+}  // namespace datastage::obs

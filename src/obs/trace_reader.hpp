@@ -1,0 +1,45 @@
+// Reading side of the JSON-lines run trace.
+//
+// `RunTrace` writes one JSON object per line; this module parses a whole
+// trace back into memory so post-processing tools (`datastage_explain`) and
+// tests share one loader instead of each hand-rolling line parsing. The
+// reader is strict: every line must parse as a JSON object carrying the
+// mandatory `seq` and `type` fields, and `seq` must be gapless from 0 — a
+// truncated or interleaved trace is reported, not silently accepted.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace datastage::obs {
+
+/// One parsed trace line.
+struct TraceEvent {
+  std::uint64_t seq = 0;
+  std::string type;
+  JsonValue value;  ///< the whole line, for event-specific fields
+
+  /// Field accessors with defaults (absent or wrongly-typed -> fallback).
+  std::int64_t num(std::string_view key, std::int64_t fallback = -1) const;
+  double real(std::string_view key, double fallback = 0.0) const;
+  std::string str(std::string_view key, std::string_view fallback = "") const;
+  bool flag(std::string_view key, bool fallback = false) const;
+  bool has(std::string_view key) const { return value.find(key) != nullptr; }
+};
+
+/// Parses a whole JSON-lines trace. On failure returns nullopt and, when
+/// `error` is non-null, a message naming the offending line (1-based).
+std::optional<std::vector<TraceEvent>> read_trace(std::istream& in,
+                                                  std::string* error = nullptr);
+
+/// Convenience: read_trace over a file. Distinguishes unopenable files from
+/// malformed content in the error message.
+std::optional<std::vector<TraceEvent>> read_trace_file(const std::string& path,
+                                                       std::string* error = nullptr);
+
+}  // namespace datastage::obs

@@ -1,0 +1,203 @@
+// Request-lifecycle tracing: the engine must explain every unsatisfied
+// request with a structured loss reason (no_feasible_route /
+// deadline_infeasible / lost_tournament / not_scheduled) instead of silently
+// dropping it, and must stamp satisfied requests with their arrival slack.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observer.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_reader.hpp"
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+using testing::at_sec;
+using testing::ScenarioBuilder;
+
+constexpr std::int64_t kGB = 1 << 30;
+const Interval kAlways{SimTime::zero(), at_min(120)};
+
+struct TracedRun {
+  StagingResult result;
+  std::vector<obs::TraceEvent> events;
+  obs::MetricsRegistry registry;
+};
+
+TracedRun traced_run(const Scenario& s) {
+  TracedRun run;
+  std::ostringstream trace_out;
+  obs::RunTrace trace(trace_out);
+  obs::RunObserver observer{&run.registry, &trace};
+  EngineOptions options;
+  options.criterion = CostCriterion::kC4;
+  options.eu = EUWeights::from_log10_ratio(1.0);
+  options.observer = &observer;
+  run.result = run_spec({HeuristicKind::kFullOne, CostCriterion::kC4}, s, options);
+
+  std::istringstream in(trace_out.str());
+  std::string error;
+  const auto events = obs::read_trace(in, &error);
+  EXPECT_TRUE(events.has_value()) << error;
+  if (events.has_value()) run.events = *events;
+  return run;
+}
+
+/// The final outcome event of (item, k), or nullptr.
+const obs::TraceEvent* final_outcome(const std::vector<obs::TraceEvent>& events,
+                                     std::int64_t item, std::int64_t k) {
+  for (const obs::TraceEvent& e : events) {
+    if (e.type == "request" && e.num("item") == item && e.num("k") == k) return &e;
+  }
+  return nullptr;
+}
+
+bool has_event(const std::vector<obs::TraceEvent>& events, std::string_view type,
+               std::int64_t item, std::int64_t k) {
+  for (const obs::TraceEvent& e : events) {
+    if (e.type == type && e.num("item") == item && e.num("k") == k) return true;
+  }
+  return false;
+}
+
+TEST(EngineReasonTest, ImpossibleDeadlineIsLostAsDeadlineInfeasible) {
+  // Request k=0 (one hop, ~1 s) is easy; request k=1 sits two ~1 s hops away
+  // but wants the item within 1 s — infeasible from the very first plan.
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways)
+                         .link(1, 2, 8'000'000, kAlways)
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_min(30))
+                         .request(2, at_sec(1))
+                         .build();
+  const TracedRun run = traced_run(s);
+
+  EXPECT_TRUE(run.result.outcomes[0][0].satisfied);
+  EXPECT_FALSE(run.result.outcomes[0][1].satisfied);
+
+  // The structured rejection fires at classification time...
+  EXPECT_TRUE(has_event(run.events, "request_lost", 0, 1));
+  // ...and the final outcome event carries the same reason.
+  const obs::TraceEvent* outcome = final_outcome(run.events, 0, 1);
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_FALSE(outcome->flag("satisfied"));
+  EXPECT_EQ(outcome->str("reason"), "deadline_infeasible");
+  EXPECT_FALSE(outcome->has("lost_to"));  // nobody outcompeted it
+  EXPECT_EQ(run.registry.counter_value("engine.lost_deadline_infeasible"), 1u);
+  EXPECT_EQ(run.registry.counter_value("engine.lost_tournament"), 0u);
+}
+
+TEST(EngineReasonTest, UnreachableDestinationIsLostAsNoFeasibleRoute) {
+  // Machine 2 has only an outgoing link — nothing can ever reach it.
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways)
+                         .link(2, 0, 8'000'000, kAlways)
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_min(30))
+                         .request(2, at_min(30))
+                         .build();
+  const TracedRun run = traced_run(s);
+
+  EXPECT_TRUE(run.result.outcomes[0][0].satisfied);
+  EXPECT_FALSE(run.result.outcomes[0][1].satisfied);
+
+  const obs::TraceEvent* outcome = final_outcome(run.events, 0, 1);
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(outcome->str("reason"), "no_feasible_route");
+  EXPECT_EQ(run.registry.counter_value("engine.lost_no_feasible_route"), 1u);
+}
+
+TEST(EngineReasonTest, OutcompetedRequestIsLostToTheWinningItem) {
+  // One always-on link, two equal items, both deadlines allow exactly one
+  // transfer: whichever item commits first pushes the other past its
+  // deadline. The loser must be reported as lost_tournament with the
+  // winner's id in lost_to.
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways)
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_sec(1))
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_sec(1))
+                         .build();
+  const TracedRun run = traced_run(s);
+
+  const bool first_won = run.result.outcomes[0][0].satisfied;
+  const std::int64_t winner = first_won ? 0 : 1;
+  const std::int64_t loser = first_won ? 1 : 0;
+  EXPECT_TRUE(run.result.outcomes[static_cast<std::size_t>(winner)][0].satisfied);
+  EXPECT_FALSE(run.result.outcomes[static_cast<std::size_t>(loser)][0].satisfied);
+
+  const obs::TraceEvent* outcome = final_outcome(run.events, loser, 0);
+  ASSERT_NE(outcome, nullptr);
+  EXPECT_EQ(outcome->str("reason"), "lost_tournament");
+  EXPECT_EQ(outcome->num("lost_to"), winner);
+  // The transition itself was traced with the attribution.
+  EXPECT_TRUE(has_event(run.events, "request_lost", loser, 0));
+  EXPECT_EQ(run.registry.counter_value("engine.lost_tournament"), 1u);
+}
+
+TEST(EngineReasonTest, SatisfiedRequestsEmitSlackAndFeedTheHistogram) {
+  const Scenario s = testing::chain_scenario();
+  const TracedRun run = traced_run(s);
+  ASSERT_TRUE(run.result.outcomes[0][0].satisfied);
+
+  const obs::TraceEvent* satisfied = nullptr;
+  for (const obs::TraceEvent& e : run.events) {
+    if (e.type == "request_satisfied" && e.num("item") == 0 && e.num("k") == 0) {
+      satisfied = &e;
+    }
+  }
+  ASSERT_NE(satisfied, nullptr);
+  const SimTime arrival = run.result.outcomes[0][0].arrival;
+  EXPECT_EQ(satisfied->num("arrival_usec"), arrival.usec());
+  const Request& request = s.items[0].requests[0];
+  EXPECT_EQ(satisfied->num("slack_usec"), (request.deadline - arrival).usec());
+
+  const obs::Histogram* slack =
+      run.registry.find_histogram("engine.satisfied_slack_seconds");
+  ASSERT_NE(slack, nullptr);
+  EXPECT_EQ(slack->count(), 1u);
+  EXPECT_DOUBLE_EQ(slack->sum(), (request.deadline - arrival).as_seconds());
+}
+
+TEST(EngineReasonTest, LifecycleEventsAppearOnlyWhenTracing) {
+  // Metrics-only observation must not allocate the lifecycle tracker, so the
+  // loss-reason counters stay absent (perf runs attach metrics only).
+  const Scenario s = ScenarioBuilder()
+                         .machine(kGB).machine(kGB)
+                         .link(0, 1, 8'000'000, kAlways)
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_sec(1))
+                         .item(1'000'000)
+                         .source(0, SimTime::zero())
+                         .request(1, at_sec(1))
+                         .build();
+  obs::MetricsRegistry registry;
+  obs::RunObserver observer{&registry, nullptr};
+  EngineOptions options;
+  options.criterion = CostCriterion::kC4;
+  options.eu = EUWeights::from_log10_ratio(1.0);
+  options.observer = &observer;
+  run_spec({HeuristicKind::kFullOne, CostCriterion::kC4}, s, options);
+  EXPECT_EQ(registry.counter_value("engine.lost_tournament"), 0u);
+  EXPECT_EQ(registry.counter_value("engine.lost_deadline_infeasible"), 0u);
+  EXPECT_EQ(registry.counter_value("engine.requests_dropped"), 1u);
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,164 @@
+// Schema checks for the Chrome Trace Event exporter: the document must parse
+// as JSON and every entry must carry the fields ui.perfetto.dev requires
+// (name/ph/pid/tid, ts on real events, dur on complete slices).
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "core/registry.hpp"
+#include "obs/json.hpp"
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_min;
+using testing::at_sec;
+using testing::ScenarioBuilder;
+
+constexpr std::int64_t kGB = 1 << 30;
+const Interval kAlways{SimTime::zero(), at_min(120)};
+
+// Chain A -> B -> C; the request at B is easily met, the one at C cannot be
+// (its two hops take ~2 s but the deadline is 1 s) and becomes the deadline
+// miss the exporter must render as an instant event.
+Scenario miss_scenario() {
+  return ScenarioBuilder()
+      .machine(kGB).machine(kGB).machine(kGB)
+      .link(0, 1, 8'000'000, kAlways)
+      .link(1, 2, 8'000'000, kAlways)
+      .item(1'000'000)
+      .source(0, SimTime::zero())
+      .request(1, at_min(30))
+      .request(2, at_sec(1))
+      .build();
+}
+
+StagingResult run(const Scenario& s) {
+  EngineOptions options;
+  options.criterion = CostCriterion::kC4;
+  options.eu = EUWeights::from_log10_ratio(1.0);
+  return run_spec({HeuristicKind::kFullOne, CostCriterion::kC4}, s, options);
+}
+
+const obs::JsonValue* field(const obs::JsonValue& entry, std::string_view key) {
+  return entry.find(key);
+}
+
+TEST(ChromeTraceTest, DocumentMatchesTheTraceEventSchema) {
+  const Scenario s = miss_scenario();
+  const StagingResult result = run(s);
+  ASSERT_GT(result.schedule.size(), 0u);
+
+  obs::PhaseTimer phases;
+  phases.add_nanos("load", 1'500'000);
+  phases.add_nanos("schedule", 4'000'000);
+
+  obs::ChromeTraceOptions options;
+  options.outcomes = &result.outcomes;
+  options.phases = &phases;
+  const std::string doc = obs::chrome_trace_json(s, result.schedule, options);
+
+  std::string error;
+  const auto root = obs::json_parse(doc, &error);
+  ASSERT_TRUE(root.has_value()) << error;
+  ASSERT_TRUE(root->is_object());
+  ASSERT_NE(field(*root, "displayTimeUnit"), nullptr);
+  EXPECT_EQ(field(*root, "displayTimeUnit")->string, "ms");
+  const obs::JsonValue* events = field(*root, "traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, obs::JsonValue::Kind::kArray);
+  ASSERT_FALSE(events->array.empty());
+
+  std::size_t sim_slices = 0;
+  std::size_t wall_slices = 0;
+  std::size_t miss_instants = 0;
+  std::set<std::string> metadata_names;
+  for (const obs::JsonValue& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    ASSERT_NE(field(e, "name"), nullptr);
+    ASSERT_NE(field(e, "ph"), nullptr);
+    ASSERT_NE(field(e, "pid"), nullptr);
+    ASSERT_NE(field(e, "tid"), nullptr);
+    const std::string& ph = field(e, "ph")->string;
+    ASSERT_TRUE(ph == "M" || ph == "X" || ph == "i") << ph;
+    if (ph == "M") {
+      metadata_names.insert(field(e, "name")->string);
+      continue;
+    }
+    ASSERT_NE(field(e, "ts"), nullptr);
+    EXPECT_GE(field(e, "ts")->number, 0.0);
+    if (ph == "X") {
+      ASSERT_NE(field(e, "dur"), nullptr);
+      EXPECT_GE(field(e, "dur")->number, 0.0);
+      const double pid = field(e, "pid")->number;
+      if (pid == 1.0) ++sim_slices;
+      if (pid == 2.0) ++wall_slices;
+    }
+    if (ph == "i") {
+      ++miss_instants;
+      ASSERT_NE(field(e, "s"), nullptr);  // instant scope, required by Perfetto
+    }
+  }
+
+  EXPECT_NE(metadata_names.count("process_name"), 0u);
+  EXPECT_NE(metadata_names.count("thread_name"), 0u);
+  // One complete slice per scheduled transfer, one wall slice per phase.
+  EXPECT_EQ(sim_slices, result.schedule.size());
+  EXPECT_EQ(wall_slices, 2u);
+  // Exactly request (item 0, k=1) misses its deadline.
+  EXPECT_EQ(miss_instants, 1u);
+}
+
+TEST(ChromeTraceTest, SimSlicesUseSimulationMicrosecondsVerbatim) {
+  const Scenario s = miss_scenario();
+  const StagingResult result = run(s);
+  const std::string doc = obs::chrome_trace_json(s, result.schedule);
+  const auto root = obs::json_parse(doc);
+  ASSERT_TRUE(root.has_value());
+
+  // Collect (ts, ts+dur) of every pid-1 slice and check each matches a step.
+  const auto steps = result.schedule.steps();
+  std::size_t matched = 0;
+  for (const obs::JsonValue& e : field(*root, "traceEvents")->array) {
+    if (field(e, "ph")->string != "X" || field(e, "pid")->number != 1.0) continue;
+    const auto ts = static_cast<std::int64_t>(field(e, "ts")->number);
+    const auto dur = static_cast<std::int64_t>(field(e, "dur")->number);
+    for (const CommStep& step : steps) {
+      if (step.start.usec() == ts &&
+          (step.arrival - step.start).usec() == dur) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(matched, steps.size());
+}
+
+TEST(ChromeTraceTest, OutputIsDeterministic) {
+  const Scenario s = miss_scenario();
+  const StagingResult result = run(s);
+  obs::ChromeTraceOptions options;
+  options.outcomes = &result.outcomes;
+  EXPECT_EQ(obs::chrome_trace_json(s, result.schedule, options),
+            obs::chrome_trace_json(s, result.schedule, options));
+}
+
+TEST(ChromeTraceTest, EmptyScheduleStillProducesAValidDocument) {
+  const Scenario s = testing::chain_scenario();
+  const Schedule empty;
+  const std::string doc = obs::chrome_trace_json(s, empty);
+  const auto root = obs::json_parse(doc);
+  ASSERT_TRUE(root.has_value());
+  ASSERT_NE(field(*root, "traceEvents"), nullptr);
+  // Metadata (process/thread names) is still present; no X slices.
+  for (const obs::JsonValue& e : field(*root, "traceEvents")->array) {
+    EXPECT_EQ(field(e, "ph")->string, "M");
+  }
+}
+
+}  // namespace
+}  // namespace datastage

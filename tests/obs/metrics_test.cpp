@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
 #include "obs/json.hpp"
 
 namespace datastage::obs {
@@ -271,6 +274,82 @@ TEST(PhaseTimerTest, MergeAddsPhaseTotals) {
   a.merge(b);
   EXPECT_EQ(a.nanos("load"), 150);
   EXPECT_EQ(a.nanos("schedule"), 7);
+}
+
+TEST(HistogramQuantileTest, EmptyHistogramIsZeroEverywhereAndNeverNan) {
+  MetricsRegistry registry;
+  const Histogram& h = registry.histogram("h", {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p90(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
+TEST(HistogramQuantileTest, SingleObservationReportsItselfAtEveryQuantile) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h", {10.0});
+  h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+}
+
+TEST(HistogramQuantileTest, InterpolatesWithinTheTargetBucket) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h", {1.0, 2.0, 3.0, 4.0});
+  for (const double v : {0.5, 1.5, 2.5, 3.5}) h.observe(v);
+  // p50's target rank lands at the top of bucket (1, 2].
+  EXPECT_DOUBLE_EQ(h.p50(), 2.0);
+  // p90 interpolates inside the last bucket, clamped to the observed max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.90), 3.3);
+  EXPECT_LE(h.p99(), h.max());
+  EXPECT_GE(h.p50(), h.min());
+}
+
+TEST(HistogramQuantileTest, OverflowOnlyDataStaysFiniteAndWithinRange) {
+  // Every observation lands past the last bound: the overflow bucket has no
+  // upper bound, so the estimate must close at the observed max instead of
+  // drifting to infinity.
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h", {1.0, 2.0});
+  h.observe(10.0);
+  h.observe(20.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 19.9);
+  EXPECT_TRUE(std::isfinite(h.p99()));
+  EXPECT_GE(h.p50(), h.min());
+  EXPECT_LE(h.p99(), h.max());
+}
+
+TEST(HistogramQuantileTest, QuantilesSurviveMerge) {
+  MetricsRegistry a;
+  a.histogram("h", {1.0, 10.0}).observe(0.5);
+  MetricsRegistry b;
+  b.histogram("h", {1.0, 10.0}).observe(100.0);
+  a.merge(b);
+  const Histogram* h = a.find_histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_TRUE(std::isfinite(h->p50()));
+  EXPECT_GE(h->p50(), 0.5);
+  EXPECT_LE(h->p99(), 100.0);
+}
+
+TEST(HistogramQuantileTest, JsonCarriesQuantilesAndStillRoundTrips) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("h", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"p50\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p90\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+
+  // from_json ignores the derived quantile keys, so the cycle stays exact.
+  std::string error;
+  const auto parsed = MetricsRegistry::from_json(json, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->to_json(), json);
 }
 
 }  // namespace

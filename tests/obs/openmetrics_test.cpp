@@ -1,0 +1,66 @@
+#include "obs/openmetrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace datastage::obs {
+namespace {
+
+bool contains(const std::string& doc, const std::string& needle) {
+  return doc.find(needle) != std::string::npos;
+}
+
+TEST(OpenMetricsTest, NamesArePrefixedAndSanitized) {
+  EXPECT_EQ(openmetrics_name("engine.iterations"), "datastage_engine_iterations");
+  EXPECT_EQ(openmetrics_name("a.b-c/d e"), "datastage_a_b_c_d_e");
+  EXPECT_EQ(openmetrics_name("keep:colon_0"), "datastage_keep:colon_0");
+}
+
+TEST(OpenMetricsTest, CountersBecomeTotalSamples) {
+  MetricsRegistry registry;
+  registry.counter("engine.iterations").inc(3);
+  const std::string doc = to_openmetrics(registry);
+  EXPECT_TRUE(contains(doc, "# TYPE datastage_engine_iterations counter\n"));
+  EXPECT_TRUE(contains(doc, "datastage_engine_iterations_total 3\n"));
+}
+
+TEST(OpenMetricsTest, GaugesKeepTheirName) {
+  MetricsRegistry registry;
+  registry.set_gauge("phase.load_seconds", 1.5);
+  const std::string doc = to_openmetrics(registry);
+  EXPECT_TRUE(contains(doc, "# TYPE datastage_phase_load_seconds gauge\n"));
+  EXPECT_TRUE(contains(doc, "datastage_phase_load_seconds 1.5\n"));
+}
+
+TEST(OpenMetricsTest, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("slack", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(5.0);  // overflow bucket
+  const std::string doc = to_openmetrics(registry);
+  EXPECT_TRUE(contains(doc, "# TYPE datastage_slack histogram\n"));
+  EXPECT_TRUE(contains(doc, "datastage_slack_bucket{le=\"1\"} 1\n"));
+  EXPECT_TRUE(contains(doc, "datastage_slack_bucket{le=\"2\"} 2\n"));
+  EXPECT_TRUE(contains(doc, "datastage_slack_bucket{le=\"+Inf\"} 3\n"));
+  EXPECT_TRUE(contains(doc, "datastage_slack_sum 7\n"));
+  EXPECT_TRUE(contains(doc, "datastage_slack_count 3\n"));
+}
+
+TEST(OpenMetricsTest, DocumentEndsWithEofMarker) {
+  MetricsRegistry empty;
+  const std::string doc = to_openmetrics(empty);
+  ASSERT_GE(doc.size(), 6u);
+  EXPECT_EQ(doc.substr(doc.size() - 6), "# EOF\n");
+
+  MetricsRegistry registry;
+  registry.counter("c").inc();
+  const std::string full = to_openmetrics(registry);
+  EXPECT_EQ(full.substr(full.size() - 6), "# EOF\n");
+}
+
+}  // namespace
+}  // namespace datastage::obs

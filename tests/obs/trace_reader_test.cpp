@@ -1,0 +1,122 @@
+#include "obs/trace_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace datastage::obs {
+namespace {
+
+TEST(TraceReaderTest, ReadsBackWhatRunTraceWrote) {
+  std::ostringstream out;
+  RunTrace trace(out);
+  trace.event("alpha").field("x", std::int64_t{7}).field("ok", true);
+  trace.event("beta").field("pi", 2.25).field("name", std::string_view("req/3"));
+
+  std::istringstream in(out.str());
+  std::string error;
+  const auto events = read_trace(in, &error);
+  ASSERT_TRUE(events.has_value()) << error;
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].seq, 0u);
+  EXPECT_EQ((*events)[0].type, "alpha");
+  EXPECT_EQ((*events)[0].num("x"), 7);
+  EXPECT_TRUE((*events)[0].flag("ok"));
+  EXPECT_EQ((*events)[1].seq, 1u);
+  EXPECT_DOUBLE_EQ((*events)[1].real("pi"), 2.25);
+  EXPECT_EQ((*events)[1].str("name"), "req/3");
+}
+
+TEST(TraceReaderTest, AccessorFallbacksForMissingOrMistypedFields) {
+  std::istringstream in(R"({"seq":0,"type":"t","s":"text","n":4})");
+  const auto events = read_trace(in);
+  ASSERT_TRUE(events.has_value());
+  const TraceEvent& e = events->front();
+  EXPECT_EQ(e.num("absent"), -1);
+  EXPECT_EQ(e.num("absent", 99), 99);
+  EXPECT_EQ(e.num("s", 5), 5);  // string field through the numeric accessor
+  EXPECT_EQ(e.str("n", "fb"), "fb");
+  EXPECT_FALSE(e.flag("n"));
+  EXPECT_TRUE(e.has("s"));
+  EXPECT_FALSE(e.has("absent"));
+}
+
+// S3: every escaping-sensitive payload must survive the write -> parse cycle
+// byte-exactly — quotes, backslashes, control characters, and non-ASCII
+// UTF-8 all flow through obs::json_escape and back through the reader.
+TEST(TraceReaderTest, EscapingRoundTripsExactly) {
+  const std::string payloads[] = {
+      "quote\" and backslash \\",
+      "tab\there\nnewline\rreturn",
+      std::string("low controls \x01\x02\x1f here"),
+      "non-ascii: h\xc3\xa9llo \xe2\x82\xac",  // é and € as raw UTF-8
+      "mixed \\\"\\n literal-escape lookalikes",
+      std::string("embedded\x7f" "del"),
+  };
+  std::ostringstream out;
+  RunTrace trace(out);
+  for (const std::string& payload : payloads) {
+    trace.event("payload").field("s", std::string_view(payload));
+  }
+
+  std::istringstream in(out.str());
+  std::string error;
+  const auto events = read_trace(in, &error);
+  ASSERT_TRUE(events.has_value()) << error;
+  ASSERT_EQ(events->size(), std::size(payloads));
+  for (std::size_t i = 0; i < std::size(payloads); ++i) {
+    EXPECT_EQ((*events)[i].str("s"), payloads[i]) << "payload " << i;
+  }
+}
+
+TEST(TraceReaderTest, EscapedTypeNamesRoundTrip) {
+  std::ostringstream out;
+  RunTrace trace(out);
+  trace.event("weird\"type\nname");
+  std::istringstream in(out.str());
+  const auto events = read_trace(in);
+  ASSERT_TRUE(events.has_value());
+  EXPECT_EQ(events->front().type, "weird\"type\nname");
+}
+
+TEST(TraceReaderTest, EmptyInputIsAnEmptyTrace) {
+  std::istringstream in("");
+  const auto events = read_trace(in);
+  ASSERT_TRUE(events.has_value());
+  EXPECT_TRUE(events->empty());
+}
+
+TEST(TraceReaderTest, MalformedLineIsReportedWithItsNumber) {
+  std::istringstream in("{\"seq\":0,\"type\":\"a\"}\nnot json\n");
+  std::string error;
+  EXPECT_FALSE(read_trace(in, &error).has_value());
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+}
+
+TEST(TraceReaderTest, MissingTypeIsAnError) {
+  std::istringstream in("{\"seq\":0}\n");
+  std::string error;
+  EXPECT_FALSE(read_trace(in, &error).has_value());
+  EXPECT_NE(error.find("type"), std::string::npos) << error;
+}
+
+TEST(TraceReaderTest, SequenceGapIsAnError) {
+  std::istringstream in("{\"seq\":0,\"type\":\"a\"}\n{\"seq\":2,\"type\":\"b\"}\n");
+  std::string error;
+  EXPECT_FALSE(read_trace(in, &error).has_value());
+  EXPECT_NE(error.find("seq"), std::string::npos) << error;
+}
+
+TEST(TraceReaderTest, UnopenableFileNamesThePath) {
+  std::string error;
+  const auto events = read_trace_file("/nonexistent/dir/trace.jsonl", &error);
+  EXPECT_FALSE(events.has_value());
+  EXPECT_NE(error.find("/nonexistent/dir/trace.jsonl"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace datastage::obs

@@ -1,0 +1,122 @@
+// Failure-path tests for the shared tool flag plumbing: a bad output path
+// must fail eagerly (before any scheduling work) with a message naming the
+// path, and --metrics-format must reject unknown formats.
+#include "common_flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace datastage::toolflags {
+namespace {
+
+CliFlags parse(const std::vector<std::string>& args) {
+  std::vector<const char*> argv = {"tool"};
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  CliFlags flags;
+  EXPECT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data(),
+                          with_common_flags()));
+  return flags;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(CommonFlagsTest, OpenOutputFileFailsOnMissingDirectory) {
+  std::ofstream out;
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(open_output_file(out, "/nonexistent-dir/deep/file.json", "metrics file"));
+  const std::string message = ::testing::internal::GetCapturedStderr();
+  // The message must name both the role and the exact path the user typed.
+  EXPECT_NE(message.find("metrics file"), std::string::npos) << message;
+  EXPECT_NE(message.find("/nonexistent-dir/deep/file.json"), std::string::npos)
+      << message;
+}
+
+TEST(CommonFlagsTest, OpenOutputFileSucceedsOnWritablePath) {
+  const std::string path = ::testing::TempDir() + "common_flags_ok.txt";
+  std::ofstream out;
+  ASSERT_TRUE(open_output_file(out, path, "test file"));
+  out << "ok";
+  out.close();
+  EXPECT_EQ(slurp(path), "ok");
+  std::remove(path.c_str());
+}
+
+TEST(CommonFlagsTest, ObservabilityOpenFailsEagerlyOnBadMetricsPath) {
+  CliFlags flags = parse({"--metrics-out=/nonexistent-dir/m.json"});
+  Observability obs;
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(obs.open(flags));
+  const std::string message = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(message.find("/nonexistent-dir/m.json"), std::string::npos) << message;
+}
+
+TEST(CommonFlagsTest, ObservabilityOpenFailsEagerlyOnBadTracePath) {
+  CliFlags flags = parse({"--trace-out=/nonexistent-dir/t.jsonl"});
+  Observability obs;
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(obs.open(flags));
+  const std::string message = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(message.find("/nonexistent-dir/t.jsonl"), std::string::npos) << message;
+}
+
+TEST(CommonFlagsTest, UnknownMetricsFormatIsRejected) {
+  CliFlags flags = parse({"--metrics-format=xml"});
+  Observability obs;
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(obs.open(flags));
+  const std::string message = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(message.find("xml"), std::string::npos) << message;
+}
+
+TEST(CommonFlagsTest, InactiveWithoutFlagsAndObserverIsNull) {
+  CliFlags flags = parse({});
+  Observability obs;
+  ASSERT_TRUE(obs.open(flags));
+  EXPECT_FALSE(obs.active());
+  EXPECT_EQ(obs.observer(), nullptr);
+  EXPECT_EQ(obs.phases(), nullptr);
+  EXPECT_TRUE(obs.write_metrics());  // no-op without --metrics-out
+}
+
+TEST(CommonFlagsTest, WritesOpenMetricsWhenRequested) {
+  const std::string path = ::testing::TempDir() + "common_flags_metrics.om";
+  CliFlags flags =
+      parse({"--metrics-out=" + path, "--metrics-format=openmetrics"});
+  Observability obs;
+  ASSERT_TRUE(obs.open(flags));
+  EXPECT_TRUE(obs.active());
+  ASSERT_NE(obs.observer(), nullptr);
+  obs.registry().counter("test.counter").inc(2);
+  ASSERT_TRUE(obs.write_metrics());
+
+  const std::string doc = slurp(path);
+  EXPECT_NE(doc.find("datastage_test_counter_total 2"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("# EOF"), std::string::npos) << doc;
+  std::remove(path.c_str());
+}
+
+TEST(CommonFlagsTest, WritesJsonByDefault) {
+  const std::string path = ::testing::TempDir() + "common_flags_metrics.json";
+  CliFlags flags = parse({"--metrics-out=" + path});
+  Observability obs;
+  ASSERT_TRUE(obs.open(flags));
+  obs.registry().counter("test.counter").inc(2);
+  ASSERT_TRUE(obs.write_metrics());
+  const std::string doc = slurp(path);
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"test.counter\":2"), std::string::npos) << doc;
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace datastage::toolflags

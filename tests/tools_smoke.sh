@@ -60,6 +60,85 @@ commits = sum(1 for e in events if e["type"] == "commit")
 assert commits == cached["engine.steps_committed"], (commits, cached)
 PYEOF
 
+# Request-lifecycle tracing + explain: on a congested case every heuristic
+# leaves requests unsatisfied, each must carry a structured loss reason, and
+# datastage_explain must replay that reason from the trace alone.
+"$TOOLS_DIR/datastage_gen" --seed=7 --preset=congested --quiet \
+    --out="$WORK_DIR/congested.ds"
+for sched in partial/C4 full_one/C4 full_all/C4; do
+  name=$(echo "$sched" | tr '/' '_')
+  "$TOOLS_DIR/datastage_run" "$WORK_DIR/congested.ds" --scheduler="$sched" \
+      --trace-out="$WORK_DIR/$name.jsonl" > /dev/null
+  "$TOOLS_DIR/datastage_explain" "$WORK_DIR/$name.jsonl" --summary \
+      > "$WORK_DIR/$name.summary.txt"
+  grep -q "loss reason" "$WORK_DIR/$name.summary.txt"
+  # Pick one unsatisfied request from the trace; --request must show why.
+  python3 - "$WORK_DIR/$name.jsonl" > "$WORK_DIR/$name.lost" <<'PYEOF'
+import json, sys
+for line in open(sys.argv[1]):
+    e = json.loads(line)
+    if e.get("type") == "request" and not e["satisfied"] and "reason" in e:
+        print(e["item"], e["k"], e["reason"])
+        break
+else:
+    sys.exit("no unsatisfied request with a structured reason in the trace")
+PYEOF
+  read -r item k reason < "$WORK_DIR/$name.lost"
+  "$TOOLS_DIR/datastage_explain" "$WORK_DIR/$name.jsonl" \
+      --request="$item:$k" > "$WORK_DIR/$name.request.txt"
+  grep -q "$reason" "$WORK_DIR/$name.request.txt"
+done
+
+# Chrome trace export must be loadable Trace Event JSON, and
+# --metrics-format=openmetrics must produce a well-formed text exposition.
+"$TOOLS_DIR/datastage_run" "$WORK_DIR/case.ds" --scheduler=full_one/C4 \
+    --chrome-trace-out="$WORK_DIR/run.chrome.json" \
+    --metrics-out="$WORK_DIR/metrics.om" --metrics-format=openmetrics \
+    | grep -q "chrome trace written"
+grep -q "_total" "$WORK_DIR/metrics.om"
+grep -q "# EOF" "$WORK_DIR/metrics.om"
+python3 - "$WORK_DIR/run.chrome.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["displayTimeUnit"] == "ms", doc.keys()
+events = doc["traceEvents"]
+assert any(e["ph"] == "X" and e["pid"] == 1 for e in events), "no sim slices"
+for e in events:
+    assert {"name", "ph", "pid", "tid"} <= e.keys(), e
+    if e["ph"] != "M":
+        assert "ts" in e, e
+    if e["ph"] == "X":
+        assert "dur" in e, e
+PYEOF
+
+# benchdiff: a document diffed against itself is clean, a perturbed counter
+# trips the threshold (exit 1), and --warn-only downgrades that to exit 0.
+python3 - "$WORK_DIR/metrics.json" "$WORK_DIR/metrics_perturbed.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["counters"]["engine.tree_recomputes"] *= 10
+json.dump(doc, open(sys.argv[2], "w"))
+PYEOF
+"$TOOLS_DIR/datastage_benchdiff" "$WORK_DIR/metrics.json" "$WORK_DIR/metrics.json" \
+    > /dev/null
+status=0
+"$TOOLS_DIR/datastage_benchdiff" "$WORK_DIR/metrics.json" \
+    "$WORK_DIR/metrics_perturbed.json" > "$WORK_DIR/benchdiff.txt" || status=$?
+test "$status" -eq 1
+grep -q "engine.tree_recomputes" "$WORK_DIR/benchdiff.txt"
+"$TOOLS_DIR/datastage_benchdiff" "$WORK_DIR/metrics.json" \
+    "$WORK_DIR/metrics_perturbed.json" --warn-only > /dev/null
+
+# A bad output path must fail eagerly with exit 2 and name the path.
+for flag in --metrics-out --trace-out --chrome-trace-out; do
+  status=0
+  "$TOOLS_DIR/datastage_run" "$WORK_DIR/case.ds" --scheduler=full_one/C4 \
+      "$flag=$WORK_DIR/no-such-dir/out.file" \
+      > /dev/null 2> "$WORK_DIR/err.txt" || status=$?
+  test "$status" -eq 2
+  grep -q "no-such-dir" "$WORK_DIR/err.txt"
+done
+
 # Fault chain: seeded fault generation, replay + recovery under a fault
 # spec, and the fault-intensity sweep with its CSV.
 "$TOOLS_DIR/datastage_gen" --seed=5 --preset=light \

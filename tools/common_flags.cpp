@@ -1,14 +1,18 @@
 #include "common_flags.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 #include "harness/parallel.hpp"
+#include "obs/openmetrics.hpp"
 
 namespace datastage::toolflags {
 
 std::vector<std::string> with_common_flags(std::vector<std::string> extra) {
-  std::vector<std::string> names{"seed",     "weighting",   "jobs",
-                                 "paranoid", "metrics-out", "trace-out"};
+  std::vector<std::string> names{"seed",        "weighting",   "jobs",
+                                 "paranoid",    "metrics-out", "metrics-format",
+                                 "trace-out"};
   names.insert(names.end(), extra.begin(), extra.end());
   return names;
 }
@@ -32,18 +36,37 @@ std::size_t apply_jobs_flag(const CliFlags& flags) {
   return default_jobs();
 }
 
+bool open_output_file(std::ofstream& out, const std::string& path,
+                      const char* what) {
+  errno = 0;
+  out.open(path);
+  if (out.is_open()) return true;
+  const int err = errno;
+  std::fprintf(stderr, "cannot open %s %s: %s\n", what, path.c_str(),
+               err != 0 ? std::strerror(err) : "open failed");
+  return false;
+}
+
 bool Observability::open(const CliFlags& flags) {
   metrics_path_ = flags.get_string("metrics-out", "");
   trace_path_ = flags.get_string("trace-out", "");
+  const std::string format = flags.get_string("metrics-format", "json");
+  if (format == "openmetrics") {
+    openmetrics_ = true;
+  } else if (format != "json") {
+    std::fprintf(stderr, "unknown --metrics-format '%s' (use json or openmetrics)\n",
+                 format.c_str());
+    return false;
+  }
   active_ = !metrics_path_.empty() || !trace_path_.empty();
   if (!active_) return true;
   observer_.metrics = &registry_;
+  if (!metrics_path_.empty() &&
+      !open_output_file(metrics_file_, metrics_path_, "metrics file")) {
+    return false;
+  }
   if (!trace_path_.empty()) {
-    trace_file_.open(trace_path_);
-    if (!trace_file_) {
-      std::fprintf(stderr, "cannot open trace file %s\n", trace_path_.c_str());
-      return false;
-    }
+    if (!open_output_file(trace_file_, trace_path_, "trace file")) return false;
     run_trace_.emplace(trace_file_);
     observer_.trace = &*run_trace_;
   }
@@ -58,12 +81,16 @@ bool Observability::write_metrics() {
   if (metrics_path_.empty()) return true;
   phases_.export_gauges(registry_);
   obs::record_log_metrics(registry_);
-  std::ofstream out(metrics_path_);
-  if (!out) {
-    std::fprintf(stderr, "cannot open metrics file %s\n", metrics_path_.c_str());
+  if (openmetrics_) {
+    metrics_file_ << obs::to_openmetrics(registry_);
+  } else {
+    metrics_file_ << registry_.to_json() << '\n';
+  }
+  metrics_file_.flush();
+  if (!metrics_file_) {
+    std::fprintf(stderr, "cannot write metrics file %s\n", metrics_path_.c_str());
     return false;
   }
-  out << registry_.to_json() << '\n';
   return true;
 }
 

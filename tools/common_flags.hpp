@@ -12,13 +12,14 @@
 //   toolflags::apply_jobs_flag(flags);
 //
 // Flag semantics:
-//   --seed=N         base RNG seed (tool-specific default)
-//   --weighting=W    "1,10,100" (default) or "1,5,10"
-//   --jobs=N         worker threads for experiment fan-out (0/default:
-//                    hardware concurrency; output is jobs-independent)
-//   --paranoid       disable the engine's route-tree cache
-//   --metrics-out=F  write a JSON metrics document to F
-//   --trace-out=F    write a JSON-lines structured run trace to F
+//   --seed=N            base RNG seed (tool-specific default)
+//   --weighting=W       "1,10,100" (default) or "1,5,10"
+//   --jobs=N            worker threads for experiment fan-out (0/default:
+//                       hardware concurrency; output is jobs-independent)
+//   --paranoid          disable the engine's route-tree cache
+//   --metrics-out=F     write a metrics document to F
+//   --metrics-format=X  "json" (default) or "openmetrics" (Prometheus text)
+//   --trace-out=F       write a JSON-lines structured run trace to F
 #pragma once
 
 #include <cstdint>
@@ -51,8 +52,10 @@ std::size_t apply_jobs_flag(const CliFlags& flags);
 /// accessors nullptr) when neither flag was given.
 class Observability {
  public:
-  /// Opens the output files named by the flags. Returns false (with a
-  /// stderr message) when a file cannot be opened.
+  /// Opens every output file named by the flags — including --metrics-out,
+  /// eagerly, so a bad path (missing directory, unwritable file) fails the
+  /// run up front instead of after minutes of scheduling. Returns false with
+  /// a stderr message naming the path and the OS error; tools exit 2 on it.
   bool open(const CliFlags& flags);
 
   bool active() const { return active_; }
@@ -66,20 +69,30 @@ class Observability {
   const std::string& trace_path() const { return trace_path_; }
   std::uint64_t trace_events_written() const;
 
-  /// Exports phase gauges and log counters, then writes the JSON document to
-  /// --metrics-out. No-op (true) when that flag was absent; false with a
-  /// stderr message when the file cannot be written.
+  /// Exports phase gauges and log counters, then writes the metrics document
+  /// (JSON or OpenMetrics per --metrics-format) to the file opened by
+  /// open(). No-op (true) when --metrics-out was absent; false with a stderr
+  /// message when the write fails.
   bool write_metrics();
 
  private:
   bool active_ = false;
   std::string metrics_path_;
   std::string trace_path_;
+  bool openmetrics_ = false;
   obs::MetricsRegistry registry_;
   obs::PhaseTimer phases_;
+  std::ofstream metrics_file_;
   std::ofstream trace_file_;
   std::optional<obs::RunTrace> run_trace_;
   obs::RunObserver observer_;
 };
+
+/// Opens `path` for writing, eagerly. Returns false and prints a stderr
+/// message of the form "cannot open <what> <path>: <strerror>" on failure.
+/// Shared by Observability and the tools' own output files (--chrome-trace-out,
+/// schedule/scenario outputs) so every bad path fails the same way.
+bool open_output_file(std::ofstream& out, const std::string& path,
+                      const char* what);
 
 }  // namespace datastage::toolflags

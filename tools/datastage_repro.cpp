@@ -43,6 +43,13 @@ int main(int argc, char** argv) {
   config.seed = toolflags::seed_flag(flags, 2000);
   const std::string outdir = flags.get_string("outdir", "");
   const std::string metrics_out = flags.get_string("metrics-out", "");
+  // Open the metrics sink before the (long) experiment run: a bad path must
+  // fail the tool immediately, not after minutes of computation.
+  std::ofstream metrics_file;
+  if (!metrics_out.empty() &&
+      !toolflags::open_output_file(metrics_file, metrics_out, "metrics file")) {
+    return 2;
+  }
   if (!outdir.empty()) std::filesystem::create_directories(outdir);
   if (flags.get_bool("verbose", false)) set_log_level(LogLevel::kInfo);
   toolflags::apply_jobs_flag(flags);
@@ -132,12 +139,12 @@ int main(int argc, char** argv) {
                 table.to_text().c_str());
     if (!outdir.empty()) table.write_csv_file(csv_path(outdir, "engine_cost"));
     if (!metrics_out.empty()) {
-      std::ofstream out(metrics_out);
-      if (!out) {
-        std::fprintf(stderr, "cannot open metrics file %s\n", metrics_out.c_str());
-        return 1;
+      metrics_file << merged.to_json() << '\n';
+      metrics_file.flush();
+      if (!metrics_file) {
+        std::fprintf(stderr, "cannot write metrics file %s\n", metrics_out.c_str());
+        return 2;
       }
-      out << merged.to_json() << '\n';
       std::printf("(metrics JSON written to %s)\n\n", metrics_out.c_str());
     }
   }

@@ -35,9 +35,14 @@
 //   --paranoid         disable the engine's route-tree cache (recompute every
 //                      iteration; validates the cache against the paper's
 //                      literal procedure)
-//   --metrics-out=F    write a JSON metrics document (engine/net counters,
-//                      phase timings) to F
+//   --metrics-out=F    write a metrics document (engine/net counters, phase
+//                      timings) to F
+//   --metrics-format=X json (default) or openmetrics (Prometheus text)
 //   --trace-out=F      write a JSON-lines structured run trace to F
+// Tool-specific observability:
+//   --chrome-trace-out=F  write a Chrome Trace Event JSON file (per-link
+//                      occupancy in simulation time + wall-clock phase
+//                      slices) viewable in ui.perfetto.dev
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -56,6 +61,7 @@
 #include "harness/sweep.hpp"
 #include "model/fault_io.hpp"
 #include "model/scenario_io.hpp"
+#include "obs/chrome_trace.hpp"
 #include "obs/observer.hpp"
 #include "sim/fault_replay.hpp"
 #include "sim/simulator.hpp"
@@ -154,7 +160,7 @@ int main(int argc, char** argv) {
   CliFlags flags;
   const std::vector<std::string> known = toolflags::with_common_flags(
       {"scheduler", "ratio", "report", "trace", "save", "width", "sweep", "csv",
-       "faults", "fault-sweep", "fault-seed"});
+       "faults", "fault-sweep", "fault-seed", "chrome-trace-out"});
   if (!flags.parse(argc, argv, known)) return 1;
   if (flags.positional().size() != 1) {
     std::fprintf(stderr, "usage: datastage_run <scenario-file> [flags]\n");
@@ -162,7 +168,14 @@ int main(int argc, char** argv) {
   }
 
   toolflags::Observability observability;
-  if (!observability.open(flags)) return 1;
+  if (!observability.open(flags)) return 2;
+  const std::string chrome_trace_path = flags.get_string("chrome-trace-out", "");
+  std::ofstream chrome_trace_file;
+  if (!chrome_trace_path.empty() &&
+      !toolflags::open_output_file(chrome_trace_file, chrome_trace_path,
+                                   "chrome trace file")) {
+    return 2;
+  }
   obs::PhaseTimer* timing = observability.phases();
 
   std::string error;
@@ -308,6 +321,21 @@ int main(int argc, char** argv) {
   if (!save.empty()) {
     save_schedule(save, result.schedule);
     std::printf("schedule written to %s\n", save.c_str());
+  }
+
+  if (!chrome_trace_path.empty()) {
+    obs::ChromeTraceOptions chrome;
+    chrome.outcomes = &result.outcomes;
+    chrome.phases = timing;
+    chrome_trace_file << obs::chrome_trace_json(*scenario, result.schedule, chrome)
+                      << '\n';
+    chrome_trace_file.flush();
+    if (!chrome_trace_file) {
+      std::fprintf(stderr, "cannot write chrome trace file %s\n",
+                   chrome_trace_path.c_str());
+      return 2;
+    }
+    std::printf("chrome trace written to %s\n", chrome_trace_path.c_str());
   }
 
   if (!observability.metrics_path().empty()) {

@@ -390,6 +390,69 @@ void check_using_namespace(const ScanFile& f, const std::vector<std::string_view
   }
 }
 
+// DS009: every string literal passed to RunTrace::event must appear in the
+// central registry src/obs/event_names.hpp. The registry is read from the
+// scanned tree itself (so the self-test fixtures carry their own mirror) and
+// its vocabulary is simply every string literal in that header.
+fs::path g_scan_root;  // set in main before any scan
+
+std::set<std::string> extract_string_literals(const FileViews& views) {
+  std::set<std::string> out;
+  for (std::size_t i = 0; i < views.code.size(); ++i) {
+    const std::string& code = views.code[i];
+    std::size_t pos = 0;
+    while ((pos = code.find('"', pos)) != std::string::npos) {
+      const std::size_t close = code.find('"', pos + 1);
+      if (close == std::string::npos) break;
+      out.insert(views.strings[i].substr(pos + 1, close - pos - 1));
+      pos = close + 1;
+    }
+  }
+  return out;
+}
+
+const std::set<std::string>& registered_event_names() {
+  static std::set<std::string> names;
+  static bool loaded = false;
+  if (!loaded) {
+    loaded = true;
+    std::ifstream in(g_scan_root / "src/obs/event_names.hpp", std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      names = extract_string_literals(preprocess(buf.str()));
+    }
+  }
+  return names;
+}
+
+void check_event_names(const ScanFile& f, const std::vector<std::string_view>&,
+                       Emit emit, void* ctx) {
+  const std::set<std::string>& registered = registered_event_names();
+  if (registered.empty()) return;  // tree has no registry header — nothing to check
+  static const std::string kCall = "event(";
+  for (std::size_t i = 0; i < f.views.code.size(); ++i) {
+    const std::string& code = f.views.code[i];
+    for (std::size_t pos = code.find(kCall); pos != std::string::npos;
+         pos = code.find(kCall, pos + 1)) {
+      if (pos > 0 && is_ident_char(code[pos - 1])) continue;  // on_event(, append_event(
+      std::size_t q = pos + kCall.size();
+      while (q < code.size() && code[q] == ' ') ++q;
+      // Only literal arguments are checked; a variable or constant argument
+      // got its value from a literal that is checked where it is written.
+      if (q >= code.size() || code[q] != '"') continue;
+      const std::size_t close = code.find('"', q + 1);
+      if (close == std::string::npos) continue;
+      const std::string name = f.views.strings[i].substr(q + 1, close - q - 1);
+      if (registered.count(name) == 0) {
+        emit(ctx, i,
+             "unregistered trace event name '" + name +
+                 "' — add it to src/obs/event_names.hpp");
+      }
+    }
+  }
+}
+
 // Per-rule path scoping: returns true when `rule_id` applies to `f`.
 bool rule_applies(const std::string& rule_id, const ScanFile& f) {
   if (rule_id == "DS007" || rule_id == "DS008") return true;  // hygiene: everywhere
@@ -459,6 +522,14 @@ std::vector<Rule> build_registry() {
                    "A using-directive in a header changes name lookup for every "
                    "includer.",
                    check_using_namespace,
+                   {}});
+  rules.push_back({"DS009", "registered trace event names",
+                   "Run-trace event names are a vocabulary shared with "
+                   "datastage_explain and the trace tests; every literal passed "
+                   "to RunTrace::event must be listed in src/obs/event_names.hpp "
+                   "so a typo fails lint instead of silently forking the "
+                   "schema.",
+                   check_event_names,
                    {}});
   return rules;
 }
@@ -671,6 +742,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  g_scan_root = root;  // DS009 reads the event-name registry from the tree
   ScanResult result = scan_tree(root, rules);
   if (self_test) return run_self_test(result);
   if (json) {

@@ -1,0 +1,19 @@
+// Fixture: DS009 — trace event literals must come from the central registry
+// (here the fixture mirror registers only "commit" and "round").
+// This file is lint self-test data, never compiled.
+#include "obs/event_names.hpp"
+
+struct Trace {
+  int event(const char* name);
+  int on_event(const char* name);
+};
+
+int emit_events(Trace& trace, const char* dynamic_name) {
+  int n = trace.event("commit");      // registered: not flagged
+  n += trace.event( "round" );        // registered, spaces around literal: not flagged
+  n += trace.event("comitted");  // ds-lint-expect: DS009
+  n += trace.event("rounds");    // ds-lint-expect: DS009
+  n += trace.event(dynamic_name);         // non-literal argument: not checked
+  n += trace.on_event("not_an_emitter");  // different identifier: not checked
+  return n;
+}

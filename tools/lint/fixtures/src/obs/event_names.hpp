@@ -1,0 +1,12 @@
+// Fixture mirror of the trace event-name registry. DS009 extracts the string
+// literals from <root>/src/obs/event_names.hpp, so the self-test tree carries
+// its own tiny vocabulary: "commit" and "round" are registered, nothing else.
+// This file is lint self-test data, never compiled.
+#pragma once
+
+namespace fixture::events {
+
+inline constexpr const char* kCommit = "commit";
+inline constexpr const char* kRound = "round";
+
+}  // namespace fixture::events
