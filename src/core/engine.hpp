@@ -70,6 +70,48 @@ struct EngineOptions {
   obs::RunObserver* observer = nullptr;
 };
 
+/// Fluent construction of EngineOptions, so every call site wires weighting,
+/// criterion, guard, paranoid mode and observability the same way instead of
+/// mutating a default-constructed struct field by field. Tools should prefer
+/// toolflags::make_engine_options, which layers flag parsing on top.
+///
+///   EngineOptions options = EngineOptionsBuilder()
+///                               .weighting(PriorityWeighting::w_1_5_10())
+///                               .criterion(CostCriterion::kC1)
+///                               .observer(&observer)
+///                               .build();
+class EngineOptionsBuilder {
+ public:
+  EngineOptionsBuilder& weighting(const PriorityWeighting& weighting) {
+    options_.weighting = weighting;
+    return *this;
+  }
+  EngineOptionsBuilder& criterion(CostCriterion criterion) {
+    options_.criterion = criterion;
+    return *this;
+  }
+  EngineOptionsBuilder& eu(const EUWeights& eu) {
+    options_.eu = eu;
+    return *this;
+  }
+  EngineOptionsBuilder& paranoid(bool paranoid = true) {
+    options_.paranoid = paranoid;
+    return *this;
+  }
+  EngineOptionsBuilder& max_iterations(std::size_t max_iterations) {
+    options_.max_iterations = max_iterations;
+    return *this;
+  }
+  EngineOptionsBuilder& observer(obs::RunObserver* observer) {
+    options_.observer = observer;
+    return *this;
+  }
+  EngineOptions build() const { return options_; }
+
+ private:
+  EngineOptions options_;
+};
+
 /// A valid next communication step: move `item` over `hop` (the shared first
 /// hop of the grouped destinations' shortest paths). For per-destination
 /// criteria (C1, priority_only) the group contains exactly one destination.

@@ -1,0 +1,55 @@
+#include "dynamic/events.hpp"
+
+#include <algorithm>
+
+namespace datastage {
+
+int staging_event_rank(const StagingEventBody& body) {
+  if (std::holds_alternative<LinkRestoreEvent>(body)) return 0;
+  if (std::holds_alternative<LinkOutageEvent>(body)) return 1;
+  if (std::holds_alternative<LinkDegradeEvent>(body)) return 2;
+  if (std::holds_alternative<CopyLossEvent>(body)) return 3;
+  if (std::holds_alternative<NewItemEvent>(body)) return 4;
+  if (std::holds_alternative<NewRequestEvent>(body)) return 5;
+  return 6;  // CancelRequestEvent
+}
+
+std::pair<std::int32_t, std::string> staging_event_tie_key(
+    const StagingEventBody& body) {
+  if (const auto* restore = std::get_if<LinkRestoreEvent>(&body)) {
+    return {restore->link.value(), {}};
+  }
+  if (const auto* outage = std::get_if<LinkOutageEvent>(&body)) {
+    return {outage->link.value(), {}};
+  }
+  if (const auto* degrade = std::get_if<LinkDegradeEvent>(&body)) {
+    return {degrade->link.value(), {}};
+  }
+  if (const auto* loss = std::get_if<CopyLossEvent>(&body)) {
+    return {loss->machine.value(), loss->item_name};
+  }
+  if (const auto* item = std::get_if<NewItemEvent>(&body)) {
+    return {0, item->item.name};
+  }
+  if (const auto* request = std::get_if<NewRequestEvent>(&body)) {
+    return {request->request.destination.value(), request->item_name};
+  }
+  const auto& cancel = std::get<CancelRequestEvent>(body);
+  return {cancel.destination.value(), cancel.item_name};
+}
+
+bool staging_event_before(const StagingEvent& a, const StagingEvent& b) {
+  if (a.at != b.at) return a.at < b.at;
+  const int ra = staging_event_rank(a.body);
+  const int rb = staging_event_rank(b.body);
+  if (ra != rb) return ra < rb;
+  return staging_event_tie_key(a.body) < staging_event_tie_key(b.body);
+}
+
+void sort_staging_events(std::vector<StagingEvent>& events) {
+  // stable_sort: events fully tied on (time, rank, key) keep their input
+  // order, so the stream is deterministic on every platform.
+  std::stable_sort(events.begin(), events.end(), staging_event_before);
+}
+
+}  // namespace datastage

@@ -7,8 +7,11 @@
 // information and triggers a replan of everything not yet committed.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <variant>
+#include <vector>
 
 #include "model/scenario.hpp"
 #include "util/ids.hpp"
@@ -58,13 +61,46 @@ struct CopyLossEvent {
   MachineId machine;
 };
 
+/// An outstanding request (`item_name`, `destination`) is withdrawn: its
+/// transfers-to-come are abandoned at the next replan and the request is
+/// closed as cancelled (never satisfied). Cancelling an already-resolved or
+/// unknown request is a no-op.
+struct CancelRequestEvent {
+  std::string item_name;
+  MachineId destination;
+};
+
 using StagingEventBody =
     std::variant<NewItemEvent, NewRequestEvent, LinkOutageEvent, LinkRestoreEvent,
-                 LinkDegradeEvent, CopyLossEvent>;
+                 LinkDegradeEvent, CopyLossEvent, CancelRequestEvent>;
 
 struct StagingEvent {
   SimTime at;
   StagingEventBody body;
 };
+
+/// Total tie order for events at equal timestamps. Fault events sort before
+/// arrival events: a restore must precede a new outage so a link is never
+/// "down twice", losses destroy copies delivered at the same instant (the
+/// stager's own convention) — and a submit at time t must see the post-fault
+/// world, so NewItem/NewRequest rank after every fault and cancels come last
+/// (a same-instant submit+cancel pair nets out to a cancelled request).
+/// Ranks: restore=0 < outage=1 < degrade=2 < copy_loss=3 < new_item=4 <
+/// new_request=5 < cancel=6.
+int staging_event_rank(const StagingEventBody& body);
+
+/// Secondary tie key after rank: (numeric id, name) — link id for link
+/// events, machine id + item name for copy losses and request events, item
+/// name alone for new items. Events fully tied on (time, rank, key) keep
+/// their input order under sort_staging_events (stable sort).
+std::pair<std::int32_t, std::string> staging_event_tie_key(
+    const StagingEventBody& body);
+
+/// The comparator behind every deterministic event stream: orders by time,
+/// then staging_event_rank, then staging_event_tie_key.
+bool staging_event_before(const StagingEvent& a, const StagingEvent& b);
+
+/// Stable-sorts `events` with staging_event_before.
+void sort_staging_events(std::vector<StagingEvent>& events);
 
 }  // namespace datastage

@@ -1,38 +1,10 @@
 #include "dynamic/fault_events.hpp"
 
 #include <algorithm>
-#include <string>
 
 #include "util/interval.hpp"
 
 namespace datastage {
-namespace {
-
-// Tie rank at equal timestamps: a restore must precede a new outage so a
-// link is never "down twice"; losses come last so a copy delivered at t is
-// destroyed by a loss at t (the stager's own convention).
-int rank(const StagingEventBody& body) {
-  if (std::holds_alternative<LinkRestoreEvent>(body)) return 0;
-  if (std::holds_alternative<LinkOutageEvent>(body)) return 1;
-  if (std::holds_alternative<LinkDegradeEvent>(body)) return 2;
-  return 3;  // CopyLossEvent
-}
-
-std::pair<std::int32_t, std::string> key(const StagingEventBody& body) {
-  if (const auto* restore = std::get_if<LinkRestoreEvent>(&body)) {
-    return {restore->link.value(), {}};
-  }
-  if (const auto* outage = std::get_if<LinkOutageEvent>(&body)) {
-    return {outage->link.value(), {}};
-  }
-  if (const auto* degrade = std::get_if<LinkDegradeEvent>(&body)) {
-    return {degrade->link.value(), {}};
-  }
-  const auto& loss = std::get<CopyLossEvent>(body);
-  return {loss.machine.value(), loss.item_name};
-}
-
-}  // namespace
 
 std::vector<StagingEvent> fault_events(const FaultSpec& faults) {
   std::vector<StagingEvent> events;
@@ -66,14 +38,10 @@ std::vector<StagingEvent> fault_events(const FaultSpec& faults) {
         StagingEvent{loss.at, CopyLossEvent{loss.item_name, loss.machine}});
   }
 
-  // stable_sort: events fully tied on (time, rank, key) keep the spec's
-  // order, so the stream is deterministic on every platform.
-  std::stable_sort(events.begin(), events.end(),
-            [](const StagingEvent& a, const StagingEvent& b) {
-              if (a.at != b.at) return a.at < b.at;
-              if (rank(a.body) != rank(b.body)) return rank(a.body) < rank(b.body);
-              return key(a.body) < key(b.body);
-            });
+  // The shared total order (dynamic/events.hpp): restores before outages
+  // before degrades before losses, then link id / (machine, item) key;
+  // fully-tied events keep the spec's order.
+  sort_staging_events(events);
   return events;
 }
 

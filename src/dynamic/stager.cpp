@@ -429,6 +429,35 @@ void DynamicStager::on_event(const StagingEvent& event) {
           .field("item", loss->item_name)
           .field("machine", loss->machine.value());
     }
+  } else if (const auto* cancel = std::get_if<CancelRequestEvent>(&event.body)) {
+    // Withdraw the most recently added outstanding request for this (item,
+    // destination). Cancelling an unknown or already-resolved request is a
+    // no-op — the caller raced a delivery, and the delivered outcome stands.
+    TrackedRequest* target = nullptr;
+    if (TrackedItem* item = find_item(cancel->item_name)) {
+      for (TrackedRequest& tracked : item->requests) {
+        if (tracked.request.destination == cancel->destination &&
+            !tracked.resolved) {
+          target = &tracked;
+        }
+      }
+    }
+    if (target != nullptr) {
+      target->resolved = true;
+      target->satisfied = false;
+      target->cancelled = true;
+      target->arrival = SimTime::infinity();
+      bump("dynamic.cancels");
+    } else {
+      bump("dynamic.cancel_noops");
+    }
+    if (trace() != nullptr) {
+      trace()->event("cancel")
+          .field("t_usec", now_.usec())
+          .field("item", cancel->item_name)
+          .field("dest", cancel->destination.value())
+          .field("outstanding", target != nullptr);
+    }
   }
 
   replan();
@@ -460,6 +489,7 @@ void DynamicStager::apply_copy_loss(TrackedItem& item, MachineId machine) {
   // feasibility — an infeasible re-delivery simply stays unsatisfied.
   for (TrackedRequest& tracked : item.requests) {
     if (tracked.request.destination != machine || !tracked.resolved) continue;
+    if (tracked.cancelled) continue;  // cancellation is final
     if (tracked.request.deadline < now_) continue;
     tracked.resolved = false;
     tracked.satisfied = false;
@@ -577,6 +607,57 @@ DynamicStager::TrackedItem* DynamicStager::find_item(const std::string& name) {
   return nullptr;
 }
 
+const DynamicStager::TrackedItem* DynamicStager::find_item(
+    const std::string& name) const {
+  for (const TrackedItem& item : items_) {
+    if (item.name == name) return &item;
+  }
+  return nullptr;
+}
+
+DynamicRequestStatus DynamicStager::request_status(
+    const std::string& item_name, MachineId destination) const {
+  const TrackedItem* item = find_item(item_name);
+  if (item == nullptr) return DynamicRequestStatus::kUnknown;
+  // The most recently added request for this destination wins: re-submitting
+  // after a cancel or an unsatisfied close starts a fresh lifecycle.
+  const TrackedRequest* latest = nullptr;
+  for (const TrackedRequest& tracked : item->requests) {
+    if (tracked.request.destination == destination) latest = &tracked;
+  }
+  if (latest == nullptr) return DynamicRequestStatus::kUnknown;
+  if (latest->cancelled) return DynamicRequestStatus::kCancelled;
+  if (!latest->resolved) return DynamicRequestStatus::kPending;
+  return latest->satisfied ? DynamicRequestStatus::kSatisfied
+                           : DynamicRequestStatus::kUnsatisfied;
+}
+
+SimTime DynamicStager::planned_arrival(const std::string& item_name,
+                                       MachineId destination) const {
+  const TrackedItem* item = find_item(item_name);
+  if (item == nullptr) return SimTime::infinity();
+  SimTime earliest = SimTime::infinity();
+  // A closed request already knows its arrival; an outstanding one is served
+  // by the earliest committed or planned step landing at the destination.
+  for (const TrackedRequest& tracked : item->requests) {
+    if (tracked.request.destination == destination) {
+      earliest = min(earliest, tracked.arrival);
+    }
+  }
+  const ItemId id(static_cast<std::int32_t>(item - items_.data()));
+  for (const PlannedStep& planned : committed_) {
+    if (planned.step.item == id && planned.step.to == destination) {
+      earliest = min(earliest, planned.step.arrival);
+    }
+  }
+  for (const PlannedStep& planned : plan_) {
+    if (planned.step.item == id && planned.step.to == destination) {
+      earliest = min(earliest, planned.step.arrival);
+    }
+  }
+  return earliest;
+}
+
 DynamicResult DynamicStager::finish() {
   DS_ASSERT(!finished_);
   finished_ = true;
@@ -613,6 +694,7 @@ DynamicResult DynamicStager::finish() {
       record.deadline = tracked.request.deadline;
       record.priority = tracked.request.priority;
       record.satisfied = tracked.satisfied;
+      record.cancelled = tracked.cancelled;
       record.arrival = tracked.arrival;
       result.requests.push_back(std::move(record));
       if (tracked.requeued && tracked.satisfied && trace() != nullptr) {

@@ -47,7 +47,20 @@ struct DynamicRequestRecord {
   SimTime deadline;
   Priority priority = kPriorityLow;
   bool satisfied = false;
+  /// Withdrawn by a CancelRequestEvent before it was resolved; never counts
+  /// as satisfied.
+  bool cancelled = false;
   SimTime arrival = SimTime::infinity();
+};
+
+/// Lifecycle state of one (item, destination) request as seen by queries
+/// while the run is still in progress.
+enum class DynamicRequestStatus {
+  kUnknown,      ///< no such request was ever tracked
+  kPending,      ///< outstanding: the stager is still trying to deliver it
+  kSatisfied,    ///< closed with an on-time arrival
+  kUnsatisfied,  ///< closed without an on-time arrival
+  kCancelled,    ///< withdrawn via CancelRequestEvent
 };
 
 struct DynamicResult {
@@ -80,8 +93,34 @@ class DynamicStager {
   /// request. The merged schedule replays cleanly against it.
   Scenario effective_scenario() const;
 
+  /// The open residual problem at `now()`: remaining link availability
+  /// (outages and announced degradations applied), surviving copies as
+  /// sources, outstanding requests only. This is the world an admission
+  /// estimate must reason about — a request infeasible here is infeasible,
+  /// full stop (core::quick_admission_estimate builds on it).
+  Scenario residual_scenario() const;
+
+  /// True when the stager tracks an item of this name (injecting a
+  /// NewRequestEvent for an unknown item is a contract violation).
+  bool has_item(const std::string& item_name) const {
+    return find_item(item_name) != nullptr;
+  }
+
+  /// Status of the most recently added request for (item, destination);
+  /// kUnknown when no such request was ever tracked.
+  DynamicRequestStatus request_status(const std::string& item_name,
+                                      MachineId destination) const;
+
+  /// Earliest arrival at which the committed + currently planned schedule
+  /// delivers `item_name` to `destination` (the resolved arrival for closed
+  /// requests); infinity when nothing is scheduled to arrive there.
+  SimTime planned_arrival(const std::string& item_name,
+                          MachineId destination) const;
+
   SimTime now() const { return now_; }
   std::size_t replans() const { return replans_; }
+  std::size_t committed_step_count() const { return committed_.size(); }
+  std::size_t planned_step_count() const { return plan_.size(); }
 
  private:
   struct TrackedRequest {
@@ -92,6 +131,9 @@ class DynamicStager {
     /// A fault un-resolved this request at least once (in-flight failure or
     /// copy loss). Requeued-then-satisfied requests emit request_recovered.
     bool requeued = false;
+    /// Withdrawn via CancelRequestEvent (implies resolved, never satisfied);
+    /// cancellation is final — faults cannot re-open a cancelled request.
+    bool cancelled = false;
   };
 
   /// A copy-loss fault that destroyed a copy at `machine` at time `at`.
@@ -151,7 +193,6 @@ class DynamicStager {
   /// and destinations that received the item.
   bool copy_is_permanent(const TrackedItem& item, const Copy& copy) const;
   void run_garbage_collection();
-  Scenario residual_scenario() const;
   void replan();
   /// `reason` labels the requeue trace events ("link_outage"/"link_degrade").
   void fail_in_flight(PhysLinkId link, const char* reason);
@@ -162,6 +203,7 @@ class DynamicStager {
   /// after in-flight failures, which can invalidate incremental bookkeeping.
   void rebuild_copies(ItemId item);
   TrackedItem* find_item(const std::string& name);
+  const TrackedItem* find_item(const std::string& name) const;
 
   // --- immutable world structure ---
   Scenario base_;  ///< machines, phys links, ORIGINAL windows, gamma, horizon

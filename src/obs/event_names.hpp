@@ -27,18 +27,26 @@ inline constexpr std::string_view kRequestSatisfied = "request_satisfied";
 inline constexpr std::string_view kRound = "round";
 
 // Dynamic stager (src/dynamic/stager.cpp).
+inline constexpr std::string_view kCancel = "cancel";
 inline constexpr std::string_view kFault = "fault";
 inline constexpr std::string_view kReplan = "replan";
 inline constexpr std::string_view kRequestRecovered = "request_recovered";
 inline constexpr std::string_view kRequeue = "requeue";
 
+// Serving (src/serve/scheduler_service.cpp).
+inline constexpr std::string_view kAdmission = "admission";
+
+// Tools (tools/datastage_gen.cpp).
+inline constexpr std::string_view kGenerate = "generate";
+
 /// Every registered name, sorted — the vocabulary `datastage_explain`
 /// understands and the trace tests check against.
-inline constexpr std::array<std::string_view, 14> kAllEventNames = {
-    kCommit,          kFault,           kFinish,           kGuardTrip,
-    kInvalidate,      kRecompute,       kReplan,           kRequest,
-    kRequestLost,     kRequestRecovered, kRequestRevived,  kRequestSatisfied,
-    kRequeue,         kRound,
+inline constexpr std::array<std::string_view, 17> kAllEventNames = {
+    kAdmission,       kCancel,          kCommit,           kFault,
+    kFinish,          kGenerate,        kGuardTrip,        kInvalidate,
+    kRecompute,       kReplan,          kRequest,          kRequestLost,
+    kRequestRecovered, kRequestRevived, kRequestSatisfied, kRequeue,
+    kRound,
 };
 
 }  // namespace datastage::obs::events

@@ -1,0 +1,80 @@
+#include "serve/admission.hpp"
+
+#include <array>
+
+#include "net/network_state.hpp"
+#include "net/storage_timeline.hpp"
+#include "net/topology.hpp"
+#include "routing/dijkstra.hpp"
+#include "util/ids.hpp"
+
+namespace datastage {
+
+QuickEstimate quick_admission_estimate(const Scenario& residual,
+                                       const std::string& item_name,
+                                       const Request& request,
+                                       const PriorityWeighting& weighting) {
+  QuickEstimate estimate;
+  estimate.value = weighting.weight(request.priority);
+
+  ItemId item = ItemId::invalid();
+  for (std::size_t i = 0; i < residual.items.size(); ++i) {
+    if (residual.items[i].name == item_name) {
+      item = ItemId(static_cast<std::int32_t>(i));
+      break;
+    }
+  }
+  if (!item.valid()) return estimate;
+  bool has_copy = false;
+  for (const SourceLocation& src : residual.item(item).sources) {
+    if (!src.hold_window().empty()) has_copy = true;
+  }
+  if (!has_copy) return estimate;
+
+  // One deadline-pruned Dijkstra, stopping as soon as the destination
+  // settles. The pristine NetworkState charges only the residual's copies —
+  // the "alone in the system" relaxation.
+  const Topology topology(residual);
+  const NetworkState pristine(residual);
+  DijkstraOptions options;
+  options.prune_after = request.deadline;
+  const std::array<MachineId, 1> targets{request.destination};
+  options.targets = targets;
+  const RouteTree tree = compute_route_tree(pristine, topology, item, options);
+
+  if (tree.reached(request.destination) &&
+      tree.arrival(request.destination) <= request.deadline) {
+    estimate.feasible = true;
+    estimate.earliest_arrival = tree.arrival(request.destination);
+  }
+  return estimate;
+}
+
+bool new_item_sources_fit(const Scenario& residual, const DataItem& item) {
+  // Rebuild the storage charge of every residual copy, then try the new
+  // item's copies on top. New source copies hold forever (they are original
+  // sources of their item), so the fit check uses an infinite hold window.
+  std::vector<StorageTimeline> charge;
+  charge.reserve(residual.machine_count());
+  for (const Machine& machine : residual.machines) {
+    charge.emplace_back(machine.capacity_bytes);
+  }
+  for (const DataItem& existing : residual.items) {
+    for (const SourceLocation& src : existing.sources) {
+      const Interval hold = src.hold_window();
+      if (hold.empty()) continue;
+      if (!charge[src.machine.index()].fits(existing.size_bytes, hold)) {
+        return false;  // the residual itself is over capacity: refuse
+      }
+      charge[src.machine.index()].allocate(existing.size_bytes, hold);
+    }
+  }
+  for (const SourceLocation& src : item.sources) {
+    const Interval hold{src.available_at, SimTime::infinity()};
+    if (!charge[src.machine.index()].fits(item.size_bytes, hold)) return false;
+    charge[src.machine.index()].allocate(item.size_bytes, hold);
+  }
+  return true;
+}
+
+}  // namespace datastage

@@ -1,0 +1,306 @@
+#include "serve/scheduler_service.hpp"
+
+#include <utility>
+
+#include "obs/event_names.hpp"
+#include "obs/observer.hpp"
+#include "serve/admission.hpp"
+#include "util/assert.hpp"
+
+namespace datastage {
+
+namespace {
+
+/// Latency histogram bounds in microseconds: sub-millisecond buckets for the
+/// quick path, up to a second for heavyweight replans.
+std::vector<double> decision_usec_bounds() {
+  return {50.0,    100.0,   250.0,   500.0,    1000.0,    2500.0,   5000.0,
+          10000.0, 25000.0, 50000.0, 100000.0, 250000.0, 1000000.0};
+}
+
+}  // namespace
+
+const char* admission_outcome_name(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kAdmitted:
+      return "admitted";
+    case AdmissionOutcome::kAlreadySatisfied:
+      return "already_satisfied";
+    case AdmissionOutcome::kQuickReject:
+      return "quick_reject";
+    case AdmissionOutcome::kFullReject:
+      return "full_reject";
+  }
+  return "unknown";
+}
+
+SchedulerService::SchedulerService(Scenario initial, ServiceOptions options)
+    : stager_(initial, options.spec, options.engine),
+      spec_(options.spec),
+      engine_(options.engine),
+      latency_budget_usec_(options.latency_budget_usec),
+      quick_admission_(options.quick_admission),
+      weighting_(options.engine.weighting),
+      fault_events_(std::move(options.fault_events)) {
+  sort_staging_events(fault_events_);
+  for (const StagingEvent& event : fault_events_) {
+    DS_ASSERT_MSG(!std::holds_alternative<NewItemEvent>(event.body) &&
+                      !std::holds_alternative<NewRequestEvent>(event.body) &&
+                      !std::holds_alternative<CancelRequestEvent>(event.body),
+                  "service fault stream must hold fault events only; requests "
+                  "go through submit()/cancel()");
+  }
+  // The initial scenario's batch requests are the ledger's time-zero cohort:
+  // they were "admitted" by accepting the scenario.
+  for (const DataItem& item : initial.items) {
+    for (const Request& request : item.requests) {
+      ledger_.push_back({item.name, request.destination, request.deadline,
+                         request.priority});
+    }
+  }
+}
+
+void SchedulerService::bump(const char* counter) const {
+  if (engine_.observer != nullptr && engine_.observer->metrics != nullptr) {
+    engine_.observer->metrics->counter(counter).inc();
+  }
+}
+
+obs::RunTrace* SchedulerService::trace() const {
+  return engine_.observer != nullptr ? engine_.observer->trace : nullptr;
+}
+
+void SchedulerService::record_latency(std::int64_t nanos) const {
+  if (engine_.observer == nullptr || engine_.observer->metrics == nullptr) {
+    return;
+  }
+  const double usec = static_cast<double>(nanos) / 1000.0;
+  engine_.observer->metrics
+      ->histogram("admission.decision_usec", decision_usec_bounds())
+      .observe(usec);
+  if (latency_budget_usec_ > 0 &&
+      usec > static_cast<double>(latency_budget_usec_)) {
+    engine_.observer->metrics->counter("admission.budget_overruns").inc();
+  }
+}
+
+void SchedulerService::drain_faults_and_advance(SimTime t) {
+  while (next_fault_ < fault_events_.size() &&
+         fault_events_[next_fault_].at <= t) {
+    stager_.on_event(fault_events_[next_fault_]);
+    ++next_fault_;
+  }
+  if (t > stager_.now()) stager_.advance_to(t);
+}
+
+double SchedulerService::committed_value() const {
+  double value = 0.0;
+  for (const AdmittedRequest& admitted : ledger_) {
+    switch (stager_.request_status(admitted.item_name, admitted.destination)) {
+      case DynamicRequestStatus::kSatisfied:
+        value += weighting_.weight(admitted.priority);
+        break;
+      case DynamicRequestStatus::kPending: {
+        const SimTime arrival =
+            stager_.planned_arrival(admitted.item_name, admitted.destination);
+        if (!arrival.is_infinite() && arrival <= admitted.deadline) {
+          value += weighting_.weight(admitted.priority);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return value;
+}
+
+AdmissionDecision SchedulerService::submit(const SubmitRequest& submit) {
+  DS_ASSERT_MSG(!finished_, "submit after finish");
+  DS_ASSERT_MSG(submit.at >= now(), "submits must arrive in time order");
+  const std::int64_t start_nanos = steady_clock_nanos();
+  drain_faults_and_advance(submit.at);
+
+  AdmissionDecision decision;
+  ++counts_.submits;
+  bump("admission.submits");
+
+  // Stage 1: quick estimate on the residual world. For a brand-new item the
+  // estimate runs with the item appended to the residual; a quick reject then
+  // simply never introduces it.
+  if (quick_admission_) {
+    decision.quick_checked = true;
+    bump("admission.quick_checks");
+    Scenario residual = stager_.residual_scenario();
+    if (submit.new_item.has_value()) {
+      DataItem probe = *submit.new_item;
+      probe.requests.clear();
+      residual.items.push_back(std::move(probe));
+    }
+    const QuickEstimate estimate = quick_admission_estimate(
+        residual, submit.item_name, submit.request, weighting_);
+    decision.quick_feasible = estimate.feasible;
+    decision.quick_arrival = estimate.earliest_arrival;
+    if (!estimate.feasible) {
+      decision.outcome = AdmissionOutcome::kQuickReject;
+      ++counts_.quick_rejects;
+      bump("admission.quick_rejects");
+      finish_decision(decision, submit, start_nanos);
+      return decision;
+    }
+  }
+
+  // Stage 2: inject the request and let the stager replan the residual.
+  const std::size_t replans_before = stager_.replans();
+  if (submit.new_item.has_value()) {
+    DataItem item = *submit.new_item;
+    item.requests.clear();
+    stager_.on_event({submit.at, NewItemEvent{std::move(item)}});
+  }
+  stager_.on_event(
+      {submit.at, NewRequestEvent{submit.item_name, submit.request}});
+
+  switch (stager_.request_status(submit.item_name,
+                                 submit.request.destination)) {
+    case DynamicRequestStatus::kSatisfied:
+      // Resolved instantly: the destination already held a usable copy.
+      decision.outcome = AdmissionOutcome::kAlreadySatisfied;
+      decision.planned_arrival =
+          stager_.planned_arrival(submit.item_name, submit.request.destination);
+      ++counts_.admitted;
+      ++counts_.already_satisfied;
+      bump("admission.admitted");
+      bump("admission.already_satisfied");
+      ledger_.push_back({submit.item_name, submit.request.destination,
+                         submit.request.deadline, submit.request.priority});
+      break;
+    case DynamicRequestStatus::kPending: {
+      const SimTime arrival =
+          stager_.planned_arrival(submit.item_name, submit.request.destination);
+      if (!arrival.is_infinite() && arrival <= submit.request.deadline) {
+        decision.outcome = AdmissionOutcome::kAdmitted;
+        decision.planned_arrival = arrival;
+        ++counts_.admitted;
+        bump("admission.admitted");
+        ledger_.push_back({submit.item_name, submit.request.destination,
+                           submit.request.deadline, submit.request.priority});
+        break;
+      }
+      // The full replan cannot meet the deadline: withdraw the request at
+      // the same instant so a reject leaves no outstanding work behind.
+      stager_.on_event({submit.at, CancelRequestEvent{
+                                       submit.item_name,
+                                       submit.request.destination}});
+      decision.outcome = AdmissionOutcome::kFullReject;
+      ++counts_.full_rejects;
+      bump("admission.full_rejects");
+      break;
+    }
+    default:
+      // Resolved instantly as unsatisfied (e.g. the destination holds a copy
+      // that arrived too late). Closed — nothing to withdraw.
+      decision.outcome = AdmissionOutcome::kFullReject;
+      ++counts_.full_rejects;
+      bump("admission.full_rejects");
+      break;
+  }
+  decision.replans = stager_.replans() - replans_before;
+  finish_decision(decision, submit, start_nanos);
+  return decision;
+}
+
+void SchedulerService::finish_decision(AdmissionDecision& decision,
+                                       const SubmitRequest& submit,
+                                       std::int64_t start_nanos) {
+  decision.committed_value = committed_value();
+  decision.decision_nanos = steady_clock_nanos() - start_nanos;
+  record_latency(decision.decision_nanos);
+  if (trace() != nullptr) {
+    auto event = trace()->event(obs::events::kAdmission);
+    event.field("t_usec", submit.at.usec())
+        .field("item", submit.item_name)
+        .field("dest", static_cast<std::int64_t>(
+                           submit.request.destination.value()))
+        .field("deadline_usec", submit.request.deadline.usec())
+        .field("outcome", admission_outcome_name(decision.outcome))
+        .field("quick_checked", decision.quick_checked)
+        .field("quick_feasible", decision.quick_feasible)
+        .field("replans", static_cast<std::int64_t>(decision.replans))
+        .field("committed_value", decision.committed_value);
+    if (!decision.planned_arrival.is_infinite()) {
+      event.field("planned_arrival_usec", decision.planned_arrival.usec());
+    }
+  }
+}
+
+bool SchedulerService::cancel(const std::string& item_name,
+                              MachineId destination, SimTime at) {
+  DS_ASSERT_MSG(!finished_, "cancel after finish");
+  DS_ASSERT_MSG(at >= now(), "cancels must arrive in time order");
+  drain_faults_and_advance(at);
+  const bool outstanding =
+      stager_.request_status(item_name, destination) ==
+      DynamicRequestStatus::kPending;
+  stager_.on_event({at, CancelRequestEvent{item_name, destination}});
+  if (outstanding) {
+    ++counts_.cancelled;
+    bump("admission.cancelled");
+  }
+  if (trace() != nullptr) {
+    trace()
+        ->event(obs::events::kCancel)
+        .field("t_usec", at.usec())
+        .field("item", item_name)
+        .field("dest", static_cast<std::int64_t>(destination.value()))
+        .field("withdrawn", outstanding);
+  }
+  return outstanding;
+}
+
+void SchedulerService::advance_to(SimTime t) {
+  DS_ASSERT_MSG(!finished_, "advance after finish");
+  DS_ASSERT_MSG(t >= now(), "time must be nondecreasing");
+  drain_faults_and_advance(t);
+}
+
+DynamicRequestStatus SchedulerService::request_status(
+    const std::string& item_name, MachineId destination) const {
+  return stager_.request_status(item_name, destination);
+}
+
+SimTime SchedulerService::planned_arrival(const std::string& item_name,
+                                          MachineId destination) const {
+  return stager_.planned_arrival(item_name, destination);
+}
+
+bool SchedulerService::has_item(const std::string& item_name) const {
+  return stager_.has_item(item_name);
+}
+
+bool SchedulerService::new_item_fits(const DataItem& item) const {
+  return new_item_sources_fit(stager_.residual_scenario(), item);
+}
+
+ServiceSnapshot SchedulerService::snapshot() const {
+  ServiceSnapshot snap = counts_;
+  snap.now = stager_.now();
+  snap.replans = stager_.replans();
+  snap.committed_steps = stager_.committed_step_count();
+  snap.planned_steps = stager_.planned_step_count();
+  snap.committed_value = committed_value();
+  return snap;
+}
+
+DynamicResult SchedulerService::finish() {
+  DS_ASSERT_MSG(!finished_, "finish called twice");
+  // Remaining scheduled faults are part of the world even if no command ever
+  // advanced past them.
+  while (next_fault_ < fault_events_.size()) {
+    stager_.on_event(fault_events_[next_fault_]);
+    ++next_fault_;
+  }
+  finished_ = true;
+  return stager_.finish();
+}
+
+}  // namespace datastage

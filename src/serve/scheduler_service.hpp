@@ -1,0 +1,195 @@
+// Session-oriented scheduling facade: the open-world API behind
+// datastage_serve.
+//
+// The batch surface (core run_case()/StagingEngine) answers one closed
+// question — "given every request up front, what is the best schedule?".
+// SchedulerService holds a *live* DynamicStager and answers the open-world
+// questions a long-running daemon faces instead:
+//
+//   submit(r)    -> AdmissionDecision   admit/reject now, with a plan summary
+//   cancel(...)  -> withdrew an outstanding request
+//   advance_to(t)                       simulation time passes
+//   snapshot()   -> ServiceSnapshot     aggregate serving state
+//   finish()     -> DynamicResult       merged schedule + request records
+//
+// Admission is two-stage (the RCD idea: decide cheaply, schedule fully only
+// for plausible work):
+//   1. quick estimate — one deadline-pruned Dijkstra on the residual
+//      scenario ("alone in the system", serve/admission.hpp). Infeasible
+//      here means infeasible, full stop: reject without touching the plan.
+//   2. bounded incremental replan — inject the request into the stager,
+//      replan the residual, and admit iff the new plan delivers the item by
+//      its deadline. A request the plan cannot serve on time is withdrawn
+//      again (cancel event at the same instant), so a rejected submit leaves
+//      no outstanding work behind.
+//
+// Determinism contract: decisions are pure functions of (initial scenario,
+// command/fault history). Wall-clock decision latency is *measured* (metrics
+// histogram admission.decision_usec) but never feeds a decision or a
+// decision-log field.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/registry.hpp"
+#include "dynamic/events.hpp"
+#include "dynamic/stager.hpp"
+#include "model/scenario.hpp"
+#include "util/time.hpp"
+
+namespace datastage {
+
+struct ServiceOptions {
+  SchedulerSpec spec{HeuristicKind::kFullOne, CostCriterion::kC4};
+  EngineOptions engine;
+  /// Soft wall-clock budget per submit decision, in microseconds. Decisions
+  /// exceeding it bump admission.budget_overruns (the decision still
+  /// completes — the budget is an SLO, not a timeout). 0 disables.
+  std::int64_t latency_budget_usec = 0;
+  /// Run the quick estimate before the full replan. Off, every submit pays
+  /// for a replan even when it is hopeless (the ablation perf_serve measures).
+  bool quick_admission = true;
+  /// Fault events to interleave with the request stream, sorted by
+  /// (time, staging_event_rank): at equal timestamps faults apply before
+  /// request arrivals, so a submit at t sees the post-fault world.
+  std::vector<StagingEvent> fault_events;
+};
+
+enum class AdmissionOutcome {
+  kAdmitted,          ///< plan commits to an on-time delivery
+  kAlreadySatisfied,  ///< destination already holds a usable copy
+  kQuickReject,       ///< stage 1: infeasible even alone in the system
+  kFullReject,        ///< stage 2: the full replan cannot meet the deadline
+};
+
+const char* admission_outcome_name(AdmissionOutcome outcome);
+
+struct AdmissionDecision {
+  AdmissionOutcome outcome = AdmissionOutcome::kFullReject;
+  /// Stage 1 ran (quick_admission on and the submit reached it).
+  bool quick_checked = false;
+  bool quick_feasible = false;
+  /// Stage 1's alone-in-the-system arrival bound (infinity if infeasible).
+  SimTime quick_arrival = SimTime::infinity();
+  /// The arrival the committed plan promises (for kAdmitted /
+  /// kAlreadySatisfied); infinity on rejects.
+  SimTime planned_arrival = SimTime::infinity();
+  /// Replans this decision consumed (0 for quick rejects).
+  std::size_t replans = 0;
+  /// Weighted value the plan currently locks in across every admitted
+  /// request (satisfied already, or planned to arrive by deadline).
+  double committed_value = 0.0;
+  /// Wall-clock decision latency. Measurement only: it feeds the latency
+  /// histogram and must never appear in a decision log (determinism).
+  std::int64_t decision_nanos = 0;
+
+  bool admitted() const {
+    return outcome == AdmissionOutcome::kAdmitted ||
+           outcome == AdmissionOutcome::kAlreadySatisfied;
+  }
+};
+
+struct SubmitRequest {
+  SimTime at = SimTime::zero();
+  std::string item_name;
+  Request request;
+  /// Present for a submit that introduces a brand-new item (name, size,
+  /// sources; any requests on the payload are ignored). On a quick reject
+  /// the item is *not* introduced; on a full reject it is (its copies
+  /// exist), but the request is withdrawn.
+  std::optional<DataItem> new_item;
+};
+
+struct ServiceSnapshot {
+  SimTime now = SimTime::zero();
+  std::size_t submits = 0;
+  std::size_t admitted = 0;  ///< includes already-satisfied
+  std::size_t quick_rejects = 0;
+  std::size_t full_rejects = 0;
+  std::size_t already_satisfied = 0;
+  std::size_t cancelled = 0;
+  std::size_t replans = 0;
+  std::size_t committed_steps = 0;
+  std::size_t planned_steps = 0;
+  double committed_value = 0.0;
+};
+
+class SchedulerService {
+ public:
+  /// Starts at time zero on `initial` (validated); its batch requests count
+  /// as admitted at t=0. `options.engine.observer` receives the admission
+  /// counters/histogram and `admission`/`cancel` trace events.
+  SchedulerService(Scenario initial, ServiceOptions options);
+
+  /// Decides one request at submit.at (>= now(); time advances to it).
+  AdmissionDecision submit(const SubmitRequest& submit);
+
+  /// Withdraws the outstanding request (item, destination) at time `at`.
+  /// False (and no replan) when no such request is outstanding.
+  bool cancel(const std::string& item_name, MachineId destination, SimTime at);
+
+  /// Advances the clock, applying any scheduled fault events on the way.
+  void advance_to(SimTime t);
+
+  /// Lifecycle state of the most recent request for (item, destination).
+  DynamicRequestStatus request_status(const std::string& item_name,
+                                      MachineId destination) const;
+
+  /// Arrival the current plan promises for (item, destination).
+  SimTime planned_arrival(const std::string& item_name,
+                          MachineId destination) const;
+
+  bool has_item(const std::string& item_name) const;
+
+  /// Pre-check for SubmitRequest::new_item: the new sources must fit their
+  /// machines' storage on top of the current residual.
+  bool new_item_fits(const DataItem& item) const;
+
+  ServiceSnapshot snapshot() const;
+
+  /// Applies all remaining fault events and closes the run.
+  DynamicResult finish();
+
+  SimTime now() const { return stager_.now(); }
+
+ private:
+  /// An admission ledger entry; committed_value() re-evaluates each against
+  /// the live plan (a fault can un-commit what a submit once locked in).
+  struct AdmittedRequest {
+    std::string item_name;
+    MachineId destination;
+    SimTime deadline;
+    Priority priority = kPriorityLow;
+  };
+
+  /// Applies scheduled fault events with at <= t (faults order before the
+  /// request events of the same instant), then advances the stager clock.
+  void drain_faults_and_advance(SimTime t);
+  /// Stamps value/latency onto a finished decision, records metrics and
+  /// emits the `admission` trace event.
+  void finish_decision(AdmissionDecision& decision, const SubmitRequest& submit,
+                       std::int64_t start_nanos);
+  double committed_value() const;
+  void bump(const char* counter) const;
+  obs::RunTrace* trace() const;
+  void record_latency(std::int64_t nanos) const;
+
+  DynamicStager stager_;
+  SchedulerSpec spec_;
+  EngineOptions engine_;
+  std::int64_t latency_budget_usec_ = 0;
+  bool quick_admission_ = true;
+  PriorityWeighting weighting_;
+
+  std::vector<StagingEvent> fault_events_;
+  std::size_t next_fault_ = 0;
+
+  std::vector<AdmittedRequest> ledger_;
+  ServiceSnapshot counts_;  ///< now/replans/steps filled in snapshot()
+  bool finished_ = false;
+};
+
+}  // namespace datastage

@@ -1,0 +1,129 @@
+// Wire protocol of datastage_serve: versioned, newline-delimited JSON.
+//
+// Each request line is one JSON object carrying the protocol version and a
+// command; each response line is one JSON object starting with the fixed
+// keys `"v"` (version) and `"ok"`. The parser is strict in the fault_io
+// tradition — every violation maps to a specific ServeErrorCode instead of a
+// best-effort guess, so a client bug fails loudly and deterministically:
+//
+//   * the line must parse as a JSON object            -> bad_json
+//   * "v" must be present                             -> missing_field
+//   * "v" must be the integer 1                       -> bad_version
+//   * "cmd" must be a known command                   -> unknown_command
+//   * required fields present, correct type/range     -> missing_field /
+//                                                        bad_field
+//   * no unexpected keys                              -> bad_field
+//
+// Commands (time fields are integer simulation microseconds):
+//
+//   {"v":1,"cmd":"submit","id":"r1","t_usec":0,"item":"item3","dest":"M2",
+//    "deadline_usec":5000000,"priority":2}
+//   ... optionally introducing a brand-new item:
+//    ,"new_item":{"size_bytes":4096,
+//                 "sources":[{"machine":"M0","available_at_usec":0}]}
+//   {"v":1,"cmd":"cancel","id":"r1","t_usec":1000}
+//   {"v":1,"cmd":"advance","to_usec":2000000}
+//   {"v":1,"cmd":"query","id":"r1"}
+//   {"v":1,"cmd":"stats"}
+//   {"v":1,"cmd":"shutdown"}
+//
+// serialize_command() renders the canonical form of any command;
+// parse_command(serialize_command(c)) round-trips exactly (tested in
+// tests/serve/serve_protocol_test.cpp). Session-level error codes
+// (duplicate_id, unknown_item, ...) share ServeErrorCode so a decision log
+// speaks one error vocabulary; see docs/SERVING.md for the full reference.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "model/priority.hpp"
+#include "util/time.hpp"
+
+namespace datastage {
+
+inline constexpr std::int64_t kServeProtocolVersion = 1;
+
+enum class ServeErrorCode {
+  kNone = 0,
+  // Parse-level (produced by parse_command).
+  kBadJson,         ///< line is not a JSON object
+  kBadVersion,      ///< "v" present but not the supported version
+  kMissingField,    ///< a required field is absent
+  kBadField,        ///< wrong type, out of range, or unexpected field
+  kUnknownCommand,  ///< "cmd" names no known command
+  // Session-level (produced by ServeSession).
+  kDuplicateId,       ///< submit id already used
+  kUnknownId,         ///< cancel/query id never submitted
+  kUnknownItem,       ///< submit for an item the world does not know
+  kUnknownMachine,    ///< destination / source machine name unknown
+  kDuplicateRequest,  ///< an identical (item, dest) request is outstanding
+  kInvalidItem,       ///< new_item payload rejected (exists / does not fit)
+  kTimeRegression,    ///< command time is before the session clock
+  kShutdown,          ///< command received after shutdown
+};
+
+/// Stable wire name of a code ("bad_json", "duplicate_id", ...).
+const char* serve_error_code_name(ServeErrorCode code);
+
+struct ServeError {
+  ServeErrorCode code = ServeErrorCode::kNone;
+  std::string message;
+};
+
+/// A brand-new item introduced by a submit: its copies and where they are.
+struct NewItemPayload {
+  std::int64_t size_bytes = 0;
+  struct Source {
+    std::string machine;
+    SimTime available_at = SimTime::zero();
+  };
+  std::vector<Source> sources;
+};
+
+struct SubmitCommand {
+  std::string id;  ///< client-chosen request id, unique per session
+  SimTime at = SimTime::zero();
+  std::string item;
+  std::string dest;  ///< destination machine name
+  SimTime deadline = SimTime::zero();
+  Priority priority = kPriorityLow;  ///< 0..2 (paper's three classes)
+  std::optional<NewItemPayload> new_item;
+};
+
+struct CancelCommand {
+  std::string id;
+  SimTime at = SimTime::zero();
+};
+
+struct AdvanceCommand {
+  SimTime to = SimTime::zero();
+};
+
+struct QueryCommand {
+  std::string id;
+};
+
+struct StatsCommand {};
+
+struct ShutdownCommand {};
+
+using ServeCommand = std::variant<SubmitCommand, CancelCommand, AdvanceCommand,
+                                  QueryCommand, StatsCommand, ShutdownCommand>;
+
+/// Parses one request line. On failure returns nullopt and fills `error`
+/// (when non-null) with the specific code and a human-readable message.
+std::optional<ServeCommand> parse_command(std::string_view line,
+                                          ServeError* error = nullptr);
+
+/// Canonical one-line JSON rendering; parse_command round-trips it.
+std::string serialize_command(const ServeCommand& command);
+
+/// The error response line: {"v":1,"ok":false,"error":"...","message":"..."}.
+std::string error_response(const ServeError& error);
+
+}  // namespace datastage

@@ -1,0 +1,75 @@
+// One datastage_serve session: the command handler between the wire protocol
+// and the SchedulerService.
+//
+// A ServeSession owns a SchedulerService plus the client-facing bookkeeping
+// the service deliberately does not carry: the client-chosen request-id
+// ledger (duplicate ids, cancel/query by id), machine-name resolution, and
+// the shutdown latch. handle_line() is the daemon's whole request loop body:
+// one request line in, exactly one response line out — deterministically, so
+// replaying a command script reproduces the decision log byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "serve/scheduler_service.hpp"
+#include "serve/serve_protocol.hpp"
+
+namespace datastage {
+
+class ServeSession {
+ public:
+  ServeSession(Scenario initial, ServiceOptions options);
+
+  /// Parses one request line and executes it; returns the response line
+  /// (no trailing newline). Never throws — protocol and session errors
+  /// become error_response lines.
+  std::string handle_line(std::string_view line);
+
+  /// Executes one already-parsed command.
+  std::string handle(const ServeCommand& command);
+
+  /// True once a shutdown command was processed; every later command is
+  /// answered with the `shutdown` error code.
+  bool shut_down() const { return shut_down_; }
+
+  const SchedulerService& service() const { return service_; }
+
+ private:
+  /// Per-id outcome. Records of admitted requests stay live (queries read
+  /// the scheduler) until the (item, dest) slot is reused or cancelled; then
+  /// the terminal status freezes here.
+  struct RequestRecord {
+    std::string item;
+    MachineId destination;
+    SimTime deadline;
+    bool admitted = false;
+    bool terminal = false;  ///< status_/arrival_ frozen, stop asking the service
+    DynamicRequestStatus status = DynamicRequestStatus::kUnknown;
+    SimTime arrival = SimTime::infinity();
+  };
+
+  std::string handle_submit(const SubmitCommand& submit);
+  std::string handle_cancel(const CancelCommand& cancel);
+  std::string handle_query(const QueryCommand& query);
+  std::string handle_stats() const;
+  std::string handle_shutdown();
+  /// Live or frozen status of a record, plus its arrival when resolved.
+  std::pair<DynamicRequestStatus, SimTime> record_status(
+      const RequestRecord& record) const;
+  /// Freezes the terminal status of the id currently occupying this record's
+  /// (item, dest) slot — called before the slot is reused or withdrawn.
+  void freeze(RequestRecord& record);
+
+  SchedulerService service_;
+  PriorityWeighting weighting_;
+  std::map<std::string, MachineId, std::less<>> machines_;
+  std::map<std::string, RequestRecord, std::less<>> requests_;
+  /// (item, dest) -> id of the most recent submit for that slot.
+  std::map<std::pair<std::string, std::int32_t>, std::string> slots_;
+  bool shut_down_ = false;
+};
+
+}  // namespace datastage

@@ -67,4 +67,27 @@ sed 's/links[18]\.csv//' "$WORK_DIR/links1.txt" > "$WORK_DIR/links1.norm"
 sed 's/links[18]\.csv//' "$WORK_DIR/links8.txt" > "$WORK_DIR/links8.norm"
 cmp -s "$WORK_DIR/links1.norm" "$WORK_DIR/links8.norm"
 
+# datastage_serve: replaying a recorded command script must produce a
+# byte-identical decision log across runs and --jobs settings (the serving
+# determinism contract — wall-clock latency is measured but never logged).
+cat > "$WORK_DIR/serve_script.txt" <<'EOF'
+{"v":1,"cmd":"stats"}
+{"v":1,"cmd":"submit","id":"s1","t_usec":0,"item":"serve_item","dest":"M1","deadline_usec":7200000000,"priority":2,"new_item":{"size_bytes":4096,"sources":[{"machine":"M0","available_at_usec":0}]}}
+{"v":1,"cmd":"advance","to_usec":1800000000}
+{"v":1,"cmd":"query","id":"s1"}
+{"v":1,"cmd":"stats"}
+{"v":1,"cmd":"shutdown"}
+EOF
+"$TOOLS_DIR/datastage_serve" --scenario="$WORK_DIR/case.ds" --jobs=1 \
+    --script="$WORK_DIR/serve_script.txt" \
+    --decision-log="$WORK_DIR/serve1.log" > /dev/null
+"$TOOLS_DIR/datastage_serve" --scenario="$WORK_DIR/case.ds" --jobs=1 \
+    --script="$WORK_DIR/serve_script.txt" \
+    --decision-log="$WORK_DIR/serve1b.log" > /dev/null
+"$TOOLS_DIR/datastage_serve" --scenario="$WORK_DIR/case.ds" --jobs=8 \
+    --script="$WORK_DIR/serve_script.txt" \
+    --decision-log="$WORK_DIR/serve8.log" > /dev/null
+cmp -s "$WORK_DIR/serve1.log" "$WORK_DIR/serve1b.log"
+cmp -s "$WORK_DIR/serve1.log" "$WORK_DIR/serve8.log"
+
 echo "determinism smoke test passed"

@@ -1,0 +1,105 @@
+// Stage-1 quick admission: the alone-in-the-system estimate must be a safe
+// relaxation (never infeasible for a satisfiable request) and the new-item
+// storage fit must charge existing copies.
+#include "serve/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::ScenarioBuilder;
+using testing::at_min;
+using testing::at_sec;
+using testing::chain_scenario;
+
+const PriorityWeighting& weighting() {
+  static const PriorityWeighting w = PriorityWeighting::w_1_10_100();
+  return w;
+}
+
+TEST(QuickAdmissionTest, FeasibleChainRequestWithArrivalBound) {
+  const Scenario scenario = chain_scenario();
+  const QuickEstimate estimate = quick_admission_estimate(
+      scenario, "d0", Request{MachineId(2), at_min(30), kPriorityHigh},
+      weighting());
+  EXPECT_TRUE(estimate.feasible);
+  // Two 1 s hops: the bound is ~2 s, certainly within [1 s, 30 min].
+  EXPECT_GE(estimate.earliest_arrival, at_sec(1));
+  EXPECT_LE(estimate.earliest_arrival, at_min(30));
+  EXPECT_EQ(estimate.value, 100.0);
+}
+
+TEST(QuickAdmissionTest, DeadlineBeforeArrivalIsInfeasible) {
+  const Scenario scenario = chain_scenario();
+  const QuickEstimate estimate = quick_admission_estimate(
+      scenario, "d0", Request{MachineId(2), SimTime::from_usec(1000)},
+      weighting());
+  EXPECT_FALSE(estimate.feasible);
+  EXPECT_TRUE(estimate.earliest_arrival.is_infinite());
+  // The at-stake weight is reported either way (default priority is low).
+  EXPECT_EQ(estimate.value, 1.0);
+}
+
+TEST(QuickAdmissionTest, UnknownItemIsInfeasible) {
+  const QuickEstimate estimate = quick_admission_estimate(
+      chain_scenario(), "missing", Request{MachineId(2), at_min(30)},
+      weighting());
+  EXPECT_FALSE(estimate.feasible);
+}
+
+TEST(QuickAdmissionTest, ItemWithNoSurvivingCopiesIsInfeasible) {
+  Scenario scenario = chain_scenario();
+  scenario.items[0].sources.clear();
+  const QuickEstimate estimate = quick_admission_estimate(
+      scenario, "d0", Request{MachineId(2), at_min(30)}, weighting());
+  EXPECT_FALSE(estimate.feasible);
+}
+
+TEST(QuickAdmissionTest, DestinationHoldingACopyArrivesImmediately) {
+  Scenario scenario = chain_scenario();
+  scenario.items[0].sources.push_back(
+      SourceLocation{MachineId(2), SimTime::zero()});
+  const QuickEstimate estimate = quick_admission_estimate(
+      scenario, "d0", Request{MachineId(2), at_min(30)}, weighting());
+  EXPECT_TRUE(estimate.feasible);
+  EXPECT_EQ(estimate.earliest_arrival, SimTime::zero());
+}
+
+TEST(NewItemFitTest, ChargesExistingCopiesOnTheSourceMachine) {
+  // 3 MB capacity at M0, 1 MB chain item already there: a 1.5 MB new item
+  // fits, a 2.5 MB one does not.
+  Scenario scenario = chain_scenario();
+  scenario.machines[0].capacity_bytes = 3'000'000;
+
+  DataItem fits;
+  fits.name = "n1";
+  fits.size_bytes = 1'500'000;
+  fits.sources.push_back(SourceLocation{MachineId(0), SimTime::zero()});
+  EXPECT_TRUE(new_item_sources_fit(scenario, fits));
+
+  DataItem too_big = fits;
+  too_big.size_bytes = 2'500'000;
+  EXPECT_FALSE(new_item_sources_fit(scenario, too_big));
+}
+
+TEST(NewItemFitTest, EachSourceMachineCheckedIndependently) {
+  Scenario scenario = chain_scenario();
+  scenario.machines[1].capacity_bytes = 1'000;  // M1 is tiny and empty
+
+  DataItem item;
+  item.name = "n1";
+  item.size_bytes = 10'000;
+  item.sources.push_back(SourceLocation{MachineId(0), SimTime::zero()});
+  item.sources.push_back(SourceLocation{MachineId(1), SimTime::zero()});
+  EXPECT_FALSE(new_item_sources_fit(scenario, item))
+      << "one overfull source machine sinks the whole payload";
+
+  item.sources.pop_back();
+  EXPECT_TRUE(new_item_sources_fit(scenario, item));
+}
+
+}  // namespace
+}  // namespace datastage

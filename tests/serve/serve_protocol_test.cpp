@@ -1,0 +1,181 @@
+// Wire-protocol round-trip and the strict-parse negative suite: every
+// malformed line must map to its specific error code.
+#include "serve/serve_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace datastage {
+namespace {
+
+ServeError parse_error(std::string_view line) {
+  ServeError error;
+  EXPECT_FALSE(parse_command(line, &error).has_value()) << line;
+  return error;
+}
+
+TEST(ServeProtocolTest, RoundTripsEveryCommand) {
+  SubmitCommand submit;
+  submit.id = "r1";
+  submit.at = SimTime::from_usec(1000);
+  submit.item = "d0";
+  submit.dest = "M2";
+  submit.deadline = SimTime::from_usec(5'000'000);
+  submit.priority = kPriorityHigh;
+
+  SubmitCommand with_item = submit;
+  with_item.id = "r2";
+  NewItemPayload payload;
+  payload.size_bytes = 4096;
+  payload.sources.push_back({"M0", SimTime::zero()});
+  payload.sources.push_back({"M1", SimTime::from_usec(500)});
+  with_item.new_item = payload;
+
+  const std::vector<ServeCommand> commands = {
+      submit,
+      with_item,
+      CancelCommand{"r1", SimTime::from_usec(2000)},
+      AdvanceCommand{SimTime::from_usec(9'000'000)},
+      QueryCommand{"r1"},
+      StatsCommand{},
+      ShutdownCommand{},
+  };
+  for (const ServeCommand& command : commands) {
+    const std::string line = serialize_command(command);
+    ServeError error;
+    const std::optional<ServeCommand> parsed = parse_command(line, &error);
+    ASSERT_TRUE(parsed.has_value())
+        << line << " -> " << error.message;
+    EXPECT_EQ(serialize_command(*parsed), line);
+  }
+}
+
+TEST(ServeProtocolTest, SerializedSubmitHasCanonicalKeyOrder) {
+  SubmitCommand submit;
+  submit.id = "a";
+  submit.item = "d0";
+  submit.dest = "M1";
+  submit.deadline = SimTime::from_usec(7);
+  EXPECT_EQ(serialize_command(ServeCommand(submit)),
+            "{\"v\":1,\"cmd\":\"submit\",\"id\":\"a\",\"t_usec\":0,"
+            "\"item\":\"d0\",\"dest\":\"M1\",\"deadline_usec\":7,"
+            "\"priority\":0}");
+  EXPECT_EQ(serialize_command(ServeCommand(ShutdownCommand{})),
+            "{\"v\":1,\"cmd\":\"shutdown\"}");
+}
+
+TEST(ServeProtocolTest, RejectsNonJsonAndTruncatedLines) {
+  EXPECT_EQ(parse_error("not json at all").code, ServeErrorCode::kBadJson);
+  EXPECT_EQ(parse_error("{\"v\":1,\"cmd\":\"sta").code,
+            ServeErrorCode::kBadJson);
+  EXPECT_EQ(parse_error("").code, ServeErrorCode::kBadJson);
+  EXPECT_EQ(parse_error("[1,2,3]").code, ServeErrorCode::kBadJson);
+}
+
+TEST(ServeProtocolTest, RejectsMissingOrWrongVersion) {
+  EXPECT_EQ(parse_error("{\"cmd\":\"stats\"}").code,
+            ServeErrorCode::kMissingField);
+  EXPECT_EQ(parse_error("{\"v\":2,\"cmd\":\"stats\"}").code,
+            ServeErrorCode::kBadVersion);
+  EXPECT_EQ(parse_error("{\"v\":\"1\",\"cmd\":\"stats\"}").code,
+            ServeErrorCode::kBadVersion);
+}
+
+TEST(ServeProtocolTest, RejectsUnknownCommand) {
+  EXPECT_EQ(parse_error("{\"v\":1,\"cmd\":\"frobnicate\"}").code,
+            ServeErrorCode::kUnknownCommand);
+  EXPECT_EQ(parse_error("{\"v\":1}").code, ServeErrorCode::kMissingField);
+  EXPECT_EQ(parse_error("{\"v\":1,\"cmd\":7}").code, ServeErrorCode::kBadField);
+}
+
+TEST(ServeProtocolTest, RejectsBadSubmitFields) {
+  // Missing id.
+  EXPECT_EQ(parse_error("{\"v\":1,\"cmd\":\"submit\",\"t_usec\":0,"
+                        "\"item\":\"d0\",\"dest\":\"M1\","
+                        "\"deadline_usec\":1,\"priority\":0}")
+                .code,
+            ServeErrorCode::kMissingField);
+  // Wrong type.
+  EXPECT_EQ(parse_error("{\"v\":1,\"cmd\":\"submit\",\"id\":\"r\","
+                        "\"t_usec\":\"zero\",\"item\":\"d0\",\"dest\":\"M1\","
+                        "\"deadline_usec\":1,\"priority\":0}")
+                .code,
+            ServeErrorCode::kBadField);
+  // Negative and non-integral times.
+  EXPECT_EQ(parse_error("{\"v\":1,\"cmd\":\"submit\",\"id\":\"r\","
+                        "\"t_usec\":-5,\"item\":\"d0\",\"dest\":\"M1\","
+                        "\"deadline_usec\":1,\"priority\":0}")
+                .code,
+            ServeErrorCode::kBadField);
+  EXPECT_EQ(parse_error("{\"v\":1,\"cmd\":\"submit\",\"id\":\"r\","
+                        "\"t_usec\":1.5,\"item\":\"d0\",\"dest\":\"M1\","
+                        "\"deadline_usec\":1,\"priority\":0}")
+                .code,
+            ServeErrorCode::kBadField);
+  // Priority out of range.
+  EXPECT_EQ(parse_error("{\"v\":1,\"cmd\":\"submit\",\"id\":\"r\","
+                        "\"t_usec\":0,\"item\":\"d0\",\"dest\":\"M1\","
+                        "\"deadline_usec\":1,\"priority\":3}")
+                .code,
+            ServeErrorCode::kBadField);
+  // Unexpected field (strict parse).
+  EXPECT_EQ(parse_error("{\"v\":1,\"cmd\":\"submit\",\"id\":\"r\","
+                        "\"t_usec\":0,\"item\":\"d0\",\"dest\":\"M1\","
+                        "\"deadline_usec\":1,\"priority\":0,\"bogus\":1}")
+                .code,
+            ServeErrorCode::kBadField);
+}
+
+TEST(ServeProtocolTest, RejectsBadNewItemPayload) {
+  const std::string prefix =
+      "{\"v\":1,\"cmd\":\"submit\",\"id\":\"r\",\"t_usec\":0,"
+      "\"item\":\"x\",\"dest\":\"M1\",\"deadline_usec\":1,\"priority\":0,"
+      "\"new_item\":";
+  EXPECT_EQ(parse_error(prefix + "7}").code, ServeErrorCode::kBadField);
+  EXPECT_EQ(parse_error(prefix + "{\"size_bytes\":0,\"sources\":"
+                                 "[{\"machine\":\"M0\","
+                                 "\"available_at_usec\":0}]}}")
+                .code,
+            ServeErrorCode::kBadField);
+  EXPECT_EQ(parse_error(prefix + "{\"size_bytes\":1,\"sources\":[]}}").code,
+            ServeErrorCode::kBadField);
+  EXPECT_EQ(parse_error(prefix + "{\"size_bytes\":1}}").code,
+            ServeErrorCode::kMissingField);
+  EXPECT_EQ(parse_error(prefix + "{\"size_bytes\":1,\"sources\":"
+                                 "[{\"machine\":\"M0\","
+                                 "\"available_at_usec\":0,\"extra\":1}]}}")
+                .code,
+            ServeErrorCode::kBadField);
+}
+
+TEST(ServeProtocolTest, RejectsBadAdvanceQueryCancel) {
+  EXPECT_EQ(parse_error("{\"v\":1,\"cmd\":\"advance\"}").code,
+            ServeErrorCode::kMissingField);
+  EXPECT_EQ(parse_error("{\"v\":1,\"cmd\":\"advance\",\"to_usec\":true}").code,
+            ServeErrorCode::kBadField);
+  EXPECT_EQ(parse_error("{\"v\":1,\"cmd\":\"query\"}").code,
+            ServeErrorCode::kMissingField);
+  EXPECT_EQ(parse_error("{\"v\":1,\"cmd\":\"cancel\",\"id\":\"r\"}").code,
+            ServeErrorCode::kMissingField);
+  EXPECT_EQ(parse_error("{\"v\":1,\"cmd\":\"stats\",\"extra\":1}").code,
+            ServeErrorCode::kBadField);
+}
+
+TEST(ServeProtocolTest, ErrorResponseCarriesCodeNameAndMessage) {
+  const std::string line = error_response(
+      ServeError{ServeErrorCode::kDuplicateId, "id \"r1\" reused"});
+  EXPECT_EQ(line,
+            "{\"v\":1,\"ok\":false,\"error\":\"duplicate_id\","
+            "\"message\":\"id \\\"r1\\\" reused\"}");
+}
+
+TEST(ServeProtocolTest, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(serve_error_code_name(ServeErrorCode::kBadJson), "bad_json");
+  EXPECT_STREQ(serve_error_code_name(ServeErrorCode::kUnknownItem),
+               "unknown_item");
+  EXPECT_STREQ(serve_error_code_name(ServeErrorCode::kTimeRegression),
+               "time_regression");
+  EXPECT_STREQ(serve_error_code_name(ServeErrorCode::kShutdown), "shutdown");
+}
+
+}  // namespace
+}  // namespace datastage

@@ -1,0 +1,259 @@
+// ServeSession: one request line in, one response line out. Covers the
+// session-level error codes, the id ledger, query status transitions and
+// the replay-determinism contract.
+#include "serve/serve_session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "testing/builders.hpp"
+
+namespace datastage {
+namespace {
+
+using testing::at_sec;
+using testing::chain_scenario;
+
+ServeSession make_session() { return ServeSession(chain_scenario(), {}); }
+
+obs::JsonValue parse(const std::string& line) {
+  std::string error;
+  const std::optional<obs::JsonValue> value = obs::json_parse(line, &error);
+  EXPECT_TRUE(value.has_value()) << line << " -> " << error;
+  return value.value_or(obs::JsonValue{});
+}
+
+std::string field(const obs::JsonValue& value, const char* key) {
+  const obs::JsonValue* member = value.find(key);
+  return member != nullptr ? member->string : "<missing>";
+}
+
+/// Response must be {"ok":false,"error":"<expected>",...}.
+void expect_error(const std::string& line, const char* expected) {
+  const obs::JsonValue value = parse(line);
+  const obs::JsonValue* ok = value.find("ok");
+  ASSERT_NE(ok, nullptr) << line;
+  EXPECT_FALSE(ok->boolean) << line;
+  EXPECT_EQ(field(value, "error"), expected) << line;
+}
+
+void expect_ok(const std::string& line) {
+  const obs::JsonValue value = parse(line);
+  const obs::JsonValue* ok = value.find("ok");
+  ASSERT_NE(ok, nullptr) << line;
+  EXPECT_TRUE(ok->boolean) << line;
+}
+
+std::string submit_line(const std::string& id, std::int64_t t_usec,
+                        const std::string& item, const std::string& dest,
+                        std::int64_t deadline_usec) {
+  return "{\"v\":1,\"cmd\":\"submit\",\"id\":\"" + id +
+         "\",\"t_usec\":" + std::to_string(t_usec) + ",\"item\":\"" + item +
+         "\",\"dest\":\"" + dest +
+         "\",\"deadline_usec\":" + std::to_string(deadline_usec) +
+         ",\"priority\":2}";
+}
+
+TEST(ServeSessionTest, SubmitAdmitQueryLifecycle) {
+  ServeSession session = make_session();
+  const std::string response =
+      session.handle_line(submit_line("r1", 0, "d0", "M1", at_sec(600).usec()));
+  expect_ok(response);
+  const obs::JsonValue value = parse(response);
+  EXPECT_EQ(field(value, "outcome"), "admitted");
+  EXPECT_NE(value.find("planned_arrival_usec"), nullptr);
+  EXPECT_NE(value.find("committed_value"), nullptr);
+
+  // Outstanding, then satisfied once time passes the planned arrival.
+  std::string query = "{\"v\":1,\"cmd\":\"query\",\"id\":\"r1\"}";
+  EXPECT_EQ(field(parse(session.handle_line(query)), "status"), "pending");
+  expect_ok(session.handle_line(
+      "{\"v\":1,\"cmd\":\"advance\",\"to_usec\":" +
+      std::to_string(at_sec(30).usec()) + "}"));
+  EXPECT_EQ(field(parse(session.handle_line(query)), "status"), "satisfied");
+}
+
+TEST(ServeSessionTest, RejectedSubmitQueriesAsRejected) {
+  ServeSession session = make_session();
+  // (M2 already has the batch request outstanding; M1 is a free slot.)
+  const std::string response =
+      session.handle_line(submit_line("r1", 0, "d0", "M1", 1));
+  const obs::JsonValue value = parse(response);
+  EXPECT_EQ(field(value, "outcome"), "quick_reject");
+  EXPECT_EQ(field(parse(session.handle_line(
+                "{\"v\":1,\"cmd\":\"query\",\"id\":\"r1\"}")),
+                "status"),
+            "rejected");
+}
+
+TEST(ServeSessionTest, SessionErrorCodes) {
+  ServeSession session = make_session();
+  expect_ok(session.handle_line(submit_line("r1", 0, "d0", "M1",
+                                            at_sec(600).usec())));
+
+  // duplicate_id: the same client id cannot be submitted twice.
+  expect_error(session.handle_line(submit_line("r1", 0, "d0", "M2",
+                                               at_sec(600).usec())),
+               "duplicate_id");
+  // duplicate_request: another id for the same outstanding (item, dest).
+  expect_error(session.handle_line(submit_line("r2", 0, "d0", "M1",
+                                               at_sec(900).usec())),
+               "duplicate_request");
+  // unknown_item / unknown_machine.
+  expect_error(session.handle_line(submit_line("r3", 0, "zzz", "M1",
+                                               at_sec(600).usec())),
+               "unknown_item");
+  expect_error(session.handle_line(submit_line("r4", 0, "d0", "nowhere",
+                                               at_sec(600).usec())),
+               "unknown_machine");
+  // unknown_id on cancel and query.
+  expect_error(session.handle_line(
+                   "{\"v\":1,\"cmd\":\"cancel\",\"id\":\"ghost\",\"t_usec\":0}"),
+               "unknown_id");
+  expect_error(
+      session.handle_line("{\"v\":1,\"cmd\":\"query\",\"id\":\"ghost\"}"),
+      "unknown_id");
+}
+
+TEST(ServeSessionTest, TimeRegressionIsRejectedEverywhere) {
+  ServeSession session = make_session();
+  expect_ok(session.handle_line(
+      "{\"v\":1,\"cmd\":\"advance\",\"to_usec\":" +
+      std::to_string(at_sec(100).usec()) + "}"));
+
+  expect_error(session.handle_line(submit_line("r1", at_sec(50).usec(), "d0",
+                                               "M1", at_sec(600).usec())),
+               "time_regression");
+  expect_error(session.handle_line("{\"v\":1,\"cmd\":\"advance\",\"to_usec\":0}"),
+               "time_regression");
+  // Cancel in the past (the id must exist first).
+  expect_ok(session.handle_line(submit_line("r1", at_sec(100).usec(), "d0",
+                                            "M1", at_sec(600).usec())));
+  expect_error(session.handle_line(
+                   "{\"v\":1,\"cmd\":\"cancel\",\"id\":\"r1\",\"t_usec\":0}"),
+               "time_regression");
+}
+
+TEST(ServeSessionTest, NewItemSubmitAndInvalidItemErrors) {
+  ServeSession session = make_session();
+  const std::string new_item_tail =
+      ",\"new_item\":{\"size_bytes\":1000,\"sources\":"
+      "[{\"machine\":\"M0\",\"available_at_usec\":0}]}}";
+  const std::string base =
+      "{\"v\":1,\"cmd\":\"submit\",\"id\":\"%ID%\",\"t_usec\":0,"
+      "\"item\":\"%ITEM%\",\"dest\":\"M2\",\"deadline_usec\":" +
+      std::to_string(at_sec(600).usec()) + ",\"priority\":2";
+  const auto line = [&](const std::string& id, const std::string& item,
+                        const std::string& tail) {
+    std::string s = base;
+    s.replace(s.find("%ID%"), 4, id);
+    s.replace(s.find("%ITEM%"), 6, item);
+    return s + tail;
+  };
+
+  // Happy path: the new item is introduced and the request admitted.
+  const obs::JsonValue ok = parse(session.handle_line(
+      line("n1", "fresh", new_item_tail)));
+  EXPECT_EQ(field(ok, "outcome"), "admitted");
+
+  // invalid_item: redefining an existing item.
+  expect_error(session.handle_line(line("n2", "d0", new_item_tail)),
+               "invalid_item");
+  // unknown_machine inside the payload.
+  expect_error(session.handle_line(
+                   line("n3", "fresh2",
+                        ",\"new_item\":{\"size_bytes\":1000,\"sources\":"
+                        "[{\"machine\":\"nope\",\"available_at_usec\":0}]}}")),
+               "unknown_machine");
+  // invalid_item: larger than the source machine's storage.
+  expect_error(session.handle_line(
+                   line("n4", "huge",
+                        ",\"new_item\":{\"size_bytes\":9000000000,"
+                        "\"sources\":"
+                        "[{\"machine\":\"M0\",\"available_at_usec\":0}]}}")),
+               "invalid_item");
+}
+
+TEST(ServeSessionTest, CancelFreesSlotAndKeepsOldIdAnswerable) {
+  ServeSession session = make_session();
+  expect_ok(session.handle_line(submit_line("r1", 0, "d0", "M1",
+                                            at_sec(600).usec())));
+  // Cancel at the submit instant, before the serving transfer starts (a
+  // started transfer is committed and resolves on arrival instead).
+  const obs::JsonValue cancel = parse(session.handle_line(
+      "{\"v\":1,\"cmd\":\"cancel\",\"id\":\"r1\",\"t_usec\":0}"));
+  EXPECT_TRUE(cancel.find("cancelled")->boolean);
+
+  // Cancelling again is a no-op (already terminal), but still answers ok.
+  const obs::JsonValue again = parse(session.handle_line(
+      "{\"v\":1,\"cmd\":\"cancel\",\"id\":\"r1\",\"t_usec\":2000000}"));
+  EXPECT_FALSE(again.find("cancelled")->boolean);
+  EXPECT_EQ(again.find("now_usec")->number, 2000000.0)
+      << "a no-op cancel still advances the clock";
+
+  // The slot is free: a new id may claim the same (item, dest) pair. By
+  // t=3 the batch d0->M2 transfer has relayed a copy through M1, so r2 is
+  // satisfied immediately...
+  expect_ok(session.handle_line(submit_line("r2", 3000000, "d0", "M1",
+                                            at_sec(600).usec())));
+  EXPECT_EQ(field(parse(session.handle_line(
+                "{\"v\":1,\"cmd\":\"query\",\"id\":\"r2\"}")),
+                "status"),
+            "satisfied");
+  // ...and the old id keeps answering with its frozen outcome.
+  EXPECT_EQ(field(parse(session.handle_line(
+                "{\"v\":1,\"cmd\":\"query\",\"id\":\"r1\"}")),
+                "status"),
+            "cancelled");
+}
+
+TEST(ServeSessionTest, ShutdownLatchesAndSummarizes) {
+  ServeSession session = make_session();
+  const obs::JsonValue summary =
+      parse(session.handle_line("{\"v\":1,\"cmd\":\"shutdown\"}"));
+  EXPECT_EQ(summary.find("requests")->number, 1.0);
+  EXPECT_EQ(summary.find("satisfied")->number, 1.0);
+  EXPECT_EQ(summary.find("value")->number, 100.0);
+  EXPECT_TRUE(session.shut_down());
+
+  expect_error(session.handle_line("{\"v\":1,\"cmd\":\"stats\"}"), "shutdown");
+  expect_error(session.handle_line(submit_line("r1", 0, "d0", "M1", 1)),
+               "shutdown");
+}
+
+TEST(ServeSessionTest, MalformedLineGetsProtocolError) {
+  ServeSession session = make_session();
+  expect_error(session.handle_line("{broken"), "bad_json");
+  expect_error(session.handle_line("{\"v\":9,\"cmd\":\"stats\"}"),
+               "bad_version");
+  // Protocol errors do not latch or advance anything.
+  expect_ok(session.handle_line("{\"v\":1,\"cmd\":\"stats\"}"));
+}
+
+TEST(ServeSessionTest, SameScriptYieldsIdenticalResponses) {
+  const std::vector<std::string> script = {
+      "{\"v\":1,\"cmd\":\"stats\"}",
+      submit_line("a", 0, "d0", "M1", at_sec(600).usec()),
+      submit_line("b", 0, "d0", "M2", 1),
+      "{\"v\":1,\"cmd\":\"query\",\"id\":\"a\"}",
+      "{\"v\":1,\"cmd\":\"advance\",\"to_usec\":5000000}",
+      "{\"v\":1,\"cmd\":\"cancel\",\"id\":\"a\",\"t_usec\":5000000}",
+      "{\"v\":1,\"cmd\":\"stats\"}",
+      "{\"v\":1,\"cmd\":\"shutdown\"}",
+  };
+  const auto run = [&script]() {
+    ServeSession session = make_session();
+    std::vector<std::string> responses;
+    for (const std::string& line : script) {
+      responses.push_back(session.handle_line(line));
+    }
+    return responses;
+  };
+  EXPECT_EQ(run(), run()) << "replaying a script must be byte-identical";
+}
+
+}  // namespace
+}  // namespace datastage

@@ -118,5 +118,50 @@ TEST(CommonFlagsTest, WritesJsonByDefault) {
   std::remove(path.c_str());
 }
 
+TEST(CommonFlagsTest, ObservabilityOpenFailsEagerlyOnBadChromeTracePath) {
+  CliFlags flags = parse({"--chrome-trace-out=/nonexistent/dir/trace.json"});
+  Observability obs;
+  EXPECT_FALSE(obs.open(flags));
+}
+
+TEST(CommonFlagsTest, MakeEngineOptionsDefaultsToMidAxis) {
+  CliFlags flags = parse({});
+  Observability obs;
+  ASSERT_TRUE(obs.open(flags));
+  const PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
+  const EngineOptions options = make_engine_options(flags, weighting, obs);
+
+  // The paper's mid-axis default: W_E/W_U = 10^1. No flags, no observer.
+  const EUWeights mid = EUWeights::from_log10_ratio(1.0);
+  EXPECT_EQ(options.eu.we, mid.we);
+  EXPECT_EQ(options.eu.wu, mid.wu);
+  EXPECT_FALSE(options.paranoid);
+  EXPECT_EQ(options.observer, nullptr);
+  EXPECT_EQ(options.weighting.weight(kPriorityHigh), 100.0);
+}
+
+TEST(CommonFlagsTest, MakeEngineOptionsWiresRatioParanoidAndObserver) {
+  const std::string path = ::testing::TempDir() + "common_flags_engine.json";
+  const std::string metrics_flag = "--metrics-out=" + path;
+  const std::vector<const char*> argv = {"tool", "--ratio=2", "--paranoid",
+                                         metrics_flag.c_str()};
+  CliFlags flags;
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data(),
+                          with_common_flags({"ratio"})));
+  Observability obs;
+  ASSERT_TRUE(obs.open(flags));
+  const PriorityWeighting weighting = PriorityWeighting::w_1_5_10();
+  const EngineOptions options = make_engine_options(flags, weighting, obs);
+
+  const EUWeights scaled = EUWeights::from_log10_ratio(2.0);
+  EXPECT_EQ(options.eu.we, scaled.we);
+  EXPECT_EQ(options.eu.wu, scaled.wu);
+  EXPECT_TRUE(options.paranoid);
+  EXPECT_EQ(options.observer, obs.observer());
+  ASSERT_NE(options.observer, nullptr);
+  EXPECT_EQ(options.weighting.weight(kPriorityHigh), 10.0);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace datastage::toolflags

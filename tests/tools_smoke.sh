@@ -167,6 +167,47 @@ test -s "$WORK_DIR/results/fig2.csv"
 test -s "$WORK_DIR/results/priority_first.csv"
 test -s "$WORK_DIR/results/engine_cost.csv"
 
+# Online serving: a scripted datastage_serve session must answer every
+# command line (including a malformed one) with one response line, mirror
+# them into --decision-log, and admit a fresh new-item submission.
+cat > "$WORK_DIR/serve_script.txt" <<'EOF'
+{"v":1,"cmd":"stats"}
+{"v":1,"cmd":"submit","id":"s1","t_usec":0,"item":"smoke_item","dest":"M1","deadline_usec":7200000000,"priority":2,"new_item":{"size_bytes":4096,"sources":[{"machine":"M0","available_at_usec":0}]}}
+{"v":1,"cmd":"query","id":"s1"}
+{"v":1,"cmd":"advance","to_usec":3600000000}
+{"v":1,"cmd":"cancel","id":"s1","t_usec":3600000000}
+not even json
+{"v":1,"cmd":"shutdown"}
+EOF
+"$TOOLS_DIR/datastage_serve" --scenario="$WORK_DIR/case.ds" \
+    --script="$WORK_DIR/serve_script.txt" \
+    --decision-log="$WORK_DIR/serve.log" > "$WORK_DIR/serve.out"
+cmp -s "$WORK_DIR/serve.log" "$WORK_DIR/serve.out"
+python3 - "$WORK_DIR/serve.out" <<'PYEOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1])]
+assert len(lines) == 7, len(lines)
+assert all(l["v"] == 1 for l in lines), lines
+submit = lines[1]
+assert submit["ok"] and submit["cmd"] == "submit", submit
+assert submit["admitted"] and submit["outcome"] == "admitted", submit
+assert lines[2]["status"] in ("pending", "satisfied"), lines[2]
+bad = lines[5]
+assert not bad["ok"] and bad["error"] == "bad_json", bad
+finish = lines[6]
+assert finish["ok"] and finish["cmd"] == "shutdown", finish
+assert finish["requests"] > 0 and finish["satisfied"] > 0, finish
+PYEOF
+
+# A bad --decision-log path fails eagerly with exit 2, like every sink flag.
+status=0
+"$TOOLS_DIR/datastage_serve" --scenario="$WORK_DIR/case.ds" \
+    --script="$WORK_DIR/serve_script.txt" \
+    --decision-log="$WORK_DIR/no-such-dir/serve.log" \
+    > /dev/null 2> "$WORK_DIR/err.txt" || status=$?
+test "$status" -eq 2
+grep -q "no-such-dir" "$WORK_DIR/err.txt"
+
 # Corrupting the schedule must be detected.
 printf 'step 0 0 1 0 0 1\n' >> "$WORK_DIR/plan.dss"
 if "$TOOLS_DIR/datastage_verify" "$WORK_DIR/case.ds" "$WORK_DIR/plan.dss" \

@@ -10,9 +10,10 @@
 namespace datastage::toolflags {
 
 std::vector<std::string> with_common_flags(std::vector<std::string> extra) {
-  std::vector<std::string> names{"seed",        "weighting",   "jobs",
-                                 "paranoid",    "metrics-out", "metrics-format",
-                                 "trace-out"};
+  std::vector<std::string> names{"seed",           "weighting",
+                                 "jobs",           "paranoid",
+                                 "metrics-out",    "metrics-format",
+                                 "trace-out",      "chrome-trace-out"};
   names.insert(names.end(), extra.begin(), extra.end());
   return names;
 }
@@ -50,12 +51,20 @@ bool open_output_file(std::ofstream& out, const std::string& path,
 bool Observability::open(const CliFlags& flags) {
   metrics_path_ = flags.get_string("metrics-out", "");
   trace_path_ = flags.get_string("trace-out", "");
+  chrome_trace_path_ = flags.get_string("chrome-trace-out", "");
   const std::string format = flags.get_string("metrics-format", "json");
   if (format == "openmetrics") {
     openmetrics_ = true;
   } else if (format != "json") {
     std::fprintf(stderr, "unknown --metrics-format '%s' (use json or openmetrics)\n",
                  format.c_str());
+    return false;
+  }
+  // The chrome sink opens eagerly like the others but does not activate the
+  // observer: it is written from a finished schedule, not from engine hooks.
+  if (!chrome_trace_path_.empty() &&
+      !open_output_file(chrome_trace_file_, chrome_trace_path_,
+                        "chrome trace file")) {
     return false;
   }
   active_ = !metrics_path_.empty() || !trace_path_.empty();
@@ -92,6 +101,46 @@ bool Observability::write_metrics() {
     return false;
   }
   return true;
+}
+
+bool Observability::write_metrics_document(const obs::MetricsRegistry& registry) {
+  if (metrics_path_.empty()) return true;
+  if (openmetrics_) {
+    metrics_file_ << obs::to_openmetrics(registry);
+  } else {
+    metrics_file_ << registry.to_json() << '\n';
+  }
+  metrics_file_.flush();
+  if (!metrics_file_) {
+    std::fprintf(stderr, "cannot write metrics file %s\n", metrics_path_.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool Observability::write_chrome_trace(const std::string& json) {
+  if (chrome_trace_path_.empty()) return true;
+  chrome_trace_file_ << json << '\n';
+  chrome_trace_file_.flush();
+  if (!chrome_trace_file_) {
+    std::fprintf(stderr, "cannot write chrome trace file %s\n",
+                 chrome_trace_path_.c_str());
+    return false;
+  }
+  return true;
+}
+
+EngineOptions make_engine_options(const CliFlags& flags,
+                                  const PriorityWeighting& weighting,
+                                  Observability& observability) {
+  // Every tool prices the E-U axis at 10^--ratio with the paper's mid-axis
+  // default of 10^1; tools without a --ratio flag get that default too.
+  return EngineOptionsBuilder()
+      .weighting(weighting)
+      .eu(EUWeights::from_log10_ratio(flags.get_double("ratio", 1.0)))
+      .paranoid(flags.get_bool("paranoid", false))
+      .observer(observability.observer())
+      .build();
 }
 
 }  // namespace datastage::toolflags

@@ -20,6 +20,8 @@
 //   --metrics-out=F     write a metrics document to F
 //   --metrics-format=X  "json" (default) or "openmetrics" (Prometheus text)
 //   --trace-out=F       write a JSON-lines structured run trace to F
+//   --chrome-trace-out=F write a Chrome Trace Event JSON file to F (only
+//                       tools that produce a schedule emit content)
 #pragma once
 
 #include <cstdint>
@@ -28,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "model/priority.hpp"
 #include "obs/observer.hpp"
 #include "util/cli.hpp"
@@ -67,6 +70,7 @@ class Observability {
 
   const std::string& metrics_path() const { return metrics_path_; }
   const std::string& trace_path() const { return trace_path_; }
+  const std::string& chrome_trace_path() const { return chrome_trace_path_; }
   std::uint64_t trace_events_written() const;
 
   /// Exports phase gauges and log counters, then writes the metrics document
@@ -75,18 +79,40 @@ class Observability {
   /// message when the write fails.
   bool write_metrics();
 
+  /// Writes a caller-supplied registry (JSON or OpenMetrics per
+  /// --metrics-format) to the opened metrics file, *without* exporting phase
+  /// gauges or log counters — for tools whose document must stay
+  /// byte-identical across runs (wall-clock phase timings are not). No-op
+  /// (true) when --metrics-out was absent.
+  bool write_metrics_document(const obs::MetricsRegistry& registry);
+
+  /// Writes a prebuilt Chrome Trace Event JSON document to the file opened
+  /// for --chrome-trace-out. No-op (true) when the flag was absent; false
+  /// with a stderr message naming the path when the write fails.
+  bool write_chrome_trace(const std::string& json);
+
  private:
   bool active_ = false;
   std::string metrics_path_;
   std::string trace_path_;
+  std::string chrome_trace_path_;
   bool openmetrics_ = false;
   obs::MetricsRegistry registry_;
   obs::PhaseTimer phases_;
   std::ofstream metrics_file_;
   std::ofstream trace_file_;
+  std::ofstream chrome_trace_file_;
   std::optional<obs::RunTrace> run_trace_;
   obs::RunObserver observer_;
 };
+
+/// The one place observability/guard/paranoid wiring turns into
+/// EngineOptions: weighting from the caller (already parsed), --ratio (the
+/// paper's mid-axis 10^1 when absent), --paranoid, and the Observability
+/// observer. Tool-specific knobs layer on top via EngineOptionsBuilder.
+EngineOptions make_engine_options(const CliFlags& flags,
+                                  const PriorityWeighting& weighting,
+                                  Observability& observability);
 
 /// Opens `path` for writing, eagerly. Returns false and prints a stderr
 /// message of the form "cannot open <what> <path>: <strerror>" on failure.

@@ -12,6 +12,11 @@
 //   --fault-intensity=X   master fault-intensity knob in [0, 1] (default 0.2)
 //   --fault-seed=N        seed of the fault draw, independent of --seed
 //                         (default 9000)
+// Observability (tools/common_flags.hpp; eager-open, exit 2 on a bad path):
+//   --metrics-out=F       write generator stats (machine/link/item/request
+//                         counts) as a metrics document to F
+//   --metrics-format=X    json (default) or openmetrics
+//   --trace-out=F         write a JSON-lines trace (one `generate` event) to F
 #include <cstdio>
 
 #include "common_flags.hpp"
@@ -31,8 +36,15 @@ int main(int argc, char** argv) {
                                        "requests-per-machine", "load",
                                        "preset", "stats", "quiet",
                                        "faults-out", "fault-intensity",
-                                       "fault-seed"};
+                                       "fault-seed", "metrics-out",
+                                       "metrics-format", "trace-out"};
   if (!flags.parse(argc, argv, known)) return 1;
+
+  // The shared observability plumbing: sinks open eagerly so a bad path
+  // fails before any generation work, with the same exit-2 semantics as the
+  // other tools.
+  toolflags::Observability observability;
+  if (!observability.open(flags)) return 2;
 
   GeneratorConfig config;
   const std::string preset = flags.get_string("preset", "paper");
@@ -88,6 +100,28 @@ int main(int argc, char** argv) {
                    faults.outages.size(), faults.degradations.size(),
                    faults.copy_losses.size(), faults_out.c_str());
     }
+  }
+
+  if (observability.active()) {
+    obs::MetricsRegistry& registry = observability.registry();
+    registry.set_gauge("gen.machines",
+                       static_cast<double>(scenario.machine_count()));
+    registry.set_gauge("gen.phys_links",
+                       static_cast<double>(scenario.phys_links.size()));
+    registry.set_gauge("gen.virt_links",
+                       static_cast<double>(scenario.virt_links.size()));
+    registry.set_gauge("gen.items", static_cast<double>(scenario.item_count()));
+    registry.set_gauge("gen.requests",
+                       static_cast<double>(scenario.request_count()));
+    if (observability.observer() != nullptr &&
+        observability.observer()->trace != nullptr) {
+      observability.observer()->trace->event("generate")
+          .field("preset", preset)
+          .field("machines", scenario.machine_count())
+          .field("items", scenario.item_count())
+          .field("requests", scenario.request_count());
+    }
+    if (!observability.write_metrics()) return 1;
   }
 
   if (!flags.get_bool("quiet", false)) {

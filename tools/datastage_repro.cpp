@@ -33,8 +33,8 @@ std::string csv_path(const std::string& outdir, const std::string& name) {
 
 int main(int argc, char** argv) {
   CliFlags flags;
-  if (!flags.parse(argc, argv,
-                   {"cases", "seed", "outdir", "verbose", "jobs", "metrics-out"})) {
+  if (!flags.parse(argc, argv, {"cases", "seed", "outdir", "verbose", "jobs",
+                                "metrics-out", "metrics-format"})) {
     return 1;
   }
 
@@ -42,14 +42,12 @@ int main(int argc, char** argv) {
   config.cases = static_cast<std::size_t>(flags.get_int("cases", 40));
   config.seed = toolflags::seed_flag(flags, 2000);
   const std::string outdir = flags.get_string("outdir", "");
-  const std::string metrics_out = flags.get_string("metrics-out", "");
-  // Open the metrics sink before the (long) experiment run: a bad path must
-  // fail the tool immediately, not after minutes of computation.
-  std::ofstream metrics_file;
-  if (!metrics_out.empty() &&
-      !toolflags::open_output_file(metrics_file, metrics_out, "metrics file")) {
-    return 2;
-  }
+  // Observability::open opens the metrics sink before the (long) experiment
+  // run: a bad path must fail the tool immediately (exit 2), not after
+  // minutes of computation.
+  toolflags::Observability observability;
+  if (!observability.open(flags)) return 2;
+  const std::string metrics_out = observability.metrics_path();
   if (!outdir.empty()) std::filesystem::create_directories(outdir);
   if (flags.get_bool("verbose", false)) set_log_level(LogLevel::kInfo);
   toolflags::apply_jobs_flag(flags);
@@ -107,9 +105,11 @@ int main(int argc, char** argv) {
         double low = 0.0;
         double medium = 0.0;
         double high = 0.0;
-        EngineOptions options;
-        options.weighting = scheme;
-        options.eu = EUWeights::from_log10_ratio(1.0);
+        const EngineOptions options =
+            EngineOptionsBuilder()
+                .weighting(scheme)
+                .eu(EUWeights::from_log10_ratio(1.0))
+                .build();
         for (const CaseResult& result :
              run_cases(cases, {kind, CostCriterion::kC4}, options)) {
           low += static_cast<double>(result.by_class[0]);
@@ -139,12 +139,10 @@ int main(int argc, char** argv) {
                 table.to_text().c_str());
     if (!outdir.empty()) table.write_csv_file(csv_path(outdir, "engine_cost"));
     if (!metrics_out.empty()) {
-      metrics_file << merged.to_json() << '\n';
-      metrics_file.flush();
-      if (!metrics_file) {
-        std::fprintf(stderr, "cannot write metrics file %s\n", metrics_out.c_str());
-        return 2;
-      }
+      // write_metrics_document keeps the file a pure function of the merged
+      // per-case registries — no wall-clock phase gauges, so the document is
+      // byte-identical for any --jobs value.
+      if (!observability.write_metrics_document(merged)) return 2;
       std::printf("(metrics JSON written to %s)\n\n", metrics_out.c_str());
     }
   }

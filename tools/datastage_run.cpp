@@ -122,9 +122,11 @@ int run_fault_sweep_mode(const Scenario& scenario, const PriorityWeighting& weig
   FaultSweepConfig config;
   config.fault_seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 9000));
 
-  EngineOptions options;
-  options.weighting = weighting;
-  options.eu = EUWeights::from_log10_ratio(flags.get_double("ratio", 1.0));
+  const EngineOptions options =
+      EngineOptionsBuilder()
+          .weighting(weighting)
+          .eu(EUWeights::from_log10_ratio(flags.get_double("ratio", 1.0)))
+          .build();
 
   const FaultSweepResult sweep = run_fault_sweep(cases, specs, config, options);
 
@@ -160,7 +162,7 @@ int main(int argc, char** argv) {
   CliFlags flags;
   const std::vector<std::string> known = toolflags::with_common_flags(
       {"scheduler", "ratio", "report", "trace", "save", "width", "sweep", "csv",
-       "faults", "fault-sweep", "fault-seed", "chrome-trace-out"});
+       "faults", "fault-sweep", "fault-seed"});
   if (!flags.parse(argc, argv, known)) return 1;
   if (flags.positional().size() != 1) {
     std::fprintf(stderr, "usage: datastage_run <scenario-file> [flags]\n");
@@ -169,13 +171,6 @@ int main(int argc, char** argv) {
 
   toolflags::Observability observability;
   if (!observability.open(flags)) return 2;
-  const std::string chrome_trace_path = flags.get_string("chrome-trace-out", "");
-  std::ofstream chrome_trace_file;
-  if (!chrome_trace_path.empty() &&
-      !toolflags::open_output_file(chrome_trace_file, chrome_trace_path,
-                                   "chrome trace file")) {
-    return 2;
-  }
   obs::PhaseTimer* timing = observability.phases();
 
   std::string error;
@@ -204,11 +199,8 @@ int main(int argc, char** argv) {
                                 flags.get_string("csv", ""));
   }
 
-  EngineOptions options;
-  options.weighting = *weighting;
-  options.eu = EUWeights::from_log10_ratio(flags.get_double("ratio", 1.0));
-  options.paranoid = flags.get_bool("paranoid", false);
-  options.observer = observability.observer();
+  const EngineOptions options =
+      toolflags::make_engine_options(flags, *weighting, observability);
 
   const std::string scheduler = flags.get_string("scheduler", "full_one/C4");
   Rng rng(seed);
@@ -323,19 +315,16 @@ int main(int argc, char** argv) {
     std::printf("schedule written to %s\n", save.c_str());
   }
 
-  if (!chrome_trace_path.empty()) {
+  if (!observability.chrome_trace_path().empty()) {
     obs::ChromeTraceOptions chrome;
     chrome.outcomes = &result.outcomes;
     chrome.phases = timing;
-    chrome_trace_file << obs::chrome_trace_json(*scenario, result.schedule, chrome)
-                      << '\n';
-    chrome_trace_file.flush();
-    if (!chrome_trace_file) {
-      std::fprintf(stderr, "cannot write chrome trace file %s\n",
-                   chrome_trace_path.c_str());
+    if (!observability.write_chrome_trace(
+            obs::chrome_trace_json(*scenario, result.schedule, chrome))) {
       return 2;
     }
-    std::printf("chrome trace written to %s\n", chrome_trace_path.c_str());
+    std::printf("chrome trace written to %s\n",
+                observability.chrome_trace_path().c_str());
   }
 
   if (!observability.metrics_path().empty()) {
