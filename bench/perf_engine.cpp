@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "common_flags.hpp"
 #include "core/heuristics.hpp"
 #include "core/registry.hpp"
 #include "core/schedule_io.hpp"
@@ -148,11 +149,8 @@ int main(int argc, char** argv) {
   Table table({"size", "incr ms", "paranoid ms", "speedup", "inval checked",
                "scan equiv", "reduction", "identical"});
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
+  std::FILE* f = toolflags::open_output_cfile(out_path, "bench output");
+  if (f == nullptr) return 2;
   std::fprintf(f,
                "{\n  \"bench\": \"perf_engine\",\n  \"scheduler\": \"%s\",\n"
                "  \"cases\": %zu,\n  \"seed\": %llu,\n  \"grid\": [\n",

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "common_flags.hpp"
 #include "harness/fault_sweep.hpp"
 #include "util/time.hpp"
 
@@ -98,21 +99,15 @@ int main(int argc, char** argv) {
   std::fputs(table.to_text().c_str(), stdout);
 
   if (!setup.csv_path.empty()) {
-    std::FILE* csv = std::fopen(setup.csv_path.c_str(), "w");
-    if (csv == nullptr) {
-      std::fprintf(stderr, "cannot write %s\n", setup.csv_path.c_str());
-      return 1;
-    }
+    std::FILE* csv = toolflags::open_output_cfile(setup.csv_path, "sweep CSV");
+    if (csv == nullptr) return 2;
     std::fputs(sweep.to_csv().c_str(), csv);
     std::fclose(csv);
     std::printf("CSV written to %s\n", setup.csv_path.c_str());
   }
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
+  std::FILE* f = toolflags::open_output_cfile(out_path, "bench output");
+  if (f == nullptr) return 2;
   std::fprintf(f,
                "{\n  \"bench\": \"perf_faults\",\n  \"cases\": %zu,\n"
                "  \"seed\": %llu,\n  \"fault_seed\": %llu,\n"

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common_flags.hpp"
 #include "gen/generator.hpp"
 #include "obs/json.hpp"
 #include "serve/scheduler_service.hpp"
@@ -182,11 +183,8 @@ int main(int argc, char** argv) {
   std::printf("verdicts identical across modes: %s\n",
               identical ? "yes" : "NO");
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
+  std::FILE* f = toolflags::open_output_cfile(out_path, "bench output");
+  if (f == nullptr) return 2;
   std::fprintf(f,
                "{\n  \"bench\": \"perf_serve\",\n  \"preset\": \"congested\",\n"
                "  \"cases\": %zu,\n  \"seed\": %llu,\n  \"modes\": {\n",

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common_flags.hpp"
 #include "core/heuristics.hpp"
 #include "core/metrics.hpp"
 #include "core/schedule_io.hpp"
@@ -82,7 +83,7 @@ int main(int argc, char** argv) {
   std::printf("...\n");
 
   const std::string dot_path = dir + "/topology.dot";
-  std::FILE* dot = std::fopen(dot_path.c_str(), "w");
+  std::FILE* dot = toolflags::open_output_cfile(dot_path, "topology graph");
   if (dot != nullptr) {
     std::fputs(topology_dot(*loaded_scenario).c_str(), dot);
     std::fclose(dot);

@@ -43,7 +43,9 @@ struct ResultMetrics {
                : static_cast<double>(satisfied) / static_cast<double>(total_requests);
   }
   double value_fraction() const {
-    return weighted_total == 0.0 ? 0.0 : weighted_value / weighted_total;
+    return weighted_total == 0.0  // ds-lint: allow(DS012 exact zero-sentinel: weighted_total is only ever assigned 0.0 or a sum of positive weights)
+               ? 0.0
+               : weighted_value / weighted_total;
   }
 };
 

@@ -1,4 +1,4 @@
-#include "obs/chrome_trace.hpp"
+#include "sim/chrome_trace.hpp"
 
 #include <algorithm>
 #include <cstdint>
@@ -7,7 +7,7 @@
 
 #include "obs/json.hpp"
 
-namespace datastage::obs {
+namespace datastage::sim {
 
 namespace {
 
@@ -24,7 +24,7 @@ std::string field(std::string_view key, const std::string& raw) {
 }
 
 std::string str_field(std::string_view key, std::string_view value) {
-  return '"' + std::string(key) + "\":\"" + json_escape(value) + '"';
+  return '"' + std::string(key) + "\":\"" + obs::json_escape(value) + '"';
 }
 
 void append_metadata(std::string& out, std::string_view name, int pid, int tid,
@@ -120,8 +120,8 @@ std::string chrome_trace_json(const Scenario& scenario, const Schedule& schedule
       const double dur_us = static_cast<double>(options.phases->nanos(phase)) / 1e3;
       append_event(out, str_field("name", phase) + ",\"ph\":\"X\"," +
                             field("pid", std::to_string(kWallPid)) +
-                            ",\"tid\":1," + field("ts", json_number(cursor_us)) +
-                            ',' + field("dur", json_number(dur_us)) + ",\"args\":{}");
+                            ",\"tid\":1," + field("ts", obs::json_number(cursor_us)) +
+                            ',' + field("dur", obs::json_number(dur_us)) + ",\"args\":{}");
       cursor_us += dur_us;
     }
   }
@@ -130,4 +130,4 @@ std::string chrome_trace_json(const Scenario& scenario, const Schedule& schedule
   return out;
 }
 
-}  // namespace datastage::obs
+}  // namespace datastage::sim

@@ -25,17 +25,17 @@
 #include "model/scenario.hpp"
 #include "obs/metrics.hpp"
 
-namespace datastage::obs {
+namespace datastage::sim {
 
 struct ChromeTraceOptions {
   /// Unsatisfied requests to render as deadline-miss instants; may be null.
   const OutcomeMatrix* outcomes = nullptr;
   /// Wall-clock phase totals for the pid-2 track; may be null.
-  const PhaseTimer* phases = nullptr;
+  const obs::PhaseTimer* phases = nullptr;
 };
 
 /// Renders the run as `{"displayTimeUnit":"ms","traceEvents":[...]}`.
 std::string chrome_trace_json(const Scenario& scenario, const Schedule& schedule,
                               const ChromeTraceOptions& options = {});
 
-}  // namespace datastage::obs
+}  // namespace datastage::sim

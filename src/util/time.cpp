@@ -1,6 +1,6 @@
 #include "util/time.hpp"
 
-#include <chrono>  // ds-lint: allow(DS002 steady_clock_nanos is the sanctioned clock accessor)
+#include <chrono>  // util/time is DS002's scope carve-out: the sanctioned clock accessor lives here
 #include <cinttypes>
 #include <cstdio>
 

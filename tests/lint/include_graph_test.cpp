@@ -1,0 +1,220 @@
+// Unit tests for the datastage_lint include-graph builder: edge parsing,
+// resolution order, the layer manifest, SCC cycle detection and finding
+// rendering. These back the whole-program DS010 rule.
+#include "include_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "findings.hpp"
+#include "source_view.hpp"
+
+namespace lint {
+namespace {
+
+ScanFile make_file(const std::string& rel, const std::string& content) {
+  ScanFile f;
+  f.rel = rel;
+  f.is_header = rel.size() > 4 && rel.compare(rel.size() - 4, 4, ".hpp") == 0;
+  f.views = preprocess(content);
+  for (const std::string& raw : f.views.raw) {
+    f.annotations.push_back(parse_annotations(raw));
+  }
+  return f;
+}
+
+TEST(ParseIncludeEdges, QuotedOnlyWithLineNumbers) {
+  const ScanFile f = make_file("src/core/engine.cpp",
+                               "#include \"core/engine.hpp\"\n"
+                               "#include <vector>\n"
+                               "  #  include \"util/rng.hpp\"\n");
+  const std::vector<IncludeEdge> edges = parse_include_edges(f);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0].target, "core/engine.hpp");
+  EXPECT_EQ(edges[0].line, 1u);
+  EXPECT_EQ(edges[1].target, "util/rng.hpp");
+  EXPECT_EQ(edges[1].line, 3u);
+  EXPECT_EQ(edges[0].from, "src/core/engine.cpp");
+}
+
+TEST(ParseIncludeEdges, ImmuneToCommentsAndStrings) {
+  const ScanFile f = make_file(
+      "src/a.cpp",
+      "// #include \"commented/out.hpp\"\n"
+      "/* #include \"blocked/out.hpp\" */\n"
+      "const char* s = \"#include \\\"quoted/out.hpp\\\"\";\n"
+      "#include \"real/one.hpp\"  // trailing comment fine\n");
+  const std::vector<IncludeEdge> edges = parse_include_edges(f);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].target, "real/one.hpp");
+  EXPECT_EQ(edges[0].line, 4u);
+}
+
+TEST(ResolveIncludeEdges, ResolutionOrderIncluderDirThenSrcThenToolsThenRoot) {
+  const std::set<std::string> tree = {
+      "src/core/local.hpp", "src/net/local.hpp", "src/shared.hpp",
+      "tools/common_flags.hpp", "bench/kit.hpp"};
+  std::vector<IncludeEdge> edges = {
+      {"src/core/engine.cpp", 1, "local.hpp", ""},        // includer-dir wins
+      {"src/core/engine.cpp", 2, "net/local.hpp", ""},    // then src/
+      {"src/core/engine.cpp", 3, "common_flags.hpp", ""}, // then tools/
+      {"src/core/engine.cpp", 4, "bench/kit.hpp", ""},    // then root-relative
+      {"src/core/engine.cpp", 5, "no/such.hpp", ""},      // unresolved
+      {"src/core/engine.cpp", 6, "../shared.hpp", ""},    // dot-dot normalized
+  };
+  resolve_include_edges(edges, tree);
+  EXPECT_EQ(edges[0].resolved, "src/core/local.hpp");
+  EXPECT_EQ(edges[1].resolved, "src/net/local.hpp");
+  EXPECT_EQ(edges[2].resolved, "tools/common_flags.hpp");
+  EXPECT_EQ(edges[3].resolved, "bench/kit.hpp");
+  EXPECT_EQ(edges[4].resolved, "");
+  EXPECT_EQ(edges[5].resolved, "src/shared.hpp");
+}
+
+TEST(LayerManifest, ParseAndLongestPrefixWins) {
+  const LayerManifest m = parse_layer_manifest({
+      "# comment",
+      "layer util src/util/",
+      "layer core src/core/ src/core_ext/",
+      "allow core util",
+  });
+  EXPECT_TRUE(m.errors.empty());
+  ASSERT_EQ(m.layers.size(), 2u);
+  ASSERT_NE(m.layer_of("src/core/engine.cpp"), nullptr);
+  EXPECT_EQ(m.layer_of("src/core/engine.cpp")->name, "core");
+  EXPECT_EQ(m.layer_of("src/core_ext/x.cpp")->name, "core");
+  EXPECT_EQ(m.layer_of("src/util/rng.cpp")->name, "util");
+  EXPECT_EQ(m.layer_of("tests/foo.cpp"), nullptr);
+  EXPECT_EQ(m.layer_of("src/core/engine.cpp")->allowed.count("util"), 1u);
+}
+
+TEST(LayerManifest, ReportsErrorsWithLines) {
+  const LayerManifest m = parse_layer_manifest({
+      "layer util src/util/",
+      "layer util src/util2/",   // duplicate
+      "layer empty",             // no prefix
+      "allow ghost util",        // undeclared layer
+      "allow util phantom",      // undeclared dep
+      "frobnicate util",         // unknown directive
+  });
+  ASSERT_EQ(m.errors.size(), 5u);
+  EXPECT_EQ(m.errors[0].first, 2u);
+  EXPECT_NE(m.errors[0].second.find("duplicate layer 'util'"), std::string::npos);
+  EXPECT_EQ(m.errors[1].first, 3u);
+  EXPECT_EQ(m.errors[2].first, 6u);  // parse-phase error for unknown directive
+  EXPECT_EQ(m.errors[3].first, 4u);
+  EXPECT_NE(m.errors[3].second.find("undeclared layer 'ghost'"), std::string::npos);
+  EXPECT_EQ(m.errors[4].first, 5u);
+  EXPECT_NE(m.errors[4].second.find("'phantom'"), std::string::npos);
+}
+
+TEST(IncludeCycles, FindsTwoCycleRotatedToSmallest) {
+  const std::vector<IncludeEdge> edges = {
+      {"src/b.hpp", 1, "a.hpp", "src/a.hpp"},
+      {"src/a.hpp", 1, "b.hpp", "src/b.hpp"},
+      {"src/c.hpp", 1, "a.hpp", "src/a.hpp"},  // not part of the cycle
+  };
+  const auto cycles = find_include_cycles(edges);
+  ASSERT_EQ(cycles.size(), 1u);
+  const std::vector<std::string> want = {"src/a.hpp", "src/b.hpp", "src/a.hpp"};
+  EXPECT_EQ(cycles[0], want);
+}
+
+TEST(IncludeCycles, FindsThreeCycleAndSelfLoop) {
+  const std::vector<IncludeEdge> edges = {
+      {"src/x.hpp", 1, "y.hpp", "src/y.hpp"},
+      {"src/y.hpp", 1, "z.hpp", "src/z.hpp"},
+      {"src/z.hpp", 1, "x.hpp", "src/x.hpp"},
+      {"src/self.hpp", 2, "self.hpp", "src/self.hpp"},
+  };
+  const auto cycles = find_include_cycles(edges);
+  ASSERT_EQ(cycles.size(), 2u);
+  const std::vector<std::string> self_loop = {"src/self.hpp", "src/self.hpp"};
+  const std::vector<std::string> tri = {"src/x.hpp", "src/y.hpp", "src/z.hpp",
+                                        "src/x.hpp"};
+  EXPECT_EQ(cycles[0], self_loop);
+  EXPECT_EQ(cycles[1], tri);
+}
+
+TEST(IncludeCycles, AcyclicGraphHasNone) {
+  const std::vector<IncludeEdge> edges = {
+      {"src/a.cpp", 1, "b.hpp", "src/b.hpp"},
+      {"src/b.hpp", 1, "c.hpp", "src/c.hpp"},
+      {"src/a.cpp", 2, "c.hpp", "src/c.hpp"},  // diamond, no cycle
+  };
+  EXPECT_TRUE(find_include_cycles(edges).empty());
+}
+
+TEST(RenderIncludeChain, ArrowSeparated) {
+  EXPECT_EQ(render_include_chain({"a.hpp", "b.hpp", "a.hpp"}),
+            "a.hpp -> b.hpp -> a.hpp");
+  EXPECT_EQ(render_include_chain({"solo.hpp"}), "solo.hpp");
+  EXPECT_EQ(render_include_chain({}), "");
+}
+
+TEST(CheckIncludeGraph, ViolationNamesLayersAndChain) {
+  const LayerManifest m = parse_layer_manifest({
+      "layer util src/util/",
+      "layer core src/core/",
+      "allow core util",
+  });
+  const std::vector<IncludeEdge> edges = {
+      {"src/util/low.cpp", 7, "core/high.hpp", "src/core/high.hpp"},
+      {"src/core/fine.cpp", 3, "util/rng.hpp", "src/util/rng.hpp"},
+  };
+  const std::vector<Finding> findings =
+      check_include_graph(m, "tools/lint/layers.txt", edges);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "DS010");
+  EXPECT_EQ(findings[0].path, "src/util/low.cpp");
+  EXPECT_EQ(findings[0].line, 7u);
+  EXPECT_NE(findings[0].message.find("layer 'util' may not include layer 'core'"),
+            std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/util/low.cpp -> src/core/high.hpp"),
+            std::string::npos);
+}
+
+TEST(CheckIncludeGraph, UnlayeredIncluderSkippedUnlayeredTargetFlagged) {
+  const LayerManifest m = parse_layer_manifest({
+      "layer core src/core/",
+  });
+  const std::vector<IncludeEdge> edges = {
+      // tests/ is outside the layered surface: no finding.
+      {"tests/core/engine_test.cpp", 1, "core/engine.hpp", "src/core/engine.hpp"},
+      // A layered file including an unlayered one is a finding.
+      {"src/core/engine.cpp", 2, "scripts/x.hpp", "scripts/x.hpp"},
+  };
+  const std::vector<Finding> findings =
+      check_include_graph(m, "tools/lint/layers.txt", edges);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "src/core/engine.cpp");
+  EXPECT_NE(findings[0].message.find("outside every declared layer"),
+            std::string::npos);
+}
+
+TEST(CheckIncludeGraph, LayerDagCycleReported) {
+  const LayerManifest m = parse_layer_manifest({
+      "layer a src/a/",
+      "layer b src/b/",
+      "allow a b",
+      "allow b a",
+  });
+  const std::vector<Finding> findings =
+      check_include_graph(m, "tools/lint/layers.txt", {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "tools/lint/layers.txt");
+  EXPECT_NE(findings[0].message.find("layer DAG cycle"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("a -> b -> a"), std::string::npos);
+}
+
+TEST(CheckIncludeGraph, ManifestErrorsReportedAgainstManifest) {
+  const LayerManifest m = parse_layer_manifest({"layer broken"});
+  const std::vector<Finding> findings =
+      check_include_graph(m, "tools/lint/layers.txt", {});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].path, "tools/lint/layers.txt");
+  EXPECT_EQ(findings[0].line, 1u);
+  EXPECT_NE(findings[0].message.find("layer manifest error"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lint

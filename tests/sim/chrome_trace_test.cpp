@@ -1,7 +1,7 @@
 // Schema checks for the Chrome Trace Event exporter: the document must parse
 // as JSON and every entry must carry the fields ui.perfetto.dev requires
 // (name/ph/pid/tid, ts on real events, dur on complete slices).
-#include "obs/chrome_trace.hpp"
+#include "sim/chrome_trace.hpp"
 
 #include <gtest/gtest.h>
 
@@ -57,10 +57,10 @@ TEST(ChromeTraceTest, DocumentMatchesTheTraceEventSchema) {
   phases.add_nanos("load", 1'500'000);
   phases.add_nanos("schedule", 4'000'000);
 
-  obs::ChromeTraceOptions options;
+  sim::ChromeTraceOptions options;
   options.outcomes = &result.outcomes;
   options.phases = &phases;
-  const std::string doc = obs::chrome_trace_json(s, result.schedule, options);
+  const std::string doc = sim::chrome_trace_json(s, result.schedule, options);
 
   std::string error;
   const auto root = obs::json_parse(doc, &error);
@@ -116,7 +116,7 @@ TEST(ChromeTraceTest, DocumentMatchesTheTraceEventSchema) {
 TEST(ChromeTraceTest, SimSlicesUseSimulationMicrosecondsVerbatim) {
   const Scenario s = miss_scenario();
   const StagingResult result = run(s);
-  const std::string doc = obs::chrome_trace_json(s, result.schedule);
+  const std::string doc = sim::chrome_trace_json(s, result.schedule);
   const auto root = obs::json_parse(doc);
   ASSERT_TRUE(root.has_value());
 
@@ -141,16 +141,16 @@ TEST(ChromeTraceTest, SimSlicesUseSimulationMicrosecondsVerbatim) {
 TEST(ChromeTraceTest, OutputIsDeterministic) {
   const Scenario s = miss_scenario();
   const StagingResult result = run(s);
-  obs::ChromeTraceOptions options;
+  sim::ChromeTraceOptions options;
   options.outcomes = &result.outcomes;
-  EXPECT_EQ(obs::chrome_trace_json(s, result.schedule, options),
-            obs::chrome_trace_json(s, result.schedule, options));
+  EXPECT_EQ(sim::chrome_trace_json(s, result.schedule, options),
+            sim::chrome_trace_json(s, result.schedule, options));
 }
 
 TEST(ChromeTraceTest, EmptyScheduleStillProducesAValidDocument) {
   const Scenario s = testing::chain_scenario();
   const Schedule empty;
-  const std::string doc = obs::chrome_trace_json(s, empty);
+  const std::string doc = sim::chrome_trace_json(s, empty);
   const auto root = obs::json_parse(doc);
   ASSERT_TRUE(root.has_value());
   ASSERT_NE(field(*root, "traceEvents"), nullptr);

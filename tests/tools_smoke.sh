@@ -208,13 +208,23 @@ status=0
 test "$status" -eq 2
 grep -q "no-such-dir" "$WORK_DIR/err.txt"
 
-# Corrupting the schedule must be detected.
+# Corrupting the schedule must be detected — an INVALID verdict is exit 1
+# (a lint-style "findings" exit), distinct from usage/load errors (exit 2).
 printf 'step 0 0 1 0 0 1\n' >> "$WORK_DIR/plan.dss"
-if "$TOOLS_DIR/datastage_verify" "$WORK_DIR/case.ds" "$WORK_DIR/plan.dss" \
-    > "$WORK_DIR/verdict.txt" 2>&1; then
-  echo "expected datastage_verify to fail on a corrupted schedule" >&2
-  exit 1
-fi
+status=0
+"$TOOLS_DIR/datastage_verify" "$WORK_DIR/case.ds" "$WORK_DIR/plan.dss" \
+    > "$WORK_DIR/verdict.txt" 2>&1 || status=$?
+test "$status" -eq 1
 grep -q "INVALID" "$WORK_DIR/verdict.txt"
+
+# Usage and load errors exit 2: missing operands, unreadable scenario.
+status=0
+"$TOOLS_DIR/datastage_verify" > /dev/null 2>&1 || status=$?
+test "$status" -eq 2
+status=0
+"$TOOLS_DIR/datastage_verify" "$WORK_DIR/no-such.ds" "$WORK_DIR/plan.dss" \
+    > /dev/null 2> "$WORK_DIR/verify_err.txt" || status=$?
+test "$status" -eq 2
+grep -q "cannot load scenario" "$WORK_DIR/verify_err.txt"
 
 echo "tools smoke test passed"

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -120,5 +121,11 @@ EngineOptions make_engine_options(const CliFlags& flags,
 /// schedule/scenario outputs) so every bad path fails the same way.
 bool open_output_file(std::ofstream& out, const std::string& path,
                       const char* what);
+
+/// C-stream twin of open_output_file for fprintf-style writers (bench CSV
+/// emitters). Returns nullptr and prints the same "cannot open <what>
+/// <path>: <strerror>" message on failure; the caller owns the FILE and
+/// closes it with std::fclose.
+std::FILE* open_output_cfile(const std::string& path, const char* what);
 
 }  // namespace datastage::toolflags

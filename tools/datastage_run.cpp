@@ -61,8 +61,8 @@
 #include "harness/sweep.hpp"
 #include "model/fault_io.hpp"
 #include "model/scenario_io.hpp"
-#include "obs/chrome_trace.hpp"
 #include "obs/observer.hpp"
+#include "sim/chrome_trace.hpp"
 #include "sim/fault_replay.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -78,6 +78,13 @@ namespace {
 /// (paper pair x E-U axis) grid through the parallel executor.
 int run_sweep_mode(const Scenario& scenario, const PriorityWeighting& weighting,
                    std::uint64_t seed, const std::string& csv_path) {
+  // A bad --csv path must fail before the sweep runs, not after it.
+  std::ofstream csv;
+  if (!csv_path.empty() &&
+      !toolflags::open_output_file(csv, csv_path, "sweep CSV")) {
+    return 2;
+  }
+
   CaseSet cases;
   cases.seed = seed;
   cases.scenarios.push_back(scenario);
@@ -90,7 +97,11 @@ int run_sweep_mode(const Scenario& scenario, const PriorityWeighting& weighting,
   add_flat_series(sweep, "random_Dijkstra", average_random_dijkstra(cases, weighting));
   add_flat_series(sweep, "single_Dij_random",
                   average_single_dijkstra_random(cases, weighting));
-  print_sweep("E-U sweep — every paper pair on this scenario:", sweep, csv_path);
+  print_sweep("E-U sweep — every paper pair on this scenario:", sweep, "");
+  if (csv.is_open()) {
+    csv << sweep_table(sweep).to_csv();
+    std::printf("(CSV written to %s)\n\n", csv_path.c_str());
+  }
   return 0;
 }
 
@@ -100,6 +111,13 @@ int run_sweep_mode(const Scenario& scenario, const PriorityWeighting& weighting,
 int run_fault_sweep_mode(const Scenario& scenario, const PriorityWeighting& weighting,
                          const CliFlags& flags, std::uint64_t seed,
                          const std::string& csv_path) {
+  // As for --sweep: a bad --csv path must fail before the sweep runs.
+  std::ofstream csv;
+  if (!csv_path.empty() &&
+      !toolflags::open_output_file(csv, csv_path, "sweep CSV")) {
+    return 2;
+  }
+
   CaseSet cases;
   cases.seed = seed;
   cases.scenarios.push_back(scenario);
@@ -144,13 +162,8 @@ int run_fault_sweep_mode(const Scenario& scenario, const PriorityWeighting& weig
   }
   std::printf("Fault-intensity sweep:\n%s", table.to_text().c_str());
 
-  if (!csv_path.empty()) {
-    std::ofstream out(csv_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
-      return 1;
-    }
-    out << sweep.to_csv();
+  if (csv.is_open()) {
+    csv << sweep.to_csv();
     std::printf("CSV written to %s\n", csv_path.c_str());
   }
   return 0;
@@ -316,11 +329,11 @@ int main(int argc, char** argv) {
   }
 
   if (!observability.chrome_trace_path().empty()) {
-    obs::ChromeTraceOptions chrome;
+    sim::ChromeTraceOptions chrome;
     chrome.outcomes = &result.outcomes;
     chrome.phases = timing;
     if (!observability.write_chrome_trace(
-            obs::chrome_trace_json(*scenario, result.schedule, chrome))) {
+            sim::chrome_trace_json(*scenario, result.schedule, chrome))) {
       return 2;
     }
     std::printf("chrome trace written to %s\n",

@@ -2,6 +2,9 @@
 // every constraint violation (the simulator as a standalone checker).
 //
 //   $ datastage_verify case7.ds plan.dss
+//
+// Exit codes follow the shared tool convention: 0 the schedule is VALID,
+// 1 the schedule is INVALID (violations listed), 2 usage/flag/load errors.
 #include <cstdio>
 #include <optional>
 
@@ -15,26 +18,26 @@ using namespace datastage;
 
 int main(int argc, char** argv) {
   CliFlags flags;
-  if (!flags.parse(argc, argv, {"weighting"})) return 1;
+  if (!flags.parse(argc, argv, {"weighting"})) return 2;
   if (flags.positional().size() != 2) {
     std::fprintf(stderr, "usage: datastage_verify <scenario-file> <schedule-file>\n");
-    return 1;
+    return 2;
   }
 
   std::string error;
   const auto scenario = load_scenario(flags.positional()[0], &error);
   if (!scenario.has_value()) {
     std::fprintf(stderr, "cannot load scenario: %s\n", error.c_str());
-    return 1;
+    return 2;
   }
   const auto schedule = load_schedule(flags.positional()[1], &error);
   if (!schedule.has_value()) {
     std::fprintf(stderr, "cannot load schedule: %s\n", error.c_str());
-    return 1;
+    return 2;
   }
 
   const std::optional<PriorityWeighting> weighting = toolflags::parse_weighting(flags);
-  if (!weighting.has_value()) return 1;
+  if (!weighting.has_value()) return 2;
   const SimReport report = simulate(*scenario, *schedule);
 
   std::printf("transfers:      %zu\n", report.transfers);
@@ -49,5 +52,5 @@ int main(int argc, char** argv) {
   }
   std::printf("verdict:        INVALID (%zu violations)\n", report.issues.size());
   for (const auto& issue : report.issues) std::printf("  - %s\n", issue.c_str());
-  return 2;
+  return 1;
 }

@@ -1,708 +1,33 @@
-// datastage_lint: project-specific static analysis for the determinism and
-// invariant contracts.
+// datastage_lint — whole-program determinism and architecture linter.
 //
-// The parallel executor (docs/PARALLELISM.md) promises byte-identical output
-// for any --jobs=N. That promise rests on source-level rules — keyed RNG
-// splits, ordered containers on output paths, pooled threads, fixed-precision
-// float formatting — that no compiler flag checks. This tool makes the rules
-// machine-checked: each rule has a stable ID (DS001...), scans the tree in
-// seconds with no build needed, and exits nonzero on any finding so CI can
-// gate on it.
+// Scans src/ bench/ tools/ examples/ tests/ for the DS-rule catalog
+// (see docs/STATIC_ANALYSIS.md and --list-rules): determinism hazards
+// (DS001-DS006, DS011, DS012), header hygiene (DS007, DS008), trace-event
+// vocabulary (DS009), architecture layering over the include graph (DS010),
+// and sanctioned output opens (DS013). Suppressions must carry a reason and
+// must still silence a live finding; stale ones are reported as DS000.
 //
-// Usage:
-//   datastage_lint [--json] [--list-rules] [--self-test] [root]
-//
-// `root` is the repository root (default "."); the scan covers src/, bench/,
-// tools/, examples/ and tests/ beneath it (hygiene rules only under tests/,
-// which legitimately uses raw threads and hash containers to *test* the
-// library). `--self-test` instead treats `root` as a fixture tree whose
-// `// ds-lint-expect: DS00x` annotations are checked exactly against the
-// findings — the known-bad snippets under tools/lint/fixtures keep the rules
-// honest under CTest.
-//
-// Suppressions are inline and must carry a reason:
-//   do_risky_thing();  // ds-lint: allow(DS004 bounded helper, joined below)
-// A reasonless allow() is itself a finding (DS000).
-#include <algorithm>
-#include <cctype>
+// Exit codes: 0 clean, 1 findings (or self-test mismatch), 2 usage errors.
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
 #include <string>
-#include <string_view>
-#include <tuple>
-#include <vector>
 
-namespace fs = std::filesystem;
+#include "findings.hpp"
+#include "rules.hpp"
+#include "scan.hpp"
 
 namespace {
 
-// --- Source preprocessing ---------------------------------------------------
-
-// Three synchronized views of one file. Token rules must not fire on banned
-// names that appear in comments or string literals (docs and log messages
-// talk about std::rand all the time), while the format-string rule must fire
-// *only* inside string literals (a bare `%` in code is the modulo operator).
-struct FileViews {
-  std::vector<std::string> raw;      // untouched lines (suppression comments)
-  std::vector<std::string> code;     // comments and string contents blanked
-  std::vector<std::string> strings;  // only string-literal contents kept
-};
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-FileViews preprocess(const std::string& content) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string code_buf;
-  std::string str_buf;
-  std::string raw_delim;  // delimiter of an active raw string, ")delim"
-  code_buf.reserve(content.size());
-  str_buf.reserve(content.size());
-
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
-    char code_out = ' ';
-    char str_out = ' ';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          ++i;
-          code_buf += "  ";
-          str_buf += "  ";
-          continue;
-        } else if (c == '"') {
-          // R"delim( ... )delim" — find the opening delimiter.
-          const bool raw = i > 0 && content[i - 1] == 'R' &&
-                           (i < 2 || !is_ident_char(content[i - 2]));
-          if (raw) {
-            const std::size_t paren = content.find('(', i + 1);
-            if (paren != std::string::npos) {
-              raw_delim = ")" + content.substr(i + 1, paren - i - 1);
-              state = State::kRawString;
-              code_out = c;
-            }
-          } else {
-            state = State::kString;
-            code_out = c;
-          }
-        } else if (c == '\'' && i > 0 && is_ident_char(content[i - 1])) {
-          // Digit separator (1'000'000) or literal suffix — not a char literal.
-          code_out = c;
-        } else if (c == '\'') {
-          state = State::kChar;
-          code_out = c;
-        } else {
-          code_out = c;
-        }
-        break;
-      case State::kLineComment:
-        // A backslash-newline continues a // comment onto the next line.
-        if (c == '\n' && (i == 0 || content[i - 1] != '\\')) state = State::kCode;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          ++i;
-          code_buf += "  ";
-          str_buf += "  ";
-          continue;
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          code_buf += ' ';
-          str_buf += c;
-          if (next != '\0' && next != '\n') {
-            ++i;
-            code_buf += content[i] == '\n' ? '\n' : ' ';
-            str_buf += content[i] == '\n' ? '\n' : content[i];
-          }
-          continue;
-        }
-        if (c == '"') {
-          state = State::kCode;
-          code_out = c;
-        } else {
-          str_out = c;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          code_buf += ' ';
-          str_buf += ' ';
-          if (next != '\0' && next != '\n') {
-            ++i;
-            code_buf += content[i] == '\n' ? '\n' : ' ';
-            str_buf += content[i] == '\n' ? '\n' : ' ';
-          }
-          continue;
-        }
-        if (c == '\'') {
-          state = State::kCode;
-          code_out = c;
-        }
-        break;
-      case State::kRawString:
-        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0 &&
-            i + raw_delim.size() < content.size() &&
-            content[i + raw_delim.size()] == '"') {
-          for (std::size_t k = 0; k <= raw_delim.size(); ++k) {
-            const char rc = content[i + k];
-            code_buf += rc == '\n' ? '\n' : ' ';
-            str_buf += rc == '\n' ? '\n' : ' ';
-          }
-          i += raw_delim.size();
-          state = State::kCode;
-          continue;
-        }
-        str_out = c;
-        break;
-    }
-    if (c == '\n') {
-      code_out = '\n';
-      str_out = '\n';
-    }
-    code_buf += code_out;
-    str_buf += str_out;
-  }
-
-  auto split = [](const std::string& s) {
-    std::vector<std::string> lines;
-    std::string cur;
-    for (char c : s) {
-      if (c == '\n') {
-        lines.push_back(std::move(cur));
-        cur.clear();
-      } else {
-        cur += c;
-      }
-    }
-    lines.push_back(std::move(cur));
-    return lines;
-  };
-
-  FileViews views;
-  views.raw = split(content);
-  views.code = split(code_buf);
-  views.strings = split(str_buf);
-  return views;
-}
-
-// --- Findings, suppressions, expectations -----------------------------------
-
-struct Finding {
-  std::string path;
-  std::size_t line = 0;  // 1-based
-  std::string rule;
-  std::string message;
-
-  friend bool operator<(const Finding& a, const Finding& b) {
-    return std::tie(a.path, a.line, a.rule, a.message) <
-           std::tie(b.path, b.line, b.rule, b.message);
-  }
-};
-
-struct LineAnnotations {
-  std::set<std::string> allowed;     // ds-lint: allow(DS00x reason)
-  std::set<std::string> expected;    // ds-lint-expect: DS00x [DS00y ...]
-  bool reasonless_allow = false;     // allow() without a reason — DS000
-};
-
-LineAnnotations parse_annotations(const std::string& raw_line) {
-  LineAnnotations ann;
-  // Spliced literals so the scanner does not read its own marker strings.
-  static const std::string kAllow = "ds-lint: " "allow(";
-  for (std::size_t pos = raw_line.find(kAllow); pos != std::string::npos;
-       pos = raw_line.find(kAllow, pos + 1)) {
-    const std::size_t id_start = pos + kAllow.size();
-    const std::size_t close = raw_line.find(')', id_start);
-    if (close == std::string::npos) {
-      ann.reasonless_allow = true;
-      break;
-    }
-    const std::string inner = raw_line.substr(id_start, close - id_start);
-    const std::size_t space = inner.find(' ');
-    const std::string id = inner.substr(0, space);
-    std::string reason = space == std::string::npos ? "" : inner.substr(space + 1);
-    reason.erase(0, reason.find_first_not_of(' '));
-    if (id.size() != 5 || id.compare(0, 2, "DS") != 0 || reason.empty()) {
-      ann.reasonless_allow = true;
-    } else {
-      ann.allowed.insert(id);
-    }
-  }
-  static const std::string kExpect = "ds-lint-" "expect:";
-  const std::size_t epos = raw_line.find(kExpect);
-  if (epos != std::string::npos) {
-    std::istringstream ids(raw_line.substr(epos + kExpect.size()));
-    std::string id;
-    while (ids >> id) ann.expected.insert(id);
-  }
-  return ann;
-}
-
-// --- Token matching ---------------------------------------------------------
-
-// Finds `token` in `line` respecting identifier boundaries: `rand(` must not
-// match `srand(`, `std::rand` must not match `std::random_device`.
-bool contains_token(const std::string& line, std::string_view token) {
-  for (std::size_t pos = line.find(token); pos != std::string::npos;
-       pos = line.find(token, pos + 1)) {
-    if (pos > 0 && is_ident_char(token.front()) && is_ident_char(line[pos - 1])) {
-      continue;
-    }
-    const std::size_t end = pos + token.size();
-    if (is_ident_char(token.back()) && end < line.size() && is_ident_char(line[end])) {
-      continue;
-    }
-    return true;
-  }
-  return false;
-}
-
-// --- Rule registry ----------------------------------------------------------
-
-struct ScanFile {
-  std::string rel;  // forward-slash path relative to the tree root
-  bool is_header = false;
-  FileViews views;
-  std::vector<LineAnnotations> annotations;  // parallel to views.raw
-};
-
-struct Rule {
-  std::string id;
-  std::string title;
-  std::string rationale;
-  // Emits findings for one file. `emit(line_index, message)` is 0-based.
-  void (*check)(const ScanFile&, const std::vector<std::string_view>&,
-                void (*)(void*, std::size_t, std::string), void*);
-  std::vector<std::string_view> tokens;  // for token rules; empty otherwise
-};
-
-bool starts_with(const std::string& s, std::string_view prefix) {
-  return s.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool in_tests(const ScanFile& f) { return starts_with(f.rel, "tests/"); }
-
-using Emit = void (*)(void*, std::size_t, std::string);
-
-void check_tokens(const ScanFile& f, const std::vector<std::string_view>& tokens,
-                  Emit emit, void* ctx) {
-  for (std::size_t i = 0; i < f.views.code.size(); ++i) {
-    for (const std::string_view tok : tokens) {
-      if (contains_token(f.views.code[i], tok)) {
-        emit(ctx, i, "banned identifier '" + std::string(tok) + "'");
-        break;  // one finding per (line, rule)
-      }
-    }
-  }
-}
-
-// DS005: a %-conversion to f/F/e/E/g/G/a/A inside a string literal with no
-// explicit precision. Default `%` + 'f' prints 6 digits that are not part of
-// any table contract and drift visually across libcs.
-void check_bare_float_format(const ScanFile& f, const std::vector<std::string_view>&,
-                             Emit emit, void* ctx) {
-  static const std::string kConvs = "fFeEgGaA";
-  for (std::size_t i = 0; i < f.views.strings.size(); ++i) {
-    const std::string& line = f.views.strings[i];
-    for (std::size_t p = line.find('%'); p != std::string::npos;
-         p = line.find('%', p + 1)) {
-      std::size_t q = p + 1;
-      if (q < line.size() && line[q] == '%') {  // literal %%
-        ++p;
-        continue;
-      }
-      bool has_precision = false;
-      while (q < line.size() &&
-             (std::string_view("-+#0'").find(line[q]) != std::string_view::npos ||
-              std::isdigit(static_cast<unsigned char>(line[q])) != 0 || line[q] == '*')) {
-        ++q;
-      }
-      if (q < line.size() && line[q] == '.') {
-        has_precision = true;
-        ++q;
-        while (q < line.size() &&
-               (std::isdigit(static_cast<unsigned char>(line[q])) != 0 ||
-                line[q] == '*')) {
-          ++q;
-        }
-      }
-      while (q < line.size() &&
-             std::string_view("lhLzjt").find(line[q]) != std::string_view::npos) {
-        ++q;
-      }
-      if (q < line.size() && kConvs.find(line[q]) != std::string::npos &&
-          !has_precision) {
-        emit(ctx, i,
-             std::string("float conversion '%") + line[q] +
-                 "' without explicit precision (use e.g. '%.3" + line[q] +
-                 "' or util/stats format_double)");
-        break;
-      }
-    }
-  }
-}
-
-void check_bare_assert(const ScanFile& f, const std::vector<std::string_view>& tokens,
-                       Emit emit, void* ctx) {
-  for (std::size_t i = 0; i < f.views.code.size(); ++i) {
-    for (const std::string_view tok : tokens) {
-      if (contains_token(f.views.code[i], tok)) {
-        emit(ctx, i,
-             "bare '" + std::string(tok.substr(0, tok.size() - 1)) +
-                 "' — use DS_ASSERT_MSG so a production abort names the broken "
-                 "invariant");
-        break;
-      }
-    }
-  }
-}
-
-void check_pragma_once(const ScanFile& f, const std::vector<std::string_view>&,
-                       Emit emit, void* ctx) {
-  if (!f.is_header) return;
-  for (const std::string& line : f.views.code) {
-    const std::size_t h = line.find_first_not_of(" \t");
-    if (h != std::string::npos && line.compare(h, 12, "#pragma once") == 0) return;
-  }
-  emit(ctx, 0, "header without '#pragma once'");
-}
-
-void check_using_namespace(const ScanFile& f, const std::vector<std::string_view>&,
-                           Emit emit, void* ctx) {
-  if (!f.is_header) return;
-  for (std::size_t i = 0; i < f.views.code.size(); ++i) {
-    if (contains_token(f.views.code[i], "using namespace")) {
-      emit(ctx, i, "'using namespace' in a header leaks into every includer");
-    }
-  }
-}
-
-// DS009: every string literal passed to RunTrace::event must appear in the
-// central registry src/obs/event_names.hpp. The registry is read from the
-// scanned tree itself (so the self-test fixtures carry their own mirror) and
-// its vocabulary is simply every string literal in that header.
-fs::path g_scan_root;  // set in main before any scan
-
-std::set<std::string> extract_string_literals(const FileViews& views) {
-  std::set<std::string> out;
-  for (std::size_t i = 0; i < views.code.size(); ++i) {
-    const std::string& code = views.code[i];
-    std::size_t pos = 0;
-    while ((pos = code.find('"', pos)) != std::string::npos) {
-      const std::size_t close = code.find('"', pos + 1);
-      if (close == std::string::npos) break;
-      out.insert(views.strings[i].substr(pos + 1, close - pos - 1));
-      pos = close + 1;
-    }
-  }
-  return out;
-}
-
-const std::set<std::string>& registered_event_names() {
-  static std::set<std::string> names;
-  static bool loaded = false;
-  if (!loaded) {
-    loaded = true;
-    std::ifstream in(g_scan_root / "src/obs/event_names.hpp", std::ios::binary);
-    if (in) {
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      names = extract_string_literals(preprocess(buf.str()));
-    }
-  }
-  return names;
-}
-
-void check_event_names(const ScanFile& f, const std::vector<std::string_view>&,
-                       Emit emit, void* ctx) {
-  const std::set<std::string>& registered = registered_event_names();
-  if (registered.empty()) return;  // tree has no registry header — nothing to check
-  static const std::string kCall = "event(";
-  for (std::size_t i = 0; i < f.views.code.size(); ++i) {
-    const std::string& code = f.views.code[i];
-    for (std::size_t pos = code.find(kCall); pos != std::string::npos;
-         pos = code.find(kCall, pos + 1)) {
-      if (pos > 0 && is_ident_char(code[pos - 1])) continue;  // on_event(, append_event(
-      std::size_t q = pos + kCall.size();
-      while (q < code.size() && code[q] == ' ') ++q;
-      // Only literal arguments are checked; a variable or constant argument
-      // got its value from a literal that is checked where it is written.
-      if (q >= code.size() || code[q] != '"') continue;
-      const std::size_t close = code.find('"', q + 1);
-      if (close == std::string::npos) continue;
-      const std::string name = f.views.strings[i].substr(q + 1, close - q - 1);
-      if (registered.count(name) == 0) {
-        emit(ctx, i,
-             "unregistered trace event name '" + name +
-                 "' — add it to src/obs/event_names.hpp");
-      }
-    }
-  }
-}
-
-// Per-rule path scoping: returns true when `rule_id` applies to `f`.
-bool rule_applies(const std::string& rule_id, const ScanFile& f) {
-  if (rule_id == "DS007" || rule_id == "DS008") return true;  // hygiene: everywhere
-  if (rule_id == "DS006") {
-    return starts_with(f.rel, "src/core/") || starts_with(f.rel, "src/harness/");
-  }
-  // Determinism rules do not apply under tests/ — test code legitimately uses
-  // raw threads and hash containers to exercise the library from outside.
-  if (in_tests(f)) return false;
-  if (rule_id == "DS001" && starts_with(f.rel, "src/util/rng.")) return false;
-  if (rule_id == "DS002" && starts_with(f.rel, "src/util/time.")) return false;
-  if (rule_id == "DS004" && starts_with(f.rel, "src/util/thread_pool.")) return false;
-  return true;
-}
-
-std::vector<Rule> build_registry() {
-  std::vector<Rule> rules;
-  rules.push_back({"DS001", "keyed randomness only",
-                   "All randomness must flow through util/rng (xoshiro256++ with "
-                   "keyed splits); ad-hoc engines or std::random_device make runs "
-                   "unreproducible across platforms and job counts.",
-                   check_tokens,
-                   {"std::rand", "srand(", "rand(", "random_device", "mt19937",
-                    "minstd_rand", "default_random_engine", "random_shuffle",
-                    "ranlux24", "ranlux48", "knuth_b"}});
-  rules.push_back({"DS002", "simulation time only",
-                   "Scheduling decisions run on integer-microsecond SimTime; host "
-                   "clocks are allowed only behind util/time's "
-                   "steady_clock_nanos() for wall-clock measurement.",
-                   check_tokens,
-                   {"system_clock", "steady_clock", "high_resolution_clock",
-                    "utc_clock", "file_clock", "gettimeofday", "clock_gettime",
-                    "timespec_get", "std::time(", "time(nullptr", "time(0",
-                    "time(NULL", "localtime", "gmtime", "strftime", "<chrono>"}});
-  rules.push_back({"DS003", "ordered containers only",
-                   "Hash-container iteration order is implementation-defined and "
-                   "feeds output paths (tables, traces, reductions); use std::map, "
-                   "std::set, or index-sorted vectors.",
-                   check_tokens,
-                   {"unordered_map", "unordered_set", "unordered_multimap",
-                    "unordered_multiset"}});
-  rules.push_back({"DS004", "pooled threads only",
-                   "Raw threads bypass the ParallelExecutor determinism contract "
-                   "(indexed result slots, sequential index-order reduction); use "
-                   "util/thread_pool.",
-                   check_tokens,
-                   {"std::thread", "std::jthread", "std::async", "pthread_create",
-                    "<thread>", "<future>", "<execution>", "std::execution"}});
-  rules.push_back({"DS005", "fixed-precision float formatting",
-                   "Float conversions left at default precision print 6 digits "
-                   "nobody chose; tables and CSVs must pin precision so output "
-                   "is a stable contract.",
-                   check_bare_float_format,
-                   {}});
-  rules.push_back({"DS006", "DS_ASSERT_MSG in core and harness",
-                   "Invariant checks in src/core and src/harness stay enabled in "
-                   "release; an abort must name the broken invariant, not just an "
-                   "expression.",
-                   check_bare_assert,
-                   {"DS_ASSERT(", "assert("}});
-  rules.push_back({"DS007", "#pragma once in headers",
-                   "Every header uses #pragma once; include guards drift and "
-                   "duplicate-inclusion bugs surface as ODR noise.",
-                   check_pragma_once,
-                   {}});
-  rules.push_back({"DS008", "no using-namespace in headers",
-                   "A using-directive in a header changes name lookup for every "
-                   "includer.",
-                   check_using_namespace,
-                   {}});
-  rules.push_back({"DS009", "registered trace event names",
-                   "Run-trace event names are a vocabulary shared with "
-                   "datastage_explain and the trace tests; every literal passed "
-                   "to RunTrace::event must be listed in src/obs/event_names.hpp "
-                   "so a typo fails lint instead of silently forking the "
-                   "schema.",
-                   check_event_names,
-                   {}});
-  return rules;
-}
-
-// --- Scanning ---------------------------------------------------------------
-
-bool has_source_extension(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h" ||
-         ext == ".cxx" || ext == ".hxx" || ext == ".inl";
-}
-
-struct ScanResult {
-  std::vector<Finding> findings;
-  std::set<Finding> expected;  // from ds-lint-expect annotations (self-test)
-  std::size_t files_scanned = 0;
-};
-
-struct EmitCtx {
-  const ScanFile* file;
-  const Rule* rule;
-  ScanResult* result;
-};
-
-void emit_finding(void* ctx_ptr, std::size_t line_index, std::string message) {
-  auto* ctx = static_cast<EmitCtx*>(ctx_ptr);
-  const LineAnnotations& ann = ctx->file->annotations[line_index];
-  if (ann.allowed.count(ctx->rule->id) != 0) return;
-  ctx->result->findings.push_back(
-      {ctx->file->rel, line_index + 1, ctx->rule->id, std::move(message)});
-}
-
-void scan_file(const fs::path& abs, const std::string& rel,
-               const std::vector<Rule>& rules, ScanResult& result) {
-  std::ifstream in(abs, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "datastage_lint: cannot read %s\n", abs.string().c_str());
-    return;
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-
-  ScanFile file;
-  file.rel = rel;
-  file.is_header = abs.extension() == ".hpp" || abs.extension() == ".h" ||
-                   abs.extension() == ".hxx";
-  file.views = preprocess(buf.str());
-  file.annotations.reserve(file.views.raw.size());
-  for (std::size_t i = 0; i < file.views.raw.size(); ++i) {
-    file.annotations.push_back(parse_annotations(file.views.raw[i]));
-    if (file.annotations.back().reasonless_allow) {
-      result.findings.push_back(
-          {file.rel, i + 1, "DS000",
-           "suppression without a reason — write '// ds-lint: allow(DS00x why)'"});
-    }
-    for (const std::string& id : file.annotations.back().expected) {
-      result.expected.insert({file.rel, i + 1, id, ""});
-    }
-  }
-
-  for (const Rule& rule : rules) {
-    if (!rule_applies(rule.id, file)) continue;
-    EmitCtx ctx{&file, &rule, &result};
-    rule.check(file, rule.tokens, emit_finding, &ctx);
-  }
-  ++result.files_scanned;
-}
-
-ScanResult scan_tree(const fs::path& root, const std::vector<Rule>& rules) {
-  ScanResult result;
-  std::vector<std::string> rel_paths;
-  for (const char* sub : {"src", "bench", "tools", "examples", "tests"}) {
-    const fs::path dir = root / sub;
-    if (!fs::is_directory(dir)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
-      if (!entry.is_regular_file() || !has_source_extension(entry.path())) continue;
-      std::string rel = fs::relative(entry.path(), root).generic_string();
-      // The known-bad lint fixtures are scanned only under --self-test.
-      if (starts_with(rel, "tools/lint/fixtures/")) continue;
-      rel_paths.push_back(std::move(rel));
-    }
-  }
-  // Deterministic scan order regardless of directory enumeration order.
-  std::sort(rel_paths.begin(), rel_paths.end());
-  for (const std::string& rel : rel_paths) {
-    scan_file(root / rel, rel, rules, result);
-  }
-  std::sort(result.findings.begin(), result.findings.end());
-  return result;
-}
-
-// --- Output -----------------------------------------------------------------
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c;
-    }
-  }
-  return out;
-}
-
-void print_text(const ScanResult& result) {
-  for (const Finding& f : result.findings) {
-    std::printf("%s:%zu: %s: %s\n", f.path.c_str(), f.line, f.rule.c_str(),
-                f.message.c_str());
-  }
-  std::map<std::string, std::size_t> per_rule;
-  for (const Finding& f : result.findings) ++per_rule[f.rule];
-  std::printf("datastage_lint: %zu finding%s in %zu files", result.findings.size(),
-              result.findings.size() == 1 ? "" : "s", result.files_scanned);
-  if (!per_rule.empty()) {
-    const char* sep = " (";
-    for (const auto& [rule, count] : per_rule) {
-      std::printf("%s%s x%zu", sep, rule.c_str(), count);
-      sep = ", ";
-    }
-    std::printf(")");
-  }
-  std::printf("\n");
-}
-
-void print_json(const ScanResult& result) {
-  std::printf("{\"files_scanned\":%zu,\"findings\":[", result.files_scanned);
-  const char* sep = "";
-  for (const Finding& f : result.findings) {
-    std::printf("%s{\"path\":\"%s\",\"line\":%zu,\"rule\":\"%s\",\"message\":\"%s\"}",
-                sep, json_escape(f.path).c_str(), f.line, f.rule.c_str(),
-                json_escape(f.message).c_str());
-    sep = ",";
-  }
-  std::printf("]}\n");
-}
-
-void print_rules(const std::vector<Rule>& rules) {
-  std::printf("DS000  well-formed suppressions\n");
-  std::printf("       Every '// ds-lint: " "allow(...)' suppression names a rule "
-              "and a reason.\n");
-  for (const Rule& rule : rules) {
-    std::printf("%s  %s\n       %s\n", rule.id.c_str(), rule.title.c_str(),
-                rule.rationale.c_str());
-  }
-}
-
-// Self-test: the set of (path, line, rule) findings must equal the set of
-// ds-lint-expect annotations in the fixture tree.
-int run_self_test(const ScanResult& result) {
-  std::set<Finding> actual;
-  for (const Finding& f : result.findings) {
-    actual.insert({f.path, f.line, f.rule, ""});
-  }
-  std::vector<Finding> missing;  // expected but not found
-  std::vector<Finding> surprise;  // found but not expected
-  std::set_difference(result.expected.begin(), result.expected.end(), actual.begin(),
-                      actual.end(), std::back_inserter(missing));
-  std::set_difference(actual.begin(), actual.end(), result.expected.begin(),
-                      result.expected.end(), std::back_inserter(surprise));
-  for (const Finding& f : missing) {
-    std::printf("self-test: MISSING expected finding %s at %s:%zu\n", f.rule.c_str(),
-                f.path.c_str(), f.line);
-  }
-  for (const Finding& f : surprise) {
-    std::printf("self-test: UNEXPECTED finding %s at %s:%zu\n", f.rule.c_str(),
-                f.path.c_str(), f.line);
-  }
-  std::printf("self-test: %zu expected, %zu actual, %zu mismatches\n",
-              result.expected.size(), actual.size(), missing.size() + surprise.size());
-  return missing.empty() && surprise.empty() ? 0 : 1;
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: datastage_lint [--json] [--list-rules] [--self-test] "
+               "[root]\n"
+               "  root          tree to scan (default: current directory)\n"
+               "  --json        machine-readable findings (schema_version 2)\n"
+               "  --list-rules  print the rule catalog and exit\n"
+               "  --self-test   scan <root> as a fixture tree: findings must\n"
+               "                exactly match its ds-lint-expect annotations\n");
 }
 
 }  // namespace
@@ -711,44 +36,52 @@ int main(int argc, char** argv) {
   bool json = false;
   bool list_rules = false;
   bool self_test = false;
-  std::string root = ".";
+  std::string root;
+
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--json") {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
       json = true;
-    } else if (arg == "--list-rules") {
+    } else if (std::strcmp(arg, "--list-rules") == 0) {
       list_rules = true;
-    } else if (arg == "--self-test") {
+    } else if (std::strcmp(arg, "--self-test") == 0) {
       self_test = true;
-    } else if (arg == "--help") {
-      std::printf("usage: datastage_lint [--json] [--list-rules] [--self-test] "
-                  "[root]\n");
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage(stdout);
       return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "datastage_lint: unknown flag %s\n", arg.c_str());
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "datastage_lint: unknown flag '%s'\n", arg);
+      print_usage(stderr);
       return 2;
-    } else {
+    } else if (root.empty()) {
       root = arg;
+    } else {
+      std::fprintf(stderr, "datastage_lint: multiple roots given\n");
+      print_usage(stderr);
+      return 2;
     }
   }
 
-  const std::vector<Rule> rules = build_registry();
+  const std::vector<lint::Rule> rules = lint::build_registry();
   if (list_rules) {
-    print_rules(rules);
+    lint::print_rules(rules);
     return 0;
   }
-  if (!fs::is_directory(root)) {
+  if (root.empty()) root = ".";
+
+  std::error_code ec;
+  if (!std::filesystem::is_directory(root, ec)) {
     std::fprintf(stderr, "datastage_lint: not a directory: %s\n", root.c_str());
     return 2;
   }
 
-  g_scan_root = root;  // DS009 reads the event-name registry from the tree
-  ScanResult result = scan_tree(root, rules);
-  if (self_test) return run_self_test(result);
+  const lint::ScanResult result = lint::scan_tree(root, rules);
+
+  if (self_test) return lint::run_self_test(result);
   if (json) {
-    print_json(result);
+    lint::print_json(result);
   } else {
-    print_text(result);
+    lint::print_text(result);
   }
   return result.findings.empty() ? 0 : 1;
 }

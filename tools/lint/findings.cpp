@@ -1,0 +1,116 @@
+#include "findings.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <map>
+#include <sstream>
+
+namespace lint {
+
+LineAnnotations parse_annotations(const std::string& raw_line) {
+  LineAnnotations ann;
+  // Spliced literals so the scanner does not read its own marker strings.
+  static const std::string kAllow = "ds-lint: " "allow(";
+  for (std::size_t pos = raw_line.find(kAllow); pos != std::string::npos;
+       pos = raw_line.find(kAllow, pos + 1)) {
+    const std::size_t id_start = pos + kAllow.size();
+    const std::size_t close = raw_line.find(')', id_start);
+    if (close == std::string::npos) {
+      ann.reasonless_allow = true;
+      break;
+    }
+    const std::string inner = raw_line.substr(id_start, close - id_start);
+    const std::size_t space = inner.find(' ');
+    const std::string id = inner.substr(0, space);
+    std::string reason = space == std::string::npos ? "" : inner.substr(space + 1);
+    reason.erase(0, reason.find_first_not_of(' '));
+    if (id.size() != 5 || id.compare(0, 2, "DS") != 0 || reason.empty()) {
+      ann.reasonless_allow = true;
+    } else {
+      ann.allowed.insert(id);
+    }
+  }
+  static const std::string kExpect = "ds-lint-" "expect:";
+  const std::size_t epos = raw_line.find(kExpect);
+  if (epos != std::string::npos) {
+    std::istringstream ids(raw_line.substr(epos + kExpect.size()));
+    std::string id;
+    while (ids >> id) ann.expected.insert(id);
+  }
+  return ann;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void print_text(const ScanResult& result) {
+  for (const Finding& f : result.findings) {
+    std::printf("%s:%zu: %s: %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  std::map<std::string, std::size_t> per_rule;
+  for (const Finding& f : result.findings) ++per_rule[f.rule];
+  std::printf("datastage_lint: %zu finding%s in %zu files", result.findings.size(),
+              result.findings.size() == 1 ? "" : "s", result.files_scanned);
+  if (!per_rule.empty()) {
+    const char* sep = " (";
+    for (const auto& [rule, count] : per_rule) {
+      std::printf("%s%s x%zu", sep, rule.c_str(), count);
+      sep = ", ";
+    }
+    std::printf(")");
+  }
+  std::printf("\n");
+}
+
+void print_json(const ScanResult& result) {
+  std::printf("{\"tool\":\"datastage_lint\",\"schema_version\":2,"
+              "\"files_scanned\":%zu,\"findings\":[",
+              result.files_scanned);
+  const char* sep = "";
+  for (const Finding& f : result.findings) {
+    std::printf("%s{\"path\":\"%s\",\"line\":%zu,\"rule\":\"%s\",\"message\":\"%s\"}",
+                sep, json_escape(f.path).c_str(), f.line, f.rule.c_str(),
+                json_escape(f.message).c_str());
+    sep = ",";
+  }
+  std::printf("]}\n");
+}
+
+int run_self_test(const ScanResult& result) {
+  std::set<Finding> actual;
+  for (const Finding& f : result.findings) {
+    actual.insert({f.path, f.line, f.rule, ""});
+  }
+  std::vector<Finding> missing;   // expected but not found
+  std::vector<Finding> surprise;  // found but not expected
+  std::set_difference(result.expected.begin(), result.expected.end(), actual.begin(),
+                      actual.end(), std::back_inserter(missing));
+  std::set_difference(actual.begin(), actual.end(), result.expected.begin(),
+                      result.expected.end(), std::back_inserter(surprise));
+  for (const Finding& f : missing) {
+    std::printf("self-test: MISSING expected finding %s at %s:%zu\n", f.rule.c_str(),
+                f.path.c_str(), f.line);
+  }
+  for (const Finding& f : surprise) {
+    std::printf("self-test: UNEXPECTED finding %s at %s:%zu\n", f.rule.c_str(),
+                f.path.c_str(), f.line);
+  }
+  std::printf("self-test: %zu expected, %zu actual, %zu mismatches\n",
+              result.expected.size(), actual.size(), missing.size() + surprise.size());
+  return missing.empty() && surprise.empty() ? 0 : 1;
+}
+
+}  // namespace lint

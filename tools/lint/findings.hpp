@@ -1,0 +1,58 @@
+// Findings, suppression/expectation annotations, scanned-file state and the
+// output/self-test sides of datastage_lint. Standard library only.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "source_view.hpp"
+
+namespace lint {
+
+struct Finding {
+  std::string path;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+
+  friend bool operator<(const Finding& a, const Finding& b) {
+    return a.path < b.path ||
+           (a.path == b.path &&
+            (a.line < b.line ||
+             (a.line == b.line &&
+              (a.rule < b.rule || (a.rule == b.rule && a.message < b.message)))));
+  }
+};
+
+struct LineAnnotations {
+  std::set<std::string> allowed;   // reasoned suppressions, by rule id
+  std::set<std::string> expected;  // self-test expectations, by rule id
+  bool reasonless_allow = false;   // suppression without a reason — DS000
+};
+
+LineAnnotations parse_annotations(const std::string& raw_line);
+
+struct ScanFile {
+  std::string rel;  // forward-slash path relative to the tree root
+  bool is_header = false;
+  FileViews views;
+  std::vector<LineAnnotations> annotations;  // parallel to views.raw
+};
+
+struct ScanResult {
+  std::vector<Finding> findings;
+  std::set<Finding> expected;  // from expectation annotations (self-test)
+  std::size_t files_scanned = 0;
+};
+
+std::string json_escape(const std::string& s);
+void print_text(const ScanResult& result);
+void print_json(const ScanResult& result);
+
+// Self-test: the set of (path, line, rule) findings must equal the set of
+// expectation annotations in the fixture tree. Returns the process exit code.
+int run_self_test(const ScanResult& result);
+
+}  // namespace lint

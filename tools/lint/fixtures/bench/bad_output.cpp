@@ -1,0 +1,24 @@
+// Fixture: DS013 — raw output-file opens in tool/bench code must go through
+// the eager-open helpers in tools/common_flags.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace fixture_bench {
+
+void write_report(const char* path) {
+  std::FILE* f = std::fopen(path, "w");  // ds-lint-expect: DS013
+  if (f != nullptr) std::fclose(f);
+}
+
+void write_csv(const std::string& path) {
+  std::ofstream out(path);  // ds-lint-expect: DS013
+  out << "a,b\n";
+}
+
+void declare_only() {
+  std::ofstream out;  // ok: bare declaration, opened via the helper later
+  (void)out;
+}
+
+}  // namespace fixture_bench

@@ -1,0 +1,23 @@
+// Fixture: DS012 — exact floating-point comparison in decision code.
+
+namespace fixture_core {
+
+bool zero_weight(double total) {
+  return total == 0.0;  // ds-lint-expect: DS012
+}
+
+bool not_converged(double delta) {
+  return delta != 1e-9;  // ds-lint-expect: DS012
+}
+
+bool int_compare_ok(int n) { return n == 0; }
+
+struct Frac {
+  long num = 0;
+  long den = 1;
+  bool operator==(const Frac& other) const {
+    return num == other.num && den == other.den;
+  }
+};
+
+}  // namespace fixture_core

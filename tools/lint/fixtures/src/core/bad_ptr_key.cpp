@@ -1,0 +1,18 @@
+// Fixture: DS011 — ordered containers keyed by pointers iterate in address
+// order, which varies run to run under ASLR.
+#include <map>
+#include <set>
+
+namespace fixture_core {
+
+struct Node {
+  int id = 0;
+};
+
+std::map<Node*, int> g_rank;           // ds-lint-expect: DS011
+std::set<const Node*> g_seen;          // ds-lint-expect: DS011
+std::multimap<Node*, long> g_costs;    // ds-lint-expect: DS011
+std::map<int, Node*> g_by_id;          // ok: pointer as value, int key
+std::set<int> g_ids;                   // ok: value key
+
+}  // namespace fixture_core

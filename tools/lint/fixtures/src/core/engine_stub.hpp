@@ -1,0 +1,11 @@
+// Fixture support: the core-layer header that src/model/bad_layering.cpp
+// illegally includes (model sits below core in the fixture manifest).
+#pragma once
+
+namespace fixture_core {
+
+struct EngineStub {
+  int ticks = 0;
+};
+
+}  // namespace fixture_core

@@ -1,0 +1,11 @@
+// Fixture: DS010 layering violation — model code reaching up into core.
+#include "core/engine_stub.hpp"  // ds-lint-expect: DS010
+
+namespace fixture_model {
+
+int count_ticks() {
+  fixture_core::EngineStub stub;
+  return stub.ticks;
+}
+
+}  // namespace fixture_model

@@ -1,0 +1,8 @@
+// Fixture: DS012 is scoped to decision code (src/core, src/serve) — exact
+// comparison in model code must NOT fire.
+
+namespace fixture_model {
+
+bool is_unit(double x) { return x == 1.0; }
+
+}  // namespace fixture_model

@@ -1,0 +1,9 @@
+// Fixture: half of a two-header include cycle. The DS010 cycle finding is
+// reported here — cycle_a.hpp is the lexicographically smallest member.
+#pragma once
+
+#include "net/cycle_b.hpp"  // ds-lint-expect: DS010
+
+namespace fixture_net {
+inline int from_a() { return 1; }
+}  // namespace fixture_net

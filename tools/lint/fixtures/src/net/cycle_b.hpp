@@ -1,0 +1,8 @@
+// Fixture: the other half of the include cycle started in cycle_a.hpp.
+#pragma once
+
+#include "net/cycle_a.hpp"
+
+namespace fixture_net {
+inline int from_b() { return 2; }
+}  // namespace fixture_net

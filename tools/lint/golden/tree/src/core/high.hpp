@@ -1,0 +1,4 @@
+// Golden-tree header: the core-layer target of the inverted include.
+#pragma once
+
+inline int high() { return 1; }

@@ -1,0 +1,6 @@
+// Golden-tree file: known findings pinning the --json output schema.
+#include <cstdlib>
+
+int noisy() { return std::rand(); }
+
+int calm() { return 2; }  // ds-lint: allow(DS003 container removed long ago)

@@ -1,0 +1,6 @@
+// Golden-tree header: includes upward into core to pin the DS010 JSON shape.
+#pragma once
+
+#include "core/high.hpp"
+
+inline int low() { return 0; }

@@ -1,0 +1,388 @@
+#include "include_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace lint {
+
+namespace {
+
+// Lexical path normalization: collapses "." and "a/.." segments. Targets in
+// this tree never escape the root, so a leading ".." just fails resolution.
+std::string normalize_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  auto flush = [&] {
+    if (cur.empty() || cur == ".") {
+      // skip
+    } else if (cur == "..") {
+      if (parts.empty()) {
+        parts.push_back("..");  // escapes the tree; will not resolve
+      } else {
+        parts.pop_back();
+      }
+    } else {
+      parts.push_back(cur);
+    }
+    cur.clear();
+  };
+  for (char c : path) {
+    if (c == '/') {
+      flush();
+    } else {
+      cur += c;
+    }
+  }
+  flush();
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += '/';
+    out += p;
+  }
+  return out;
+}
+
+std::string dirname_of(const std::string& rel) {
+  const std::size_t slash = rel.rfind('/');
+  return slash == std::string::npos ? std::string() : rel.substr(0, slash);
+}
+
+// Tarjan SCC over a string-keyed graph; deterministic because both the node
+// map and the adjacency sets are ordered.
+struct Tarjan {
+  const std::map<std::string, std::set<std::string>>& adj;
+  std::map<std::string, std::size_t> index, lowlink;
+  std::set<std::string> on_stack;
+  std::vector<std::string> stack;
+  std::size_t next_index = 0;
+  std::vector<std::vector<std::string>> sccs;
+
+  explicit Tarjan(const std::map<std::string, std::set<std::string>>& a) : adj(a) {
+    for (const auto& [node, _] : adj) {
+      if (index.count(node) == 0) strongconnect(node);
+    }
+  }
+
+  void strongconnect(const std::string& v) {
+    index[v] = lowlink[v] = next_index++;
+    stack.push_back(v);
+    on_stack.insert(v);
+    const auto it = adj.find(v);
+    if (it != adj.end()) {
+      for (const std::string& w : it->second) {
+        if (adj.count(w) == 0) continue;  // edge out of the node set
+        if (index.count(w) == 0) {
+          strongconnect(w);
+          lowlink[v] = std::min(lowlink[v], lowlink[w]);
+        } else if (on_stack.count(w) != 0) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+    }
+    if (lowlink[v] == index[v]) {
+      std::vector<std::string> scc;
+      while (true) {
+        const std::string w = stack.back();
+        stack.pop_back();
+        on_stack.erase(w);
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      sccs.push_back(std::move(scc));
+    }
+  }
+};
+
+// A concrete cycle path inside one SCC, starting and ending at the
+// lexicographically smallest member. DFS over sorted adjacency, so the
+// rendered chain is deterministic.
+std::vector<std::string> cycle_path(const std::set<std::string>& scc,
+                                    const std::map<std::string, std::set<std::string>>& adj) {
+  const std::string start = *scc.begin();
+  std::vector<std::string> path = {start};
+  std::set<std::string> visited = {start};
+  // Iterative DFS with an explicit neighbor cursor per level.
+  std::vector<std::set<std::string>::const_iterator> cursors;
+  const auto neighbors = [&](const std::string& n) -> const std::set<std::string>& {
+    static const std::set<std::string> kEmpty;
+    const auto it = adj.find(n);
+    return it == adj.end() ? kEmpty : it->second;
+  };
+  cursors.push_back(neighbors(start).begin());
+  while (!path.empty()) {
+    const std::string& top = path.back();
+    auto& cur = cursors.back();
+    const auto& nbrs = neighbors(top);
+    bool advanced = false;
+    while (cur != nbrs.end()) {
+      const std::string& next = *cur;
+      ++cur;
+      if (next == start && path.size() > 1) {
+        path.push_back(start);
+        return path;
+      }
+      if (next == start && path.size() == 1 && nbrs.count(start) != 0) {
+        // direct self-loop
+        path.push_back(start);
+        return path;
+      }
+      if (scc.count(next) != 0 && visited.count(next) == 0) {
+        visited.insert(next);
+        path.push_back(next);
+        cursors.push_back(neighbors(next).begin());
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) {
+      path.pop_back();
+      cursors.pop_back();
+    }
+  }
+  return {};  // unreachable for a genuine SCC
+}
+
+std::vector<std::vector<std::string>> cycles_of_graph(
+    const std::map<std::string, std::set<std::string>>& adj) {
+  Tarjan tarjan(adj);
+  std::vector<std::vector<std::string>> cycles;
+  for (const auto& scc_vec : tarjan.sccs) {
+    std::set<std::string> scc(scc_vec.begin(), scc_vec.end());
+    const bool self_loop = scc.size() == 1 && adj.count(*scc.begin()) != 0 &&
+                           adj.at(*scc.begin()).count(*scc.begin()) != 0;
+    if (scc.size() < 2 && !self_loop) continue;
+    std::vector<std::string> path = cycle_path(scc, adj);
+    if (!path.empty()) cycles.push_back(std::move(path));
+  }
+  std::sort(cycles.begin(), cycles.end());
+  return cycles;
+}
+
+std::map<std::string, std::set<std::string>> adjacency_of(
+    const std::vector<IncludeEdge>& edges) {
+  std::map<std::string, std::set<std::string>> adj;
+  for (const IncludeEdge& e : edges) {
+    if (e.resolved.empty()) continue;
+    adj[e.from].insert(e.resolved);
+    adj.try_emplace(e.resolved);  // every endpoint is a node
+  }
+  return adj;
+}
+
+}  // namespace
+
+std::vector<IncludeEdge> parse_include_edges(const ScanFile& file) {
+  std::vector<IncludeEdge> edges;
+  for (std::size_t i = 0; i < file.views.code.size(); ++i) {
+    const std::string& code = file.views.code[i];
+    std::size_t h = code.find_first_not_of(" \t");
+    if (h == std::string::npos || code[h] != '#') continue;
+    h = code.find_first_not_of(" \t", h + 1);
+    if (h == std::string::npos || code.compare(h, 7, "include") != 0) continue;
+    const std::size_t q1 = code.find('"', h + 7);
+    if (q1 == std::string::npos) continue;  // <system> include
+    const std::size_t q2 = code.find('"', q1 + 1);
+    if (q2 == std::string::npos) continue;
+    IncludeEdge edge;
+    edge.from = file.rel;
+    edge.line = i + 1;
+    edge.target = file.views.strings[i].substr(q1 + 1, q2 - q1 - 1);
+    edges.push_back(std::move(edge));
+  }
+  return edges;
+}
+
+void resolve_include_edges(std::vector<IncludeEdge>& edges,
+                           const std::set<std::string>& tree_files) {
+  for (IncludeEdge& edge : edges) {
+    const std::string dir = dirname_of(edge.from);
+    std::vector<std::string> candidates;
+    if (!dir.empty()) candidates.push_back(normalize_path(dir + "/" + edge.target));
+    candidates.push_back(normalize_path("src/" + edge.target));
+    candidates.push_back(normalize_path("tools/" + edge.target));
+    candidates.push_back(normalize_path(edge.target));
+    for (const std::string& candidate : candidates) {
+      if (tree_files.count(candidate) != 0) {
+        edge.resolved = candidate;
+        break;
+      }
+    }
+  }
+}
+
+const LayerManifest::Layer* LayerManifest::layer_of(const std::string& rel) const {
+  const Layer* best = nullptr;
+  std::size_t best_len = 0;
+  for (const Layer& layer : layers) {
+    for (const std::string& prefix : layer.prefixes) {
+      if (prefix.size() >= best_len && starts_with(rel, prefix)) {
+        best = &layer;
+        best_len = prefix.size();
+      }
+    }
+  }
+  return best;
+}
+
+LayerManifest parse_layer_manifest(const std::vector<std::string>& lines) {
+  LayerManifest manifest;
+  struct AllowDecl {
+    std::size_t line;
+    std::string name;
+    std::vector<std::string> deps;
+  };
+  std::vector<AllowDecl> allows;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream words(line);
+    std::string keyword;
+    if (!(words >> keyword)) continue;
+    if (keyword == "layer") {
+      LayerManifest::Layer layer;
+      layer.line = i + 1;
+      if (!(words >> layer.name)) {
+        manifest.errors.emplace_back(i + 1, "'layer' needs a name");
+        continue;
+      }
+      for (const LayerManifest::Layer& existing : manifest.layers) {
+        if (existing.name == layer.name) {
+          manifest.errors.emplace_back(i + 1,
+                                       "duplicate layer '" + layer.name + "'");
+        }
+      }
+      std::string prefix;
+      while (words >> prefix) layer.prefixes.push_back(prefix);
+      if (layer.prefixes.empty()) {
+        manifest.errors.emplace_back(
+            i + 1, "layer '" + layer.name + "' needs at least one path prefix");
+        continue;
+      }
+      manifest.layers.push_back(std::move(layer));
+    } else if (keyword == "allow") {
+      AllowDecl decl;
+      decl.line = i + 1;
+      if (!(words >> decl.name)) {
+        manifest.errors.emplace_back(i + 1, "'allow' needs a layer name");
+        continue;
+      }
+      std::string dep;
+      while (words >> dep) decl.deps.push_back(dep);
+      allows.push_back(std::move(decl));
+    } else {
+      manifest.errors.emplace_back(i + 1, "unknown directive '" + keyword + "'");
+    }
+  }
+  for (const AllowDecl& decl : allows) {
+    LayerManifest::Layer* layer = nullptr;
+    for (LayerManifest::Layer& l : manifest.layers) {
+      if (l.name == decl.name) layer = &l;
+    }
+    if (layer == nullptr) {
+      manifest.errors.emplace_back(decl.line,
+                                   "allow for undeclared layer '" + decl.name + "'");
+      continue;
+    }
+    for (const std::string& dep : decl.deps) {
+      bool known = false;
+      for (const LayerManifest::Layer& l : manifest.layers) {
+        if (l.name == dep) known = true;
+      }
+      if (!known) {
+        manifest.errors.emplace_back(
+            decl.line, "allow names undeclared layer '" + dep + "'");
+        continue;
+      }
+      layer->allowed.insert(dep);
+    }
+  }
+  return manifest;
+}
+
+std::vector<std::vector<std::string>> find_include_cycles(
+    const std::vector<IncludeEdge>& edges) {
+  return cycles_of_graph(adjacency_of(edges));
+}
+
+std::string render_include_chain(const std::vector<std::string>& chain) {
+  std::string out;
+  for (const std::string& node : chain) {
+    if (!out.empty()) out += " -> ";
+    out += node;
+  }
+  return out;
+}
+
+std::vector<Finding> check_include_graph(const LayerManifest& manifest,
+                                         const std::string& manifest_rel,
+                                         const std::vector<IncludeEdge>& edges) {
+  std::vector<Finding> findings;
+  for (const auto& [line, message] : manifest.errors) {
+    findings.push_back({manifest_rel, line, "DS010",
+                        "layer manifest error: " + message});
+  }
+
+  // The declared layer DAG itself must be acyclic.
+  std::map<std::string, std::set<std::string>> layer_adj;
+  for (const LayerManifest::Layer& layer : manifest.layers) {
+    auto& out = layer_adj[layer.name];
+    for (const std::string& dep : layer.allowed) {
+      if (dep != layer.name) out.insert(dep);
+    }
+  }
+  for (const std::vector<std::string>& cycle : cycles_of_graph(layer_adj)) {
+    std::size_t line = 1;
+    for (const LayerManifest::Layer& layer : manifest.layers) {
+      if (layer.name == cycle.front()) line = layer.line;
+    }
+    findings.push_back({manifest_rel, line, "DS010",
+                        "layer DAG cycle: " + render_include_chain(cycle) +
+                            " — the manifest must declare an acyclic order"});
+  }
+
+  // Per-edge layering: same layer or explicitly allowed.
+  std::vector<IncludeEdge> layered_edges;
+  for (const IncludeEdge& edge : edges) {
+    if (edge.resolved.empty()) continue;
+    const LayerManifest::Layer* from = manifest.layer_of(edge.from);
+    if (from == nullptr) continue;  // e.g. tests/: outside the layered surface
+    const LayerManifest::Layer* to = manifest.layer_of(edge.resolved);
+    if (to == nullptr) {
+      findings.push_back({edge.from, edge.line, "DS010",
+                          "includes '" + edge.resolved +
+                              "', which is outside every declared layer (see "
+                              "tools/lint/layers.txt)"});
+      continue;
+    }
+    layered_edges.push_back(edge);
+    if (from == to || from->allowed.count(to->name) != 0) continue;
+    std::string allowed = from->name;
+    for (const std::string& dep : from->allowed) allowed += ", " + dep;
+    findings.push_back(
+        {edge.from, edge.line, "DS010",
+         "layering violation: layer '" + from->name + "' may not include layer '" +
+             to->name + "' (" + from->name + " may include: " + allowed +
+             "); include chain: " +
+             render_include_chain({edge.from, edge.resolved})});
+  }
+
+  // Include cycles among layered files.
+  for (const std::vector<std::string>& cycle : find_include_cycles(layered_edges)) {
+    std::size_t line = 1;
+    for (const IncludeEdge& edge : layered_edges) {
+      if (edge.from == cycle[0] && cycle.size() > 1 && edge.resolved == cycle[1]) {
+        line = edge.line;
+        break;
+      }
+    }
+    findings.push_back({cycle.front(), line, "DS010",
+                        "include cycle: " + render_include_chain(cycle) +
+                            " — break the cycle (extract an interface header "
+                            "or merge the files)"});
+  }
+  return findings;
+}
+
+}  // namespace lint

@@ -1,0 +1,71 @@
+// Whole-program include-graph analysis for DS010: parse every quoted
+// #include edge, resolve it against the scanned tree, map files to declared
+// architecture layers via the checked-in manifest (tools/lint/layers.txt),
+// enforce the layer DAG and detect include cycles via SCC. Standard library
+// only.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "findings.hpp"
+
+namespace lint {
+
+struct IncludeEdge {
+  std::string from;      // tree-relative includer path
+  std::size_t line = 0;  // 1-based line of the #include directive
+  std::string target;    // the quoted include path, verbatim
+  std::string resolved;  // tree-relative resolved path; empty if not in tree
+};
+
+// Parses `#include "..."` directives from the code view (string/comment
+// occurrences do not count).
+std::vector<IncludeEdge> parse_include_edges(const ScanFile& file);
+
+// Resolves each edge target against the set of scanned tree files, in order:
+// relative to the includer's directory, then under src/, then under tools/,
+// then relative to the tree root. Unresolvable targets (system headers,
+// generated files) keep an empty `resolved`.
+void resolve_include_edges(std::vector<IncludeEdge>& edges,
+                           const std::set<std::string>& tree_files);
+
+// The architecture manifest. Line syntax (# comments, blank lines ignored):
+//   layer <name> <path-prefix> [<path-prefix> ...]
+//   allow <name> <dep-layer> [<dep-layer> ...]
+// A file belongs to the layer with the longest matching prefix; same-layer
+// includes are always legal; everything else must be declared via `allow`.
+struct LayerManifest {
+  struct Layer {
+    std::string name;
+    std::vector<std::string> prefixes;
+    std::set<std::string> allowed;
+    std::size_t line = 0;  // declaration line, for error reporting
+  };
+  std::vector<Layer> layers;                              // declaration order
+  std::vector<std::pair<std::size_t, std::string>> errors;  // (line, message)
+
+  bool empty() const { return layers.empty(); }
+  const Layer* layer_of(const std::string& rel) const;
+};
+
+LayerManifest parse_layer_manifest(const std::vector<std::string>& lines);
+
+// All include cycles among resolved edges, one per strongly connected
+// component, each rotated so the lexicographically smallest file leads and
+// closed (first element repeated at the end). Deterministic order.
+std::vector<std::vector<std::string>> find_include_cycles(
+    const std::vector<IncludeEdge>& edges);
+
+// "a -> b -> a" rendering shared by cycle and violation messages.
+std::string render_include_chain(const std::vector<std::string>& chain);
+
+// The DS010 pass: manifest self-errors (reported against `manifest_rel`),
+// layer-DAG violations on every resolved edge, and include cycles.
+std::vector<Finding> check_include_graph(const LayerManifest& manifest,
+                                         const std::string& manifest_rel,
+                                         const std::vector<IncludeEdge>& edges);
+
+}  // namespace lint

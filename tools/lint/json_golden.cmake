@@ -1,0 +1,18 @@
+# Golden-file test for the --json output contract: scans the tiny known-bad
+# tree under golden/tree and compares stdout byte-for-byte against
+# golden/expected.json. Any schema change must update the golden file (and
+# bump schema_version in findings.cpp).
+execute_process(
+  COMMAND ${LINT_BIN} --json ${GOLDEN_DIR}/tree
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE status
+)
+if(NOT status EQUAL 1)
+  message(FATAL_ERROR "expected exit 1 (findings present), got ${status}")
+endif()
+file(READ ${GOLDEN_DIR}/expected.json expected)
+if(NOT actual STREQUAL expected)
+  message(FATAL_ERROR "--json output diverged from golden/expected.json:\n"
+                      "---- expected ----\n${expected}\n"
+                      "---- actual ----\n${actual}")
+endif()

@@ -1,0 +1,75 @@
+// The rule registry of datastage_lint: one entry per stable rule ID with its
+// scope predicate and per-file check. Whole-program rules (DS010) are listed
+// here for --list-rules but implemented by the include-graph pass. Standard
+// library only.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "findings.hpp"
+
+namespace lint {
+
+// Cross-file inputs a per-file check may consult.
+struct RuleContext {
+  // String literals registered in src/obs/event_names.hpp of the scanned
+  // tree (DS009). Empty when the tree has no registry header.
+  std::set<std::string> event_names;
+};
+
+// Collects raw findings for one (file, rule) pair. Suppressions are applied
+// centrally by the scan driver so stale allow() markers can be detected.
+class Emitter {
+ public:
+  Emitter(const ScanFile& file, const std::string& rule_id,
+          std::vector<Finding>& out)
+      : file_(&file), rule_id_(&rule_id), out_(&out) {}
+
+  void emit(std::size_t line_index, std::string message) {  // 0-based line
+    out_->push_back({file_->rel, line_index + 1, *rule_id_, std::move(message)});
+  }
+
+ private:
+  const ScanFile* file_;
+  const std::string* rule_id_;
+  std::vector<Finding>* out_;
+};
+
+struct Rule {
+  std::string id;
+  std::string title;
+  std::string rationale;
+  // Per-file check; nullptr for whole-program rules (DS010).
+  void (*check)(const RuleContext&, const ScanFile&, const Rule&, Emitter&) = nullptr;
+  std::vector<std::string_view> tokens;  // for token rules; empty otherwise
+};
+
+// Per-rule path scoping: returns true when `rule_id` applies to `f`.
+bool rule_applies(const std::string& rule_id, const ScanFile& f);
+
+std::vector<Rule> build_registry();
+
+void print_rules(const std::vector<Rule>& rules);
+
+// --- Per-rule check implementations (rules_text / rules_events /
+// --- rules_determinism translation units) ---------------------------------
+
+void check_tokens(const RuleContext&, const ScanFile&, const Rule&, Emitter&);
+void check_bare_float_format(const RuleContext&, const ScanFile&, const Rule&,
+                             Emitter&);
+void check_bare_assert(const RuleContext&, const ScanFile&, const Rule&, Emitter&);
+void check_pragma_once(const RuleContext&, const ScanFile&, const Rule&, Emitter&);
+void check_using_namespace(const RuleContext&, const ScanFile&, const Rule&,
+                           Emitter&);
+void check_event_names(const RuleContext&, const ScanFile&, const Rule&, Emitter&);
+void check_pointer_keyed_containers(const RuleContext&, const ScanFile&, const Rule&,
+                                    Emitter&);
+void check_float_equality(const RuleContext&, const ScanFile&, const Rule&,
+                          Emitter&);
+void check_output_opens(const RuleContext&, const ScanFile&, const Rule&, Emitter&);
+
+}  // namespace lint

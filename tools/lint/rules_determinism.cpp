@@ -1,0 +1,205 @@
+// Flow-aware determinism rules: DS011 (pointer-keyed ordered containers),
+// DS012 (floating-point equality in decision code), DS013 (raw output-file
+// opens outside the sanctioned tools/common_flags helpers).
+#include <cctype>
+
+#include "rules.hpp"
+
+namespace lint {
+
+namespace {
+
+// Extracts the first template argument after `open_angle` (the position just
+// past '<') on a single line, honoring nested <>, () and []. Returns an empty
+// string when the argument does not terminate on this line (multi-line
+// declarations are rare and out of scope).
+std::string first_template_arg(const std::string& line, std::size_t open_angle) {
+  int angle = 0, paren = 0, bracket = 0;
+  for (std::size_t i = open_angle; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '<') ++angle;
+    else if (c == '>') {
+      if (angle == 0) return line.substr(open_angle, i - open_angle);
+      --angle;
+    } else if (c == '(') ++paren;
+    else if (c == ')') --paren;
+    else if (c == '[') ++bracket;
+    else if (c == ']') --bracket;
+    else if (c == ',' && angle == 0 && paren == 0 && bracket == 0) {
+      return line.substr(open_angle, i - open_angle);
+    }
+  }
+  return "";
+}
+
+// Is `tok` (as grabbed around a comparison operator) a floating-point
+// literal? Accepts 1.0, .5, 2., 1e-9, 6.02e23f, with f/F/l/L suffixes.
+bool is_float_literal(std::string tok) {
+  while (!tok.empty() && (tok.front() == '+' || tok.front() == '-')) {
+    tok.erase(tok.begin());
+  }
+  while (!tok.empty() && (tok.back() == 'f' || tok.back() == 'F' ||
+                          tok.back() == 'l' || tok.back() == 'L')) {
+    tok.pop_back();
+  }
+  if (tok.empty()) return false;
+  bool digit = false, dot = false, exponent = false;
+  for (std::size_t i = 0; i < tok.size(); ++i) {
+    const char c = tok[i];
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      digit = true;
+    } else if (c == '.') {
+      if (dot || exponent) return false;
+      dot = true;
+    } else if ((c == 'e' || c == 'E') && digit) {
+      if (exponent) return false;
+      exponent = true;
+      if (i + 1 < tok.size() && (tok[i + 1] == '+' || tok[i + 1] == '-')) ++i;
+    } else {
+      return false;
+    }
+  }
+  return digit && (dot || exponent);
+}
+
+const std::string kOperandChars = "+-.";
+
+std::string grab_left_operand(const std::string& line, std::size_t op_pos) {
+  std::size_t end = op_pos;
+  while (end > 0 && line[end - 1] == ' ') --end;
+  std::size_t begin = end;
+  while (begin > 0 &&
+         (is_ident_char(line[begin - 1]) ||
+          kOperandChars.find(line[begin - 1]) != std::string::npos)) {
+    --begin;
+  }
+  return line.substr(begin, end - begin);
+}
+
+std::string grab_right_operand(const std::string& line, std::size_t after_op) {
+  std::size_t begin = after_op;
+  while (begin < line.size() && line[begin] == ' ') ++begin;
+  std::size_t end = begin;
+  while (end < line.size() &&
+         (is_ident_char(line[end]) ||
+          kOperandChars.find(line[end]) != std::string::npos)) {
+    ++end;
+  }
+  return line.substr(begin, end - begin);
+}
+
+bool preceded_by_operator_keyword(const std::string& line, std::size_t pos) {
+  static const std::string kKeyword = "operator";
+  std::size_t end = pos;
+  while (end > 0 && line[end - 1] == ' ') --end;
+  return end >= kKeyword.size() &&
+         line.compare(end - kKeyword.size(), kKeyword.size(), kKeyword) == 0 &&
+         (end == kKeyword.size() || !is_ident_char(line[end - kKeyword.size() - 1]));
+}
+
+}  // namespace
+
+// DS011: std::map / std::set (and multi variants) keyed by a pointer type
+// iterate in address order, which varies run to run under ASLR and across
+// allocators — a schedule or table built from such an iteration is
+// nondeterministic. Key by strong IDs or indices instead.
+void check_pointer_keyed_containers(const RuleContext&, const ScanFile& f,
+                                    const Rule&, Emitter& emit) {
+  static const std::string_view kContainers[] = {"map<", "multimap<", "set<",
+                                                 "multiset<"};
+  for (std::size_t i = 0; i < f.views.code.size(); ++i) {
+    const std::string& line = f.views.code[i];
+    bool flagged = false;
+    for (const std::string_view tok : kContainers) {
+      for (std::size_t pos = line.find(tok); pos != std::string::npos && !flagged;
+           pos = line.find(tok, pos + 1)) {
+        if (pos > 0 && is_ident_char(line[pos - 1])) continue;  // flat_map<, bitset<
+        const std::string key = first_template_arg(line, pos + tok.size());
+        if (key.find('*') != std::string::npos) {
+          emit.emit(i,
+                    "ordered container keyed by a pointer ('" +
+                        std::string(tok.substr(0, tok.size() - 1)) + "<" + key +
+                        ", ...>') iterates in address order — key by a strong "
+                        "ID or index instead");
+          flagged = true;
+        }
+      }
+      if (flagged) break;
+    }
+  }
+}
+
+// DS012: exact floating-point ==/!= against a float literal in decision code
+// (src/core, src/serve). Exact comparisons silently encode "this value was
+// assigned, never computed"; when that assumption breaks, schedules diverge
+// across platforms. Compare integers, use an epsilon, or carry an allow()
+// with the reviewable reason why exact equality is safe.
+void check_float_equality(const RuleContext&, const ScanFile& f, const Rule&,
+                          Emitter& emit) {
+  for (std::size_t i = 0; i < f.views.code.size(); ++i) {
+    const std::string& line = f.views.code[i];
+    for (std::size_t p = 0; p + 1 < line.size(); ++p) {
+      const bool eq = line[p] == '=' && line[p + 1] == '=';
+      const bool ne = line[p] == '!' && line[p + 1] == '=';
+      if (!eq && !ne) continue;
+      if (p + 2 < line.size() && line[p + 2] == '=') {
+        ++p;
+        continue;
+      }
+      if (p > 0 && std::string("=!<>+-*/%&|^").find(line[p - 1]) != std::string::npos) {
+        continue;
+      }
+      if (eq && preceded_by_operator_keyword(line, p)) continue;  // operator==
+      const std::string lhs = grab_left_operand(line, p);
+      const std::string rhs = grab_right_operand(line, p + 2);
+      if (is_float_literal(lhs) || is_float_literal(rhs)) {
+        emit.emit(i,
+                  std::string("floating-point '") + (eq ? "==" : "!=") +
+                      "' against literal '" + (is_float_literal(lhs) ? lhs : rhs) +
+                      "' in decision code — compare integers or use an epsilon");
+        break;
+      }
+      ++p;  // skip the second operator char
+    }
+  }
+}
+
+// DS013: user-supplied output paths must go through the eager-open helpers in
+// tools/common_flags (open_output_file / open_output_cfile) so a bad path
+// fails the run up front with a uniform message and exit 2. Raw fopen or an
+// inline-opened ofstream bypasses that contract.
+void check_output_opens(const RuleContext&, const ScanFile& f, const Rule&,
+                        Emitter& emit) {
+  for (std::size_t i = 0; i < f.views.code.size(); ++i) {
+    const std::string& line = f.views.code[i];
+    if (contains_token(line, "fopen(") || contains_token(line, "freopen(")) {
+      emit.emit(i,
+                "raw fopen — open output files through "
+                "toolflags::open_output_cfile (tools/common_flags) so bad "
+                "paths fail eagerly with exit 2");
+      continue;
+    }
+    static const std::string kOfstream = "ofstream";
+    for (std::size_t pos = line.find(kOfstream); pos != std::string::npos;
+         pos = line.find(kOfstream, pos + 1)) {
+      if (pos > 0 && is_ident_char(line[pos - 1])) continue;
+      std::size_t q = pos + kOfstream.size();
+      while (q < line.size() && line[q] == ' ') ++q;
+      while (q < line.size() && is_ident_char(line[q])) ++q;  // variable name
+      while (q < line.size() && line[q] == ' ') ++q;
+      if (q >= line.size() || (line[q] != '(' && line[q] != '{')) continue;
+      const char close = line[q] == '(' ? ')' : '}';
+      std::size_t r = q + 1;
+      while (r < line.size() && line[r] == ' ') ++r;
+      if (r < line.size() && line[r] != close) {
+        emit.emit(i,
+                  "ofstream opened inline — open output files through "
+                  "toolflags::open_output_file (tools/common_flags) so bad "
+                  "paths fail eagerly with exit 2");
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace lint

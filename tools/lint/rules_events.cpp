@@ -1,0 +1,36 @@
+// DS009: every string literal passed to RunTrace::event must appear in the
+// central registry src/obs/event_names.hpp. The registry is read from the
+// scanned tree itself (so the self-test fixtures carry their own mirror) and
+// its vocabulary is simply every string literal in that header.
+#include "rules.hpp"
+
+namespace lint {
+
+void check_event_names(const RuleContext& ctx, const ScanFile& f, const Rule&,
+                       Emitter& emit) {
+  const std::set<std::string>& registered = ctx.event_names;
+  if (registered.empty()) return;  // tree has no registry header — nothing to check
+  static const std::string kCall = "event(";
+  for (std::size_t i = 0; i < f.views.code.size(); ++i) {
+    const std::string& code = f.views.code[i];
+    for (std::size_t pos = code.find(kCall); pos != std::string::npos;
+         pos = code.find(kCall, pos + 1)) {
+      if (pos > 0 && is_ident_char(code[pos - 1])) continue;  // on_event(, append_event(
+      std::size_t q = pos + kCall.size();
+      while (q < code.size() && code[q] == ' ') ++q;
+      // Only literal arguments are checked; a variable or constant argument
+      // got its value from a literal that is checked where it is written.
+      if (q >= code.size() || code[q] != '"') continue;
+      const std::size_t close = code.find('"', q + 1);
+      if (close == std::string::npos) continue;
+      const std::string name = f.views.strings[i].substr(q + 1, close - q - 1);
+      if (registered.count(name) == 0) {
+        emit.emit(i,
+                  "unregistered trace event name '" + name +
+                      "' — add it to src/obs/event_names.hpp");
+      }
+    }
+  }
+}
+
+}  // namespace lint

@@ -1,0 +1,145 @@
+// The rule catalog: IDs, scopes, rationales. One entry per stable rule ID;
+// docs/STATIC_ANALYSIS.md mirrors this table.
+#include <cstdio>
+
+#include "rules.hpp"
+
+namespace lint {
+
+bool in_tests(const ScanFile& f) { return starts_with(f.rel, "tests/"); }
+
+bool rule_applies(const std::string& rule_id, const ScanFile& f) {
+  if (rule_id == "DS007" || rule_id == "DS008") return true;  // hygiene: everywhere
+  if (rule_id == "DS006") {
+    return starts_with(f.rel, "src/core/") || starts_with(f.rel, "src/harness/");
+  }
+  // DS012 targets decision code: exact float comparisons where they steer
+  // scheduling or admission outcomes.
+  if (rule_id == "DS012") {
+    return starts_with(f.rel, "src/core/") || starts_with(f.rel, "src/serve/");
+  }
+  // DS013 targets the CLI surface, where user-supplied output paths enter;
+  // tools/common_flags is the sanctioned helper and exempt.
+  if (rule_id == "DS013") {
+    return (starts_with(f.rel, "tools/") || starts_with(f.rel, "bench/") ||
+            starts_with(f.rel, "examples/")) &&
+           !starts_with(f.rel, "tools/common_flags.");
+  }
+  // Determinism rules do not apply under tests/ — test code legitimately uses
+  // raw threads and hash containers to exercise the library from outside.
+  if (in_tests(f)) return false;
+  if (rule_id == "DS001" && starts_with(f.rel, "src/util/rng.")) return false;
+  if (rule_id == "DS002" && starts_with(f.rel, "src/util/time.")) return false;
+  if (rule_id == "DS004" && starts_with(f.rel, "src/util/thread_pool.")) return false;
+  return true;
+}
+
+std::vector<Rule> build_registry() {
+  std::vector<Rule> rules;
+  rules.push_back({"DS001", "keyed randomness only",
+                   "All randomness must flow through util/rng (xoshiro256++ with "
+                   "keyed splits); ad-hoc engines or std::random_device make runs "
+                   "unreproducible across platforms and job counts.",
+                   check_tokens,
+                   {"std::rand", "srand(", "rand(", "random_device", "mt19937",
+                    "minstd_rand", "default_random_engine", "random_shuffle",
+                    "ranlux24", "ranlux48", "knuth_b"}});
+  rules.push_back({"DS002", "simulation time only",
+                   "Scheduling decisions run on integer-microsecond SimTime; host "
+                   "clocks are allowed only behind util/time's "
+                   "steady_clock_nanos() for wall-clock measurement.",
+                   check_tokens,
+                   {"system_clock", "steady_clock", "high_resolution_clock",
+                    "utc_clock", "file_clock", "gettimeofday", "clock_gettime",
+                    "timespec_get", "std::time(", "time(nullptr", "time(0",
+                    "time(NULL", "localtime", "gmtime", "strftime", "<chrono>"}});
+  rules.push_back({"DS003", "ordered containers only",
+                   "Hash-container iteration order is implementation-defined and "
+                   "feeds output paths (tables, traces, reductions); use std::map, "
+                   "std::set, or index-sorted vectors.",
+                   check_tokens,
+                   {"unordered_map", "unordered_set", "unordered_multimap",
+                    "unordered_multiset"}});
+  rules.push_back({"DS004", "pooled threads only",
+                   "Raw threads bypass the ParallelExecutor determinism contract "
+                   "(indexed result slots, sequential index-order reduction); use "
+                   "util/thread_pool.",
+                   check_tokens,
+                   {"std::thread", "std::jthread", "std::async", "pthread_create",
+                    "<thread>", "<future>", "<execution>", "std::execution"}});
+  rules.push_back({"DS005", "fixed-precision float formatting",
+                   "Float conversions left at default precision print 6 digits "
+                   "nobody chose; tables and CSVs must pin precision so output "
+                   "is a stable contract.",
+                   check_bare_float_format,
+                   {}});
+  rules.push_back({"DS006", "DS_ASSERT_MSG in core and harness",
+                   "Invariant checks in src/core and src/harness stay enabled in "
+                   "release; an abort must name the broken invariant, not just an "
+                   "expression.",
+                   check_bare_assert,
+                   {"DS_ASSERT(", "assert("}});
+  rules.push_back({"DS007", "#pragma once in headers",
+                   "Every header uses #pragma once; include guards drift and "
+                   "duplicate-inclusion bugs surface as ODR noise.",
+                   check_pragma_once,
+                   {}});
+  rules.push_back({"DS008", "no using-namespace in headers",
+                   "A using-directive in a header changes name lookup for every "
+                   "includer.",
+                   check_using_namespace,
+                   {}});
+  rules.push_back({"DS009", "registered trace event names",
+                   "Run-trace event names are a vocabulary shared with "
+                   "datastage_explain and the trace tests; every literal passed "
+                   "to RunTrace::event must be listed in src/obs/event_names.hpp "
+                   "so a typo fails lint instead of silently forking the "
+                   "schema.",
+                   check_event_names,
+                   {}});
+  rules.push_back({"DS010", "architecture layering (include-graph DAG)",
+                   "Every quoted #include edge across src/ tools/ bench/ "
+                   "examples/ must respect the layer DAG declared in "
+                   "tools/lint/layers.txt, and the file-level include graph "
+                   "must be acyclic (SCC-checked); convention alone does not "
+                   "keep util below model below core.",
+                   nullptr,
+                   {}});
+  rules.push_back({"DS011", "no pointer-keyed ordered containers",
+                   "std::map/std::set keyed by a pointer iterate in address "
+                   "order, which varies run to run under ASLR; anything built "
+                   "from such an iteration is nondeterministic. Key by strong "
+                   "IDs or indices.",
+                   check_pointer_keyed_containers,
+                   {}});
+  rules.push_back({"DS012", "no exact float comparison in decision code",
+                   "A floating-point ==/!= against a literal in src/core or "
+                   "src/serve encodes 'assigned, never computed'; when that "
+                   "breaks, schedules diverge across platforms. Compare "
+                   "integers, use an epsilon, or justify with a reasoned "
+                   "suppression.",
+                   check_float_equality,
+                   {}});
+  rules.push_back({"DS013", "sanctioned output-file opens only",
+                   "Tools, benches and examples must open user-supplied output "
+                   "paths through toolflags::open_output_file / "
+                   "open_output_cfile (tools/common_flags) so a bad path fails "
+                   "eagerly, uniformly, with exit 2 — not after minutes of "
+                   "scheduling.",
+                   check_output_opens,
+                   {}});
+  return rules;
+}
+
+void print_rules(const std::vector<Rule>& rules) {
+  std::printf("DS000  well-formed, live suppressions\n");
+  std::printf("       Every '// ds-lint: " "allow(...)' suppression names a rule "
+              "and a reason, and still\n       silences a live finding — a stale "
+              "allow() is itself a finding.\n");
+  for (const Rule& rule : rules) {
+    std::printf("%s  %s\n       %s\n", rule.id.c_str(), rule.title.c_str(),
+                rule.rationale.c_str());
+  }
+}
+
+}  // namespace lint

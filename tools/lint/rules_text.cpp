@@ -1,0 +1,101 @@
+// Token- and text-level per-file rules: DS001-DS008.
+#include <cctype>
+
+#include "rules.hpp"
+
+namespace lint {
+
+void check_tokens(const RuleContext&, const ScanFile& f, const Rule& rule,
+                  Emitter& emit) {
+  for (std::size_t i = 0; i < f.views.code.size(); ++i) {
+    for (const std::string_view tok : rule.tokens) {
+      if (contains_token(f.views.code[i], tok)) {
+        emit.emit(i, "banned identifier '" + std::string(tok) + "'");
+        break;  // one finding per (line, rule)
+      }
+    }
+  }
+}
+
+// DS005: a %-conversion to f/F/e/E/g/G/a/A inside a string literal with no
+// explicit precision. Default `%` + 'f' prints 6 digits that are not part of
+// any table contract and drift visually across libcs.
+void check_bare_float_format(const RuleContext&, const ScanFile& f, const Rule&,
+                             Emitter& emit) {
+  static const std::string kConvs = "fFeEgGaA";
+  for (std::size_t i = 0; i < f.views.strings.size(); ++i) {
+    const std::string& line = f.views.strings[i];
+    for (std::size_t p = line.find('%'); p != std::string::npos;
+         p = line.find('%', p + 1)) {
+      std::size_t q = p + 1;
+      if (q < line.size() && line[q] == '%') {  // literal %%
+        ++p;
+        continue;
+      }
+      bool has_precision = false;
+      while (q < line.size() &&
+             (std::string_view("-+#0'").find(line[q]) != std::string_view::npos ||
+              std::isdigit(static_cast<unsigned char>(line[q])) != 0 || line[q] == '*')) {
+        ++q;
+      }
+      if (q < line.size() && line[q] == '.') {
+        has_precision = true;
+        ++q;
+        while (q < line.size() &&
+               (std::isdigit(static_cast<unsigned char>(line[q])) != 0 ||
+                line[q] == '*')) {
+          ++q;
+        }
+      }
+      while (q < line.size() &&
+             std::string_view("lhLzjt").find(line[q]) != std::string_view::npos) {
+        ++q;
+      }
+      if (q < line.size() && kConvs.find(line[q]) != std::string::npos &&
+          !has_precision) {
+        emit.emit(i,
+                  std::string("float conversion '%") + line[q] +
+                      "' without explicit precision (use e.g. '%.3" + line[q] +
+                      "' or util/stats format_double)");
+        break;
+      }
+    }
+  }
+}
+
+void check_bare_assert(const RuleContext&, const ScanFile& f, const Rule& rule,
+                       Emitter& emit) {
+  for (std::size_t i = 0; i < f.views.code.size(); ++i) {
+    for (const std::string_view tok : rule.tokens) {
+      if (contains_token(f.views.code[i], tok)) {
+        emit.emit(i,
+                  "bare '" + std::string(tok.substr(0, tok.size() - 1)) +
+                      "' — use DS_ASSERT_MSG so a production abort names the "
+                      "broken invariant");
+        break;
+      }
+    }
+  }
+}
+
+void check_pragma_once(const RuleContext&, const ScanFile& f, const Rule&,
+                       Emitter& emit) {
+  if (!f.is_header) return;
+  for (const std::string& line : f.views.code) {
+    const std::size_t h = line.find_first_not_of(" \t");
+    if (h != std::string::npos && line.compare(h, 12, "#pragma once") == 0) return;
+  }
+  emit.emit(0, "header without '#pragma once'");
+}
+
+void check_using_namespace(const RuleContext&, const ScanFile& f, const Rule&,
+                           Emitter& emit) {
+  if (!f.is_header) return;
+  for (std::size_t i = 0; i < f.views.code.size(); ++i) {
+    if (contains_token(f.views.code[i], "using namespace")) {
+      emit.emit(i, "'using namespace' in a header leaks into every includer");
+    }
+  }
+}
+
+}  // namespace lint

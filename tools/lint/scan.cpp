@@ -1,0 +1,176 @@
+#include "scan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "include_graph.hpp"
+
+namespace fs = std::filesystem;
+
+namespace lint {
+
+namespace {
+
+bool has_source_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h" ||
+         ext == ".cxx" || ext == ".hxx" || ext == ".inl";
+}
+
+bool read_file(const fs::path& abs, std::string& content) {
+  std::ifstream in(abs, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  content = buf.str();
+  return true;
+}
+
+ScanFile load_scan_file(const fs::path& abs, const std::string& rel,
+                        const std::string& content) {
+  ScanFile file;
+  file.rel = rel;
+  file.is_header = abs.extension() == ".hpp" || abs.extension() == ".h" ||
+                   abs.extension() == ".hxx";
+  file.views = preprocess(content);
+  file.annotations.reserve(file.views.raw.size());
+  for (const std::string& raw_line : file.views.raw) {
+    file.annotations.push_back(parse_annotations(raw_line));
+  }
+  return file;
+}
+
+}  // namespace
+
+ScanResult scan_tree(const fs::path& root, const std::vector<Rule>& rules,
+                     const ScanConfig& config) {
+  ScanResult result;
+
+  // Enumerate the tree in a deterministic order regardless of directory
+  // enumeration order.
+  std::vector<std::string> rel_paths;
+  for (const std::string& sub : config.subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !has_source_extension(entry.path())) continue;
+      std::string rel = fs::relative(entry.path(), root).generic_string();
+      const bool excluded =
+          std::any_of(config.exclude_prefixes.begin(), config.exclude_prefixes.end(),
+                      [&](const std::string& prefix) { return starts_with(rel, prefix); });
+      if (!excluded) rel_paths.push_back(std::move(rel));
+    }
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+
+  // Load everything up front: the include-graph pass and stale-suppression
+  // detection are whole-program.
+  std::vector<ScanFile> files;
+  files.reserve(rel_paths.size());
+  for (const std::string& rel : rel_paths) {
+    std::string content;
+    if (!read_file(root / rel, content)) {
+      std::fprintf(stderr, "datastage_lint: cannot read %s\n",
+                   (root / rel).string().c_str());
+      continue;
+    }
+    files.push_back(load_scan_file(root / rel, rel, content));
+  }
+  result.files_scanned = files.size();
+
+  // Raw findings (pre-suppression), plus the DS000 well-formedness findings
+  // and the self-test expectation set from the annotations.
+  std::vector<Finding> raw;
+  for (const ScanFile& file : files) {
+    for (std::size_t i = 0; i < file.annotations.size(); ++i) {
+      if (file.annotations[i].reasonless_allow) {
+        result.findings.push_back(
+            {file.rel, i + 1, "DS000",
+             "suppression without a reason — write "
+             "'// ds-lint: " "allow(DS00x why)'"});
+      }
+      for (const std::string& id : file.annotations[i].expected) {
+        result.expected.insert({file.rel, i + 1, id, ""});
+      }
+    }
+  }
+
+  RuleContext ctx;
+  {
+    std::string registry;
+    if (read_file(root / config.event_registry_rel, registry)) {
+      ctx.event_names = extract_string_literals(preprocess(registry));
+    }
+  }
+
+  for (const ScanFile& file : files) {
+    for (const Rule& rule : rules) {
+      if (rule.check == nullptr || !rule_applies(rule.id, file)) continue;
+      Emitter emitter(file, rule.id, raw);
+      rule.check(ctx, file, rule, emitter);
+    }
+  }
+
+  // Whole-program DS010 pass, gated on the presence of the layer manifest.
+  {
+    std::string manifest_text;
+    if (read_file(root / config.layer_manifest_rel, manifest_text)) {
+      std::vector<std::string> manifest_lines;
+      std::string line;
+      std::istringstream in(manifest_text);
+      while (std::getline(in, line)) manifest_lines.push_back(line);
+      const LayerManifest manifest = parse_layer_manifest(manifest_lines);
+
+      std::set<std::string> tree_files(rel_paths.begin(), rel_paths.end());
+      std::vector<IncludeEdge> edges;
+      for (const ScanFile& file : files) {
+        std::vector<IncludeEdge> file_edges = parse_include_edges(file);
+        edges.insert(edges.end(), file_edges.begin(), file_edges.end());
+      }
+      resolve_include_edges(edges, tree_files);
+      std::vector<Finding> graph = check_include_graph(
+          manifest, config.layer_manifest_rel, edges);
+      raw.insert(raw.end(), graph.begin(), graph.end());
+    }
+  }
+
+  // Central suppression filtering. A reasoned allow(DSxxx) on the finding's
+  // line silences it; an allow that silences nothing is itself stale and
+  // reported as DS000, so suppressions stay honest as the code evolves.
+  std::map<std::string, const ScanFile*> by_rel;
+  for (const ScanFile& file : files) by_rel[file.rel] = &file;
+  std::set<Finding> used_allows;  // (path, line, rule) triples, message empty
+  for (Finding& finding : raw) {
+    const auto it = by_rel.find(finding.path);
+    bool suppressed = false;
+    if (it != by_rel.end() && finding.line >= 1 &&
+        finding.line <= it->second->annotations.size()) {
+      const LineAnnotations& ann = it->second->annotations[finding.line - 1];
+      if (ann.allowed.count(finding.rule) != 0) {
+        suppressed = true;
+        used_allows.insert({finding.path, finding.line, finding.rule, ""});
+      }
+    }
+    if (!suppressed) result.findings.push_back(std::move(finding));
+  }
+  for (const ScanFile& file : files) {
+    for (std::size_t i = 0; i < file.annotations.size(); ++i) {
+      for (const std::string& id : file.annotations[i].allowed) {
+        if (used_allows.count({file.rel, i + 1, id, ""}) != 0) continue;
+        result.findings.push_back(
+            {file.rel, i + 1, "DS000",
+             "stale suppression: " + id +
+                 " does not fire on this line — remove the allow() or "
+                 "re-justify it"});
+      }
+    }
+  }
+
+  std::sort(result.findings.begin(), result.findings.end());
+  return result;
+}
+
+}  // namespace lint

@@ -1,0 +1,30 @@
+// The scan driver: walks the tree, runs per-file rules and the whole-program
+// include-graph pass, applies suppressions centrally and reports stale
+// allow() markers (DS000). Standard library only.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "findings.hpp"
+#include "rules.hpp"
+
+namespace lint {
+
+struct ScanConfig {
+  // Subdirectories of the root covered by the scan.
+  std::vector<std::string> subdirs = {"src", "bench", "tools", "examples", "tests"};
+  // Known-bad data trees excluded from the real scan.
+  std::vector<std::string> exclude_prefixes = {"tools/lint/fixtures/",
+                                               "tools/lint/golden/"};
+  // Whole-program inputs, read from the scanned tree itself so the self-test
+  // fixture tree can carry its own miniature copies.
+  std::string layer_manifest_rel = "tools/lint/layers.txt";
+  std::string event_registry_rel = "src/obs/event_names.hpp";
+};
+
+ScanResult scan_tree(const std::filesystem::path& root,
+                     const std::vector<Rule>& rules, const ScanConfig& config = {});
+
+}  // namespace lint

@@ -1,0 +1,187 @@
+#include "source_view.hpp"
+
+#include <cctype>
+
+namespace lint {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+FileViews preprocess(const std::string& content) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string code_buf;
+  std::string str_buf;
+  std::string raw_delim;  // delimiter of an active raw string, ")delim"
+  code_buf.reserve(content.size());
+  str_buf.reserve(content.size());
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    char code_out = ' ';
+    char str_out = ' ';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+          code_buf += "  ";
+          str_buf += "  ";
+          continue;
+        } else if (c == '"') {
+          // R"delim( ... )delim" — find the opening delimiter.
+          const bool raw = i > 0 && content[i - 1] == 'R' &&
+                           (i < 2 || !is_ident_char(content[i - 2]));
+          if (raw) {
+            const std::size_t paren = content.find('(', i + 1);
+            if (paren != std::string::npos) {
+              raw_delim = ")" + content.substr(i + 1, paren - i - 1);
+              state = State::kRawString;
+              code_out = c;
+            }
+          } else {
+            state = State::kString;
+            code_out = c;
+          }
+        } else if (c == '\'' && i > 0 && is_ident_char(content[i - 1])) {
+          // Digit separator (1'000'000) or literal suffix — not a char literal.
+          code_out = c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_out = c;
+        } else {
+          code_out = c;
+        }
+        break;
+      case State::kLineComment:
+        // A backslash-newline continues a // comment onto the next line.
+        if (c == '\n' && (i == 0 || content[i - 1] != '\\')) state = State::kCode;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+          code_buf += "  ";
+          str_buf += "  ";
+          continue;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          code_buf += ' ';
+          str_buf += c;
+          if (next != '\0' && next != '\n') {
+            ++i;
+            code_buf += content[i] == '\n' ? '\n' : ' ';
+            str_buf += content[i] == '\n' ? '\n' : content[i];
+          }
+          continue;
+        }
+        if (c == '"') {
+          state = State::kCode;
+          code_out = c;
+        } else {
+          str_out = c;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          code_buf += ' ';
+          str_buf += ' ';
+          if (next != '\0' && next != '\n') {
+            ++i;
+            code_buf += content[i] == '\n' ? '\n' : ' ';
+            str_buf += content[i] == '\n' ? '\n' : ' ';
+          }
+          continue;
+        }
+        if (c == '\'') {
+          state = State::kCode;
+          code_out = c;
+        }
+        break;
+      case State::kRawString:
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0 &&
+            i + raw_delim.size() < content.size() &&
+            content[i + raw_delim.size()] == '"') {
+          for (std::size_t k = 0; k <= raw_delim.size(); ++k) {
+            const char rc = content[i + k];
+            code_buf += rc == '\n' ? '\n' : ' ';
+            str_buf += rc == '\n' ? '\n' : ' ';
+          }
+          i += raw_delim.size();
+          state = State::kCode;
+          continue;
+        }
+        str_out = c;
+        break;
+    }
+    if (c == '\n') {
+      code_out = '\n';
+      str_out = '\n';
+    }
+    code_buf += code_out;
+    str_buf += str_out;
+  }
+
+  auto split = [](const std::string& s) {
+    std::vector<std::string> lines;
+    std::string cur;
+    for (char c : s) {
+      if (c == '\n') {
+        lines.push_back(std::move(cur));
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    lines.push_back(std::move(cur));
+    return lines;
+  };
+
+  FileViews views;
+  views.raw = split(content);
+  views.code = split(code_buf);
+  views.strings = split(str_buf);
+  return views;
+}
+
+bool contains_token(const std::string& line, std::string_view token) {
+  for (std::size_t pos = line.find(token); pos != std::string::npos;
+       pos = line.find(token, pos + 1)) {
+    if (pos > 0 && is_ident_char(token.front()) && is_ident_char(line[pos - 1])) {
+      continue;
+    }
+    const std::size_t end = pos + token.size();
+    if (is_ident_char(token.back()) && end < line.size() && is_ident_char(line[end])) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::set<std::string> extract_string_literals(const FileViews& views) {
+  std::set<std::string> out;
+  for (std::size_t i = 0; i < views.code.size(); ++i) {
+    const std::string& code = views.code[i];
+    std::size_t pos = 0;
+    while ((pos = code.find('"', pos)) != std::string::npos) {
+      const std::size_t close = code.find('"', pos + 1);
+      if (close == std::string::npos) break;
+      out.insert(views.strings[i].substr(pos + 1, close - pos - 1));
+      pos = close + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace lint

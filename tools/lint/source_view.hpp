@@ -1,0 +1,36 @@
+// Source preprocessing for datastage_lint: comment/string-aware views of a
+// C++ file plus identifier-boundary token matching. Standard library only —
+// the lint must build even when the datastage library itself is broken.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lint {
+
+// Three synchronized views of one file. Token rules must not fire on banned
+// names that appear in comments or string literals (docs and log messages
+// talk about std::rand all the time), while the format-string rule must fire
+// *only* inside string literals (a bare `%` in code is the modulo operator).
+struct FileViews {
+  std::vector<std::string> raw;      // untouched lines (suppression comments)
+  std::vector<std::string> code;     // comments and string contents blanked
+  std::vector<std::string> strings;  // only string-literal contents kept
+};
+
+bool is_ident_char(char c);
+
+FileViews preprocess(const std::string& content);
+
+// Finds `token` in `line` respecting identifier boundaries: `rand(` must not
+// match `srand(`, `std::rand` must not match `std::random_device`.
+bool contains_token(const std::string& line, std::string_view token);
+
+bool starts_with(const std::string& s, std::string_view prefix);
+
+// Every string literal in the file (used by the DS009 event-name registry).
+std::set<std::string> extract_string_literals(const FileViews& views);
+
+}  // namespace lint
