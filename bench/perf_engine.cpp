@@ -5,9 +5,17 @@
 // writes the whole record to BENCH_engine.json — the repo's perf-trajectory
 // baseline (see docs/PERFORMANCE.md for how to read it).
 //
+// Each grid entry also runs an --engine-jobs ablation (parallel plan refresh
+// + speculative scoring, docs/PARALLELISM.md) and records it under a
+// "parallel" key: wall time, speedup vs the serial engine, the speculation
+// commit/abort counters, and whether the schedules stayed byte-identical —
+// the bench doubles as a determinism gate for the parallel path.
+//
 // Extra flags on top of the shared bench set:
-//   --out=PATH   JSON output path (default BENCH_engine.json)
-//   --grid=G     "small", "medium", "large" or "all" (default all)
+//   --out=PATH       JSON output path (default BENCH_engine.json)
+//   --grid=G         "small", "medium", "large" or "all" (default all)
+//   --engine-jobs=N  thread count for the parallel ablation (default 8;
+//                    0 = hardware concurrency)
 #include <cinttypes>
 #include <cstdio>
 
@@ -18,6 +26,7 @@
 #include "core/schedule_io.hpp"
 #include "gen/generator.hpp"
 #include "obs/json.hpp"
+#include "util/thread_pool.hpp"
 #include "util/time.hpp"
 
 namespace {
@@ -38,6 +47,8 @@ constexpr const char* kCounters[] = {
     "engine.invalidations_self",
     "engine.invalidations_checked",
     "engine.invalidations_scan_equiv",
+    "engine.spec_commits",
+    "engine.spec_aborts",
     "dijkstra.heap_pops",
     "dijkstra.relaxations",
 };
@@ -56,7 +67,8 @@ struct ModeResult {
 };
 
 ModeResult run_mode(const std::vector<Scenario>& cases, const SchedulerSpec& spec,
-                    const PriorityWeighting& weighting, bool paranoid) {
+                    const PriorityWeighting& weighting, bool paranoid,
+                    std::size_t engine_jobs = 1) {
   obs::MetricsRegistry registry;
   obs::RunObserver observer{&registry, nullptr};
   EngineOptions options;
@@ -64,6 +76,7 @@ ModeResult run_mode(const std::vector<Scenario>& cases, const SchedulerSpec& spe
   options.criterion = spec.criterion;
   options.eu = EUWeights::from_log10_ratio(1.0);
   options.paranoid = paranoid;
+  options.engine_jobs = engine_jobs;
   options.observer = &observer;
 
   ModeResult result;
@@ -126,10 +139,14 @@ int main(int argc, char** argv) {
   if (!benchtool::parse_bench_flags(argc, argv, setup, extra)) return 1;
   if (!flags.parse(argc, argv,
                    {"cases", "seed", "weighting", "csv", "jobs", "verbose", "out",
-                    "grid"})) {
+                    "grid", "engine-jobs"})) {
     return 1;
   }
   const std::string out_path = flags.get_string("out", "BENCH_engine.json");
+  const auto engine_jobs_flag =
+      static_cast<std::size_t>(flags.get_int("engine-jobs", 8));
+  const std::size_t engine_jobs =
+      engine_jobs_flag == 0 ? ThreadPool::hardware_jobs() : engine_jobs_flag;
   const std::string grid_name = flags.get_string("grid", "all");
   const std::vector<GridEntry> grid = build_grid(grid_name);
   if (grid.empty()) {
@@ -146,8 +163,8 @@ int main(int argc, char** argv) {
 
   const SchedulerSpec spec{HeuristicKind::kFullOne, CostCriterion::kC4};
 
-  Table table({"size", "incr ms", "paranoid ms", "speedup", "inval checked",
-               "scan equiv", "reduction", "identical"});
+  Table table({"size", "incr ms", "paranoid ms", "speedup", "inval reduction",
+               "ej ms", "ej speedup", "spec abort", "identical"});
 
   std::FILE* f = toolflags::open_output_cfile(out_path, "bench output");
   if (f == nullptr) return 2;
@@ -165,8 +182,11 @@ int main(int argc, char** argv) {
 
     const ModeResult incremental = run_mode(cases, spec, setup.weighting, false);
     const ModeResult paranoid = run_mode(cases, spec, setup.weighting, true);
+    const ModeResult parallel =
+        run_mode(cases, spec, setup.weighting, false, engine_jobs);
     const bool identical = incremental.schedules == paranoid.schedules;
-    all_identical = all_identical && identical;
+    const bool parallel_identical = incremental.schedules == parallel.schedules;
+    all_identical = all_identical && identical && parallel_identical;
 
     const double incr_ms = static_cast<double>(incremental.wall_ns) / 1e6;
     const double par_ms = static_cast<double>(paranoid.wall_ns) / 1e6;
@@ -176,11 +196,20 @@ int main(int argc, char** argv) {
     const auto scan_equiv =
         static_cast<double>(incremental.counter("engine.invalidations_scan_equiv"));
     const double reduction = checked > 0.0 ? scan_equiv / checked : 0.0;
+    const double ej_ms = static_cast<double>(parallel.wall_ns) / 1e6;
+    const double ej_speedup = parallel.wall_ns > 0 ? incr_ms / ej_ms : 0.0;
+    const auto spec_commits =
+        static_cast<double>(parallel.counter("engine.spec_commits"));
+    const auto spec_aborts =
+        static_cast<double>(parallel.counter("engine.spec_aborts"));
+    const double spec_total = spec_commits + spec_aborts;
+    const double spec_abort_rate = spec_total > 0.0 ? spec_aborts / spec_total : 0.0;
 
     table.add_row({entry.name, format_double(incr_ms, 1), format_double(par_ms, 1),
-                   format_double(speedup, 2), format_double(checked, 0),
-                   format_double(scan_equiv, 0), format_double(reduction, 2),
-                   identical ? "yes" : "NO"});
+                   format_double(speedup, 2), format_double(reduction, 2),
+                   format_double(ej_ms, 1), format_double(ej_speedup, 2),
+                   format_double(spec_abort_rate, 2),
+                   identical && parallel_identical ? "yes" : "NO"});
 
     std::fprintf(f,
                  "    {\n      \"size\": \"%s\",\n      \"machines\": [%d, %d],\n"
@@ -191,8 +220,19 @@ int main(int argc, char** argv) {
     write_mode_json(f, "incremental", incremental);
     std::fprintf(f, ",\n");
     write_mode_json(f, "paranoid", paranoid);
+    std::fprintf(f, ",\n");
+    write_mode_json(f, "parallel", parallel);
     std::fprintf(f,
-                 ",\n      \"schedules_identical\": %s,\n"
+                 ",\n      \"parallel_ablation\": {\n"
+                 "        \"engine_jobs\": %zu,\n"
+                 "        \"speedup_vs_serial\": %s,\n"
+                 "        \"spec_abort_rate\": %s,\n"
+                 "        \"schedules_identical\": %s\n      },\n",
+                 engine_jobs, obs::json_number(ej_speedup).c_str(),
+                 obs::json_number(spec_abort_rate).c_str(),
+                 parallel_identical ? "true" : "false");
+    std::fprintf(f,
+                 "      \"schedules_identical\": %s,\n"
                  "      \"speedup_wall\": %s,\n"
                  "      \"invalidation_scan_reduction\": %s\n    }%s\n",
                  identical ? "true" : "false",
@@ -207,8 +247,8 @@ int main(int argc, char** argv) {
   std::printf("(JSON written to %s)\n", out_path.c_str());
   if (!all_identical) {
     std::fprintf(stderr,
-                 "FAIL: incremental and paranoid schedules differ — the route "
-                 "cache is unsound\n");
+                 "FAIL: schedules differ across modes — the route cache or the "
+                 "parallel refresh path is unsound\n");
     return 1;
   }
   return 0;

@@ -1,12 +1,34 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "obs/observer.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
+#include "util/time.hpp"
 
 namespace datastage {
+
+namespace {
+
+/// Process-wide EngineOptions::engine_jobs default (see engine.hpp). Plain
+/// global, same idiom as harness/parallel.hpp's default_jobs: written once
+/// during tool flag parsing, read at EngineOptions construction.
+std::size_t g_default_engine_jobs = 1;
+
+/// Batches smaller than this run inline on the caller's thread: dispatching
+/// a couple of Dijkstra rebuilds to the pool costs more than it saves, and
+/// the inline path reuses the identical compute/merge code so results do not
+/// depend on which side of the threshold a batch lands.
+constexpr std::size_t kParallelRefreshMinJobs = 4;
+
+}  // namespace
+
+void set_default_engine_jobs(std::size_t jobs) { g_default_engine_jobs = jobs; }
+
+std::size_t default_engine_jobs() { return g_default_engine_jobs; }
 
 /// Counter handles resolved once at engine construction. Grouped here (not
 /// in the header) so engine.hpp only needs forward declarations of obs.
@@ -28,8 +50,20 @@ struct StagingEngine::Instr {
   obs::Counter dijkstra_relaxations;
   obs::Counter dijkstra_capacity_rejections;
   obs::Counter guard_trips;
+  /// Speculation verdicts: plans whose speculative refresh survived the next
+  /// commit (kept) vs plans the commit re-invalidated (recomputed again).
+  /// Logical batches, so the values are identical at any engine_jobs.
+  obs::Counter spec_commits;
+  obs::Counter spec_aborts;
+  /// Wall nanoseconds blocked in refresh (join + merge). Incremented only
+  /// when a phase timer is attached — wall time is not byte-comparable, and
+  /// the deterministic documents (harness per-case registries) have none.
+  obs::Counter refresh_parallel_ns;
   /// Deadline margin (seconds) of each satisfied request, recorded at finish.
   obs::Histogram* satisfied_slack_seconds;
+  /// Per-round refresh latency (microseconds); phase-timer-gated like
+  /// refresh_parallel_ns.
+  obs::Histogram* refresh_batch_usec;
 
   explicit Instr(obs::MetricsRegistry& m)
       : iterations(m.counter("engine.iterations")),
@@ -49,8 +83,14 @@ struct StagingEngine::Instr {
         dijkstra_relaxations(m.counter("dijkstra.relaxations")),
         dijkstra_capacity_rejections(m.counter("dijkstra.capacity_rejections")),
         guard_trips(m.counter("engine.guard_trips")),
+        spec_commits(m.counter("engine.spec_commits")),
+        spec_aborts(m.counter("engine.spec_aborts")),
+        refresh_parallel_ns(m.counter("engine.refresh_parallel_ns")),
         satisfied_slack_seconds(&m.histogram("engine.satisfied_slack_seconds",
-                                             {0.1, 1.0, 10.0, 60.0, 600.0, 3600.0})) {}
+                                             {0.1, 1.0, 10.0, 60.0, 600.0, 3600.0})),
+        refresh_batch_usec(&m.histogram(
+            "engine.refresh_batch_usec",
+            {50.0, 200.0, 1000.0, 5000.0, 20000.0, 100000.0})) {}
 };
 
 /// Per-request lifecycle state behind the span-model trace events. Kept out
@@ -155,8 +195,17 @@ StagingEngine::StagingEngine(const Scenario& scenario, EngineOptions options)
   max_iterations_ = options_.max_iterations != 0
                         ? options_.max_iterations
                         : 1000 + 200 * scenario.request_count();
+  engine_jobs_resolved_ = options_.engine_jobs == 0 ? ThreadPool::hardware_jobs()
+                                                    : options_.engine_jobs;
+  pool_ = options_.engine_pool;  // an owned pool is created lazily on demand
+  parallel_enabled_ = pool_ != nullptr || engine_jobs_resolved_ > 1;
+  refresh_ws_.resize(pool_ != nullptr ? pool_->thread_count() : 1);
+  for (RefreshWorkspace& ws : refresh_ws_) {
+    ws.node_mark.assign(scenario.machine_count(), 0);
+  }
   if (options_.observer != nullptr) {
     trace_ = options_.observer->trace;
+    phases_ = options_.observer->phases;
     if (trace_ != nullptr) {
       lifecycle_ = std::make_unique<Lifecycle>(scenario);
     }
@@ -167,17 +216,40 @@ StagingEngine::StagingEngine(const Scenario& scenario, EngineOptions options)
   }
 }
 
-StagingEngine::~StagingEngine() = default;
+StagingEngine::~StagingEngine() {
+  if (batch_async_) {
+    try {
+      pool_->join();
+    } catch (...) {
+      // A speculative recompute failed after the engine was abandoned; there
+      // is no caller left to care and nothing may escape a destructor.
+    }
+  }
+}
+
+ThreadPool* StagingEngine::ensure_pool() {
+  if (pool_ == nullptr) {
+    owned_pool_ = std::make_unique<ThreadPool>(engine_jobs_resolved_);
+    pool_ = owned_pool_.get();
+    const std::size_t old_workers = refresh_ws_.size();
+    refresh_ws_.resize(pool_->thread_count());
+    for (std::size_t w = old_workers; w < refresh_ws_.size(); ++w) {
+      refresh_ws_[w].node_mark.assign(scenario_->machine_count(), 0);
+    }
+  }
+  return pool_;
+}
 
 void StagingEngine::refresh_plans() {
   if (instr_ != nullptr) instr_->rounds.inc();
-  std::size_t recomputed = 0;
+  const std::int64_t t0 = phases_ != nullptr ? steady_clock_nanos() : 0;
   if (options_.paranoid) {
     // The paper's literal procedure: rebuild every live plan every round.
     // Each rebuild bumps the plan's generation, so every existing heap entry
     // is about to go stale — drop them wholesale instead of popping one by
     // one later.
     best_heap_.clear();
+    refresh_jobs_.clear();
     for (std::size_t i = 0; i < plans_.size(); ++i) {
       const ItemId item(static_cast<std::int32_t>(i));
       if (plans_[i].exhausted) continue;
@@ -185,17 +257,56 @@ void StagingEngine::refresh_plans() {
         retire_plan(i);
         continue;
       }
-      recompute_plan(item);
-      ++recomputed;
+      RefreshJob job;
+      job.plan = i;
+      job.old_candidates = plans_[i].candidates.size();
+      refresh_jobs_.push_back(job);
     }
     dirty_queue_.clear();
+    run_refresh_batch();
+    merge_refresh_jobs();
     last_round_cache_hits_ = 0;
-    return;
+  } else if (batch_collected_) {
+    // The dirty set was already collected (and its compute dispatched) by
+    // the speculative launch at the end of the last commit; nothing can have
+    // dirtied a plan since. Join the workers and replay the merge.
+    DS_ASSERT_MSG(dirty_queue_.empty(),
+                  "plans dirtied while a speculative batch was in flight");
+    if (batch_async_) {
+      batch_async_ = false;
+      pool_->join();
+    }
+    const std::size_t recomputed = refresh_jobs_.size();
+    merge_refresh_jobs();
+    last_round_cache_hits_ = active_plans_ - recomputed;
+    if (instr_ != nullptr) instr_->cache_hits.inc(last_round_cache_hits_);
+  } else {
+    // Incremental mode without a speculative batch: collect the dirty set,
+    // compute (parallel when worthwhile), merge in ascending plan order.
+    collect_refresh_jobs();
+    run_refresh_batch();
+    const std::size_t recomputed = refresh_jobs_.size();
+    merge_refresh_jobs();
+    // Every live plan not recomputed this round reused its cached tree; the
+    // cache is provably identical to a recompute (see the header note).
+    last_round_cache_hits_ = active_plans_ - recomputed;
+    if (instr_ != nullptr) instr_->cache_hits.inc(last_round_cache_hits_);
   }
+  if (phases_ != nullptr) {
+    const std::int64_t ns = steady_clock_nanos() - t0;
+    if (instr_ != nullptr) {
+      instr_->refresh_parallel_ns.inc(static_cast<std::uint64_t>(ns));
+      instr_->refresh_batch_usec->observe(static_cast<double>(ns) / 1000.0);
+    }
+    phases_->add_nanos("engine.refresh_parallel", ns);
+  }
+}
 
-  // Incremental mode: only the plans dirtied since the last refresh. Sorting
-  // keeps the recompute (and hence Dijkstra/trace) order identical to the
-  // old full scan; duplicates are skipped via the dirty flag.
+void StagingEngine::collect_refresh_jobs() {
+  refresh_jobs_.clear();
+  // Sorting keeps the recompute (and hence Dijkstra/trace) order identical
+  // to the old full scan; duplicates are skipped via the dirty flag, which
+  // each claimed plan drops here so the batch holds it exactly once.
   std::sort(dirty_queue_.begin(), dirty_queue_.end());
   for (const std::size_t i : dirty_queue_) {
     ItemPlan& plan = plans_[i];
@@ -205,14 +316,101 @@ void StagingEngine::refresh_plans() {
       retire_plan(i);
       continue;
     }
-    recompute_plan(item);
-    ++recomputed;
+    plan.dirty = false;
+    RefreshJob job;
+    job.plan = i;
+    job.old_candidates = plan.candidates.size();
+    refresh_jobs_.push_back(job);
   }
   dirty_queue_.clear();
-  // Every live plan not recomputed this round reused its cached tree; the
-  // cache is provably identical to a recompute (see the header note).
-  last_round_cache_hits_ = active_plans_ - recomputed;
-  if (instr_ != nullptr) instr_->cache_hits.inc(last_round_cache_hits_);
+  // Every commit-triggered batch is a speculation round: the next commit's
+  // invalidation delivers each plan's keep/abort verdict. Batches are
+  // logical — recorded whether the compute runs inline or on the pool — so
+  // the verdict counters are identical at any engine_jobs.
+  if (iterations_ > 0) {
+    spec_batch_.clear();
+    for (const RefreshJob& job : refresh_jobs_) spec_batch_.push_back(job.plan);
+    spec_pending_ = true;
+  }
+}
+
+void StagingEngine::run_refresh_batch() {
+  if (parallel_enabled_ && refresh_jobs_.size() >= kParallelRefreshMinJobs) {
+    const std::function<void(std::size_t, std::size_t)> job =
+        [this](std::size_t worker, std::size_t j) {
+          compute_refresh_job(refresh_jobs_[j], refresh_ws_[worker]);
+        };
+    ensure_pool()->parallel_for(refresh_jobs_.size(), job);
+  } else {
+    for (RefreshJob& job : refresh_jobs_) {
+      compute_refresh_job(job, refresh_ws_.front());
+    }
+  }
+}
+
+void StagingEngine::merge_refresh_jobs() {
+  // Ascending plan order (collect drains the sorted queue), replaying the
+  // exact shared-state sequence a serial refresh would have produced.
+  for (RefreshJob& job : refresh_jobs_) merge_refresh_job(job);
+  refresh_jobs_.clear();
+  batch_collected_ = false;
+}
+
+void StagingEngine::complete_pending_refresh() {
+  if (!batch_collected_) return;
+  if (batch_async_) {
+    batch_async_ = false;
+    pool_->join();
+  }
+  merge_refresh_jobs();
+}
+
+void StagingEngine::abandon_refresh_batch() {
+  if (batch_async_) {
+    batch_async_ = false;
+    pool_->join();
+  }
+  batch_collected_ = false;
+  refresh_jobs_.clear();
+}
+
+void StagingEngine::launch_speculative_refresh() {
+  if (!parallel_enabled_ || options_.paranoid || guard_tripped_) return;
+  // The commit is fully applied and the network state is stable until the
+  // next apply_*, which can only run after a refresh joins this batch — so
+  // workers read a frozen NetworkState/topology and write plan-local state.
+  const std::int64_t t0 = phases_ != nullptr ? steady_clock_nanos() : 0;
+  collect_refresh_jobs();
+  batch_collected_ = true;
+  if (refresh_jobs_.size() >= kParallelRefreshMinJobs) {
+    batch_async_ = true;
+    ensure_pool()->begin(refresh_jobs_.size(),
+                         [this](std::size_t worker, std::size_t j) {
+                           compute_refresh_job(refresh_jobs_[j],
+                                               refresh_ws_[worker]);
+                         });
+  } else {
+    for (RefreshJob& job : refresh_jobs_) {
+      compute_refresh_job(job, refresh_ws_.front());
+    }
+  }
+  if (phases_ != nullptr) {
+    phases_->add_nanos("engine.refresh_speculate", steady_clock_nanos() - t0);
+  }
+}
+
+void StagingEngine::resolve_spec_batch() {
+  if (!spec_pending_) return;
+  spec_pending_ = false;
+  std::size_t aborts = 0;
+  for (const std::size_t p : spec_batch_) {
+    if (plans_[p].dirty) ++aborts;
+  }
+  if (instr_ != nullptr) {
+    instr_->spec_aborts.inc(aborts);
+    instr_->spec_commits.inc(spec_batch_.size() - aborts);
+  }
+  spec_batch_.clear();
 }
 
 void StagingEngine::retire_plan(std::size_t plan_index) {
@@ -233,39 +431,77 @@ void StagingEngine::retire_plan(std::size_t plan_index) {
   --active_plans_;
 }
 
-void StagingEngine::recompute_plan(ItemId item) {
-  ItemPlan& plan = plans_[item.index()];
+void StagingEngine::compute_refresh_job(RefreshJob& job, RefreshWorkspace& ws) {
+  // Thread-safe by construction: reads the frozen NetworkState/topology and
+  // the (const) tracker, writes only the plan's own storage, this worker's
+  // scratch and the job record. Every shared-state effect of the old serial
+  // recompute lives in merge_refresh_job.
+  const ItemId item(static_cast<std::int32_t>(job.plan));
+  ItemPlan& plan = plans_[job.plan];
   DijkstraOptions dopt;
   dopt.prune_after = tracker_.latest_pending_deadline(item);
   // The engine only reads labels of pending destinations (and their paths):
   // hand Dijkstra the target set so it can stop once all are settled.
-  target_scratch_.clear();
+  ws.targets.clear();
   const DataItem& it = scenario_->item(item);
   for (const std::int32_t k : tracker_.pending_of(item)) {
-    target_scratch_.push_back(it.requests[static_cast<std::size_t>(k)].destination);
+    ws.targets.push_back(it.requests[static_cast<std::size_t>(k)].destination);
   }
-  dopt.targets = target_scratch_;
-  DijkstraStats stats;
-  compute_route_tree_into(state_, topology_, item, dopt, dijkstra_ws_, plan.tree,
-                          instr_ != nullptr ? &stats : nullptr);
+  dopt.targets = ws.targets;
+  compute_route_tree_into(state_, topology_, item, dopt, ws.ws, plan.tree,
+                          instr_ != nullptr ? &job.stats : nullptr);
+  job.prune_after = dopt.prune_after;
+  build_candidates_local(item, plan, ws);
+}
+
+void StagingEngine::merge_refresh_job(RefreshJob& job) {
+  const std::size_t plan_index = job.plan;
+  const ItemId item(static_cast<std::int32_t>(plan_index));
+  ItemPlan& plan = plans_[plan_index];
   ++dijkstra_runs_;
   if (instr_ != nullptr) {
     instr_->tree_recomputes.inc();
-    instr_->dijkstra_pops.inc(stats.pops);
-    instr_->dijkstra_relaxations.inc(stats.relaxations);
-    instr_->dijkstra_capacity_rejections.inc(stats.capacity_rejections);
+    instr_->dijkstra_pops.inc(job.stats.pops);
+    instr_->dijkstra_relaxations.inc(job.stats.relaxations);
+    instr_->dijkstra_capacity_rejections.inc(job.stats.capacity_rejections);
   }
   if (trace_ != nullptr) {
     trace_->event("recompute")
         .field("iter", iterations_)
         .field("item", item.value())
         .field("pending", tracker_.pending_of(item).size())
-        .field("prune_after_usec", dopt.prune_after.usec());
+        .field("prune_after_usec", job.prune_after.usec());
   }
-  build_candidates(item, plan);
+  candidate_total_ -= job.old_candidates;
+  index_.unsubscribe_all(plan_index);
+  // Replay the subscriptions the compute phase recorded, in recorded order:
+  // each emplace below was a subscribe call in the serial code, so posting
+  // lists end up byte-identical to a serial refresh.
+  for (const auto& [link, busy] : plan.used_links) {
+    index_.subscribe_link(plan_index, link, busy);
+  }
+  for (const auto& [machine, hold] : plan.used_storage) {
+    index_.subscribe_storage(plan_index, machine, hold);
+  }
+  candidate_total_ += plan.candidates.size();
+  if (plan.best != kNoBest) push_best(plan_index);
+  if (instr_ != nullptr) {
+    instr_->candidates.inc(plan.candidates.size());
+    instr_->best_rescans.inc();
+  }
   if (lifecycle_ != nullptr) classify_requests(item, plan);
   plan.dirty = false;
   plan.last_invalidated_by = -1;
+}
+
+void StagingEngine::recompute_plan_now(ItemId item) {
+  ItemPlan& plan = plans_[item.index()];
+  RefreshJob job;
+  job.plan = item.index();
+  job.old_candidates = plan.candidates.size();
+  plan.dirty = false;
+  compute_refresh_job(job, refresh_ws_.front());
+  merge_refresh_job(job);
 }
 
 void StagingEngine::classify_requests(ItemId item, const ItemPlan& plan) {
@@ -324,15 +560,13 @@ void StagingEngine::classify_requests(ItemId item, const ItemPlan& plan) {
   }
 }
 
-void StagingEngine::build_candidates(ItemId item, ItemPlan& plan) {
-  const std::size_t plan_index = item.index();
+void StagingEngine::build_candidates_local(ItemId item, ItemPlan& plan,
+                                           RefreshWorkspace& ws) {
   ++plan.generation;  // existing tournament entries for this plan go stale
-  candidate_total_ -= plan.candidates.size();
   plan.candidates.clear();
   plan.used_links.clear();
   plan.used_storage.clear();
   plan.best = kNoBest;
-  index_.unsubscribe_all(plan_index);
 
   const DataItem& it = scenario_->item(item);
 
@@ -411,55 +645,45 @@ void StagingEngine::build_candidates(ItemId item, ItemPlan& plan) {
       plan.candidates.push_back(std::move(c));
     }
 
-    // Record the resources the satisfiable paths of this group rely on — and
-    // subscribe them in the inverted index so a later overlapping reservation
-    // dispatches an invalidation here.
-    ++node_mark_epoch_;
+    // Record the resources the satisfiable paths of this group rely on.
+    // The merge phase replays these records as inverted-index subscriptions
+    // (in recorded order) so a later overlapping reservation dispatches an
+    // invalidation here; recording and subscribing are kept 1:1.
+    ++ws.node_mark_epoch;
     for (std::size_t g = lo; g < hi; ++g) {
       const DestinationEval& eval = groups[g].eval;
       if (!eval.sat) continue;
       const MachineId dest =
           it.requests[static_cast<std::size_t>(eval.k)].destination;
       for (const TreeEdge& edge : plan.tree.path_to(dest)) {
-        if (node_mark_[edge.to.index()] == node_mark_epoch_) continue;
-        node_mark_[edge.to.index()] = node_mark_epoch_;
+        if (ws.node_mark[edge.to.index()] == ws.node_mark_epoch) continue;
+        ws.node_mark[edge.to.index()] = ws.node_mark_epoch;
         const Interval busy{edge.start, edge.arrival};
         plan.used_links.emplace_back(edge.link, busy);
-        index_.subscribe_link(plan_index, edge.link, busy);
         // What can_hold checked for this node: the full hold window for a new
         // copy, or only the extension when an (earlier-scheduled) hold exists.
         const std::optional<SimTime> existing = state_.hold_begin(item, edge.to);
         if (existing.has_value()) {
           if (*existing > edge.start) {
-            const Interval ext{edge.start, *existing};
-            plan.used_storage.emplace_back(edge.to, ext);
-            index_.subscribe_storage(plan_index, edge.to, ext);
+            plan.used_storage.emplace_back(edge.to, Interval{edge.start, *existing});
           }
         } else {
-          const Interval hold{edge.start, state_.hold_end(item, edge.to)};
-          plan.used_storage.emplace_back(edge.to, hold);
-          index_.subscribe_storage(plan_index, edge.to, hold);
+          plan.used_storage.emplace_back(
+              edge.to, Interval{edge.start, state_.hold_end(item, edge.to)});
         }
       }
     }
     lo = hi;
   }
 
-  // Rescore the plan's own best under the global candidate order and enter it
-  // into the tournament. This is the only per-round scoring work for plans
-  // that stay clean: none.
+  // Rescore the plan's own best under the global candidate order. The merge
+  // phase enters it into the tournament; plans that stay clean do no
+  // per-round scoring work at all.
   for (std::size_t c = 0; c < plan.candidates.size(); ++c) {
     if (plan.best == kNoBest ||
         candidate_less(plan.candidates[c], plan.candidates[plan.best])) {
       plan.best = c;
     }
-  }
-  candidate_total_ += plan.candidates.size();
-  if (plan.best != kNoBest) push_best(plan_index);
-
-  if (instr_ != nullptr) {
-    instr_->candidates.inc(plan.candidates.size());
-    instr_->best_rescans.inc();
   }
 }
 
@@ -582,6 +806,7 @@ void StagingEngine::apply_hop(const Candidate& candidate) {
   const AppliedTransfer applied = commit_edge(candidate.item, candidate.hop);
   invalidate(candidate.item, std::span(&applied, 1));
   count_iteration();
+  launch_speculative_refresh();
 }
 
 void StagingEngine::apply_full_path_one(const Candidate& candidate) {
@@ -609,6 +834,7 @@ void StagingEngine::apply_full_path_one(const Candidate& candidate) {
   }
   invalidate(candidate.item, applied);
   count_iteration();
+  launch_speculative_refresh();
 }
 
 void StagingEngine::apply_full_path_all(const Candidate& candidate) {
@@ -646,6 +872,7 @@ void StagingEngine::apply_full_path_all(const Candidate& candidate) {
   }
   invalidate(candidate.item, applied);
   count_iteration();
+  launch_speculative_refresh();
 }
 
 void StagingEngine::invalidate(ItemId scheduled_item,
@@ -712,6 +939,10 @@ void StagingEngine::invalidate(ItemId scheduled_item,
     }
   }
 
+  // The dirty flags are final for this commit: deliver the previous
+  // speculation batch's verdicts (re-dirtied plans aborted, the rest kept).
+  resolve_spec_batch();
+
   if (!record) return;
   if (instr_ != nullptr) {
     instr_->invalidations_checked.inc(examined);
@@ -752,8 +983,11 @@ void StagingEngine::count_iteration() {
 }
 
 const RouteTree& StagingEngine::plan_tree(ItemId item) {
+  // A speculative batch may cover this plan (its dirty flag is already
+  // cleared); merge it first so the tree below is the committed one.
+  complete_pending_refresh();
   ItemPlan& plan = plans_[item.index()];
-  if (plan.dirty || options_.paranoid) recompute_plan(item);
+  if (plan.dirty || options_.paranoid) recompute_plan_now(item);
   return plan.tree;
 }
 
@@ -840,6 +1074,10 @@ void StagingEngine::observe_finish() {
 }
 
 StagingResult StagingEngine::finish() {
+  // A caller that stops mid-loop may leave a speculative batch in flight.
+  // Discard it unmerged: the serial path would not have refreshed either, so
+  // counters and trace stay serial-equivalent.
+  abandon_refresh_batch();
   if (instr_ != nullptr || trace_ != nullptr) observe_finish();
   StagingResult result;
   result.schedule = std::move(schedule_);

@@ -48,10 +48,22 @@
 
 namespace datastage {
 
+class ThreadPool;
+
 namespace obs {
 struct RunObserver;
+class PhaseTimer;
 class RunTrace;
 }  // namespace obs
+
+/// Process-wide default for EngineOptions::engine_jobs, the intra-scenario
+/// analogue of harness/parallel.hpp's default_jobs (which governs the
+/// case-level fan-out). Tools apply --engine-jobs here once so harness code
+/// that builds EngineOptions internally (sweeps, bounds, baselines) picks the
+/// value up without threading it through every signature. 0 resolves to one
+/// worker per hardware thread at engine construction.
+void set_default_engine_jobs(std::size_t jobs);
+std::size_t default_engine_jobs();
 
 struct EngineOptions {
   PriorityWeighting weighting = PriorityWeighting::w_1_10_100();
@@ -68,6 +80,17 @@ struct EngineOptions {
   /// default — keeps the hot loop free of any metric or trace work; set, it
   /// never changes scheduling decisions, only records them.
   obs::RunObserver* observer = nullptr;
+  /// Worker threads for intra-scenario parallelism (plan refresh +
+  /// speculative cross-round scoring). 1 = serial; 0 = one per hardware
+  /// thread. Schedules, metrics and traces are byte-identical at any value —
+  /// parallel workers only ever write plan-local state and all shared-state
+  /// effects are merged in ascending plan order (see docs/PARALLELISM.md).
+  std::size_t engine_jobs = default_engine_jobs();
+  /// Optional externally owned worker pool. Non-null wins over engine_jobs:
+  /// long-lived callers (DynamicStager, datastage_serve) keep one pool across
+  /// replans instead of paying thread spawn per engine instance. The caller
+  /// must keep the pool alive for the engine's lifetime.
+  ThreadPool* engine_pool = nullptr;
 };
 
 /// Fluent construction of EngineOptions, so every call site wires weighting,
@@ -104,6 +127,14 @@ class EngineOptionsBuilder {
   }
   EngineOptionsBuilder& observer(obs::RunObserver* observer) {
     options_.observer = observer;
+    return *this;
+  }
+  EngineOptionsBuilder& engine_jobs(std::size_t jobs) {
+    options_.engine_jobs = jobs;
+    return *this;
+  }
+  EngineOptionsBuilder& engine_pool(ThreadPool* pool) {
+    options_.engine_pool = pool;
     return *this;
   }
   EngineOptions build() const { return options_; }
@@ -216,15 +247,78 @@ class StagingEngine {
 
   enum class InvalidationCause : std::uint8_t { kLink, kStorage };
 
+  /// One unit of refresh work: the plan to rebuild plus everything the serial
+  /// merge needs to replay the exact counter/trace sequence of a serial
+  /// recompute (Dijkstra stats, the prune horizon, the pre-rebuild candidate
+  /// count for the global total).
+  struct RefreshJob {
+    std::size_t plan = 0;
+    std::size_t old_candidates = 0;
+    SimTime prune_after = SimTime::infinity();
+    DijkstraStats stats;
+  };
+
+  /// Per-worker scratch for the compute phase: a Dijkstra workspace, the
+  /// target buffer and the node-mark epoch set. refresh_ws_[0] doubles as the
+  /// serial path's scratch, so serial and parallel runs share one code path.
+  struct RefreshWorkspace {
+    DijkstraWorkspace ws;
+    std::vector<MachineId> targets;
+    std::vector<std::uint64_t> node_mark;
+    std::uint64_t node_mark_epoch = 0;
+  };
+
   /// Brings every plan up to date: recomputes the dirty set (incremental
   /// mode) or every pending plan (paranoid mode), retiring exhausted plans.
+  /// Three phases — collect (serial: dirty set -> jobs), compute (parallel:
+  /// route trees + candidate lists into plan-local storage), merge (serial,
+  /// ascending plan order: index subscriptions, tournament pushes, counters,
+  /// trace events) — so output is byte-identical at any thread count.
   void refresh_plans();
-  void recompute_plan(ItemId item);
+  /// Serial collect: drains dirty_queue_ (sorted, dup-skipped) into
+  /// refresh_jobs_, retiring plans with no pending requests and recording the
+  /// batch for speculation accounting.
+  void collect_refresh_jobs();
+  /// Runs the compute phase over refresh_jobs_ — on the pool when the batch
+  /// is big enough, inline (workspace 0) otherwise. Either way results are
+  /// identical: compute writes only plan-local state and its own job record.
+  void run_refresh_batch();
+  void compute_refresh_job(RefreshJob& job, RefreshWorkspace& ws);
+  /// Serial merge of one computed job, replaying the exact shared-state
+  /// effect sequence of the old serial recompute_plan.
+  void merge_refresh_job(RefreshJob& job);
+  void merge_refresh_jobs();
+  /// Joins an in-flight speculative batch and merges it (plan_tree and any
+  /// other entry point that must observe a consistent engine).
+  void complete_pending_refresh();
+  /// Joins and discards an in-flight speculative batch without merging —
+  /// finish()/destruction only. Counters stay serial-equivalent because the
+  /// serial path would not have refreshed either.
+  void abandon_refresh_batch();
+  /// Speculative cross-round scoring: after a commit, eagerly collects the
+  /// freshly invalidated plans and dispatches their recompute on the pool.
+  /// The next refresh_plans() (or the next commit's invalidation) decides
+  /// each plan's fate: untouched neighborhoods keep the speculative result
+  /// (spec_commit), re-dirtied plans are recomputed again (spec_abort).
+  void launch_speculative_refresh();
+  /// Resolves the previous speculation batch at the end of invalidate():
+  /// plans the new commit re-dirtied are aborts, the rest commits.
+  void resolve_spec_batch();
+  /// Lazily creates the owned pool (first batch that wants it).
+  ThreadPool* ensure_pool();
+  /// Serial recompute of a single plan (plan_tree's paranoid/dirty path):
+  /// compute + merge inline through the same job machinery.
+  void recompute_plan_now(ItemId item);
   /// Marks a plan exhausted, releasing its candidates, resource records and
   /// index subscriptions (dead plans must not attract invalidation work or
   /// hold memory).
   void retire_plan(std::size_t plan_index);
-  void build_candidates(ItemId item, ItemPlan& plan);
+  /// The thread-safe part of candidate building: rebuilds the plan's
+  /// candidates, resource records and cached best from its fresh tree,
+  /// touching only plan-local storage and the per-worker scratch. The
+  /// matching shared-state work (index subscriptions, tournament push,
+  /// totals, counters) happens in merge_refresh_job.
+  void build_candidates_local(ItemId item, ItemPlan& plan, RefreshWorkspace& ws);
   /// Lifecycle tracing: reclassifies every pending request of a freshly
   /// recomputed plan (feasible / deadline infeasible / no route) and emits
   /// request_lost / request_revived transitions. Only called when a trace is
@@ -254,11 +348,25 @@ class StagingEngine {
   std::vector<std::size_t> dirty_queue_;
   /// Lazy min-heap over per-plan best candidates (see BestEntry).
   std::vector<BestEntry> best_heap_;
-  /// Reused Dijkstra scratch (heap storage, settled/target bitmaps).
-  DijkstraWorkspace dijkstra_ws_;
-  std::vector<MachineId> target_scratch_;
+  /// Per-worker compute scratch; [0] is the serial path's workspace.
+  std::vector<RefreshWorkspace> refresh_ws_;
+  /// The current refresh batch (reused buffer). Must not grow while a
+  /// speculative batch is in flight on the pool.
+  std::vector<RefreshJob> refresh_jobs_;
+  /// Worker pool for the compute phase: the caller's engine_pool, or an
+  /// owned pool created lazily once a batch is worth parallelizing.
+  ThreadPool* pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  std::size_t engine_jobs_resolved_ = 1;  ///< engine_jobs with 0 -> hardware
+  bool parallel_enabled_ = false;  ///< pool available or engine_jobs > 1
+  bool batch_collected_ = false;   ///< refresh_jobs_ computed but not merged
+  bool batch_async_ = false;       ///< ... and still running on pool_
+  /// Plans refreshed by the last commit-triggered batch, awaiting their
+  /// speculation verdict at the next commit's invalidation.
+  std::vector<std::size_t> spec_batch_;
+  bool spec_pending_ = false;
   /// Epoch-stamped per-machine marks: the allocation-free node_seen set used
-  /// by candidate building and full-tree commits.
+  /// by full-tree commits (candidate building uses the per-worker copies).
   std::vector<std::uint64_t> node_mark_;
   std::uint64_t node_mark_epoch_ = 0;
   std::vector<std::pair<std::size_t, InvalidationCause>> invalidation_scratch_;
@@ -276,6 +384,11 @@ class StagingEngine {
   struct Instr;
   std::unique_ptr<Instr> instr_;
   obs::RunTrace* trace_ = nullptr;
+  /// Wall-clock refresh timing sink. Deliberately separate from instr_:
+  /// timing values differ run to run, so they are recorded only for callers
+  /// that attach a phase timer (full observability documents) and never leak
+  /// into the deterministic, byte-comparable metrics registries.
+  obs::PhaseTimer* phases_ = nullptr;
   /// Per-request lifecycle state (feasibility status, ever-feasible flag,
   /// lost-to attribution) behind the request_lost/request_revived/
   /// request_satisfied trace events and the final loss-reason taxonomy.

@@ -5,6 +5,7 @@
 #include "obs/observer.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace datastage {
 
@@ -108,6 +109,14 @@ DynamicStager::DynamicStager(Scenario initial, SchedulerSpec spec,
     : base_(std::move(initial)), spec_(spec), options_(std::move(options)) {
   base_.check_valid();
 
+  const std::size_t engine_jobs = options_.engine_jobs == 0
+                                      ? ThreadPool::hardware_jobs()
+                                      : options_.engine_jobs;
+  if (options_.engine_pool == nullptr && engine_jobs > 1) {
+    engine_pool_ = std::make_unique<ThreadPool>(engine_jobs);
+    options_.engine_pool = engine_pool_.get();
+  }
+
   available_.resize(base_.phys_links.size());
   outages_.resize(base_.phys_links.size());
   link_up_.assign(base_.phys_links.size(), true);
@@ -135,6 +144,8 @@ DynamicStager::DynamicStager(Scenario initial, SchedulerSpec spec,
 
   replan();
 }
+
+DynamicStager::~DynamicStager() = default;  // engine_pool_ needs the full type
 
 void DynamicStager::note_arrival(TrackedItem& item, MachineId machine,
                                  SimTime arrival) {

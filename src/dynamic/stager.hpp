@@ -23,6 +23,7 @@
 // replayed through sim/simulator like any static schedule.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,6 +36,8 @@
 #include "util/interval.hpp"
 
 namespace datastage {
+
+class ThreadPool;
 
 namespace obs {
 class RunTrace;
@@ -76,6 +79,7 @@ class DynamicStager {
  public:
   /// Starts at time zero with `initial` (validated) and plans immediately.
   DynamicStager(Scenario initial, SchedulerSpec spec, EngineOptions options);
+  ~DynamicStager();
 
   /// Processes one event; events must arrive in nondecreasing time order.
   void on_event(const StagingEvent& event);
@@ -232,6 +236,10 @@ class DynamicStager {
 
   SchedulerSpec spec_;
   EngineOptions options_;
+  /// Shared across replans when options ask for engine parallelism but the
+  /// caller did not inject a pool: each replan builds a fresh engine, and
+  /// re-spawning worker threads per replan would dwarf the refresh work.
+  std::unique_ptr<ThreadPool> engine_pool_;
   std::size_t replans_ = 0;
   bool finished_ = false;
 };

@@ -22,6 +22,12 @@ namespace datastage::obs {
 struct RunObserver {
   MetricsRegistry* metrics = nullptr;
   RunTrace* trace = nullptr;
+  /// Wall-clock phase sink (engine refresh timing). Kept separate from
+  /// `metrics` because phase values differ run to run: harness code that
+  /// byte-compares metrics documents across thread counts attaches a
+  /// registry but leaves this null, while the full-document tools
+  /// (toolflags::Observability) attach their phase timer here.
+  PhaseTimer* phases = nullptr;
 };
 
 }  // namespace datastage::obs

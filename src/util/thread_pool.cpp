@@ -10,13 +10,15 @@ ThreadPool::ThreadPool(std::size_t threads) {
   const std::size_t count = std::max<std::size_t>(threads, 1);
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    DS_ASSERT_MSG(job_ == nullptr && !async_in_flight_,
+                  "destroying ThreadPool with a batch in flight (missing join)");
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -28,24 +30,23 @@ std::size_t ThreadPool::hardware_jobs() {
   return reported == 0 ? 1 : static_cast<std::size_t>(reported);
 }
 
-void ThreadPool::run_indexed(std::size_t job_count,
-                             const std::function<void(std::size_t)>& job) {
-  if (job_count == 0) return;
-  std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+void ThreadPool::start_batch_locked(
+    std::size_t job_count, const std::function<void(std::size_t, std::size_t)>* job) {
+  DS_ASSERT_MSG(job_ == nullptr && !async_in_flight_, "batch already in flight");
+  job_ = job;
+  job_count_ = job_count;
+  // One chunk per lock acquisition: big batches claim ranges to keep mutex
+  // traffic O(workers), small batches claim single indices so uneven job
+  // costs (Dijkstra over different plans) still balance.
+  chunk_ = std::max<std::size_t>(1, job_count / (workers_.size() * 16));
+  next_index_ = 0;
+  completed_ = 0;
+  first_error_ = nullptr;
+  first_error_index_ = 0;
+  ++batch_id_;
+}
 
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    DS_ASSERT_MSG(job_ == nullptr, "batch already in flight");
-    job_ = &job;
-    job_count_ = job_count;
-    next_index_ = 0;
-    completed_ = 0;
-    first_error_ = nullptr;
-    first_error_index_ = 0;
-    ++batch_id_;
-  }
-  work_cv_.notify_all();
-
+void ThreadPool::wait_batch_and_rethrow() {
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -57,10 +58,73 @@ void ThreadPool::run_indexed(std::size_t job_count,
   if (error != nullptr) std::rethrow_exception(error);
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::run_indexed(std::size_t job_count,
+                             const std::function<void(std::size_t)>& job) {
+  if (job_count == 0) return;
+  const std::function<void(std::size_t, std::size_t)> adapter =
+      [&job](std::size_t, std::size_t index) { job(index); };
+  parallel_for(job_count, adapter);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t job_count, const std::function<void(std::size_t, std::size_t)>& job) {
+  if (job_count == 0) return;
+  std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    start_batch_locked(job_count, &job);
+  }
+  work_cv_.notify_all();
+  wait_batch_and_rethrow();
+}
+
+void ThreadPool::begin(std::size_t job_count,
+                       std::function<void(std::size_t, std::size_t)> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job_count == 0) {
+      DS_ASSERT_MSG(job_ == nullptr && !async_in_flight_, "batch already in flight");
+      async_in_flight_ = true;  // empty batch: nothing dispatched, join is a no-op
+      return;
+    }
+    owned_job_ = std::move(job);
+    start_batch_locked(job_count, &owned_job_);
+    async_in_flight_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void ThreadPool::join() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!async_in_flight_) return;
+    if (job_ == nullptr) {  // empty batch recorded by begin(0, ...)
+      async_in_flight_ = false;
+      return;
+    }
+  }
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return completed_ == job_count_; });
+    job_ = nullptr;
+    async_in_flight_ = false;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  owned_job_ = nullptr;  // release captures outside the lock
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+bool ThreadPool::batch_in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return async_in_flight_ || job_ != nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t worker) {
   std::uint64_t seen_batch = 0;
   for (;;) {
-    const std::function<void(std::size_t)>* job = nullptr;
+    const std::function<void(std::size_t, std::size_t)>* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock, [&] {
@@ -70,30 +134,39 @@ void ThreadPool::worker_loop() {
       seen_batch = batch_id_;
       job = job_;
     }
-    // Claim and run indices until the batch is exhausted.
+    // Claim and run index chunks until the batch is exhausted.
     for (;;) {
-      std::size_t index;
+      std::size_t begin_index;
+      std::size_t end_index;
       {
         std::lock_guard<std::mutex> lock(mutex_);
         // The batch we joined may have completed (and a new one started)
         // since we last held the lock; claiming an index from a later batch
         // here would run it with the previous batch's dangling job pointer.
         if (batch_id_ != seen_batch || next_index_ >= job_count_) break;
-        index = next_index_++;
+        begin_index = next_index_;
+        end_index = std::min(job_count_, begin_index + chunk_);
+        next_index_ = end_index;
       }
-      std::exception_ptr error;
-      try {
-        (*job)(index);
-      } catch (...) {
-        error = std::current_exception();
+      for (std::size_t index = begin_index; index < end_index; ++index) {
+        std::exception_ptr error;
+        try {
+          (*job)(worker, index);
+        } catch (...) {
+          error = std::current_exception();
+        }
+        if (error != nullptr) {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (first_error_ == nullptr || index < first_error_index_) {
+            first_error_ = error;
+            first_error_index_ = index;
+          }
+        }
       }
       std::lock_guard<std::mutex> lock(mutex_);
-      if (error != nullptr &&
-          (first_error_ == nullptr || index < first_error_index_)) {
-        first_error_ = error;
-        first_error_index_ = index;
+      if ((completed_ += end_index - begin_index) == job_count_) {
+        done_cv_.notify_all();
       }
-      if (++completed_ == job_count_) done_cv_.notify_all();
     }
   }
 }

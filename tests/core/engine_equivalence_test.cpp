@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,6 +24,7 @@
 #include "gen/generator.hpp"
 #include "harness/experiment.hpp"
 #include "harness/parallel.hpp"
+#include "obs/observer.hpp"
 
 namespace datastage {
 namespace {
@@ -151,6 +154,154 @@ TEST(EngineEquivalenceJobsTest, Jobs1MatchesJobs8) {
     EXPECT_EQ(serial[i].weighted_value, parallel[i].weighted_value) << "case " << i;
     EXPECT_EQ(serial[i].satisfied, parallel[i].satisfied) << "case " << i;
     EXPECT_EQ(serial[i].by_class, parallel[i].by_class) << "case " << i;
+  }
+}
+
+// --- Intra-engine parallelism (--engine-jobs) -------------------------------
+//
+// The parallel refresh path must be *byte-identical* to the serial engine in
+// every observable output — not just the schedule and outcomes, but the full
+// metrics registry (including the speculation counters, which are defined
+// over logical batches) and the structured trace stream. Any divergence means
+// the deterministic-merge contract broke.
+
+StagingResult run_observed(const SchedulerSpec& spec, const Scenario& scenario,
+                           std::size_t engine_jobs, std::string* metrics_json,
+                           std::string* trace_text) {
+  EngineOptions options;
+  options.criterion = spec.criterion;
+  options.eu = EUWeights::from_log10_ratio(1.0);
+  options.engine_jobs = engine_jobs;
+  obs::MetricsRegistry registry;
+  std::ostringstream trace_os;
+  obs::RunTrace trace(trace_os);
+  obs::RunObserver observer;
+  observer.metrics = &registry;
+  observer.trace = &trace;
+  options.observer = &observer;
+  const StagingResult result = run_spec(spec, scenario, options);
+  *metrics_json = registry.to_json();
+  *trace_text = trace_os.str();
+  return result;
+}
+
+class EngineParallelEquivalenceTest
+    : public ::testing::TestWithParam<SchedulerSpec> {};
+
+TEST_P(EngineParallelEquivalenceTest, EngineJobsMatchSerialOnSeedGrid) {
+  const SchedulerSpec spec = GetParam();
+  std::size_t case_index = 0;
+  for (const Scenario& scenario : grid_scenarios()) {
+    std::string serial_metrics;
+    std::string serial_trace;
+    const StagingResult serial =
+        run_observed(spec, scenario, 1, &serial_metrics, &serial_trace);
+    for (const std::size_t engine_jobs : {std::size_t{2}, std::size_t{8}}) {
+      std::string parallel_metrics;
+      std::string parallel_trace;
+      const StagingResult parallel = run_observed(
+          spec, scenario, engine_jobs, &parallel_metrics, &parallel_trace);
+      const std::string label = spec.name() + " case " +
+                                std::to_string(case_index) + " engine_jobs=" +
+                                std::to_string(engine_jobs);
+      expect_equivalent(scenario, parallel, serial, label);
+      EXPECT_EQ(parallel_metrics, serial_metrics) << label;
+      EXPECT_EQ(parallel_trace, serial_trace) << label;
+    }
+    ++case_index;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperHeuristics, EngineParallelEquivalenceTest,
+    ::testing::Values(SchedulerSpec{HeuristicKind::kPartial, CostCriterion::kC4},
+                      SchedulerSpec{HeuristicKind::kFullOne, CostCriterion::kC4},
+                      SchedulerSpec{HeuristicKind::kFullAll, CostCriterion::kC4}),
+    [](const ::testing::TestParamInfo<SchedulerSpec>& param_info) {
+      std::string name = param_info.param.name();
+      for (char& c : name) {
+        if (c == '/' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+StagingResult run_priority_first_engine_jobs(const Scenario& scenario,
+                                             std::size_t engine_jobs) {
+  EngineOptions options;
+  options.criterion = CostCriterion::kPriorityOnly;
+  options.engine_jobs = engine_jobs;
+  StagingEngine engine(scenario, options);
+  while (std::optional<Candidate> best = engine.best_candidate()) {
+    engine.apply_full_path_one(*best);
+  }
+  return engine.finish();
+}
+
+TEST(EngineParallelPriorityFirstTest, EngineJobsMatchSerialOnSeedGrid) {
+  std::size_t case_index = 0;
+  for (const Scenario& scenario : grid_scenarios()) {
+    const StagingResult serial = run_priority_first_engine_jobs(scenario, 1);
+    for (const std::size_t engine_jobs : {std::size_t{2}, std::size_t{8}}) {
+      expect_equivalent(scenario, run_priority_first_engine_jobs(scenario, engine_jobs),
+                        serial,
+                        "priority_first case " + std::to_string(case_index) +
+                            " engine_jobs=" + std::to_string(engine_jobs));
+    }
+    ++case_index;
+  }
+}
+
+// The documented candidate order (cost, item, next machine, first destination
+// index) — mirrors the engine's internal candidate_less comparator.
+bool candidate_order(const Candidate& a, const Candidate& b) {
+  if (a.cost != b.cost) return a.cost < b.cost;
+  if (a.item != b.item) return a.item < b.item;
+  if (a.hop.to != b.hop.to) return a.hop.to < b.hop.to;
+  const std::int32_t ka = a.dests.empty() ? -1 : a.dests.front().k;
+  const std::int32_t kb = b.dests.empty() ? -1 : b.dests.front().k;
+  return ka < kb;
+}
+
+// all_candidates()/candidate_count() share best_candidate()'s refresh path —
+// including the merge of a speculative batch launched by the previous commit.
+// After every commit (= one invalidation wave) the enumeration must agree
+// with the tournament winner and with the maintained count, in both serial
+// and parallel modes.
+TEST(EngineCandidateParityTest, EnumerationAgreesWithTournamentAfterInvalidations) {
+  for (const std::size_t engine_jobs : {std::size_t{1}, std::size_t{8}}) {
+    std::size_t case_index = 0;
+    for (const Scenario& scenario : grid_scenarios()) {
+      EngineOptions options;
+      options.criterion = CostCriterion::kC4;
+      options.eu = EUWeights::from_log10_ratio(1.0);
+      options.engine_jobs = engine_jobs;
+      StagingEngine engine(scenario, options);
+      const std::string label = "case " + std::to_string(case_index) +
+                                " engine_jobs=" + std::to_string(engine_jobs);
+      std::size_t rounds = 0;
+      for (;;) {
+        const std::size_t count = engine.candidate_count();
+        const std::vector<Candidate> all = engine.all_candidates();
+        ASSERT_EQ(all.size(), count) << label << " round " << rounds;
+        const std::optional<Candidate> best = engine.best_candidate();
+        if (!best.has_value()) {
+          EXPECT_TRUE(all.empty()) << label << " round " << rounds;
+          break;
+        }
+        const Candidate* min = nullptr;
+        for (const Candidate& c : all) {
+          if (min == nullptr || candidate_order(c, *min)) min = &c;
+        }
+        ASSERT_NE(min, nullptr) << label << " round " << rounds;
+        EXPECT_EQ(min->item, best->item) << label << " round " << rounds;
+        EXPECT_EQ(min->hop.to, best->hop.to) << label << " round " << rounds;
+        EXPECT_EQ(min->cost, best->cost) << label << " round " << rounds;
+        engine.apply_full_path_one(*best);
+        ++rounds;
+      }
+      EXPECT_GT(rounds, 0u) << label;
+      ++case_index;
+    }
   }
 }
 

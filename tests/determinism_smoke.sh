@@ -1,7 +1,8 @@
 #!/bin/sh
 # End-to-end determinism check for the parallel executor: every artifact a
 # tool produces — stdout tables, per-figure CSVs, the merged metrics JSON and
-# saved schedules — must be byte-identical for --jobs=1 and --jobs=8.
+# saved schedules — must be byte-identical for --jobs=1 and --jobs=8, and
+# likewise for the intra-engine refresh parallelism under --engine-jobs.
 # Invoked by CTest with the build's tools directory as $1 and the bench
 # directory as $2.
 set -eu
@@ -89,5 +90,31 @@ EOF
     --decision-log="$WORK_DIR/serve8.log" > /dev/null
 cmp -s "$WORK_DIR/serve1.log" "$WORK_DIR/serve1b.log"
 cmp -s "$WORK_DIR/serve1.log" "$WORK_DIR/serve8.log"
+
+# --engine-jobs: the parallel plan-refresh path inside one engine must be
+# byte-identical to the serial engine in every artifact — the saved schedule,
+# the structured trace stream, the repro output tree, and the serve decision
+# log. (The tier-1 ctest grid covers the same contract at unit level; this
+# exercises the real CLI plumbing.)
+"$TOOLS_DIR/datastage_run" "$WORK_DIR/case.ds" --scheduler=full_one/C4 \
+    --engine-jobs=1 --save="$WORK_DIR/eplan1.dss" \
+    --trace-out="$WORK_DIR/etrace1.jsonl" > /dev/null
+"$TOOLS_DIR/datastage_run" "$WORK_DIR/case.ds" --scheduler=full_one/C4 \
+    --engine-jobs=8 --save="$WORK_DIR/eplan8.dss" \
+    --trace-out="$WORK_DIR/etrace8.jsonl" > /dev/null
+cmp -s "$WORK_DIR/eplan1.dss" "$WORK_DIR/eplan8.dss"
+cmp -s "$WORK_DIR/etrace1.jsonl" "$WORK_DIR/etrace8.jsonl"
+
+mkdir "$WORK_DIR/eserial" "$WORK_DIR/eparallel"
+(cd "$WORK_DIR/eserial" && "$TOOLS_DIR/datastage_repro" --cases=2 --jobs=1 \
+    --engine-jobs=1 --outdir=out --metrics-out=metrics.json > stdout.txt)
+(cd "$WORK_DIR/eparallel" && "$TOOLS_DIR/datastage_repro" --cases=2 --jobs=1 \
+    --engine-jobs=8 --outdir=out --metrics-out=metrics.json > stdout.txt)
+diff -r "$WORK_DIR/eserial" "$WORK_DIR/eparallel"
+
+"$TOOLS_DIR/datastage_serve" --scenario="$WORK_DIR/case.ds" --engine-jobs=8 \
+    --script="$WORK_DIR/serve_script.txt" \
+    --decision-log="$WORK_DIR/serve_ej8.log" > /dev/null
+cmp -s "$WORK_DIR/serve1.log" "$WORK_DIR/serve_ej8.log"
 
 echo "determinism smoke test passed"

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <string>
@@ -91,6 +92,125 @@ TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
 
 TEST(ThreadPoolTest, HardwareJobsAtLeastOne) {
   EXPECT_GE(ThreadPool::hardware_jobs(), 1u);
+}
+
+TEST(ThreadPoolParallelForTest, CoversEveryIndexWithValidWorkerIds) {
+  ThreadPool pool(4);
+  constexpr std::size_t kJobs = 257;  // not a multiple of any chunk size
+  std::vector<std::atomic<int>> hits(kJobs);
+  std::atomic<bool> worker_in_range{true};
+  pool.parallel_for(kJobs, [&](std::size_t worker, std::size_t i) {
+    if (worker >= pool.thread_count()) worker_in_range.store(false);
+    hits[i].fetch_add(1);
+  });
+  EXPECT_TRUE(worker_in_range.load());
+  for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolParallelForTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(pool.batch_in_flight());
+}
+
+TEST(ThreadPoolParallelForTest, LowestIndexExceptionWins) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(64, [&](std::size_t, std::size_t i) {
+      if (i % 2 == 1) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "1");  // smallest throwing index, not first-to-throw
+  }
+}
+
+TEST(ThreadPoolParallelForTest, PerWorkerScratchNeverShared) {
+  // The worker id exists so callers can keep per-worker scratch buffers; two
+  // jobs running concurrently must never see the same worker id.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> in_use(pool.thread_count());
+  std::atomic<bool> collision{false};
+  pool.parallel_for(400, [&](std::size_t worker, std::size_t) {
+    if (in_use[worker].fetch_add(1) != 0) collision.store(true);
+    in_use[worker].fetch_sub(1);
+  });
+  EXPECT_FALSE(collision.load());
+}
+
+TEST(ThreadPoolAsyncTest, BeginJoinRunsAllJobs) {
+  ThreadPool pool(4);
+  constexpr std::size_t kJobs = 50;
+  std::vector<std::atomic<int>> hits(kJobs);
+  pool.begin(kJobs, [&](std::size_t, std::size_t i) { hits[i].fetch_add(1); });
+  EXPECT_TRUE(pool.batch_in_flight());
+  pool.join();
+  EXPECT_FALSE(pool.batch_in_flight());
+  for (std::size_t i = 0; i < kJobs; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolAsyncTest, EmptyBeginStillRequiresOnlyCheapJoin) {
+  ThreadPool pool(2);
+  pool.begin(0, [&](std::size_t, std::size_t) { FAIL() << "dispatched a job"; });
+  EXPECT_TRUE(pool.batch_in_flight());
+  pool.join();
+  EXPECT_FALSE(pool.batch_in_flight());
+}
+
+TEST(ThreadPoolAsyncTest, JoinWithoutBeginIsANoOp) {
+  ThreadPool pool(2);
+  pool.join();
+  pool.join();
+  EXPECT_FALSE(pool.batch_in_flight());
+}
+
+TEST(ThreadPoolAsyncTest, JoinRethrowsLowestIndexException) {
+  ThreadPool pool(4);
+  pool.begin(16, [](std::size_t, std::size_t i) {
+    if (i >= 3) throw std::runtime_error(std::to_string(i));
+  });
+  try {
+    pool.join();
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "3");
+  }
+  EXPECT_FALSE(pool.batch_in_flight());
+  // Pool stays usable after an async failure.
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, [&](std::size_t, std::size_t i) {
+    sum.fetch_add(static_cast<int>(i));
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolAsyncTest, JobReleasedAfterJoin) {
+  // The pool owns the job closure between begin and join; join must release
+  // it so captured resources (here a shared_ptr) are freed promptly.
+  ThreadPool pool(2);
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  pool.begin(4, [token](std::size_t, std::size_t) {});
+  token.reset();
+  pool.join();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(ThreadPoolAsyncTest, InterleavedAsyncAndBlockingBatches) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<int> async_results(5, -1);
+    pool.begin(async_results.size(),
+               [&](std::size_t, std::size_t i) { async_results[i] = round; });
+    pool.join();
+    std::vector<int> sync_results(5, -1);
+    pool.parallel_for(sync_results.size(),
+                      [&](std::size_t, std::size_t i) { sync_results[i] = round; });
+    for (const int r : async_results) ASSERT_EQ(r, round);
+    for (const int r : sync_results) ASSERT_EQ(r, round);
+  }
 }
 
 }  // namespace

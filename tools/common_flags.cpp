@@ -6,14 +6,16 @@
 
 #include "harness/parallel.hpp"
 #include "obs/openmetrics.hpp"
+#include "util/thread_pool.hpp"
 
 namespace datastage::toolflags {
 
 std::vector<std::string> with_common_flags(std::vector<std::string> extra) {
   std::vector<std::string> names{"seed",           "weighting",
-                                 "jobs",           "paranoid",
-                                 "metrics-out",    "metrics-format",
-                                 "trace-out",      "chrome-trace-out"};
+                                 "jobs",           "engine-jobs",
+                                 "paranoid",       "metrics-out",
+                                 "metrics-format", "trace-out",
+                                 "chrome-trace-out"};
   names.insert(names.end(), extra.begin(), extra.end());
   return names;
 }
@@ -35,6 +37,13 @@ std::uint64_t seed_flag(const CliFlags& flags, std::uint64_t fallback) {
 std::size_t apply_jobs_flag(const CliFlags& flags) {
   set_default_jobs(static_cast<std::size_t>(flags.get_int("jobs", 0)));
   return default_jobs();
+}
+
+std::size_t apply_engine_jobs_flag(const CliFlags& flags) {
+  const auto requested =
+      static_cast<std::size_t>(flags.get_int("engine-jobs", 1));
+  set_default_engine_jobs(requested);
+  return requested == 0 ? ThreadPool::hardware_jobs() : requested;
 }
 
 bool open_output_file(std::ofstream& out, const std::string& path,
@@ -80,6 +89,10 @@ bool Observability::open(const CliFlags& flags) {
   active_ = !metrics_path_.empty() || !trace_path_.empty();
   if (!active_) return true;
   observer_.metrics = &registry_;
+  // Full-document tools export phase gauges anyway, so attaching the phase
+  // timer here costs nothing extra; byte-comparing harness code builds its
+  // own RunObserver and leaves phases null.
+  observer_.phases = &phases_;
   if (!metrics_path_.empty() &&
       !open_output_file(metrics_file_, metrics_path_, "metrics file")) {
     return false;

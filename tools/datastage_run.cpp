@@ -200,6 +200,9 @@ int main(int argc, char** argv) {
   const std::optional<PriorityWeighting> weighting = toolflags::parse_weighting(flags);
   if (!weighting.has_value()) return 1;
   const std::uint64_t seed = toolflags::seed_flag(flags, 1);
+  // Applies to every engine this process constructs, including the ones the
+  // sweep harnesses build internally.
+  toolflags::apply_engine_jobs_flag(flags);
 
   if (flags.get_bool("sweep", false)) {
     toolflags::apply_jobs_flag(flags);

@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
       toolflags::parse_weighting(flags);
   if (!weighting.has_value()) return 1;
   toolflags::apply_jobs_flag(flags);
+  toolflags::apply_engine_jobs_flag(flags);
 
   toolflags::Observability observability;
   if (!observability.open(flags)) return 2;
