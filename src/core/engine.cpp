@@ -563,6 +563,7 @@ void StagingEngine::classify_requests(ItemId item, const ItemPlan& plan) {
 void StagingEngine::build_candidates_local(ItemId item, ItemPlan& plan,
                                            RefreshWorkspace& ws) {
   ++plan.generation;  // existing tournament entries for this plan go stale
+  for (Candidate& c : plan.candidates) ws.dest_pool.release(std::move(c.dests));
   plan.candidates.clear();
   plan.used_links.clear();
   plan.used_storage.clear();
@@ -631,7 +632,8 @@ void StagingEngine::build_candidates_local(ItemId item, ItemPlan& plan,
         Candidate c;
         c.item = item;
         c.hop = hop;
-        c.dests = {eval};
+        c.dests = ws.dest_pool.acquire();
+        c.dests.push_back(eval);
         c.cost = evaluate_cost(options_.criterion, options_.eu, c.dests);
         plan.candidates.push_back(std::move(c));
       }
@@ -639,6 +641,7 @@ void StagingEngine::build_candidates_local(ItemId item, ItemPlan& plan,
       Candidate c;
       c.item = item;
       c.hop = hop;
+      c.dests = ws.dest_pool.acquire();
       c.dests.reserve(hi - lo);
       for (std::size_t g = lo; g < hi; ++g) c.dests.push_back(groups[g].eval);
       c.cost = evaluate_cost(options_.criterion, options_.eu, c.dests);
@@ -655,7 +658,8 @@ void StagingEngine::build_candidates_local(ItemId item, ItemPlan& plan,
       if (!eval.sat) continue;
       const MachineId dest =
           it.requests[static_cast<std::size_t>(eval.k)].destination;
-      for (const TreeEdge& edge : plan.tree.path_to(dest)) {
+      plan.tree.path_to_into(dest, ws.path_scratch);
+      for (const TreeEdge& edge : ws.path_scratch) {
         if (ws.node_mark[edge.to.index()] == ws.node_mark_epoch) continue;
         ws.node_mark[edge.to.index()] = ws.node_mark_epoch;
         const Interval busy{edge.start, edge.arrival};
@@ -828,11 +832,12 @@ void StagingEngine::apply_full_path_one(const Candidate& candidate) {
   const MachineId dest = scenario_->item(candidate.item)
                              .requests[static_cast<std::size_t>(chosen->k)]
                              .destination;
-  std::vector<AppliedTransfer> applied;
-  for (const TreeEdge& edge : plan.tree.path_to(dest)) {
-    applied.push_back(commit_edge(candidate.item, edge));
+  plan.tree.path_to_into(dest, commit_path_scratch_);
+  applied_scratch_.clear();
+  for (const TreeEdge& edge : commit_path_scratch_) {
+    applied_scratch_.push_back(commit_edge(candidate.item, edge));
   }
-  invalidate(candidate.item, applied);
+  invalidate(candidate.item, applied_scratch_);
   count_iteration();
   launch_speculative_refresh();
 }
@@ -844,13 +849,15 @@ void StagingEngine::apply_full_path_all(const Candidate& candidate) {
   // Union of the tree paths to every satisfiable destination of the group;
   // each machine has a unique parent edge, so dedupe by edge target.
   ++node_mark_epoch_;
-  std::vector<TreeEdge> edges;
+  std::vector<TreeEdge>& edges = commit_edges_scratch_;
+  edges.clear();
   for (const DestinationEval& eval : candidate.dests) {
     if (!eval.sat) continue;
     const MachineId dest = scenario_->item(candidate.item)
                                .requests[static_cast<std::size_t>(eval.k)]
                                .destination;
-    for (const TreeEdge& edge : plan.tree.path_to(dest)) {
+    plan.tree.path_to_into(dest, commit_path_scratch_);
+    for (const TreeEdge& edge : commit_path_scratch_) {
       if (node_mark_[edge.to.index()] == node_mark_epoch_) continue;
       node_mark_[edge.to.index()] = node_mark_epoch_;
       edges.push_back(edge);
@@ -865,12 +872,12 @@ void StagingEngine::apply_full_path_all(const Candidate& candidate) {
     return a.to < b.to;
   });
 
-  std::vector<AppliedTransfer> applied;
-  applied.reserve(edges.size());
+  applied_scratch_.clear();
+  applied_scratch_.reserve(edges.size());
   for (const TreeEdge& edge : edges) {
-    applied.push_back(commit_edge(candidate.item, edge));
+    applied_scratch_.push_back(commit_edge(candidate.item, edge));
   }
-  invalidate(candidate.item, applied);
+  invalidate(candidate.item, applied_scratch_);
   count_iteration();
   launch_speculative_refresh();
 }

@@ -45,6 +45,7 @@
 #include "net/topology.hpp"
 #include "routing/dijkstra.hpp"
 #include "routing/path.hpp"
+#include "util/arena.hpp"
 
 namespace datastage {
 
@@ -259,13 +260,17 @@ class StagingEngine {
   };
 
   /// Per-worker scratch for the compute phase: a Dijkstra workspace, the
-  /// target buffer and the node-mark epoch set. refresh_ws_[0] doubles as the
-  /// serial path's scratch, so serial and parallel runs share one code path.
+  /// target buffer, the node-mark epoch set, and the pooled buffers the
+  /// candidate rebuild recycles round over round (destination groups, path
+  /// walks). refresh_ws_[0] doubles as the serial path's scratch, so serial
+  /// and parallel runs share one code path.
   struct RefreshWorkspace {
     DijkstraWorkspace ws;
     std::vector<MachineId> targets;
     std::vector<std::uint64_t> node_mark;
     std::uint64_t node_mark_epoch = 0;
+    VectorPool<DestinationEval> dest_pool;
+    std::vector<TreeEdge> path_scratch;
   };
 
   /// Brings every plan up to date: recomputes the dirty set (incremental
@@ -370,6 +375,11 @@ class StagingEngine {
   std::vector<std::uint64_t> node_mark_;
   std::uint64_t node_mark_epoch_ = 0;
   std::vector<std::pair<std::size_t, InvalidationCause>> invalidation_scratch_;
+  /// Serial commit-path scratch (apply_full_path_*): reused across commits so
+  /// path walks and transfer batches stop allocating per iteration.
+  std::vector<TreeEdge> commit_path_scratch_;
+  std::vector<TreeEdge> commit_edges_scratch_;
+  std::vector<AppliedTransfer> applied_scratch_;
   std::size_t active_plans_ = 0;     ///< plans not yet retired
   std::size_t candidate_total_ = 0;  ///< Σ plan.candidates.size() (live plans)
   std::size_t last_round_cache_hits_ = 0;  ///< clean plans reused last refresh

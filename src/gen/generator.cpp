@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <numeric>
 
 #include "net/topology.hpp"
@@ -71,16 +74,31 @@ void generate_machines(const GeneratorConfig& config, Rng& rng, Scenario& s,
 
 void generate_physical_links(const GeneratorConfig& config, Rng& rng, Scenario& s) {
   const auto m = static_cast<std::int32_t>(s.machines.size());
+  std::vector<std::int32_t> targets;
   for (std::int32_t i = 0; i < m; ++i) {
     const std::int32_t degree = std::min(
         m - 1, rng.uniform_i32(config.min_out_degree, config.max_out_degree));
-    std::vector<std::int32_t> others;
-    for (std::int32_t j = 0; j < m; ++j) {
-      if (j != i) others.push_back(j);
+    if (config.scalable_sampling) {
+      // Rejection-sample `degree` distinct neighbors: expected O(degree)
+      // draws per machine (degree << m at scale) instead of materializing
+      // and shuffling an O(m) pool — the paper path is quadratic in m.
+      targets.clear();
+      while (static_cast<std::int32_t>(targets.size()) < degree) {
+        const std::int32_t t = rng.uniform_i32(0, m - 1);
+        if (t == i) continue;
+        if (std::find(targets.begin(), targets.end(), t) != targets.end()) continue;
+        targets.push_back(t);
+      }
+    } else {
+      targets.clear();
+      for (std::int32_t j = 0; j < m; ++j) {
+        if (j != i) targets.push_back(j);
+      }
+      rng.shuffle(targets);
+      targets.resize(static_cast<std::size_t>(degree));
     }
-    rng.shuffle(others);
-    for (std::int32_t d = 0; d < degree; ++d) {
-      const MachineId to(others[static_cast<std::size_t>(d)]);
+    for (const std::int32_t t : targets) {
+      const MachineId to(t);
       s.phys_links.push_back(make_link(config, rng, MachineId(i), to));
       if (rng.bernoulli(config.second_link_probability)) {
         s.phys_links.push_back(make_link(config, rng, MachineId(i), to));
@@ -161,6 +179,136 @@ void generate_virtual_links(const GeneratorConfig& config, Rng& rng, Scenario& s
       t = window.end;
       if (w < nl - 1) t = t + gaps[static_cast<std::size_t>(w)];
     }
+  }
+}
+
+// Scale-tier item generation: expected-O(picks) rejection sampling against a
+// per-item epoch mark instead of the paper path's O(m) eligibility scan and
+// pool shuffles per item (O(items * machines) overall — minutes at 5k
+// machines / 500k requests). Separate function so the paper path's RNG
+// stream stays byte-identical.
+void generate_items_scalable(const GeneratorConfig& config, Rng& rng, Scenario& s) {
+  const auto m = static_cast<std::int32_t>(s.machines.size());
+  DS_ASSERT_MSG(m >= 2, "need at least two machines for sources and destinations");
+
+  const double raw_total =
+      static_cast<double>(rng.uniform_i32(config.min_requests_per_machine,
+                                          config.max_requests_per_machine)) *
+      static_cast<double>(m) * config.load_multiplier;
+  const auto total_requests =
+      std::max<std::int64_t>(1, std::llround(raw_total));
+
+  std::vector<std::int64_t> reserved(static_cast<std::size_t>(m), 0);
+  // mark[i] == epoch: machine i is already a source or destination of the
+  // item being built. Epoch bump replaces clearing an O(m) bool vector.
+  std::vector<std::int32_t> mark(static_cast<std::size_t>(m), 0);
+  std::int32_t epoch = 0;
+  std::int64_t assigned = 0;
+  std::int32_t index = 0;
+
+  std::vector<std::int32_t> sources;
+  std::vector<std::int32_t> dests;
+  std::vector<std::int32_t> eligible;
+
+  while (assigned < total_requests) {
+    std::int64_t size = rng.uniform_i64(config.min_item_bytes, config.max_item_bytes);
+    ++epoch;
+
+    const std::int32_t want_sources = rng.uniform_i32(1, config.max_sources);
+    // Keep at least one machine free of sources so destinations exist.
+    const std::int32_t source_cap = std::min(want_sources, m - 1);
+    sources.clear();
+    // Expected one draw per pick while storage is plentiful; the budget
+    // bounds the pathological case before the deterministic scan fallback.
+    std::int64_t budget = 16 * static_cast<std::int64_t>(source_cap) + 64;
+    while (static_cast<std::int32_t>(sources.size()) < source_cap && budget > 0) {
+      --budget;
+      const auto c = static_cast<std::size_t>(rng.uniform_i32(0, m - 1));
+      if (mark[c] == epoch) continue;
+      if (s.machines[c].capacity_bytes - reserved[c] < size) continue;
+      mark[c] = epoch;
+      sources.push_back(static_cast<std::int32_t>(c));
+    }
+    if (sources.empty()) {
+      // Budget exhausted without a single hit: storage is tight. Mirror the
+      // paper path — full eligibility scan at the drawn size, then at the
+      // minimum size, then give up.
+      const auto scan = [&](std::int64_t sz) {
+        eligible.clear();
+        for (std::int32_t i = 0; i < m; ++i) {
+          if (s.machines[static_cast<std::size_t>(i)].capacity_bytes -
+                  reserved[static_cast<std::size_t>(i)] >=
+              sz) {
+            eligible.push_back(i);
+          }
+        }
+      };
+      scan(size);
+      if (eligible.empty()) {
+        size = config.min_item_bytes;
+        scan(size);
+      }
+      if (eligible.empty()) {
+        log_warn("generator: storage exhausted, stopping at " +
+                 std::to_string(assigned) + "/" + std::to_string(total_requests) +
+                 " requests");
+        break;
+      }
+      rng.shuffle(eligible);
+      const auto take = std::min(static_cast<std::size_t>(source_cap), eligible.size());
+      for (std::size_t j = 0; j < take; ++j) {
+        mark[static_cast<std::size_t>(eligible[j])] = epoch;
+        sources.push_back(eligible[j]);
+      }
+    }
+
+    DataItem item;
+    item.name = "d" + std::to_string(index);
+    item.size_bytes = size;
+    const SimTime start =
+        SimTime::zero() + rng.uniform_duration(SimDuration::zero(), config.max_item_start);
+    for (const std::int32_t machine : sources) {
+      item.sources.push_back(SourceLocation{MachineId(machine), start});
+      reserved[static_cast<std::size_t>(machine)] += size;
+    }
+
+    const std::int32_t want_dests = rng.uniform_i32(1, config.max_destinations);
+    const std::int64_t dest_cap = std::min<std::int64_t>(
+        {want_dests, m - static_cast<std::int64_t>(sources.size()),
+         total_requests - assigned});
+    dests.clear();
+    budget = 16 * dest_cap + 64;
+    while (static_cast<std::int64_t>(dests.size()) < dest_cap && budget > 0) {
+      --budget;
+      const auto c = static_cast<std::size_t>(rng.uniform_i32(0, m - 1));
+      if (mark[c] == epoch) continue;  // source or already a destination
+      mark[c] = epoch;
+      dests.push_back(static_cast<std::int32_t>(c));
+    }
+    if (dests.empty()) {
+      // dest_cap >= 1 (source_cap <= m-1 leaves a non-source machine), so a
+      // scan always finds one; ascending order is fine for this rare path.
+      for (std::int32_t i = 0;
+           i < m && static_cast<std::int64_t>(dests.size()) < dest_cap; ++i) {
+        if (mark[static_cast<std::size_t>(i)] != epoch) {
+          mark[static_cast<std::size_t>(i)] = epoch;
+          dests.push_back(i);
+        }
+      }
+    }
+    DS_ASSERT(!dests.empty());
+
+    for (const std::int32_t d : dests) {
+      Request request;
+      request.destination = MachineId(d);
+      request.deadline = start + rng.uniform_duration(config.min_deadline_offset,
+                                                      config.max_deadline_offset);
+      request.priority = rng.uniform_i32(0, config.priority_classes - 1);
+      item.requests.push_back(request);
+    }
+    assigned += static_cast<std::int64_t>(dests.size());
+    s.items.push_back(std::move(item));
+    ++index;
   }
 }
 
@@ -275,7 +423,106 @@ GeneratorConfig GeneratorConfig::congested() {
   return config;
 }
 
+GeneratorConfig GeneratorConfig::huge() {
+  GeneratorConfig config;
+  config.min_machines = 5000;
+  config.max_machines = 5000;
+  // Plentiful storage: the scale tier stresses the scheduler and the network,
+  // not the storage-exhaustion fallbacks.
+  config.min_capacity_bytes = std::int64_t{10} * 1024 * 1024 * 1024;  // 10 GB
+  config.max_capacity_bytes = std::int64_t{50} * 1024 * 1024 * 1024;  // 50 GB
+  config.min_out_degree = 8;  // fat-tree-ish fan-out
+  config.max_out_degree = 16;
+  config.min_requests_per_machine = 100;  // 500k requests total
+  config.max_requests_per_machine = 100;
+  config.max_sources = 3;
+  config.min_item_bytes = 10 * 1024;         // 10 KB
+  config.max_item_bytes = 10 * 1024 * 1024;  // 10 MB
+  config.scalable_sampling = true;
+  return config;
+}
+
+std::vector<std::string> GeneratorConfig::validation_errors() const {
+  std::vector<std::string> errors;
+  const auto check = [&](bool ok, const char* msg) {
+    if (!ok) errors.emplace_back(msg);
+  };
+
+  check(min_machines <= max_machines, "min_machines > max_machines");
+  check(min_machines >= 2,
+        "min_machines must be >= 2 (sources and destinations are distinct machines)");
+  check(min_capacity_bytes <= max_capacity_bytes,
+        "min_capacity_bytes > max_capacity_bytes");
+  check(min_capacity_bytes >= 1, "min_capacity_bytes must be >= 1");
+  check(min_out_degree <= max_out_degree, "min_out_degree > max_out_degree");
+  check(min_out_degree >= 1, "min_out_degree must be >= 1 (graph must be connectable)");
+  check(min_bandwidth_bps <= max_bandwidth_bps, "min_bandwidth_bps > max_bandwidth_bps");
+  check(min_bandwidth_bps >= 1, "min_bandwidth_bps must be >= 1");
+  check(min_latency <= max_latency, "min_latency > max_latency");
+  check(min_latency >= SimDuration::zero(), "min_latency must be >= 0");
+  check(!virtual_link_durations.empty(), "virtual_link_durations is empty");
+  for (const SimDuration d : virtual_link_durations) {
+    if (d <= SimDuration::zero()) {
+      errors.emplace_back("virtual_link_durations entries must be > 0");
+      break;
+    }
+  }
+  check(day > SimDuration::zero(), "day must be > 0");
+  check(min_available_percent <= max_available_percent,
+        "min_available_percent > max_available_percent");
+  check(min_available_percent >= 0 && max_available_percent <= 100,
+        "available_percent must lie in [0, 100]");
+  check(min_requests_per_machine <= max_requests_per_machine,
+        "min_requests_per_machine > max_requests_per_machine");
+  check(min_requests_per_machine >= 1, "min_requests_per_machine must be >= 1");
+  check(load_multiplier > 0.0, "load_multiplier must be > 0");
+  check(max_sources >= 1, "max_sources must be >= 1");
+  check(max_destinations >= 1, "max_destinations must be >= 1");
+  check(min_item_bytes <= max_item_bytes, "min_item_bytes > max_item_bytes");
+  check(min_item_bytes >= 1, "min_item_bytes must be >= 1");
+  check(min_deadline_offset <= max_deadline_offset,
+        "min_deadline_offset > max_deadline_offset");
+  check(priority_classes >= 1, "priority_classes must be >= 1");
+
+  // Derived products must fit the repo's 32-bit ids. Evaluate in 64-bit (and
+  // in double where load_multiplier participates) so the check itself cannot
+  // overflow — the old code wrapped silently inside the generator loop.
+  constexpr std::int64_t kIdMax = std::numeric_limits<std::int32_t>::max();
+  if (min_machines <= max_machines && min_machines >= 2 &&
+      min_requests_per_machine <= max_requests_per_machine &&
+      min_requests_per_machine >= 1 && load_multiplier > 0.0) {
+    const std::int64_t worst_requests = static_cast<std::int64_t>(max_machines) *
+                                        static_cast<std::int64_t>(max_requests_per_machine);
+    check(worst_requests <= kIdMax &&
+              static_cast<double>(worst_requests) * load_multiplier <=
+                  static_cast<double>(kIdMax),
+          "machines x requests_per_machine x load_multiplier overflows 32-bit "
+          "request ids");
+  }
+  if (min_out_degree <= max_out_degree && min_out_degree >= 1) {
+    // Two parallel links per neighbor pair at most, plus the connectivity
+    // repair pass (bounded by machines).
+    const std::int64_t worst_links =
+        static_cast<std::int64_t>(max_machines) *
+            (2 * static_cast<std::int64_t>(max_out_degree)) +
+        static_cast<std::int64_t>(max_machines);
+    check(worst_links <= kIdMax, "machines x out_degree overflows 32-bit link ids");
+  }
+  return errors;
+}
+
+void GeneratorConfig::validate_or_die() const {
+  const std::vector<std::string> errors = validation_errors();
+  if (errors.empty()) return;
+  for (const std::string& error : errors) {
+    std::fprintf(stderr, "invalid generator config: %s\n", error.c_str());
+  }
+  std::exit(2);
+}
+
 Scenario generate_scenario(const GeneratorConfig& config, Rng& rng) {
+  config.validate_or_die();
+
   Scenario s;
   s.horizon = config.horizon;
   s.gc_gamma = config.gc_gamma;
@@ -284,7 +531,11 @@ Scenario generate_scenario(const GeneratorConfig& config, Rng& rng) {
   generate_machines(config, rng, s, m);
   generate_physical_links(config, rng, s);
   generate_virtual_links(config, rng, s);
-  generate_items(config, rng, s);
+  if (config.scalable_sampling) {
+    generate_items_scalable(config, rng, s);
+  } else {
+    generate_items(config, rng, s);
+  }
 
   s.check_valid();
   DS_ASSERT(Topology(s).strongly_connected());

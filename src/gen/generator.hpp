@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "model/scenario.hpp"
@@ -69,6 +70,13 @@ struct GeneratorConfig {
   SimTime horizon = SimTime::zero() + SimDuration::hours(2);
   SimDuration gc_gamma = SimDuration::minutes(6);
 
+  // --- scale ---
+  /// Replace the paper-faithful O(machines) pool shuffles (neighbor pools,
+  /// source/destination eligibility scans) with expected-O(picks) rejection
+  /// sampling. Draws from the RNG in a different order, so it is opt-in:
+  /// existing presets keep byte-identical output. huge() turns it on.
+  bool scalable_sampling = false;
+
   // --- presets ---
   /// The defaults: exactly the paper's §5.3 parameters.
   static GeneratorConfig paper() { return GeneratorConfig{}; }
@@ -78,6 +86,17 @@ struct GeneratorConfig {
   /// Heavily oversubscribed: paper topology with 2x request load and halved
   /// deadline windows.
   static GeneratorConfig congested();
+  /// Scale tier: 5000 machines x 100 requests/machine (500k requests),
+  /// fat-tree-ish out-degrees (8-16). Uses scalable_sampling.
+  static GeneratorConfig huge();
+
+  /// Every way this configuration is invalid (empty = valid): reversed
+  /// min/max ranges, non-positive counts, and 32-bit overflows in derived
+  /// products such as machines x requests_per_machine.
+  std::vector<std::string> validation_errors() const;
+  /// Exits with status 2 after printing each error to stderr (the CLI
+  /// diagnostic contract). Called by generate_scenario().
+  void validate_or_die() const;
 };
 
 /// Generates one scenario. The result passes Scenario::validate() and has a

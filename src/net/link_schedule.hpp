@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "model/scenario.hpp"
+#include "util/chunked_intervals.hpp"
 #include "util/ids.hpp"
 #include "util/interval.hpp"
 
@@ -45,7 +46,7 @@ class LinkSchedule {
     return busy_[link.index()].overlaps(iv);
   }
 
-  const IntervalSet& reservations(VirtLinkId link) const {
+  const ChunkedIntervalSet& reservations(VirtLinkId link) const {
     return busy_[link.index()];
   }
 
@@ -56,7 +57,9 @@ class LinkSchedule {
 
  private:
   const Scenario* scenario_;
-  std::vector<IntervalSet> busy_;
+  // Chunked: a commit shifts one bounded chunk, not the whole reservation
+  // tail of a busy link (O(reservations) per commit at the huge tier).
+  std::vector<ChunkedIntervalSet> busy_;
   SimDuration total_reserved_ = SimDuration::zero();
 };
 

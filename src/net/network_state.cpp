@@ -17,14 +17,18 @@ NetworkState::NetworkState(const Scenario& scenario)
   }
 
   copies_.resize(n);
-  hold_begin_.assign(n, std::vector<SimTime>(m, SimTime::infinity()));
-  dest_flags_.assign(n, std::vector<bool>(m, false));
+  holds_.resize(n);
+  dests_.resize(n);
 
   for (std::size_t i = 0; i < n; ++i) {
     const DataItem& item = scenario.items[i];
+    std::vector<MachineId>& dests = dests_[i];
+    dests.reserve(item.requests.size());
     for (const Request& r : item.requests) {
-      dest_flags_[i][r.destination.index()] = true;
+      dests.push_back(r.destination);
     }
+    std::sort(dests.begin(), dests.end());
+    dests.erase(std::unique(dests.begin(), dests.end()), dests.end());
     for (const SourceLocation& src : item.sources) {
       // A source with an empty hold window never materializes a copy (shared
       // rule with the simulator and the dynamic stager). Registering it would
@@ -37,9 +41,32 @@ NetworkState::NetworkState(const Scenario& scenario)
                     "initial source copies exceed machine capacity");
       st.allocate(item.size_bytes, hold);
       copies_[i].push_back(Copy{src.machine, src.available_at});
-      hold_begin_[i][src.machine.index()] = src.available_at;
+      record_hold(ItemId{static_cast<std::int32_t>(i)}, src.machine,
+                  src.available_at);
     }
   }
+}
+
+SimTime* NetworkState::find_hold(ItemId item, MachineId machine) {
+  std::vector<HoldRecord>& holds = holds_[item.index()];
+  const auto it = std::lower_bound(
+      holds.begin(), holds.end(), machine,
+      [](const HoldRecord& h, MachineId m) { return h.machine < m; });
+  if (it == holds.end() || it->machine != machine) return nullptr;
+  return &it->begin;
+}
+
+const SimTime* NetworkState::find_hold(ItemId item, MachineId machine) const {
+  return const_cast<NetworkState*>(this)->find_hold(item, machine);
+}
+
+void NetworkState::record_hold(ItemId item, MachineId machine, SimTime begin) {
+  std::vector<HoldRecord>& holds = holds_[item.index()];
+  const auto it = std::lower_bound(
+      holds.begin(), holds.end(), machine,
+      [](const HoldRecord& h, MachineId m) { return h.machine < m; });
+  DS_ASSERT(it == holds.end() || it->machine != machine);
+  holds.insert(it, HoldRecord{machine, begin});
 }
 
 void NetworkState::attach_metrics(obs::MetricsRegistry& registry) {
@@ -64,9 +91,9 @@ SimTime NetworkState::hold_end(ItemId item, MachineId machine) const {
 }
 
 std::optional<SimTime> NetworkState::hold_begin(ItemId item, MachineId machine) const {
-  const SimTime hb = hold_begin_[item.index()][machine.index()];
-  if (hb.is_infinite()) return std::nullopt;
-  return hb;
+  const SimTime* hb = find_hold(item, machine);
+  if (hb == nullptr) return std::nullopt;
+  return *hb;
 }
 
 bool NetworkState::can_hold(ItemId item, MachineId machine, SimTime start) const {
@@ -123,15 +150,15 @@ AppliedTransfer NetworkState::apply_transfer(ItemId item, VirtLinkId link,
   applied.storage_machine = vl.to;
 
   StorageTimeline& st = storage_[vl.to.index()];
-  SimTime& hb = hold_begin_[item.index()][vl.to.index()];
-  if (!hb.is_infinite()) {
+  SimTime* hb = find_hold(item, vl.to);
+  if (hb != nullptr) {
     // Receiver already holds a copy; this transfer arrives earlier. Charge
     // only the extension and improve the copy's availability.
-    if (start < hb) {
-      const Interval extension{start, hb};
+    if (start < *hb) {
+      const Interval extension{start, *hb};
       st.allocate(bytes, extension);
       applied.storage_interval = extension;
-      hb = start;
+      *hb = start;
       if (counters_.has_value()) counters_->hold_extensions.inc();
     }
     for (Copy& c : copies_[item.index()]) {
@@ -144,7 +171,7 @@ AppliedTransfer NetworkState::apply_transfer(ItemId item, VirtLinkId link,
     const Interval hold{start, hold_end(item, vl.to)};
     st.allocate(bytes, hold);
     applied.storage_interval = hold;
-    hb = start;
+    record_hold(item, vl.to, start);
     copies_[item.index()].push_back(Copy{vl.to, arrival});
     if (counters_.has_value()) counters_->storage_allocations.inc();
   }

@@ -13,6 +13,7 @@
 // monotonicity.
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <span>
 #include <vector>
@@ -66,7 +67,8 @@ class NetworkState {
 
   /// True iff `machine` requests `item` (is one of its destinations).
   bool is_destination(ItemId item, MachineId machine) const {
-    return dest_flags_[item.index()][machine.index()];
+    const std::vector<MachineId>& dests = dests_[item.index()];
+    return std::binary_search(dests.begin(), dests.end(), machine);
   }
 
   /// End of the storage hold window were `item` staged on `machine`:
@@ -118,13 +120,25 @@ class NetworkState {
     obs::Counter hold_extensions;      ///< existing holds extended earlier
   };
 
+  /// Hold window start of one copy. Holds exist only where copies do (a few
+  /// machines per item), so per-item sorted vectors replace the former dense
+  /// [item][machine] matrix — O(items x machines) memory was tens of GB at
+  /// the huge scale tier.
+  struct HoldRecord {
+    MachineId machine;
+    SimTime begin;
+  };
+
+  SimTime* find_hold(ItemId item, MachineId machine);
+  const SimTime* find_hold(ItemId item, MachineId machine) const;
+  void record_hold(ItemId item, MachineId machine, SimTime begin);
+
   const Scenario* scenario_;
   LinkSchedule links_;
   std::vector<StorageTimeline> storage_;
   std::vector<std::vector<Copy>> copies_;  // [item] -> copies
-  // [item][machine] -> hold begin, or SimTime::infinity() meaning "no hold".
-  std::vector<std::vector<SimTime>> hold_begin_;
-  std::vector<std::vector<bool>> dest_flags_;  // [item][machine]
+  std::vector<std::vector<HoldRecord>> holds_;  // [item] -> sorted by machine
+  std::vector<std::vector<MachineId>> dests_;   // [item] -> sorted machine ids
   std::size_t transfer_count_ = 0;
   std::optional<NetCounters> counters_;
 };

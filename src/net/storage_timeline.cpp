@@ -1,5 +1,7 @@
 #include "net/storage_timeline.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
 
 namespace datastage {
@@ -7,21 +9,45 @@ namespace datastage {
 StorageTimeline::StorageTimeline(std::int64_t capacity_bytes)
     : capacity_(capacity_bytes) {
   DS_ASSERT(capacity_bytes >= 0);
-  usage_[SimTime::zero()] = 0;
+  base_.push_back(Breakpoint{SimTime::zero(), 0});
+}
+
+std::int64_t StorageTimeline::base_at(SimTime t) const {
+  const auto it = std::upper_bound(
+      base_.begin(), base_.end(), t,
+      [](SimTime value, const Breakpoint& bp) { return value < bp.time; });
+  if (it == base_.begin()) return 0;  // before time zero
+  return std::prev(it)->usage;
+}
+
+std::int64_t StorageTimeline::pending_at(SimTime t) const {
+  std::int64_t total = 0;
+  for (const auto& [iv, bytes] : pending_) {
+    if (iv.contains(t)) total += bytes;
+  }
+  return total;
 }
 
 std::int64_t StorageTimeline::usage_at(SimTime t) const {
-  auto it = usage_.upper_bound(t);
-  if (it == usage_.begin()) return 0;  // before time zero
-  return std::prev(it)->second;
+  return base_at(t) + pending_at(t);
 }
 
 std::int64_t StorageTimeline::max_usage(const Interval& iv) const {
   if (iv.empty()) return 0;
+  // The maximum of a step function over [begin, end) is attained at the
+  // window begin, at a base breakpoint inside it, or where a pending
+  // allocation starts inside it — usage only rises at those instants.
   std::int64_t best = usage_at(iv.begin);
-  for (auto it = usage_.upper_bound(iv.begin); it != usage_.end() && it->first < iv.end;
-       ++it) {
-    best = std::max(best, it->second);
+  const auto first = std::upper_bound(
+      base_.begin(), base_.end(), iv.begin,
+      [](SimTime value, const Breakpoint& bp) { return value < bp.time; });
+  for (auto it = first; it != base_.end() && it->time < iv.end; ++it) {
+    best = std::max(best, it->usage + pending_at(it->time));
+  }
+  for (const auto& [piv, bytes] : pending_) {
+    if (piv.begin > iv.begin && piv.begin < iv.end) {
+      best = std::max(best, usage_at(piv.begin));
+    }
   }
   return best;
 }
@@ -29,24 +55,54 @@ std::int64_t StorageTimeline::max_usage(const Interval& iv) const {
 void StorageTimeline::allocate(std::int64_t bytes, const Interval& iv) {
   DS_ASSERT(bytes >= 0);
   if (iv.empty() || bytes == 0) return;
+  DS_ASSERT_MSG(max_usage(iv) + bytes <= capacity_,
+                "storage allocation exceeds machine capacity (caller must "
+                "check fits() first)");
+  pending_.emplace_back(iv, bytes);
+  if (pending_.size() >= kMaxPending) compact();
+}
 
-  // Materialize breakpoints at the interval boundaries, copying the level in
-  // effect at those instants.
-  auto ensure_breakpoint = [this](SimTime t) {
-    auto it = usage_.lower_bound(t);
-    if (it != usage_.end() && it->first == t) return;
-    usage_.emplace(t, usage_at(t));
-  };
-  ensure_breakpoint(iv.begin);
-  ensure_breakpoint(iv.end);
+void StorageTimeline::compact() {
+  if (pending_.empty()) return;
 
-  for (auto it = usage_.lower_bound(iv.begin); it != usage_.end() && it->first < iv.end;
-       ++it) {
-    it->second += bytes;
-    DS_ASSERT_MSG(it->second <= capacity_,
-                  "storage allocation exceeds machine capacity (caller must "
-                  "check fits() first)");
+  // Delta events: +bytes where an allocation begins, -bytes where it ends.
+  std::vector<std::pair<SimTime, std::int64_t>> events;
+  events.reserve(pending_.size() * 2);
+  for (const auto& [iv, bytes] : pending_) {
+    events.emplace_back(iv.begin, bytes);
+    events.emplace_back(iv.end, -bytes);
   }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::vector<Breakpoint> merged;
+  merged.reserve(base_.size() + events.size());
+  std::size_t bi = 0;
+  std::size_t ei = 0;
+  std::int64_t base_level = 0;
+  std::int64_t delta = 0;
+  while (bi < base_.size() || ei < events.size()) {
+    SimTime t = bi < base_.size() ? base_[bi].time : events[ei].first;
+    if (ei < events.size() && events[ei].first < t) t = events[ei].first;
+    if (bi < base_.size() && base_[bi].time == t) {
+      base_level = base_[bi].usage;
+      ++bi;
+    }
+    while (ei < events.size() && events[ei].first == t) {
+      delta += events[ei].second;
+      ++ei;
+    }
+    // Each time is visited exactly once; drop breakpoints that do not change
+    // the level to keep adjacent values distinct.
+    const std::int64_t level = base_level + delta;
+    if (merged.empty() || merged.back().usage != level) {
+      merged.push_back(Breakpoint{t, level});
+    }
+  }
+  DS_ASSERT(delta == 0);  // every pending begin has a matching end
+
+  base_ = std::move(merged);
+  pending_.clear();
 }
 
 }  // namespace datastage

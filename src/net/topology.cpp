@@ -1,7 +1,6 @@
 #include "net/topology.hpp"
 
 #include <algorithm>
-#include <set>
 
 #include "util/assert.hpp"
 
@@ -22,14 +21,22 @@ Topology::Topology(const Scenario& scenario) : scenario_(&scenario) {
       return a < b;
     });
   }
-}
 
-std::int32_t Topology::out_degree(MachineId machine) const {
-  std::set<std::int32_t> neighbors;
-  for (const PhysicalLink& pl : scenario_->phys_links) {
-    if (pl.from == machine) neighbors.insert(pl.to.value());
+  // Distinct-neighbor out-degrees: sort all (from, to) pairs once and count
+  // unique destinations per source in a single pass — no per-machine
+  // allocations, no red-black trees.
+  out_degree_.assign(scenario.machine_count(), 0);
+  std::vector<std::pair<std::int32_t, std::int32_t>> edges;
+  edges.reserve(scenario.phys_links.size());
+  for (const PhysicalLink& pl : scenario.phys_links) {
+    edges.emplace_back(pl.from.value(), pl.to.value());
   }
-  return static_cast<std::int32_t>(neighbors.size());
+  std::sort(edges.begin(), edges.end());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i == 0 || edges[i] != edges[i - 1]) {
+      ++out_degree_[static_cast<std::size_t>(edges[i].first)];
+    }
+  }
 }
 
 bool Topology::strongly_connected() const {

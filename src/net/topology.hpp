@@ -29,8 +29,12 @@ class Topology {
   }
 
   /// Distinct machines reachable via at least one physical link (the paper's
-  /// "outbound degree").
-  std::int32_t out_degree(MachineId machine) const;
+  /// "outbound degree"). Precomputed: one sorted flat pass over the physical
+  /// links at construction instead of a std::set per query (allocation-heavy
+  /// at 5k+ machines).
+  std::int32_t out_degree(MachineId machine) const {
+    return out_degree_[machine.index()];
+  }
 
   /// True iff the *physical* digraph is strongly connected (§5.1: the test
   /// generation program guarantees this).
@@ -41,6 +45,7 @@ class Topology {
  private:
   const Scenario* scenario_;
   std::vector<std::vector<VirtLinkId>> outgoing_;
+  std::vector<std::int32_t> out_degree_;  // distinct physical neighbors
 };
 
 }  // namespace datastage

@@ -17,26 +17,37 @@ bool heap_after(const DijkstraWorkspace::HeapEntry& a,
 
 }  // namespace
 
+void DijkstraWorkspace::begin_run(std::size_t machine_count) {
+  ++epoch;
+  if (stamp.size() < machine_count) {
+    stamp.resize(machine_count, 0);
+    arrival.resize(machine_count);
+    settled.resize(machine_count, 0);
+    has_parent.resize(machine_count, 0);
+    edge.resize(machine_count);
+    target_stamp.resize(machine_count, 0);
+  }
+  heap.clear();
+  touched.clear();
+}
+
 void compute_route_tree_into(const NetworkState& state, const Topology& topology,
                              ItemId item, const DijkstraOptions& options,
                              DijkstraWorkspace& workspace, RouteTree& tree,
                              DijkstraStats* stats) {
   const Scenario& scenario = state.scenario();
   const std::size_t n = scenario.machine_count();
-  tree.reset(n);
-
-  std::vector<DijkstraWorkspace::HeapEntry>& heap = workspace.heap;
-  heap.clear();
-  workspace.settled.assign(n, 0);
+  DijkstraWorkspace& ws = workspace;
+  ws.begin_run(n);
 
   // Mark the target set; `targets_left` counts distinct unsettled targets so
   // the main loop can stop the moment the caller has everything it asked for.
   std::size_t targets_left = 0;
   if (!options.targets.empty()) {
-    workspace.is_target.assign(n, 0);
+    ++ws.target_epoch;
     for (const MachineId t : options.targets) {
-      if (workspace.is_target[t.index()] == 0) {
-        workspace.is_target[t.index()] = 1;
+      if (ws.target_stamp[t.index()] != ws.target_epoch) {
+        ws.target_stamp[t.index()] = ws.target_epoch;
         ++targets_left;
       }
     }
@@ -44,22 +55,35 @@ void compute_route_tree_into(const NetworkState& state, const Topology& topology
   const bool track_targets = targets_left > 0;
 
   for (const Copy& copy : state.copies(item)) {
-    tree.set_root(copy.machine, copy.available_at);
-    heap.push_back({tree.arrival(copy.machine), copy.machine});
-    std::push_heap(heap.begin(), heap.end(), heap_after);
+    // Root label: min with any existing label (a machine holds one copy, but
+    // the semantics tolerate re-rooting), never via a parent edge.
+    const std::size_t i = copy.machine.index();
+    if (ws.stamp[i] == ws.epoch) {
+      ws.arrival[i] = min(ws.arrival[i], copy.available_at);
+      ws.has_parent[i] = 0;
+    } else {
+      ws.stamp[i] = ws.epoch;
+      ws.arrival[i] = copy.available_at;
+      ws.has_parent[i] = 0;
+      ws.settled[i] = 0;
+      ws.touched.push_back(copy.machine);
+    }
+    ws.heap.push_back({ws.arrival[i], copy.machine});
+    std::push_heap(ws.heap.begin(), ws.heap.end(), heap_after);
   }
 
-  while (!heap.empty()) {
-    std::pop_heap(heap.begin(), heap.end(), heap_after);
-    const DijkstraWorkspace::HeapEntry entry = heap.back();
-    heap.pop_back();
+  while (!ws.heap.empty()) {
+    std::pop_heap(ws.heap.begin(), ws.heap.end(), heap_after);
+    const DijkstraWorkspace::HeapEntry entry = ws.heap.back();
+    ws.heap.pop_back();
     const MachineId u = entry.machine;
-    if (workspace.settled[u.index()] != 0) continue;  // lazily deleted duplicate
-    if (entry.arrival != tree.arrival(u)) continue;   // stale entry
-    workspace.settled[u.index()] = 1;
+    const std::size_t ui = u.index();
+    if (ws.settled[ui] != 0) continue;        // lazily deleted duplicate
+    if (entry.arrival != ws.arrival[ui]) continue;  // stale entry
+    ws.settled[ui] = 1;
     if (stats != nullptr) ++stats->pops;
 
-    const SimTime ready = tree.arrival(u);
+    const SimTime ready = ws.arrival[ui];
     // Every remaining label is >= ready (min-heap), so nothing past the prune
     // horizon would ever be expanded: all settled labels are already final
     // and the rest of the queue can be dropped wholesale.
@@ -67,7 +91,7 @@ void compute_route_tree_into(const NetworkState& state, const Topology& topology
 
     // Settling the last target finalizes every label the caller will read
     // (ancestors of a settled machine are settled); stop before expanding.
-    if (track_targets && workspace.is_target[u.index()] != 0 &&
+    if (track_targets && ws.target_stamp[ui] == ws.target_epoch &&
         --targets_left == 0) {
       break;
     }
@@ -80,22 +104,44 @@ void compute_route_tree_into(const NetworkState& state, const Topology& topology
       if (stats != nullptr) ++stats->relaxations;
       const VirtualLink& vl = scenario.vlink(link_id);
       const MachineId v = vl.to;
-      if (workspace.settled[v.index()] != 0) continue;
+      const std::size_t vi = v.index();
+      const bool labeled = ws.stamp[vi] == ws.epoch;
+      if (labeled && ws.settled[vi] != 0) continue;
 
       const std::optional<LinkFit> fit = state.earliest_fit(item, link_id, ready);
       if (!fit.has_value()) continue;
       if (fit->start >= sender_hold_end) continue;
-      if (fit->arrival >= tree.arrival(v)) continue;
+      const SimTime current = labeled ? ws.arrival[vi] : SimTime::infinity();
+      if (fit->arrival >= current) continue;
       if (fit->arrival > options.prune_after) continue;
       if (!state.can_hold(item, v, fit->start)) {
         if (stats != nullptr) ++stats->capacity_rejections;
         continue;
       }
 
-      tree.set_parent(v, TreeEdge{u, v, link_id, fit->start, fit->arrival});
-      heap.push_back({fit->arrival, v});
-      std::push_heap(heap.begin(), heap.end(), heap_after);
+      if (!labeled) {
+        ws.stamp[vi] = ws.epoch;
+        ws.settled[vi] = 0;
+        ws.touched.push_back(v);
+      }
+      ws.arrival[vi] = fit->arrival;
+      ws.has_parent[vi] = 1;
+      ws.edge[vi] = TreeEdge{u, v, link_id, fit->start, fit->arrival};
+      ws.heap.push_back({fit->arrival, v});
+      std::push_heap(ws.heap.begin(), ws.heap.end(), heap_after);
     }
+  }
+
+  // Compact the labeled slots into the sparse tree, ascending by machine id.
+  // Tentative (unsettled) labels are included, exactly as the dense layout
+  // retained them; root entries get a value-initialized edge so the tree's
+  // bytes never depend on stale scratch contents.
+  tree.reset(n);
+  std::sort(ws.touched.begin(), ws.touched.end());
+  for (const MachineId machine : ws.touched) {
+    const std::size_t i = machine.index();
+    tree.append(machine, ws.arrival[i], ws.has_parent[i] != 0,
+                ws.has_parent[i] != 0 ? ws.edge[i] : TreeEdge{});
   }
 }
 

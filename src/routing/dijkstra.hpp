@@ -44,18 +44,35 @@ struct DijkstraStats {
   std::size_t capacity_rejections = 0;
 };
 
-/// Caller-owned scratch buffers reused across runs: heap storage and the
-/// settled/target bitmaps. Reusing a workspace removes every per-run
-/// allocation from the routing hot path; a default-constructed workspace is
-/// grown on first use. Not thread-safe — one workspace per thread.
+/// Caller-owned scratch buffers reused across runs: heap storage plus the
+/// dense per-machine label arrays the search relaxes against. The labels are
+/// epoch-stamped — a slot is valid only when its stamp equals the current
+/// epoch, so starting a run invalidates everything in O(1) instead of an
+/// O(machines) clear per item refresh. After the search the labeled slots
+/// are compacted into the caller's sparse RouteTree. Reusing a workspace
+/// removes every per-run allocation from the routing hot path; a
+/// default-constructed workspace is grown on first use. Not thread-safe —
+/// one workspace per thread.
 struct DijkstraWorkspace {
   struct HeapEntry {
     SimTime arrival;
     MachineId machine;
   };
-  std::vector<HeapEntry> heap;         ///< binary min-heap storage
-  std::vector<std::uint8_t> settled;   ///< per-machine settled flags
-  std::vector<std::uint8_t> is_target; ///< per-machine target flags
+  std::vector<HeapEntry> heap;  ///< binary min-heap storage
+
+  std::uint64_t epoch = 0;           ///< current run id; stamps below match it
+  std::vector<std::uint64_t> stamp;  ///< label validity (== epoch)
+  std::vector<SimTime> arrival;      ///< tentative arrival labels
+  std::vector<std::uint8_t> settled;
+  std::vector<std::uint8_t> has_parent;
+  std::vector<TreeEdge> edge;            ///< parent edges (valid iff has_parent)
+  std::uint64_t target_epoch = 0;        ///< separate epoch for the target set
+  std::vector<std::uint64_t> target_stamp;
+  std::vector<MachineId> touched;  ///< machines labeled this run (unsorted)
+
+  /// Bumps the epoch, grows the arrays to `machine_count`, clears the heap
+  /// and the touched list.
+  void begin_run(std::size_t machine_count);
 };
 
 /// Runs the adapted Dijkstra for `item` over the current `state`, writing the

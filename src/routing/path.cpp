@@ -6,22 +6,25 @@
 
 namespace datastage {
 
-RouteTree::RouteTree(std::size_t machine_count)
-    : arrival_(machine_count, SimTime::infinity()),
-      has_parent_(machine_count, false),
-      edge_(machine_count) {}
+RouteTree::RouteTree(std::size_t machine_count) : machine_count_(machine_count) {}
 
 void RouteTree::reset(std::size_t machine_count) {
-  arrival_.assign(machine_count, SimTime::infinity());
-  has_parent_.assign(machine_count, false);
-  // Edge slots are only read where has_parent_ is true; stale contents are
-  // unreachable, so a resize (no refill) suffices.
-  edge_.resize(machine_count);
+  entries_.clear();
+  machine_count_ = machine_count;
+}
+
+const RouteTree::Entry* RouteTree::find(MachineId machine) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), machine,
+      [](const Entry& e, MachineId m) { return e.machine < m; });
+  if (it == entries_.end() || it->machine != machine) return nullptr;
+  return &*it;
 }
 
 const TreeEdge& RouteTree::parent_edge(MachineId machine) const {
-  DS_ASSERT(has_parent(machine));
-  return edge_[machine.index()];
+  const Entry* e = find(machine);
+  DS_ASSERT(e != nullptr && e->has_parent);
+  return e->edge;
 }
 
 const TreeEdge& RouteTree::first_hop(MachineId dest) const {
@@ -35,31 +38,27 @@ const TreeEdge& RouteTree::first_hop(MachineId dest) const {
 }
 
 std::vector<TreeEdge> RouteTree::path_to(MachineId dest) const {
-  DS_ASSERT(reached(dest));
   std::vector<TreeEdge> path;
-  MachineId cursor = dest;
-  while (has_parent(cursor)) {
-    path.push_back(parent_edge(cursor));
-    cursor = parent_edge(cursor).from;
-  }
-  std::reverse(path.begin(), path.end());
+  path_to_into(dest, path);
   return path;
 }
 
-void RouteTree::set_root(MachineId machine, SimTime available_at) {
-  // A machine can hold one copy only; availability improvements go through
-  // set_parent. Roots may be re-set to an earlier time during relaxation of
-  // multi-copy states (the engine initializes each copy exactly once).
-  arrival_[machine.index()] = min(arrival_[machine.index()], available_at);
-  has_parent_[machine.index()] = false;
+void RouteTree::path_to_into(MachineId dest, std::vector<TreeEdge>& out) const {
+  DS_ASSERT(reached(dest));
+  out.clear();
+  MachineId cursor = dest;
+  while (has_parent(cursor)) {
+    out.push_back(parent_edge(cursor));
+    cursor = parent_edge(cursor).from;
+  }
+  std::reverse(out.begin(), out.end());
 }
 
-void RouteTree::set_parent(MachineId machine, const TreeEdge& edge) {
-  DS_ASSERT(edge.to == machine);
-  DS_ASSERT(edge.arrival < arrival_[machine.index()]);
-  arrival_[machine.index()] = edge.arrival;
-  has_parent_[machine.index()] = true;
-  edge_[machine.index()] = edge;
+void RouteTree::append(MachineId machine, SimTime arrival, bool has_parent,
+                       const TreeEdge& edge) {
+  DS_ASSERT_MSG(entries_.empty() || entries_.back().machine < machine,
+                "RouteTree entries must be appended in ascending machine order");
+  entries_.push_back(Entry{machine, arrival, has_parent, edge});
 }
 
 }  // namespace datastage

@@ -4,6 +4,14 @@
 // current network state: every reachable machine has an arrival time and (if
 // it is not a copy holder already) the hop that attains it. Paths and first
 // hops are recovered by walking parent pointers.
+//
+// Storage is sparse: one entry per *labeled* machine, sorted by machine id.
+// Deadline pruning and target early-termination keep the labeled set tiny
+// compared to the machine count, and the engine holds one tree per item plan
+// — a dense per-machine layout cost O(items x machines) memory (tens of GB
+// at the huge scale tier) and an O(machines) clear per refresh. The dense
+// per-machine scratch now lives in DijkstraWorkspace, shared by every item a
+// worker refreshes.
 #pragma once
 
 #include <cstdint>
@@ -31,23 +39,33 @@ class RouteTree {
   explicit RouteTree(std::size_t machine_count);
 
   /// Re-initializes the tree for `machine_count` machines, reusing the
-  /// existing buffers. Equivalent to assigning a fresh RouteTree but without
-  /// reallocating — the engine recomputes trees in place every round.
+  /// existing entry buffer. Equivalent to assigning a fresh RouteTree but
+  /// without reallocating — the engine recomputes trees in place every round.
   void reset(std::size_t machine_count);
 
-  std::size_t machine_count() const { return arrival_.size(); }
+  std::size_t machine_count() const { return machine_count_; }
+
+  /// Number of labeled machines (the sparse entry count).
+  std::size_t labeled_count() const { return entries_.size(); }
 
   /// Earliest arrival of the item at `machine` (A_T when `machine` is a
   /// requesting destination). SimTime::infinity() if unreachable.
-  SimTime arrival(MachineId machine) const { return arrival_[machine.index()]; }
+  SimTime arrival(MachineId machine) const {
+    const Entry* e = find(machine);
+    return e != nullptr ? e->arrival : SimTime::infinity();
+  }
 
   bool reached(MachineId machine) const {
-    return !arrival_[machine.index()].is_infinite();
+    const Entry* e = find(machine);
+    return e != nullptr && !e->arrival.is_infinite();
   }
 
   /// True iff `machine` was reached via a transfer (false for copy holders,
   /// which are roots of the forest).
-  bool has_parent(MachineId machine) const { return has_parent_[machine.index()]; }
+  bool has_parent(MachineId machine) const {
+    const Entry* e = find(machine);
+    return e != nullptr && e->has_parent;
+  }
 
   const TreeEdge& parent_edge(MachineId machine) const;
 
@@ -59,14 +77,27 @@ class RouteTree {
   /// Full path root -> dest, in transfer order. Empty if dest is a root.
   std::vector<TreeEdge> path_to(MachineId dest) const;
 
-  /// Mutation interface for the Dijkstra driver.
-  void set_root(MachineId machine, SimTime available_at);
-  void set_parent(MachineId machine, const TreeEdge& edge);
+  /// path_to writing into a caller-reused buffer (cleared first) — the
+  /// allocation-free form for per-round hot paths.
+  void path_to_into(MachineId dest, std::vector<TreeEdge>& out) const;
+
+  /// Bulk-build interface for the Dijkstra driver: entries must be appended
+  /// in strictly ascending machine order after a reset().
+  void append(MachineId machine, SimTime arrival, bool has_parent,
+              const TreeEdge& edge);
 
  private:
-  std::vector<SimTime> arrival_;
-  std::vector<bool> has_parent_;
-  std::vector<TreeEdge> edge_;  // parent edge of each machine (valid iff has_parent_)
+  struct Entry {
+    MachineId machine;
+    SimTime arrival;
+    bool has_parent;
+    TreeEdge edge;  // parent edge (valid iff has_parent)
+  };
+
+  const Entry* find(MachineId machine) const;
+
+  std::vector<Entry> entries_;  // sorted by machine id
+  std::size_t machine_count_ = 0;
 };
 
 }  // namespace datastage

@@ -27,8 +27,8 @@ std::string str_field(std::string_view key, std::string_view value) {
   return '"' + std::string(key) + "\":\"" + obs::json_escape(value) + '"';
 }
 
-void append_metadata(std::string& out, std::string_view name, int pid, int tid,
-                     std::string_view value) {
+void append_metadata(std::string& out, std::string_view name, int pid,
+                     std::int64_t tid, std::string_view value) {
   append_event(out, str_field("name", name) + ",\"ph\":\"M\"," +
                         field("pid", std::to_string(pid)) + ',' +
                         field("tid", std::to_string(tid)) + ",\"args\":{" +
@@ -48,9 +48,9 @@ std::string chrome_trace_json(const Scenario& scenario, const Schedule& schedule
     const std::string label = "link " + std::to_string(i) + ": " +
                               scenario.machine(link.from).name + " -> " +
                               scenario.machine(link.to).name;
-    append_metadata(out, "thread_name", kSimPid, static_cast<int>(i) + 1, label);
+    append_metadata(out, "thread_name", kSimPid, link_track_id(i), label);
   }
-  const int miss_tid = static_cast<int>(scenario.phys_links.size()) + 1;
+  const std::int64_t miss_tid = miss_track_id(scenario.phys_links.size());
   if (options.outcomes != nullptr) {
     append_metadata(out, "thread_name", kSimPid, miss_tid, "deadline misses");
   }
@@ -74,7 +74,7 @@ std::string chrome_trace_json(const Scenario& scenario, const Schedule& schedule
         out,
         str_field("name", scenario.item(step->item).name) + ",\"ph\":\"X\"," +
             field("pid", std::to_string(kSimPid)) + ',' +
-            field("tid", std::to_string(phys + 1)) + ',' +
+            field("tid", std::to_string(link_track_id(phys))) + ',' +
             field("ts", std::to_string(step->start.usec())) + ',' +
             field("dur", std::to_string(dur)) + ",\"args\":{" +
             str_field("from", scenario.machine(step->from).name) + ',' +

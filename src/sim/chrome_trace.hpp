@@ -18,6 +18,7 @@
 // document is byte-identical across `--jobs` for the same schedule.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "core/satisfaction.hpp"
@@ -33,6 +34,19 @@ struct ChromeTraceOptions {
   /// Wall-clock phase totals for the pid-2 track; may be null.
   const obs::PhaseTimer* phases = nullptr;
 };
+
+/// Track (tid) of physical link `phys_index` on the simulation process.
+/// 64-bit: a `static_cast<int>` of the link count overflowed (and could
+/// collide with the deadline-miss track) on huge topologies.
+constexpr std::int64_t link_track_id(std::size_t phys_index) {
+  return static_cast<std::int64_t>(phys_index) + 1;
+}
+
+/// Track (tid) of the deadline-miss instants: one past the last link track,
+/// so it can never collide with a link for any representable link count.
+constexpr std::int64_t miss_track_id(std::size_t phys_link_count) {
+  return static_cast<std::int64_t>(phys_link_count) + 1;
+}
 
 /// Renders the run as `{"displayTimeUnit":"ms","traceEvents":[...]}`.
 std::string chrome_trace_json(const Scenario& scenario, const Schedule& schedule,

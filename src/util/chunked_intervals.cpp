@@ -1,0 +1,100 @@
+#include "util/chunked_intervals.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace datastage {
+
+std::pair<std::size_t, std::size_t> ChunkedIntervalSet::first_ending_after(
+    SimTime t) const {
+  const auto it = std::upper_bound(
+      chunks_.begin(), chunks_.end(), t,
+      [](SimTime value, const Chunk& c) { return value < c.max_end; });
+  if (it == chunks_.end()) return {chunks_.size(), 0};
+  const auto jt = std::upper_bound(
+      it->items.begin(), it->items.end(), t,
+      [](SimTime value, const Interval& iv) { return value < iv.end; });
+  // max_end > t guarantees at least one member of this chunk ends after t.
+  return {static_cast<std::size_t>(it - chunks_.begin()),
+          static_cast<std::size_t>(jt - it->items.begin())};
+}
+
+bool ChunkedIntervalSet::overlaps(const Interval& iv) const {
+  if (iv.empty()) return false;
+  const auto [ci, ii] = first_ending_after(iv.begin);
+  return ci < chunks_.size() && chunks_[ci].items[ii].begin < iv.end;
+}
+
+void ChunkedIntervalSet::insert_disjoint(const Interval& iv) {
+  DS_ASSERT_MSG(!iv.empty(), "cannot reserve an empty interval");
+  DS_ASSERT_MSG(!overlaps(iv), "reservation overlaps an existing reservation");
+  ++size_;
+  if (chunks_.empty()) {
+    chunks_.push_back(Chunk{{iv}, iv.end});
+    return;
+  }
+  const auto [ci, ii] = first_ending_after(iv.begin);
+  if (ci == chunks_.size()) {
+    // Past every member: append to the last chunk (the common case — link
+    // reservations mostly arrive in ascending time order).
+    Chunk& last = chunks_.back();
+    last.items.push_back(iv);
+    last.max_end = iv.end;
+    maybe_split(chunks_.size() - 1);
+    return;
+  }
+  Chunk& chunk = chunks_[ci];
+  chunk.items.insert(chunk.items.begin() + static_cast<std::ptrdiff_t>(ii), iv);
+  chunk.max_end = chunk.items.back().end;
+  maybe_split(ci);
+}
+
+void ChunkedIntervalSet::maybe_split(std::size_t chunk) {
+  Chunk& full = chunks_[chunk];
+  if (full.items.size() < 2 * kChunk) return;
+  Chunk right;
+  right.items.assign(full.items.begin() + static_cast<std::ptrdiff_t>(kChunk),
+                     full.items.end());
+  right.max_end = right.items.back().end;
+  full.items.resize(kChunk);
+  full.max_end = full.items.back().end;
+  chunks_.insert(chunks_.begin() + static_cast<std::ptrdiff_t>(chunk) + 1,
+                 std::move(right));
+}
+
+std::optional<SimTime> ChunkedIntervalSet::earliest_fit(SimTime not_before,
+                                                        SimDuration length,
+                                                        const Interval& window) const {
+  DS_ASSERT(length >= SimDuration::zero());
+  SimTime start = max(not_before, window.begin);
+  if (start + length > window.end) return std::nullopt;
+
+  auto [ci, ii] = first_ending_after(start);
+  while (true) {
+    const SimTime candidate_end = start + length;
+    if (candidate_end > window.end) return std::nullopt;
+    if (ci >= chunks_.size()) return start;
+    const Interval& busy = chunks_[ci].items[ii];
+    if (candidate_end <= busy.begin) {
+      return start;  // fits before the next busy interval
+    }
+    // Collision; restart after it.
+    start = max(start, busy.end);
+    if (++ii == chunks_[ci].items.size()) {
+      ++ci;
+      ii = 0;
+    }
+  }
+}
+
+std::vector<Interval> ChunkedIntervalSet::to_vector() const {
+  std::vector<Interval> out;
+  out.reserve(size_);
+  for (const Chunk& chunk : chunks_) {
+    out.insert(out.end(), chunk.items.begin(), chunk.items.end());
+  }
+  return out;
+}
+
+}  // namespace datastage

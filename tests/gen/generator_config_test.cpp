@@ -111,6 +111,123 @@ TEST(GeneratorConfigTest, FivePriorityClasses) {
   EXPECT_GT(weighted_value(s, weighting, result.outcomes), 0.0);
 }
 
+TEST(GeneratorConfigTest, HugePresetIsValidAndScalable) {
+  const GeneratorConfig huge = GeneratorConfig::huge();
+  EXPECT_TRUE(huge.validation_errors().empty());
+  EXPECT_TRUE(huge.scalable_sampling);
+  EXPECT_GE(huge.min_machines, 5000);
+  EXPECT_GE(static_cast<std::int64_t>(huge.min_machines) *
+                huge.min_requests_per_machine,
+            500'000);
+}
+
+// The scalable sampling path must produce valid, strongly connected
+// scenarios with the same structural guarantees as the paper path.
+TEST(GeneratorConfigTest, ScalableSamplingProducesValidScenarios) {
+  GeneratorConfig config = GeneratorConfig::light();
+  config.scalable_sampling = true;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    const Scenario s = generate_scenario(config, rng);  // check_valid inside
+    EXPECT_TRUE(Topology(s).strongly_connected());
+    EXPECT_GE(s.machine_count(), 8u);
+    for (const DataItem& item : s.items) {
+      ASSERT_FALSE(item.sources.empty());
+      ASSERT_FALSE(item.requests.empty());
+      for (const Request& r : item.requests) {
+        for (const SourceLocation& src : item.sources) {
+          EXPECT_NE(r.destination, src.machine);
+        }
+      }
+    }
+  }
+}
+
+// --- parameter validation (exit-2 diagnostics) ----------------------------
+
+TEST(GeneratorConfigDeathTest, ReversedMachineRangeDies) {
+  GeneratorConfig config = GeneratorConfig::light();
+  config.min_machines = 20;
+  config.max_machines = 10;
+  EXPECT_FALSE(config.validation_errors().empty());
+  EXPECT_EXIT(config.validate_or_die(), testing::ExitedWithCode(2),
+              "min_machines > max_machines");
+}
+
+TEST(GeneratorConfigDeathTest, ReversedItemBytesRangeDies) {
+  GeneratorConfig config = GeneratorConfig::light();
+  config.min_item_bytes = 1024;
+  config.max_item_bytes = 512;
+  EXPECT_EXIT(config.validate_or_die(), testing::ExitedWithCode(2),
+              "min_item_bytes > max_item_bytes");
+}
+
+TEST(GeneratorConfigDeathTest, ReversedOutDegreeRangeDiesThroughGenerate) {
+  GeneratorConfig config = GeneratorConfig::light();
+  config.min_out_degree = 9;
+  config.max_out_degree = 3;
+  Rng rng(1);
+  // generate_scenario validates before drawing anything.
+  EXPECT_EXIT(generate_scenario(config, rng), testing::ExitedWithCode(2),
+              "min_out_degree > max_out_degree");
+}
+
+TEST(GeneratorConfigDeathTest, RequestIdOverflowDies) {
+  GeneratorConfig config = GeneratorConfig::light();
+  // 100k machines x 50k requests/machine = 5e9 > INT32_MAX: the old code
+  // wrapped the 32-bit request ids silently inside the generator loop.
+  config.min_machines = 100'000;
+  config.max_machines = 100'000;
+  config.min_requests_per_machine = 50'000;
+  config.max_requests_per_machine = 50'000;
+  EXPECT_EXIT(config.validate_or_die(), testing::ExitedWithCode(2),
+              "overflows 32-bit request ids");
+}
+
+TEST(GeneratorConfigDeathTest, LoadMultiplierOverflowDies) {
+  GeneratorConfig config = GeneratorConfig::light();
+  config.min_machines = 10'000;
+  config.max_machines = 10'000;
+  config.min_requests_per_machine = 10'000;
+  config.max_requests_per_machine = 10'000;
+  config.load_multiplier = 1e6;  // 1e8 requests x 1e6 -> far past INT32_MAX
+  EXPECT_EXIT(config.validate_or_die(), testing::ExitedWithCode(2),
+              "overflows 32-bit request ids");
+}
+
+TEST(GeneratorConfigDeathTest, ZeroLoadMultiplierDies) {
+  GeneratorConfig config = GeneratorConfig::light();
+  config.load_multiplier = 0.0;
+  EXPECT_EXIT(config.validate_or_die(), testing::ExitedWithCode(2),
+              "load_multiplier must be > 0");
+}
+
+TEST(GeneratorConfigDeathTest, TooFewMachinesDies) {
+  GeneratorConfig config = GeneratorConfig::light();
+  config.min_machines = 1;
+  config.max_machines = 1;
+  EXPECT_EXIT(config.validate_or_die(), testing::ExitedWithCode(2),
+              "min_machines must be >= 2");
+}
+
+TEST(GeneratorConfigTest, ValidationReportsEveryProblemAtOnce) {
+  GeneratorConfig config = GeneratorConfig::light();
+  config.min_machines = 20;
+  config.max_machines = 10;
+  config.min_bandwidth_bps = 100;
+  config.max_bandwidth_bps = 10;
+  config.priority_classes = 0;
+  const std::vector<std::string> errors = config.validation_errors();
+  EXPECT_GE(errors.size(), 3u);
+}
+
+TEST(GeneratorConfigTest, AllPresetsAreValid) {
+  EXPECT_TRUE(GeneratorConfig::paper().validation_errors().empty());
+  EXPECT_TRUE(GeneratorConfig::light().validation_errors().empty());
+  EXPECT_TRUE(GeneratorConfig::congested().validation_errors().empty());
+  EXPECT_TRUE(GeneratorConfig::huge().validation_errors().empty());
+}
+
 TEST(GeneratorConfigTest, KeepLinksBeforeZeroKeepsAllWindows) {
   GeneratorConfig clipped = GeneratorConfig::light();
   GeneratorConfig full = GeneratorConfig::light();

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
 namespace datastage {
 namespace {
 
@@ -75,6 +80,43 @@ TEST(StorageTimelineTest, ManyAdjacentAllocations) {
   EXPECT_EQ(st.max_usage(iv(0, 100)), 10);
   st.allocate(5, iv(0, 100));
   EXPECT_EQ(st.max_usage(iv(0, 100)), 15);
+}
+
+// Oracle for the flat-vector + pending-overlay layout: every query must give
+// the same answer as a brute-force sum over the raw allocation list, across
+// enough allocations to cross the batch-compaction threshold several times.
+TEST(StorageTimelineTest, RandomAllocationsMatchBruteForce) {
+  constexpr std::int64_t kDomain = 500;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    StorageTimeline st(std::int64_t{1} << 40);
+    std::vector<std::pair<Interval, std::int64_t>> raw;
+    const auto brute_at = [&](std::int64_t t) {
+      std::int64_t total = 0;
+      for (const auto& [alloc_iv, bytes] : raw) {
+        if (alloc_iv.contains(SimTime::from_usec(t))) total += bytes;
+      }
+      return total;
+    };
+    for (int step = 0; step < 120; ++step) {
+      const std::int64_t a = rng.uniform_i64(0, kDomain);
+      const std::int64_t b = a + rng.uniform_i64(1, 60);
+      const std::int64_t bytes = rng.uniform_i64(1, 1000);
+      st.allocate(bytes, iv(a, b));
+      raw.emplace_back(iv(a, b), bytes);
+
+      const std::int64_t t = rng.uniform_i64(0, kDomain);
+      EXPECT_EQ(st.usage_at(SimTime::from_usec(t)), brute_at(t))
+          << "seed " << seed << " step " << step << " t " << t;
+
+      const std::int64_t qa = rng.uniform_i64(0, kDomain);
+      const std::int64_t qb = qa + rng.uniform_i64(0, 80);
+      std::int64_t best = 0;
+      for (std::int64_t u = qa; u < qb; ++u) best = std::max(best, brute_at(u));
+      EXPECT_EQ(st.max_usage(iv(qa, qb)), best)
+          << "seed " << seed << " step " << step << " [" << qa << "," << qb << ")";
+    }
+  }
 }
 
 TEST(StorageTimelineDeathTest, OverCapacityAllocationAborts) {

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
+#include "gen/generator.hpp"
 #include "testing/builders.hpp"
+#include "util/rng.hpp"
 
 namespace datastage {
 namespace {
@@ -50,6 +54,34 @@ TEST(TopologyTest, OutDegreeCountsDistinctNeighbors) {
   const Topology topo(s);
   EXPECT_EQ(topo.out_degree(MachineId(0)), 2);
   EXPECT_EQ(topo.out_degree(MachineId(1)), 0);
+}
+
+// Regression for the flat-vector out_degree rewrite: on generated scenarios
+// the precomputed degrees must be identical to the old std::set-per-query
+// computation, and the adjacency structure must be byte-identical to what a
+// freshly built Topology reports (construction is deterministic).
+TEST(TopologyTest, OutDegreeMatchesNaiveSetOnGeneratedScenarios) {
+  const std::vector<Scenario> cases =
+      generate_cases(GeneratorConfig::light(), 71, 4);
+  for (const Scenario& s : cases) {
+    const Topology topo(s);
+    const Topology again(s);
+    for (std::size_t m = 0; m < s.machine_count(); ++m) {
+      const MachineId id(static_cast<std::int32_t>(m));
+      std::set<std::int32_t> naive;
+      for (const PhysicalLink& pl : s.phys_links) {
+        if (pl.from == id) naive.insert(pl.to.value());
+      }
+      EXPECT_EQ(topo.out_degree(id), static_cast<std::int32_t>(naive.size()));
+      EXPECT_EQ(again.out_degree(id), topo.out_degree(id));
+      const auto out_a = topo.outgoing(id);
+      const auto out_b = again.outgoing(id);
+      ASSERT_EQ(out_a.size(), out_b.size());
+      for (std::size_t i = 0; i < out_a.size(); ++i) {
+        EXPECT_EQ(out_a[i], out_b[i]);
+      }
+    }
+  }
 }
 
 TEST(TopologyTest, ChainIsNotStronglyConnected) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
 #include <string>
 
@@ -145,6 +146,26 @@ TEST(ChromeTraceTest, OutputIsDeterministic) {
   options.outcomes = &result.outcomes;
   EXPECT_EQ(sim::chrome_trace_json(s, result.schedule, options),
             sim::chrome_trace_json(s, result.schedule, options));
+}
+
+// Track-id regression: the old `static_cast<int>(phys_links.size()) + 1`
+// wrapped past INT32_MAX on huge topologies, which could alias the
+// deadline-miss track with a link track (or go negative). The 64-bit helpers
+// must stay monotone, collision-free, and positive at any link count.
+TEST(ChromeTraceTest, TrackIdsDoNotOverflowOrCollideAtHugeLinkCounts) {
+  const std::size_t huge = 3'000'000'000u;  // > INT32_MAX links
+  EXPECT_EQ(sim::link_track_id(0), 1);
+  EXPECT_EQ(sim::link_track_id(huge - 1), static_cast<std::int64_t>(huge));
+  EXPECT_GT(sim::link_track_id(huge - 1), 0);  // no int32 wraparound
+  // The miss track sits strictly after every link track.
+  EXPECT_GT(sim::miss_track_id(huge), sim::link_track_id(huge - 1));
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{4096},
+                        static_cast<std::size_t>(INT32_MAX), huge}) {
+    if (n > 0) {
+      EXPECT_EQ(sim::miss_track_id(n), sim::link_track_id(n - 1) + 1);
+    }
+    EXPECT_GT(sim::miss_track_id(n), 0);
+  }
 }
 
 TEST(ChromeTraceTest, EmptyScheduleStillProducesAValidDocument) {

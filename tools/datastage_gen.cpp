@@ -54,8 +54,10 @@ int main(int argc, char** argv) {
     config = GeneratorConfig::light();
   } else if (preset == "congested") {
     config = GeneratorConfig::congested();
+  } else if (preset == "huge") {
+    config = GeneratorConfig::huge();
   } else {
-    std::fprintf(stderr, "unknown --preset '%s' (paper|light|congested)\n",
+    std::fprintf(stderr, "unknown --preset '%s' (paper|light|congested|huge)\n",
                  preset.c_str());
     return 1;
   }
